@@ -1,0 +1,164 @@
+package agar
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/client"
+	"github.com/agardist/agar/internal/core"
+	"github.com/agardist/agar/internal/geo"
+)
+
+// ReadStats describes one read through a client.
+type ReadStats struct {
+	// Latency is the modelled end-to-end latency of the read.
+	Latency time.Duration
+	// CacheChunks, PeerChunks and BackendChunks count where chunks came
+	// from (local cache, cooperative peer cache, backend regions).
+	CacheChunks, PeerChunks, BackendChunks int
+	// FullHit / PartialHit classify the read for hit-ratio accounting.
+	FullHit, PartialHit bool
+}
+
+// Client reads objects from a cluster under some caching strategy.
+type Client struct {
+	reader client.Reader
+	node   *core.Node
+	env    *client.Env
+	region Region
+}
+
+func (c *Cluster) env() *client.Env {
+	return &client.Env{
+		Cluster:        c.backend,
+		Matrix:         c.matrix,
+		Sampler:        c.sampler,
+		CacheLatency:   c.cfg.cacheLatency,
+		DecodeLatency:  c.cfg.decodeLatency,
+		MonitorLatency: c.cfg.monitorLatency,
+	}
+}
+
+// NewBackendClient returns a client that always reads the k nearest chunks
+// from the backend (the paper's Backend baseline).
+func (c *Cluster) NewBackendClient(region Region) *Client {
+	env := c.env()
+	return &Client{reader: client.NewBackendReader(env, region), env: env, region: region}
+}
+
+// NewLRUClient returns a client reading through a local LRU cache that
+// keeps `chunks` chunks per object in `cacheBytes` of memory (LRU-c).
+func (c *Cluster) NewLRUClient(region Region, chunks int, cacheBytes int64) *Client {
+	env := c.env()
+	return &Client{
+		reader: client.NewFixedReader(env, region, cache.NewLRU(), chunks, cacheBytes),
+		env:    env,
+		region: region,
+	}
+}
+
+// NewLFUClient returns a client reading through a local LFU cache (LFU-c).
+func (c *Cluster) NewLFUClient(region Region, chunks int, cacheBytes int64) *Client {
+	env := c.env()
+	return &Client{
+		reader: client.NewFixedReader(env, region, cache.NewLFU(), chunks, cacheBytes),
+		env:    env,
+		region: region,
+	}
+}
+
+// NewAgarClient returns a client reading through a region-local Agar node
+// with the given cache budget. chunkBytes is the slot unit used to convert
+// the budget into knapsack capacity — pass Cluster.ChunkSize(objectSize)
+// for uniform objects.
+func (c *Cluster) NewAgarClient(region Region, cacheBytes, chunkBytes int64) (*Client, error) {
+	if chunkBytes <= 0 {
+		return nil, fmt.Errorf("agar: chunkBytes must be positive")
+	}
+	env := c.env()
+	node := core.NewNode(core.NodeParams{
+		Region:         region,
+		Regions:        c.backend.Regions(),
+		Placement:      c.backend.Placement(),
+		K:              c.codec.K(),
+		M:              c.codec.M(),
+		CacheBytes:     cacheBytes,
+		ChunkBytes:     chunkBytes,
+		ReconfigPeriod: c.cfg.reconfigPeriod,
+		CacheLatency:   c.cfg.cacheLatency,
+	})
+	node.RegionManager().WarmUp(func(r geo.RegionID) time.Duration {
+		return c.sampler.Chunk(region, r)
+	}, 3)
+	return &Client{
+		reader: client.NewAgarReader(env, region, node),
+		node:   node,
+		env:    env,
+		region: region,
+	}, nil
+}
+
+// Get reads one object and reports the read's accounting.
+func (cl *Client) Get(key string) ([]byte, ReadStats, error) {
+	data, res, err := cl.reader.Read(key)
+	return data, ReadStats{
+		Latency:       res.Latency,
+		CacheChunks:   res.CacheChunks,
+		PeerChunks:    res.PeerChunks,
+		BackendChunks: res.BackendChunks,
+		FullHit:       res.FullHit,
+		PartialHit:    res.PartialHit,
+	}, err
+}
+
+// Strategy returns the client's strategy name ("agar", "lru-3", "backend").
+func (cl *Client) Strategy() string { return cl.reader.Name() }
+
+// Region returns the client's region.
+func (cl *Client) Region() Region { return cl.region }
+
+// Reconfigure forces the Agar node (if any) to recompute its cache
+// configuration immediately. For virtual-time runs, call MaybeReconfigure
+// with the simulation clock instead.
+func (cl *Client) Reconfigure() {
+	if cl.node != nil {
+		cl.node.ForceReconfigure()
+	}
+}
+
+// MaybeReconfigure reconfigures the Agar node if its period has elapsed at
+// the given instant; it reports whether a reconfiguration ran.
+func (cl *Client) MaybeReconfigure(now time.Time) bool {
+	if cl.node == nil {
+		return false
+	}
+	return cl.node.MaybeReconfigure(now)
+}
+
+// CacheContents returns, per object, the chunk indices currently resident
+// in the client's cache (Agar and LRU/LFU clients; nil for backend
+// clients).
+func (cl *Client) CacheContents() map[string][]int {
+	switch r := cl.reader.(type) {
+	case *client.AgarReader:
+		return r.Node().Cache().Snapshot()
+	case *client.FixedReader:
+		return r.Cache().Snapshot()
+	default:
+		return nil
+	}
+}
+
+// Peer registers another Agar client's cache as a cooperative peer (the
+// paper's §VI extension): this client's node revalues its caching options
+// against the peer's residency and its reads fetch peer-resident chunks at
+// the given latency instead of crossing the WAN. Both arguments must be
+// Agar clients.
+func (cl *Client) Peer(other *Client, latency time.Duration) error {
+	if cl.node == nil || other.node == nil {
+		return fmt.Errorf("agar: cooperative peering requires Agar clients")
+	}
+	cl.node.AddPeer(other.node.Region(), other.node.Cache(), latency)
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command agar-load drives a YCSB-style read-only workload against the
+// simulated deployment and prints per-strategy latency and hit statistics —
+// a one-shot workload driver for exploring configurations outside the
+// fixed experiment set.
+//
+// Usage:
+//
+//	agar-load -strategy agar -region sydney -cache-mb 20 -skew 1.1 -ops 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/agardist/agar/internal/experiments"
+	"github.com/agardist/agar/internal/geo"
+)
+
+func main() {
+	var (
+		strategy = flag.String("strategy", "agar", "agar | backend | lru-N | lfu-N")
+		region   = flag.String("region", "frankfurt", "client region")
+		cacheMB  = flag.Float64("cache-mb", 10, "cache size in paper megabytes")
+		skew     = flag.Float64("skew", 1.1, "Zipfian skew (0 = uniform)")
+		ops      = flag.Int("ops", 1000, "measured operations")
+		warmup   = flag.Int("warmup", 1000, "warm-up operations")
+		objects  = flag.Int("objects", 300, "working-set size")
+		runs     = flag.Int("runs", 3, "runs to average")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	r, err := geo.ParseRegion(*region)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	params := experiments.DefaultParams()
+	params.Operations = *ops
+	params.WarmupOps = *warmup
+	params.NumObjects = *objects
+	params.Runs = *runs
+	params.Seed = *seed
+	params.ZipfSkew = *skew
+	d, err := experiments.NewDeployment(params)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := d.Run(strat, r, *cacheMB)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("strategy=%s region=%s cache=%.0fMB skew=%.1f\n", res.Strategy, r, *cacheMB, *skew)
+	fmt.Printf("mean=%v p50=%v p95=%v p99=%v\n",
+		res.Mean.Round(time.Millisecond), res.P50.Round(time.Millisecond),
+		res.P95.Round(time.Millisecond), res.P99.Round(time.Millisecond))
+	fmt.Printf("hit-ratio=%.1f%% (full=%d partial=%d miss=%d) errors=%d reconfigs=%d\n",
+		100*res.HitRatio(), res.FullHits, res.PartialHits, res.Misses, res.Errors, res.Reconfigs)
+}
+
+func parseStrategy(s string) (experiments.Strategy, error) {
+	switch {
+	case s == "agar":
+		return experiments.Strategy{Kind: experiments.StratAgar}, nil
+	case s == "backend":
+		return experiments.Strategy{Kind: experiments.StratBackend}, nil
+	case strings.HasPrefix(s, "lru-"), strings.HasPrefix(s, "lfu-"):
+		c, err := strconv.Atoi(s[4:])
+		if err != nil {
+			return experiments.Strategy{}, fmt.Errorf("bad chunk count in %q", s)
+		}
+		kind := experiments.StratLRU
+		if strings.HasPrefix(s, "lfu-") {
+			kind = experiments.StratLFU
+		}
+		return experiments.Strategy{Kind: kind, C: c}, nil
+	default:
+		return experiments.Strategy{}, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "agar-load: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command backend-server runs one region's chunk store over TCP — the
+// stand-in for the paper's per-region S3 bucket.
+//
+// Usage:
+//
+//	backend-server -region frankfurt -addr 127.0.0.1:7001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/agardist/agar/internal/backend"
+	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/live"
+)
+
+func main() {
+	var (
+		region = flag.String("region", "frankfurt", "region this store serves")
+		addr   = flag.String("addr", "127.0.0.1:7001", "listen address")
+	)
+	flag.Parse()
+
+	r, err := geo.ParseRegion(*region)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	store := backend.NewStore(r)
+	srv, err := live.NewStoreServer(*addr, store)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("backend-server: region=%s listening on %s\n", r, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("backend-server: shutting down")
+	srv.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "backend-server: "+format+"\n", args...)
+	os.Exit(1)
+}

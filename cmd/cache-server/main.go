@@ -1,0 +1,56 @@
+// Command cache-server runs a standalone chunk cache over TCP with a
+// memcached-like get/set/delete surface and a pluggable eviction policy.
+//
+// Usage:
+//
+//	cache-server -addr 127.0.0.1:7101 -capacity 10485760 -policy lru
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/live"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7101", "listen address")
+		capacity = flag.Int64("capacity", 10<<20, "cache capacity in bytes")
+		policy   = flag.String("policy", "lru", "eviction policy: lru|lfu|pinned")
+	)
+	flag.Parse()
+
+	var p cache.Policy
+	switch *policy {
+	case "lru":
+		p = cache.NewLRU()
+	case "lfu":
+		p = cache.NewLFU()
+	case "pinned":
+		p = cache.NewPinned()
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+
+	srv, err := live.NewCacheServer(*addr, cache.New(*capacity, p))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("cache-server: policy=%s capacity=%d listening on %s\n", *policy, *capacity, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("cache-server: shutting down")
+	srv.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cache-server: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Policy comparison: a miniature of the paper's Figure 6. One thousand
+// Zipfian reads per strategy against a 10 MB-equivalent cache, comparing
+// Agar's knapsack configuration with the classical LRU-c / LFU-c policies
+// and the cache-less backend.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	agar "github.com/agardist/agar"
+)
+
+const (
+	numObjects = 150
+	objSize    = 9 * 1024
+	reads      = 1000
+	warmup     = 600
+)
+
+func main() {
+	cluster, err := agar.NewCluster(agar.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < numObjects; i++ {
+		if err := cluster.Put(key(i), bytes.Repeat([]byte{byte(i)}, objSize)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	chunkBytes := int64(cluster.ChunkSize(objSize))
+	cacheBytes := 90 * chunkBytes // the paper's 10 MB = 90 chunk slots
+
+	type entry struct {
+		name string
+		make func() *agar.Client
+	}
+	strategies := []entry{
+		{"Agar", func() *agar.Client {
+			cl, err := cluster.NewAgarClient(agar.Frankfurt, cacheBytes, chunkBytes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return cl
+		}},
+		{"LRU-5", func() *agar.Client { return cluster.NewLRUClient(agar.Frankfurt, 5, cacheBytes) }},
+		{"LRU-9", func() *agar.Client { return cluster.NewLRUClient(agar.Frankfurt, 9, cacheBytes) }},
+		{"LFU-5", func() *agar.Client { return cluster.NewLFUClient(agar.Frankfurt, 5, cacheBytes) }},
+		{"LFU-9", func() *agar.Client { return cluster.NewLFUClient(agar.Frankfurt, 9, cacheBytes) }},
+		{"Backend", func() *agar.Client { return cluster.NewBackendClient(agar.Frankfurt) }},
+	}
+
+	fmt.Printf("%-8s %12s %10s\n", "strategy", "latency", "hit-ratio")
+	for _, s := range strategies {
+		cl := s.make()
+		mean, hits := drive(cl)
+		fmt.Printf("%-8s %12v %9.1f%%\n", s.name, mean.Round(time.Millisecond), 100*hits)
+	}
+}
+
+// drive replays the same Zipfian stream against one client on virtual
+// time, reconfiguring the Agar node every 30 simulated seconds.
+func drive(cl *agar.Client) (time.Duration, float64) {
+	rng := rand.New(rand.NewSource(7))
+	zipf := newZipf(rng, numObjects, 1.1)
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	cl.MaybeReconfigure(now)
+
+	var total time.Duration
+	hits, measured := 0, 0
+	for i := 0; i < warmup+reads; i++ {
+		_, st, err := cl.Get(key(zipf()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		now = now.Add(st.Latency / 2) // two concurrent clients, as in §V-A
+		cl.MaybeReconfigure(now)
+		if i < warmup {
+			continue
+		}
+		measured++
+		total += st.Latency
+		if st.FullHit || st.PartialHit {
+			hits++
+		}
+	}
+	return total / time.Duration(measured), float64(hits) / float64(measured)
+}
+
+// newZipf samples ranks with P(i) proportional to 1/(i+1)^s.
+func newZipf(rng *rand.Rand, n int, s float64) func() int {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	return func() int {
+		u := rng.Float64() * sum
+		for i, c := range cdf {
+			if u <= c {
+				return i
+			}
+		}
+		return n - 1
+	}
+}
+
+func key(i int) string { return fmt.Sprintf("object-%05d", i) }

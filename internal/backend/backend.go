@@ -1,0 +1,238 @@
+// Package backend implements the persistent chunk store that stands in for
+// the paper's per-region Amazon S3 buckets.
+//
+// A Store is one region's bucket: a durable (for the process lifetime),
+// concurrency-safe map from (object key, chunk index) to chunk bytes. A
+// Cluster groups one Store per region and knows how to spread an object's
+// erasure-coded chunks across them under a placement policy, exactly like
+// the deployment in the paper's Figure 1.
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/agardist/agar/internal/erasure"
+	"github.com/agardist/agar/internal/geo"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("backend: chunk not found")
+	ErrDown     = errors.New("backend: region is down")
+)
+
+// ChunkID identifies one stored chunk.
+type ChunkID struct {
+	Key   string
+	Index int
+}
+
+// Store is a single region's chunk bucket. It is safe for concurrent use.
+// The zero value is not usable; construct with NewStore.
+type Store struct {
+	mu     sync.RWMutex
+	region geo.RegionID
+	chunks map[ChunkID][]byte
+	down   bool
+}
+
+// NewStore returns an empty bucket for the region.
+func NewStore(region geo.RegionID) *Store {
+	return &Store{region: region, chunks: make(map[ChunkID][]byte)}
+}
+
+// Region returns the region this bucket lives in.
+func (s *Store) Region() geo.RegionID { return s.region }
+
+// Put stores a copy of the chunk bytes.
+func (s *Store) Put(id ChunkID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return ErrDown
+	}
+	s.chunks[id] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get returns a copy of the chunk bytes, ErrNotFound when absent, or
+// ErrDown while the region is failed.
+func (s *Store) Get(id ChunkID) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.down {
+		return nil, ErrDown
+	}
+	data, ok := s.chunks[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete removes a chunk and reports whether it was present.
+func (s *Store) Delete(id ChunkID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.chunks[id]; !ok {
+		return false
+	}
+	delete(s.chunks, id)
+	return true
+}
+
+// Len returns the number of stored chunks.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chunks)
+}
+
+// Bytes returns the total stored bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, c := range s.chunks {
+		n += int64(len(c))
+	}
+	return n
+}
+
+// Keys returns the sorted distinct object keys with at least one chunk here.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	for id := range s.chunks {
+		seen[id.Key] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetDown marks the region failed (true) or healthy (false). While down,
+// every Get and Put fails with ErrDown — the failure-injection hook for
+// degraded-read tests.
+func (s *Store) SetDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// Down reports whether the region is failed.
+func (s *Store) Down() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.down
+}
+
+// Cluster is the multi-region backend: one Store per region plus the codec
+// and placement that map objects onto chunks onto regions.
+type Cluster struct {
+	codec     *erasure.Codec
+	placement geo.Placement
+	stores    map[geo.RegionID]*Store
+	regions   []geo.RegionID
+}
+
+// NewCluster builds a cluster with one empty store per region.
+func NewCluster(regions []geo.RegionID, codec *erasure.Codec, placement geo.Placement) *Cluster {
+	if len(regions) == 0 {
+		panic("backend: cluster needs at least one region")
+	}
+	stores := make(map[geo.RegionID]*Store, len(regions))
+	for _, r := range regions {
+		stores[r] = NewStore(r)
+	}
+	cp := make([]geo.RegionID, len(regions))
+	copy(cp, regions)
+	return &Cluster{codec: codec, placement: placement, stores: stores, regions: cp}
+}
+
+// Codec returns the cluster's erasure codec.
+func (c *Cluster) Codec() *erasure.Codec { return c.codec }
+
+// Placement returns the cluster's chunk placement policy.
+func (c *Cluster) Placement() geo.Placement { return c.placement }
+
+// Regions returns the cluster's regions in construction order.
+func (c *Cluster) Regions() []geo.RegionID {
+	out := make([]geo.RegionID, len(c.regions))
+	copy(out, c.regions)
+	return out
+}
+
+// Store returns the bucket for a region, or nil if the region is unknown.
+func (c *Cluster) Store(r geo.RegionID) *Store { return c.stores[r] }
+
+// PutObject encodes the object and writes each chunk to its placed region.
+func (c *Cluster) PutObject(key string, data []byte) error {
+	chunks, err := c.codec.Split(data)
+	if err != nil {
+		return fmt.Errorf("backend: encode %q: %w", key, err)
+	}
+	locs := c.placement.Locate(key, len(chunks))
+	for i, chunk := range chunks {
+		st := c.stores[locs[i]]
+		if st == nil {
+			return fmt.Errorf("backend: placement names unknown region %v", locs[i])
+		}
+		if err := st.Put(ChunkID{Key: key, Index: i}, chunk); err != nil {
+			return fmt.Errorf("backend: store chunk %d of %q in %v: %w", i, key, locs[i], err)
+		}
+	}
+	return nil
+}
+
+// GetChunk reads one chunk from the region that the placement assigns it.
+func (c *Cluster) GetChunk(key string, index int) ([]byte, error) {
+	locs := c.placement.Locate(key, c.codec.Total())
+	if index < 0 || index >= len(locs) {
+		return nil, fmt.Errorf("backend: chunk index %d out of range", index)
+	}
+	return c.stores[locs[index]].Get(ChunkID{Key: key, Index: index})
+}
+
+// GetObject fetches the k nearest available chunks (any k, preferring data
+// chunks) and decodes the object. It is a convenience for tests and tools;
+// the latency-aware read path lives in the client package.
+func (c *Cluster) GetObject(key string) ([]byte, error) {
+	total := c.codec.Total()
+	chunks := make([][]byte, total)
+	got := 0
+	var firstErr error
+	for i := 0; i < total && got < c.codec.K(); i++ {
+		data, err := c.GetChunk(key, i)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		chunks[i] = data
+		got++
+	}
+	if got < c.codec.K() {
+		return nil, fmt.Errorf("backend: only %d of %d chunks of %q available: %w",
+			got, c.codec.K(), key, firstErr)
+	}
+	return c.codec.Decode(chunks)
+}
+
+// TotalBytes returns the bytes stored across all regions (the paper's
+// "400 MB including redundancy" figure for its 300-object working set).
+func (c *Cluster) TotalBytes() int64 {
+	var n int64
+	for _, s := range c.stores {
+		n += s.Bytes()
+	}
+	return n
+}

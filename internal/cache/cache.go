@@ -1,0 +1,293 @@
+// Package cache implements the byte-bounded in-memory chunk cache Agar and
+// its baselines run against — the stand-in for the paper's memcached
+// deployment.
+//
+// Cache items are erasure-coded chunks identified by (object key, chunk
+// index), matching how the paper's prototype stores data in memcached.
+// Eviction is pluggable: LRU and LFU reproduce the baseline policies of §V,
+// and the Pinned policy gives Agar's cache manager full manual control.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the cache.
+var (
+	ErrTooLarge  = errors.New("cache: item larger than cache capacity")
+	ErrCacheFull = errors.New("cache: full and the policy refuses eviction")
+	ErrNotFound  = errors.New("cache: not found")
+)
+
+// EntryID identifies one cached chunk.
+type EntryID struct {
+	Key   string // object key
+	Index int    // chunk index within the object
+}
+
+// String renders the id in "key#index" form.
+func (id EntryID) String() string { return fmt.Sprintf("%s#%d", id.Key, id.Index) }
+
+// entry is one resident chunk.
+type entry struct {
+	id   EntryID
+	data []byte
+
+	// intrusive LRU list links (also reused as the per-frequency list by LFU)
+	prev, next *entry
+	freq       int64
+}
+
+// Policy decides which resident entry to evict. Implementations are not
+// safe for concurrent use; the Cache serialises all calls under its lock.
+type Policy interface {
+	// Name returns the policy's short name ("lru", "lfu", "pinned").
+	Name() string
+	// Added notifies the policy of a newly inserted entry.
+	Added(e *entry)
+	// Accessed notifies the policy that an entry was read.
+	Accessed(e *entry)
+	// Removed notifies the policy that an entry left the cache.
+	Removed(e *entry)
+	// Victim returns the entry to evict next, or nil to refuse eviction.
+	Victim() *entry
+}
+
+// Stats counts cache-level events. Hit accounting at object granularity
+// (full vs partial hits, Figure 7) lives in the client, which knows how many
+// chunks it asked for.
+type Stats struct {
+	Gets      int64 // chunk lookups
+	Hits      int64 // chunk lookups that found the chunk
+	Sets      int64 // successful inserts (including overwrites)
+	Evictions int64 // entries evicted to make room
+	Rejected  int64 // inserts refused (full under a non-evicting policy)
+}
+
+// Cache is a byte-bounded chunk store with pluggable eviction. It is safe
+// for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	policy   Policy
+	entries  map[EntryID]*entry
+	byKey    map[string]map[int]*entry // object key -> chunk index -> entry
+	admit    func(EntryID) bool
+	stats    Stats
+}
+
+// New returns a cache bounded to capacity bytes under the given policy.
+func New(capacity int64, policy Policy) *Cache {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	if policy == nil {
+		panic("cache: nil policy")
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[EntryID]*entry),
+		byKey:    make(map[string]map[int]*entry),
+	}
+}
+
+// SetAdmission installs an admission filter: inserts for ids the filter
+// rejects are dropped (counted in Stats.Rejected). A nil filter admits
+// everything.
+func (c *Cache) SetAdmission(f func(EntryID) bool) {
+	c.mu.Lock()
+	c.admit = f
+	c.mu.Unlock()
+}
+
+// Capacity returns the configured byte capacity.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently resident.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of resident chunks.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the event counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Get returns a copy of the chunk's bytes, or ErrNotFound.
+func (c *Cache) Get(id EntryID) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Gets++
+	e, ok := c.entries[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	c.stats.Hits++
+	c.policy.Accessed(e)
+	out := make([]byte, len(e.data))
+	copy(out, e.data)
+	return out, nil
+}
+
+// Contains reports chunk residency without counting as an access.
+func (c *Cache) Contains(id EntryID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[id]
+	return ok
+}
+
+// GetObject returns copies of every resident chunk of the object, keyed by
+// chunk index. Each returned chunk counts as one access. The map is empty
+// (never nil) when nothing is resident.
+func (c *Cache) GetObject(key string) map[int][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int][]byte)
+	for idx, e := range c.byKey[key] {
+		c.stats.Gets++
+		c.stats.Hits++
+		c.policy.Accessed(e)
+		buf := make([]byte, len(e.data))
+		copy(buf, e.data)
+		out[idx] = buf
+	}
+	return out
+}
+
+// IndicesOf returns the sorted chunk indices of the object that are
+// resident, without counting accesses.
+func (c *Cache) IndicesOf(key string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	chunks := c.byKey[key]
+	out := make([]int, 0, len(chunks))
+	for idx := range chunks {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Put inserts (or overwrites) a chunk, evicting under the policy until it
+// fits. The data is copied. It returns ErrTooLarge if the item alone
+// exceeds capacity, and ErrCacheFull if the policy refuses to evict.
+func (c *Cache) Put(id EntryID, data []byte) error {
+	size := int64(len(data))
+	if size > c.capacity {
+		return ErrTooLarge
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.admit != nil && !c.admit(id) {
+		c.stats.Rejected++
+		return nil
+	}
+
+	if old, ok := c.entries[id]; ok {
+		c.removeLocked(old)
+	}
+
+	for c.used+size > c.capacity {
+		victim := c.policy.Victim()
+		if victim == nil {
+			c.stats.Rejected++
+			return ErrCacheFull
+		}
+		c.stats.Evictions++
+		c.removeLocked(victim)
+	}
+
+	e := &entry{id: id, data: append([]byte(nil), data...)}
+	c.entries[id] = e
+	chunks := c.byKey[id.Key]
+	if chunks == nil {
+		chunks = make(map[int]*entry)
+		c.byKey[id.Key] = chunks
+	}
+	chunks[id.Index] = e
+	c.used += size
+	c.policy.Added(e)
+	c.stats.Sets++
+	return nil
+}
+
+// Delete removes a chunk if resident and reports whether it was.
+func (c *Cache) Delete(id EntryID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	c.removeLocked(e)
+	return true
+}
+
+// DeleteObject removes every resident chunk of the object and returns how
+// many were removed.
+func (c *Cache) DeleteObject(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	chunks := c.byKey[key]
+	n := len(chunks)
+	for _, e := range chunks {
+		c.removeLocked(e)
+	}
+	return n
+}
+
+// Clear empties the cache.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		c.removeLocked(e)
+	}
+}
+
+// Snapshot returns, for every resident object, its sorted resident chunk
+// indices. This is the raw material of the paper's Figure 10.
+func (c *Cache) Snapshot() map[string][]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]int, len(c.byKey))
+	for key, chunks := range c.byKey {
+		idxs := make([]int, 0, len(chunks))
+		for idx := range chunks {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		out[key] = idxs
+	}
+	return out
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.id)
+	if chunks := c.byKey[e.id.Key]; chunks != nil {
+		delete(chunks, e.id.Index)
+		if len(chunks) == 0 {
+			delete(c.byKey, e.id.Key)
+		}
+	}
+	c.used -= int64(len(e.data))
+	c.policy.Removed(e)
+}

@@ -1,0 +1,185 @@
+package cache
+
+// list is a tiny intrusive doubly linked list of entries with a sentinel.
+// Front is most-recent; Back is the eviction end.
+type list struct {
+	root entry
+	size int
+}
+
+func newList() *list {
+	l := &list{}
+	l.root.prev = &l.root
+	l.root.next = &l.root
+	return l
+}
+
+func (l *list) pushFront(e *entry) {
+	e.prev = &l.root
+	e.next = l.root.next
+	e.prev.next = e
+	e.next.prev = e
+	l.size++
+}
+
+func (l *list) remove(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	l.size--
+}
+
+func (l *list) back() *entry {
+	if l.size == 0 {
+		return nil
+	}
+	return l.root.prev
+}
+
+func (l *list) moveToFront(e *entry) {
+	l.remove(e)
+	l.pushFront(e)
+}
+
+func (l *list) empty() bool { return l.size == 0 }
+
+// LRU evicts the least recently used chunk, matching memcached's per-item
+// LRU that backs the paper's LRU-c baselines.
+type LRU struct {
+	l *list
+}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU { return &LRU{l: newList()} }
+
+// Name implements Policy.
+func (*LRU) Name() string { return "lru" }
+
+// Added implements Policy.
+func (p *LRU) Added(e *entry) { p.l.pushFront(e) }
+
+// Accessed implements Policy.
+func (p *LRU) Accessed(e *entry) { p.l.moveToFront(e) }
+
+// Removed implements Policy.
+func (p *LRU) Removed(e *entry) { p.l.remove(e) }
+
+// Victim implements Policy.
+func (p *LRU) Victim() *entry { return p.l.back() }
+
+// LFU evicts the least frequently used chunk, breaking frequency ties
+// towards the least recently used, using the O(1) frequency-bucket scheme.
+// It matches the paper's LFU-c baselines, whose proxy component tracks
+// per-object request frequency.
+type LFU struct {
+	buckets map[int64]*list
+	minFreq int64
+	size    int
+}
+
+// NewLFU returns an LFU policy.
+func NewLFU() *LFU { return &LFU{buckets: make(map[int64]*list)} }
+
+// Name implements Policy.
+func (*LFU) Name() string { return "lfu" }
+
+// Added implements Policy.
+func (p *LFU) Added(e *entry) {
+	e.freq = 1
+	p.bucket(1).pushFront(e)
+	p.minFreq = 1
+	p.size++
+}
+
+// Accessed implements Policy.
+func (p *LFU) Accessed(e *entry) {
+	old := p.buckets[e.freq]
+	old.remove(e)
+	if old.empty() {
+		delete(p.buckets, e.freq)
+		if p.minFreq == e.freq {
+			p.minFreq = e.freq + 1
+		}
+	}
+	e.freq++
+	p.bucket(e.freq).pushFront(e)
+}
+
+// Removed implements Policy.
+func (p *LFU) Removed(e *entry) {
+	b, ok := p.buckets[e.freq]
+	if !ok {
+		return
+	}
+	b.remove(e)
+	if b.empty() {
+		delete(p.buckets, e.freq)
+		if p.minFreq == e.freq {
+			p.recomputeMin()
+		}
+	}
+	e.freq = 0
+	p.size--
+}
+
+// Victim implements Policy.
+func (p *LFU) Victim() *entry {
+	if p.size == 0 {
+		return nil
+	}
+	b, ok := p.buckets[p.minFreq]
+	if !ok || b.empty() {
+		p.recomputeMin()
+		b, ok = p.buckets[p.minFreq]
+		if !ok {
+			return nil
+		}
+	}
+	return b.back()
+}
+
+func (p *LFU) bucket(freq int64) *list {
+	b, ok := p.buckets[freq]
+	if !ok {
+		b = newList()
+		p.buckets[freq] = b
+	}
+	return b
+}
+
+func (p *LFU) recomputeMin() {
+	p.minFreq = 0
+	for f, b := range p.buckets {
+		if b.empty() {
+			continue
+		}
+		if p.minFreq == 0 || f < p.minFreq {
+			p.minFreq = f
+		}
+	}
+}
+
+// Pinned never evicts: inserts into a full cache fail with ErrCacheFull.
+// Agar's cache manager uses it because the knapsack configuration — not an
+// online heuristic — decides residency; the manager makes room explicitly
+// by deleting entries that left the configuration. It also emulates the
+// §II-C "infinite cache" when capacity exceeds the working set.
+type Pinned struct{}
+
+// NewPinned returns a Pinned policy.
+func NewPinned() *Pinned { return &Pinned{} }
+
+// Name implements Policy.
+func (*Pinned) Name() string { return "pinned" }
+
+// Added implements Policy.
+func (*Pinned) Added(*entry) {}
+
+// Accessed implements Policy.
+func (*Pinned) Accessed(*entry) {}
+
+// Removed implements Policy.
+func (*Pinned) Removed(*entry) {}
+
+// Victim implements Policy.
+func (*Pinned) Victim() *entry { return nil }

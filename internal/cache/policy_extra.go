@@ -1,0 +1,166 @@
+package cache
+
+// Additional eviction policies from the paper's related-work discussion
+// (§VII): GreedyDual-Size-Frequency and window-LFU. They are not part of
+// the paper's evaluation but give downstream users the classical
+// alternatives the paper positions Agar against.
+
+// GDSF implements GreedyDual-Size-Frequency (Cherkasova, 1998): an entry's
+// priority is L + frequency * cost / size, where L is the "inflation"
+// value of the last eviction. Larger objects are cheaper to evict at equal
+// frequency, and recently inserted entries start at the current L so cold
+// old entries eventually age out. Victim selection is a linear scan; the
+// chunk caches here hold at most a few thousand entries.
+type GDSF struct {
+	// Cost assigns a retrieval cost per entry; nil means cost = size
+	// (the classic GDS(size) variant, reducing priority to L + frequency).
+	Cost func(e EntryID, size int) float64
+
+	l        float64
+	priority map[*entry]float64
+}
+
+// NewGDSF returns a GreedyDual-Size-Frequency policy.
+func NewGDSF() *GDSF {
+	return &GDSF{priority: make(map[*entry]float64)}
+}
+
+// Name implements Policy.
+func (*GDSF) Name() string { return "gdsf" }
+
+func (p *GDSF) cost(e *entry) float64 {
+	if p.Cost != nil {
+		return p.Cost(e.id, len(e.data))
+	}
+	return float64(len(e.data))
+}
+
+func (p *GDSF) recompute(e *entry) {
+	size := float64(len(e.data))
+	if size == 0 {
+		size = 1
+	}
+	p.priority[e] = p.l + float64(e.freq)*p.cost(e)/size
+}
+
+// Added implements Policy.
+func (p *GDSF) Added(e *entry) {
+	e.freq = 1
+	p.recompute(e)
+}
+
+// Accessed implements Policy.
+func (p *GDSF) Accessed(e *entry) {
+	e.freq++
+	p.recompute(e)
+}
+
+// Removed implements Policy.
+func (p *GDSF) Removed(e *entry) {
+	delete(p.priority, e)
+	e.freq = 0
+}
+
+// Victim implements Policy: the entry with the lowest priority; L inflates
+// to the victim's priority so survivors age relative to newcomers.
+func (p *GDSF) Victim() *entry {
+	var victim *entry
+	best := 0.0
+	for e, pr := range p.priority {
+		if victim == nil || pr < best {
+			victim, best = e, pr
+		}
+	}
+	if victim != nil {
+		p.l = best
+	}
+	return victim
+}
+
+// WLFU implements window-LFU (Karakostas & Serpanos, 2002): eviction
+// decisions use access counts over the W most recent requests rather than
+// all history, with LRU breaking ties — so popularity shifts propagate
+// within one window instead of never.
+type WLFU struct {
+	window int
+	recent []EntryID // ring of the last W accesses
+	pos    int
+	full   bool
+	counts map[EntryID]int // windowed counts (includes non-resident ids)
+	l      *list           // recency list over resident entries
+	byID   map[EntryID]*entry
+}
+
+// NewWLFU returns a window-LFU policy over the last `window` accesses.
+func NewWLFU(window int) *WLFU {
+	if window <= 0 {
+		window = 1024
+	}
+	return &WLFU{
+		window: window,
+		recent: make([]EntryID, window),
+		counts: make(map[EntryID]int),
+		l:      newList(),
+		byID:   make(map[EntryID]*entry),
+	}
+}
+
+// Name implements Policy.
+func (*WLFU) Name() string { return "wlfu" }
+
+func (p *WLFU) observe(id EntryID) {
+	if p.full {
+		old := p.recent[p.pos]
+		if p.counts[old] > 1 {
+			p.counts[old]--
+		} else {
+			delete(p.counts, old)
+		}
+	}
+	p.recent[p.pos] = id
+	p.counts[id]++
+	p.pos++
+	if p.pos == p.window {
+		p.pos = 0
+		p.full = true
+	}
+}
+
+// Added implements Policy.
+func (p *WLFU) Added(e *entry) {
+	p.byID[e.id] = e
+	p.l.pushFront(e)
+	p.observe(e.id)
+}
+
+// Accessed implements Policy.
+func (p *WLFU) Accessed(e *entry) {
+	p.l.moveToFront(e)
+	p.observe(e.id)
+}
+
+// Removed implements Policy.
+func (p *WLFU) Removed(e *entry) {
+	delete(p.byID, e.id)
+	p.l.remove(e)
+}
+
+// Victim implements Policy: the resident entry with the smallest windowed
+// count; among equals, the least recently used (scanned from the LRU end).
+func (p *WLFU) Victim() *entry {
+	if p.l.empty() {
+		return nil
+	}
+	var victim *entry
+	best := 0
+	for e := p.l.root.prev; e != &p.l.root; e = e.prev {
+		c := p.counts[e.id]
+		if victim == nil || c < best {
+			victim, best = e, c
+			if c == 0 {
+				break
+			}
+		}
+	}
+	return victim
+}

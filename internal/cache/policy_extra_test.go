@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestGDSFEvictsColdEntries(t *testing.T) {
+	c := New(30, NewGDSF())
+	mustPut(t, c, id("hot", 0), 10)
+	mustPut(t, c, id("warm", 0), 10)
+	mustPut(t, c, id("cold", 0), 10)
+	for i := 0; i < 10; i++ {
+		c.Get(id("hot", 0))
+	}
+	c.Get(id("warm", 0))
+	mustPut(t, c, id("new", 0), 10)
+	if c.Contains(id("cold", 0)) {
+		t.Fatal("cold entry survived")
+	}
+	if !c.Contains(id("hot", 0)) {
+		t.Fatal("hot entry evicted")
+	}
+}
+
+func TestGDSFPrefersEvictingLargeAtEqualFrequency(t *testing.T) {
+	// With Cost = constant, priority = L + freq*const/size: the larger
+	// entry has lower priority at equal frequency and goes first.
+	p := NewGDSF()
+	p.Cost = func(EntryID, int) float64 { return 100 }
+	c := New(40, p)
+	mustPut(t, c, id("big", 0), 25)
+	mustPut(t, c, id("small", 0), 10)
+	mustPut(t, c, id("trigger", 0), 20) // needs 15 bytes freed
+	if c.Contains(id("big", 0)) {
+		t.Fatal("big entry should have been evicted first")
+	}
+	if !c.Contains(id("small", 0)) {
+		t.Fatal("small entry should survive")
+	}
+}
+
+func TestGDSFAgingLetsNewEntriesIn(t *testing.T) {
+	// After many evictions, L inflates; a once-hot-but-idle entry must
+	// eventually lose to fresh entries.
+	c := New(30, NewGDSF())
+	mustPut(t, c, id("oldhot", 0), 10)
+	for i := 0; i < 5; i++ {
+		c.Get(id("oldhot", 0))
+	}
+	// Stream of new entries forces evictions and inflates L.
+	for i := 0; i < 50; i++ {
+		mustPut(t, c, id(fmt.Sprintf("fresh-%d", i), 0), 10)
+	}
+	if c.Contains(id("oldhot", 0)) {
+		t.Fatal("idle hot entry never aged out")
+	}
+}
+
+func TestWLFUWindowForgetting(t *testing.T) {
+	// A key that was hot long ago (outside the window) must lose to one
+	// hot within the window.
+	c := New(20, NewWLFU(16))
+	mustPut(t, c, id("old", 0), 10)
+	for i := 0; i < 10; i++ {
+		c.Get(id("old", 0))
+	}
+	mustPut(t, c, id("new", 0), 10)
+	// Push the old key's accesses out of the window.
+	for i := 0; i < 20; i++ {
+		c.Get(id("new", 0))
+	}
+	mustPut(t, c, id("third", 0), 10) // must evict "old", not "new"
+	if c.Contains(id("old", 0)) {
+		t.Fatal("out-of-window key survived")
+	}
+	if !c.Contains(id("new", 0)) {
+		t.Fatal("in-window hot key evicted")
+	}
+}
+
+func TestWLFUTieBreaksLRU(t *testing.T) {
+	c := New(20, NewWLFU(64))
+	mustPut(t, c, id("a", 0), 10)
+	mustPut(t, c, id("b", 0), 10)
+	c.Get(id("a", 0))
+	c.Get(id("b", 0)) // equal counts; a is least recent
+	mustPut(t, c, id("c", 0), 10)
+	if c.Contains(id("a", 0)) {
+		t.Fatal("LRU tie-break failed")
+	}
+}
+
+func TestExtraPolicyNames(t *testing.T) {
+	if NewGDSF().Name() != "gdsf" || NewWLFU(8).Name() != "wlfu" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestExtraPoliciesCapacityInvariant(t *testing.T) {
+	for _, mk := range []func() Policy{
+		func() Policy { return NewGDSF() },
+		func() Policy { return NewWLFU(128) },
+	} {
+		c := New(500, mk())
+		r := rand.New(rand.NewSource(9))
+		for op := 0; op < 2000; op++ {
+			key := fmt.Sprintf("k%d", r.Intn(30))
+			switch r.Intn(3) {
+			case 0:
+				err := c.Put(id(key, r.Intn(3)), make([]byte, 1+r.Intn(100)))
+				if err != nil && err != ErrTooLarge {
+					t.Fatalf("%s: %v", c.policy.Name(), err)
+				}
+			case 1:
+				c.Get(id(key, r.Intn(3)))
+			case 2:
+				c.Delete(id(key, r.Intn(3)))
+			}
+			if c.Used() > c.Capacity() {
+				t.Fatalf("%s breached capacity", c.policy.Name())
+			}
+		}
+	}
+}
+
+func TestWLFUDefaultWindow(t *testing.T) {
+	p := NewWLFU(0)
+	if p.window != 1024 {
+		t.Fatalf("default window %d", p.window)
+	}
+}

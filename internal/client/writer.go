@@ -1,0 +1,62 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+)
+
+// Invalidator removes an object's chunks from a cache — the hook the writer
+// uses to keep caches coherent (§VI's data-writes extension).
+type Invalidator interface {
+	// DeleteObject removes all resident chunks of the key and returns the
+	// number removed.
+	DeleteObject(key string) int
+}
+
+// Writer encodes objects, stores their chunks across the backend regions
+// (contacting every region in parallel), and invalidates any registered
+// caches. The paper's prototype is read-only; this implements the write
+// path its §VI discussion sketches, with invalidation standing in for a
+// full coherence protocol.
+type Writer struct {
+	env          *Env
+	region       geo.RegionID
+	invalidators []Invalidator
+}
+
+// NewWriter returns a writer for a client region.
+func NewWriter(env *Env, region geo.RegionID, invalidators ...Invalidator) *Writer {
+	return &Writer{env: env, region: region, invalidators: invalidators}
+}
+
+// AddInvalidator registers another cache for write invalidation.
+func (w *Writer) AddInvalidator(inv Invalidator) {
+	w.invalidators = append(w.invalidators, inv)
+}
+
+// Write encodes and stores the object, invalidates caches, and returns the
+// modelled write latency: encoding plus the slowest region round trip
+// (chunks are written concurrently, as the paper's modified YCSB client
+// does).
+func (w *Writer) Write(key string, data []byte) (time.Duration, error) {
+	if err := w.env.Cluster.PutObject(key, data); err != nil {
+		return 0, fmt.Errorf("client: write %q: %w", key, err)
+	}
+	locs := w.env.Cluster.Placement().Locate(key, w.env.Cluster.Codec().Total())
+	var lat time.Duration
+	for _, region := range locs {
+		if l := w.env.chunkLatency(w.region, region); l > lat {
+			lat = l
+		}
+	}
+	enc := w.env.DecodeLatency // encode cost modelled like decode
+	if w.env.Sampler != nil {
+		enc = w.env.Sampler.Fixed(enc)
+	}
+	for _, inv := range w.invalidators {
+		inv.DeleteObject(key)
+	}
+	return lat + enc, nil
+}

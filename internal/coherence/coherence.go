@@ -1,0 +1,158 @@
+// Package coherence totally orders cache invalidations through a
+// Paxos-replicated log, implementing the write-coherence design the paper's
+// §VI sketches: "Agar would need to implement a cache coherence algorithm
+// ... Protocols such as Paxos could provide the necessary synchronization
+// primitives."
+//
+// Writers append an invalidation record for each updated object; every
+// region runs an Applier that consumes the committed log prefix in order
+// and drops the object's chunks from its local cache. Because the log is
+// totally ordered, all regions observe the same invalidation sequence, and
+// a read that follows an applied invalidation cannot return pre-write
+// chunks from that cache.
+package coherence
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"github.com/agardist/agar/internal/paxos"
+)
+
+// Record is one replicated log entry.
+type Record struct {
+	// Op is the record type; only "invalidate" is defined today.
+	Op string `json:"op"`
+	// Key is the object whose cached chunks must be dropped.
+	Key string `json:"key"`
+	// Writer identifies the writing node (diagnostics only).
+	Writer int `json:"writer"`
+}
+
+// Encode serialises a record for the log.
+func (r Record) Encode() string {
+	buf, err := json.Marshal(r)
+	if err != nil {
+		// Record fields are plain strings and ints; this cannot fail.
+		panic(fmt.Sprintf("coherence: encode: %v", err))
+	}
+	return string(buf)
+}
+
+// DecodeRecord parses a log entry.
+func DecodeRecord(s string) (Record, error) {
+	var r Record
+	if err := json.Unmarshal([]byte(s), &r); err != nil {
+		return Record{}, fmt.Errorf("coherence: decode %q: %w", s, err)
+	}
+	return r, nil
+}
+
+// Invalidator is the cache surface coherence needs.
+type Invalidator interface {
+	// DeleteObject removes all resident chunks of the key, returning the
+	// number removed.
+	DeleteObject(key string) int
+}
+
+// Coordinator owns the replicated invalidation log for one deployment.
+type Coordinator struct {
+	acceptors []*paxos.Acceptor
+}
+
+// NewCoordinator creates a coordinator backed by n Paxos acceptors
+// (typically one per region; a majority must be reachable to write).
+func NewCoordinator(n int) *Coordinator {
+	if n < 1 {
+		panic("coherence: need at least one acceptor")
+	}
+	acc := make([]*paxos.Acceptor, n)
+	for i := range acc {
+		acc[i] = paxos.NewAcceptor(i)
+	}
+	return &Coordinator{acceptors: acc}
+}
+
+// Acceptor exposes acceptor i for failure injection in tests.
+func (c *Coordinator) Acceptor(i int) *paxos.Acceptor { return c.acceptors[i] }
+
+// NewWriter returns a log appender for the writing node.
+func (c *Coordinator) NewWriter(id int) *Writer {
+	return &Writer{
+		id:  id,
+		log: paxos.NewLog(paxos.NewProposer(id, c.acceptors)),
+	}
+}
+
+// NewApplier returns an in-order log consumer that invalidates the given
+// caches.
+func (c *Coordinator) NewApplier(caches ...Invalidator) *Applier {
+	return &Applier{coord: c, caches: caches}
+}
+
+// committed returns the chosen log prefix starting at from.
+func (c *Coordinator) committed(from int64) []string {
+	return paxos.CommittedPrefix(c.acceptors, from)
+}
+
+// Writer appends invalidations to the replicated log.
+type Writer struct {
+	id  int
+	log *paxos.Log
+}
+
+// Invalidate appends an invalidation for the key and returns its log
+// position. It blocks until a quorum commits the record.
+func (w *Writer) Invalidate(key string) (int64, error) {
+	return w.log.Append(Record{Op: "invalidate", Key: key, Writer: w.id}.Encode())
+}
+
+// Applier consumes the committed log in order and applies invalidations to
+// its region's caches. It is safe for concurrent use.
+type Applier struct {
+	coord  *Coordinator
+	caches []Invalidator
+
+	mu      sync.Mutex
+	applied int64
+	history []Record
+}
+
+// Poll applies every newly committed record and returns how many were
+// applied.
+func (a *Applier) Poll() (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	entries := a.coord.committed(a.applied)
+	for _, e := range entries {
+		rec, err := DecodeRecord(e)
+		if err != nil {
+			return 0, err
+		}
+		if rec.Op == "invalidate" {
+			for _, c := range a.caches {
+				c.DeleteObject(rec.Key)
+			}
+		}
+		a.history = append(a.history, rec)
+		a.applied++
+	}
+	return len(entries), nil
+}
+
+// Applied returns the number of log entries applied so far.
+func (a *Applier) Applied() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
+
+// History returns a copy of the applied records in order.
+func (a *Applier) History() []Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Record, len(a.history))
+	copy(out, a.history)
+	return out
+}

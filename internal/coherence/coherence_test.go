@@ -1,0 +1,176 @@
+package coherence
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/agardist/agar/internal/backend"
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/client"
+	"github.com/agardist/agar/internal/erasure"
+	"github.com/agardist/agar/internal/geo"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := Record{Op: "invalidate", Key: "obj-1", Writer: 3}
+	got, err := DecodeRecord(r.Encode())
+	if err != nil || got != r {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+	if _, err := DecodeRecord("not-json"); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestInvalidationAppliedToAllCaches(t *testing.T) {
+	coord := NewCoordinator(3)
+	c1 := cache.New(1<<20, cache.NewLRU())
+	c2 := cache.New(1<<20, cache.NewLRU())
+	c1.Put(cache.EntryID{Key: "obj", Index: 0}, []byte("x"))
+	c2.Put(cache.EntryID{Key: "obj", Index: 1}, []byte("y"))
+	c2.Put(cache.EntryID{Key: "other", Index: 0}, []byte("z"))
+
+	applier := coord.NewApplier(c1, c2)
+	w := coord.NewWriter(0)
+	if _, err := w.Invalidate("obj"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := applier.Poll()
+	if err != nil || n != 1 {
+		t.Fatalf("poll applied %d err %v", n, err)
+	}
+	if len(c1.IndicesOf("obj")) != 0 || len(c2.IndicesOf("obj")) != 0 {
+		t.Fatal("invalidation not applied everywhere")
+	}
+	if len(c2.IndicesOf("other")) != 1 {
+		t.Fatal("unrelated object dropped")
+	}
+	if applier.Applied() != 1 {
+		t.Fatalf("applied = %d", applier.Applied())
+	}
+}
+
+func TestAppliersSeeSameOrder(t *testing.T) {
+	coord := NewCoordinator(5)
+	a1 := coord.NewApplier()
+	a2 := coord.NewApplier()
+
+	var wg sync.WaitGroup
+	for writer := 0; writer < 3; writer++ {
+		wg.Add(1)
+		go func(writer int) {
+			defer wg.Done()
+			w := coord.NewWriter(writer)
+			for i := 0; i < 8; i++ {
+				if _, err := w.Invalidate(fmt.Sprintf("w%d-obj%d", writer, i)); err != nil {
+					t.Error(err)
+				}
+			}
+		}(writer)
+	}
+	wg.Wait()
+
+	if _, err := a1.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := a1.History(), a2.History()
+	if len(h1) != 24 || len(h2) != 24 {
+		t.Fatalf("histories %d/%d, want 24", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("appliers diverge at %d: %+v vs %+v", i, h1[i], h2[i])
+		}
+	}
+}
+
+func TestPollIsIncremental(t *testing.T) {
+	coord := NewCoordinator(3)
+	a := coord.NewApplier()
+	w := coord.NewWriter(0)
+	w.Invalidate("a")
+	if n, _ := a.Poll(); n != 1 {
+		t.Fatal("first poll")
+	}
+	if n, _ := a.Poll(); n != 0 {
+		t.Fatal("re-applied old entries")
+	}
+	w.Invalidate("b")
+	if n, _ := a.Poll(); n != 1 {
+		t.Fatal("second poll")
+	}
+}
+
+func TestWriterBlocksWithoutQuorum(t *testing.T) {
+	coord := NewCoordinator(3)
+	coord.Acceptor(0).SetDown(true)
+	coord.Acceptor(1).SetDown(true)
+	w := coord.NewWriter(0)
+	if _, err := w.Invalidate("k"); err == nil {
+		t.Fatal("invalidation committed without quorum")
+	}
+	coord.Acceptor(1).SetDown(false)
+	if _, err := w.Invalidate("k"); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+// TestReadAfterWriteAcrossRegions wires coherence into the full read path:
+// caches in two regions hold stale chunks; a coherent write invalidates
+// both before readers can observe mixed data.
+func TestReadAfterWriteAcrossRegions(t *testing.T) {
+	codec, err := erasure.New(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement := geo.NewRoundRobin(geo.DefaultRegions(), false)
+	cluster := backend.NewCluster(geo.DefaultRegions(), codec, placement)
+	v1 := bytes.Repeat([]byte{1}, 9*1024)
+	if err := cluster.PutObject("obj", v1); err != nil {
+		t.Fatal(err)
+	}
+	env := &client.Env{
+		Cluster:       cluster,
+		Matrix:        geo.DefaultMatrix(),
+		CacheLatency:  20 * time.Millisecond,
+		DecodeLatency: 5 * time.Millisecond,
+	}
+	fra := client.NewFixedReader(env, geo.Frankfurt, cache.NewLRU(), 5, 1<<20)
+	syd := client.NewFixedReader(env, geo.Sydney, cache.NewLRU(), 5, 1<<20)
+	for i := 0; i < 2; i++ { // populate both caches
+		fra.Read("obj")
+		syd.Read("obj")
+	}
+
+	coord := NewCoordinator(3)
+	applier := coord.NewApplier(fra.Cache(), syd.Cache())
+	w := coord.NewWriter(0)
+
+	// Coherent write: update the backend, then order the invalidation.
+	v2 := bytes.Repeat([]byte{2}, 9*1024)
+	if err := cluster.PutObject("obj", v2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Invalidate("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := applier.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, r := range map[string]*client.FixedReader{"frankfurt": fra, "sydney": syd} {
+		got, _, err := r.Read("obj")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, v2) {
+			t.Fatalf("%s read stale or mixed data after coherent write", name)
+		}
+	}
+}

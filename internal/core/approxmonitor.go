@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/agardist/agar/internal/stats"
+)
+
+// PopularitySource is what the cache manager needs from a request monitor:
+// per-request recording and a per-period popularity snapshot. Monitor is
+// the exact implementation; ApproxMonitor trades exactness for bounded
+// memory.
+type PopularitySource interface {
+	// Record notes one client request for the object.
+	Record(key string)
+	// EndPeriod closes the running period and returns the popularity
+	// snapshot to configure the cache from.
+	EndPeriod() map[string]float64
+}
+
+var (
+	_ PopularitySource = (*Monitor)(nil)
+	_ PopularitySource = (*ApproxMonitor)(nil)
+)
+
+// ApproxMonitor is a TinyLFU-style request monitor (§VI / §VII): instead of
+// exact per-key counters it keeps a count-min sketch of frequencies behind
+// a Bloom-filter doorkeeper, plus a bounded candidate table of keys worth
+// configuring. One-hit wonders stay in the doorkeeper and consume neither
+// sketch precision nor candidate slots, and total memory is fixed
+// regardless of how many distinct objects clients request — the scaling
+// path the paper sketches for large deployments.
+type ApproxMonitor struct {
+	mu         sync.Mutex
+	alpha      float64
+	maxKeys    int
+	sketch     *stats.CountMinSketch
+	doorkeeper *stats.BloomFilter
+	candidates map[string]struct{}
+	pop        map[string]*stats.EWMA
+	reqs       int64
+}
+
+// NewApproxMonitor returns an approximate monitor tracking at most maxKeys
+// candidate objects with EWMA coefficient alpha.
+func NewApproxMonitor(alpha float64, maxKeys int) *ApproxMonitor {
+	if maxKeys <= 0 {
+		maxKeys = 1024
+	}
+	return &ApproxMonitor{
+		alpha:      alpha,
+		maxKeys:    maxKeys,
+		sketch:     stats.NewCountMinSketch(maxKeys*8, 4),
+		doorkeeper: stats.NewBloomFilter(maxKeys * 8),
+		candidates: make(map[string]struct{}, maxKeys),
+		pop:        make(map[string]*stats.EWMA),
+	}
+}
+
+// Record implements PopularitySource.
+func (m *ApproxMonitor) Record(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reqs++
+	// Doorkeeper: the first access only sets the Bloom bit. Only repeat
+	// customers reach the sketch and the candidate table.
+	if !m.doorkeeper.Contains(key) {
+		m.doorkeeper.Add(key)
+		return
+	}
+	m.sketch.Add(key, 1)
+	if _, ok := m.candidates[key]; ok {
+		return
+	}
+	if len(m.candidates) < m.maxKeys {
+		m.candidates[key] = struct{}{}
+		return
+	}
+	// Candidate table full: admit only if this key's estimate beats the
+	// current weakest candidate (TinyLFU's admission duel).
+	est := m.sketch.Estimate(key)
+	weakestKey, weakest := "", uint32(0)
+	first := true
+	for k := range m.candidates {
+		e := m.sketch.Estimate(k)
+		if first || e < weakest {
+			weakestKey, weakest, first = k, e, false
+		}
+	}
+	if est > weakest {
+		delete(m.candidates, weakestKey)
+		m.candidates[key] = struct{}{}
+	}
+}
+
+// Requests returns the total number of recorded requests.
+func (m *ApproxMonitor) Requests() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reqs
+}
+
+// Candidates returns the number of tracked candidate keys.
+func (m *ApproxMonitor) Candidates() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.candidates)
+}
+
+// EndPeriod implements PopularitySource: candidate frequencies are
+// estimated from the sketch, folded into per-key EWMAs, and the sketch and
+// doorkeeper reset for the next period (the sketch is halved rather than
+// cleared, TinyLFU's aging).
+func (m *ApproxMonitor) EndPeriod() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	for key := range m.candidates {
+		if m.pop[key] == nil {
+			m.pop[key] = stats.NewEWMA(m.alpha)
+		}
+	}
+	out := make(map[string]float64, len(m.pop))
+	for key, e := range m.pop {
+		freq := float64(m.sketch.Estimate(key))
+		if _, tracked := m.candidates[key]; !tracked {
+			freq = 0
+		}
+		v := e.Update(freq)
+		if v < popularityFloor {
+			delete(m.pop, key)
+			delete(m.candidates, key)
+			continue
+		}
+		out[key] = v
+	}
+	m.sketch.Halve()
+	m.doorkeeper.Reset()
+	return out
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/workload"
+)
+
+func TestApproxMonitorDoorkeeper(t *testing.T) {
+	m := NewApproxMonitor(0.8, 100)
+	// One-hit wonders must not become candidates.
+	for i := 0; i < 50; i++ {
+		m.Record(fmt.Sprintf("one-hit-%d", i))
+	}
+	if m.Candidates() != 0 {
+		t.Fatalf("one-hit wonders admitted: %d candidates", m.Candidates())
+	}
+	// A repeat customer does.
+	m.Record("repeat")
+	m.Record("repeat")
+	if m.Candidates() != 1 {
+		t.Fatalf("repeat key not admitted: %d candidates", m.Candidates())
+	}
+	if m.Requests() != 52 {
+		t.Fatalf("requests = %d", m.Requests())
+	}
+}
+
+func TestApproxMonitorBoundedCandidates(t *testing.T) {
+	m := NewApproxMonitor(0.8, 16)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i%100)
+		m.Record(key)
+		m.Record(key)
+	}
+	if got := m.Candidates(); got > 16 {
+		t.Fatalf("candidate table exceeded bound: %d", got)
+	}
+}
+
+func TestApproxMonitorAdmissionDuelKeepsHotKeys(t *testing.T) {
+	m := NewApproxMonitor(0.8, 4)
+	// Fill the table with warm keys.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			m.Record(fmt.Sprintf("warm-%d", i))
+		}
+	}
+	// A very hot newcomer must displace a warm key.
+	for j := 0; j < 50; j++ {
+		m.Record("hot")
+	}
+	pop := m.EndPeriod()
+	if _, ok := pop["hot"]; !ok {
+		t.Fatalf("hot key not admitted; snapshot: %v", pop)
+	}
+}
+
+func TestApproxMonitorEndPeriodDecays(t *testing.T) {
+	m := NewApproxMonitor(0.8, 100)
+	for i := 0; i < 20; i++ {
+		m.Record("k")
+	}
+	first := m.EndPeriod()["k"]
+	if first <= 0 {
+		t.Fatal("no popularity after hot period")
+	}
+	// Idle periods decay and eventually forget the key. The sketch halves
+	// rather than clears, so decay is ~x0.5 per period — slower than the
+	// exact monitor's x(1-alpha).
+	var last float64 = first
+	for i := 0; i < 25; i++ {
+		snap := m.EndPeriod()
+		v, ok := snap["k"]
+		if !ok {
+			return // forgotten, as intended
+		}
+		if v >= last {
+			t.Fatalf("popularity did not decay: %v -> %v", last, v)
+		}
+		last = v
+	}
+	t.Fatal("key never forgotten after 25 idle periods")
+}
+
+func TestApproxMonitorTracksExactOnSkewedWorkload(t *testing.T) {
+	// On a Zipfian stream the approximate monitor's top keys should largely
+	// agree with the exact monitor's.
+	exact := NewMonitor(0.8)
+	approx := NewApproxMonitor(0.8, 64)
+	gen := workload.NewZipfian(300, 1.1, 3)
+	for i := 0; i < 20000; i++ {
+		key := workload.KeyName(gen.Next())
+		exact.Record(key)
+		approx.Record(key)
+	}
+	exactPop := exact.EndPeriod()
+	approxPop := approx.EndPeriod()
+
+	topOf := func(pop map[string]float64, n int) map[string]bool {
+		keys := make([]string, 0, len(pop))
+		for k := range pop {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return pop[keys[i]] > pop[keys[j]] })
+		if n > len(keys) {
+			n = len(keys)
+		}
+		out := make(map[string]bool, n)
+		for _, k := range keys[:n] {
+			out[k] = true
+		}
+		return out
+	}
+	exactTop := topOf(exactPop, 10)
+	approxTop := topOf(approxPop, 10)
+	overlap := 0
+	for k := range exactTop {
+		if approxTop[k] {
+			overlap++
+		}
+	}
+	if overlap < 8 {
+		t.Fatalf("approximate top-10 overlaps exact in only %d keys", overlap)
+	}
+}
+
+func TestNodeWithApproxMonitor(t *testing.T) {
+	matrix := geo.DefaultMatrix()
+	n := NewNode(NodeParams{
+		Region:         geo.Frankfurt,
+		Regions:        geo.DefaultRegions(),
+		Placement:      geo.NewRoundRobin(geo.DefaultRegions(), false),
+		K:              9,
+		M:              3,
+		CacheBytes:     18 * testChunkBytes,
+		ChunkBytes:     testChunkBytes,
+		ApproxMonitor:  true,
+		MaxTrackedKeys: 32,
+	})
+	n.RegionManager().WarmUp(func(r geo.RegionID) time.Duration {
+		return matrix.Get(geo.Frankfurt, r)
+	}, 2)
+	if n.Monitor() != nil {
+		t.Fatal("exact-monitor accessor should be nil under approx mode")
+	}
+	if n.Popularity() == nil {
+		t.Fatal("popularity source missing")
+	}
+	for i := 0; i < 40; i++ {
+		n.HandleRead("object-0")
+	}
+	n.HandleRead("object-1")
+	cfg := n.ForceReconfigure()
+	if len(cfg.ChunksFor("object-0")) == 0 {
+		t.Fatalf("approx-monitored node did not configure the hot object: %v", cfg)
+	}
+}
+
+// BenchmarkApproxMonitorRecord measures the sketch-path per-request cost.
+func BenchmarkApproxMonitorRecord(b *testing.B) {
+	m := NewApproxMonitor(0.8, 1024)
+	gen := workload.NewZipfian(100000, 0.99, 1)
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = workload.KeyName(gen.Next())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Record(keys[i%len(keys)])
+	}
+}

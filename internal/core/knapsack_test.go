@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+)
+
+// randomOptionSet builds a synthetic option set with cumulative per-key
+// values, the same structural shape GenerateOptions emits.
+func randomOptionSet(r *rand.Rand, nKeys, k int) *OptionSet {
+	perKey := make(map[string][]Option, nKeys)
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		pop := r.Float64() * 100
+		var opts []Option
+		value := 0.0
+		for w := 1; w <= k; w++ {
+			value += pop * (r.Float64() * 50) // non-decreasing in w
+			opts = append(opts, Option{Key: key, Weight: w, Value: value})
+		}
+		perKey[key] = opts
+	}
+	return NewOptionSet(perKey)
+}
+
+func configIsValid(t *testing.T, cfg *Config, set *OptionSet, cacheSize int) {
+	t.Helper()
+	w, v := 0, 0.0
+	for key, o := range cfg.Options {
+		if o.Key != key {
+			t.Fatalf("config maps %q to option for %q", key, o.Key)
+		}
+		found, ok := set.Search(key, o.Weight)
+		if !ok || found.Value != o.Value {
+			t.Fatalf("config holds option not in set: %v", o)
+		}
+		w += o.Weight
+		v += o.Value
+	}
+	if w != cfg.Weight {
+		t.Fatalf("config weight %d, recomputed %d", cfg.Weight, w)
+	}
+	if diff := cfg.Value - v; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("config value %v, recomputed %v", cfg.Value, v)
+	}
+	if cfg.Weight > cacheSize {
+		t.Fatalf("config weight %d exceeds cache size %d", cfg.Weight, cacheSize)
+	}
+}
+
+func TestPopulateEmptyAndTrivial(t *testing.T) {
+	set := NewOptionSet(nil)
+	cfg := Populate(set, 10, PopulateParams{})
+	if cfg.Weight != 0 || len(cfg.Options) != 0 {
+		t.Fatal("empty set must yield empty config")
+	}
+	if cfg := Populate(randomOptionSet(rand.New(rand.NewSource(1)), 5, 3), 0, PopulateParams{}); cfg.Weight != 0 {
+		t.Fatal("zero cache must yield empty config")
+	}
+}
+
+func TestPopulateSingleKeyPicksBestFit(t *testing.T) {
+	set := NewOptionSet(map[string][]Option{
+		"k": {
+			{Key: "k", Weight: 1, Value: 10},
+			{Key: "k", Weight: 3, Value: 40},
+			{Key: "k", Weight: 5, Value: 45},
+		},
+	})
+	// Cache of 4: best single option that fits is weight 3 (value 40).
+	cfg := Populate(set, 4, PopulateParams{})
+	if cfg.Value != 40 || cfg.Weight != 3 {
+		t.Fatalf("config = %v", cfg)
+	}
+	// Cache of 10: weight 5 (value 45) wins.
+	cfg = Populate(set, 10, PopulateParams{})
+	if cfg.Value != 45 {
+		t.Fatalf("config = %v", cfg)
+	}
+}
+
+func TestPopulateOneOptionPerKey(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	set := randomOptionSet(r, 20, 5)
+	cfg := Populate(set, 25, PopulateParams{})
+	configIsValid(t, cfg, set, 25)
+}
+
+func TestPopulateBeatsGreedyOnBalance(t *testing.T) {
+	// Both populate and greedy are heuristics; populate should win or tie
+	// on the overwhelming majority of instances and on aggregate value
+	// (the paper's §II-D argument for a tailored algorithm).
+	wins, losses := 0, 0
+	var dpTotal, grTotal float64
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		set := randomOptionSet(r, 15, 9)
+		size := 10 + r.Intn(40)
+		dp := Populate(set, size, PopulateParams{})
+		gr := Greedy(set, size)
+		dpTotal += dp.Value
+		grTotal += gr.Value
+		switch {
+		case dp.Value >= gr.Value-1e-9:
+			wins++
+		default:
+			losses++
+		}
+	}
+	if losses > wins/4 {
+		t.Fatalf("populate lost to greedy too often: %d wins, %d losses", wins, losses)
+	}
+	if dpTotal < grTotal {
+		t.Fatalf("populate aggregate %v below greedy aggregate %v", dpTotal, grTotal)
+	}
+}
+
+func TestSolverBoundsQuick(t *testing.T) {
+	// populate and greedy both emit valid configs whose value never exceeds
+	// the exact optimum; no solver overflows the cache.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		set := randomOptionSet(r, 4+r.Intn(12), 1+r.Intn(9))
+		size := 1 + r.Intn(30)
+		gr := Greedy(set, size)
+		dp := Populate(set, size, PopulateParams{})
+		ex := ExactMCKP(set, size)
+		if gr.Weight > size || dp.Weight > size || ex.Weight > size {
+			return false
+		}
+		return gr.Value <= ex.Value+1e-9 && dp.Value <= ex.Value+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPopulateNearOptimalOnRealisticInstances(t *testing.T) {
+	// On option sets generated from the actual latency model and Zipfian
+	// popularity, the heuristic should land within a few percent of the
+	// exact optimum.
+	m := geo.DefaultMatrix()
+	p := geo.NewRoundRobin(geo.DefaultRegions(), true)
+	r := rand.New(rand.NewSource(7))
+	perKey := make(map[string][]Option)
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("object-%03d", i)
+		pop := 100 / float64(i+1) * (0.5 + r.Float64()) // zipf-ish with noise
+		plan := geo.PlanFetch(m, p, key, 12, geo.Frankfurt)
+		perKey[key] = GenerateOptions(key, pop, plan, 9, DefaultWeightGrid(9), 20*time.Millisecond)
+	}
+	set := NewOptionSet(perKey)
+	for _, size := range []int{18, 45, 90, 180} {
+		dp := Populate(set, size, PopulateParams{})
+		ex := ExactMCKP(set, size)
+		if ex.Value == 0 {
+			t.Fatalf("size %d: exact found nothing", size)
+		}
+		ratio := dp.Value / ex.Value
+		if ratio < 0.95 {
+			t.Errorf("size %d: populate/exact = %.3f (dp=%v ex=%v)", size, ratio, dp.Value, ex.Value)
+		}
+	}
+}
+
+func TestExactMCKPKnownInstance(t *testing.T) {
+	// Two keys, cache 4: best is a's w3 (40) + b's w1 (25) = 65, not a's
+	// w4 (42) alone nor b's w4 (60) alone.
+	set := NewOptionSet(map[string][]Option{
+		"a": {
+			{Key: "a", Weight: 3, Value: 40},
+			{Key: "a", Weight: 4, Value: 42},
+		},
+		"b": {
+			{Key: "b", Weight: 1, Value: 25},
+			{Key: "b", Weight: 4, Value: 60},
+		},
+	})
+	cfg := ExactMCKP(set, 4)
+	if cfg.Value != 65 || cfg.Weight != 4 {
+		t.Fatalf("exact config = %v", cfg)
+	}
+	if cfg.Options["a"].Weight != 3 || cfg.Options["b"].Weight != 1 {
+		t.Fatalf("exact picked wrong options: %v", cfg)
+	}
+}
+
+func TestGreedyCanErr(t *testing.T) {
+	// Classic knapsack trap: density-greedy takes the small dense item and
+	// wastes capacity. greedy < exact here proves the baseline is honest.
+	set := NewOptionSet(map[string][]Option{
+		"small": {{Key: "small", Weight: 1, Value: 10}}, // density 10
+		"big":   {{Key: "big", Weight: 2, Value: 18}},   // density 9
+	})
+	// Cache 2: greedy takes small (10) and cannot fit big; exact takes big (18).
+	gr := Greedy(set, 2)
+	ex := ExactMCKP(set, 2)
+	if gr.Value != 10 || ex.Value != 18 {
+		t.Fatalf("greedy=%v exact=%v", gr.Value, ex.Value)
+	}
+}
+
+func TestPopulateHandlesGreedyTrap(t *testing.T) {
+	set := NewOptionSet(map[string][]Option{
+		"small": {{Key: "small", Weight: 1, Value: 10}},
+		"big":   {{Key: "big", Weight: 2, Value: 18}},
+	})
+	cfg := Populate(set, 2, PopulateParams{})
+	if cfg.Value != 18 {
+		t.Fatalf("populate fell into the greedy trap: %v", cfg)
+	}
+}
+
+func TestPopulateRelaxShrinksIncumbent(t *testing.T) {
+	// A scenario where RELAX matters: hot key occupies the whole cache;
+	// a new key's option only fits if the hot key shrinks.
+	set := NewOptionSet(map[string][]Option{
+		"hot": {
+			{Key: "hot", Weight: 2, Value: 80},
+			{Key: "hot", Weight: 4, Value: 100},
+		},
+		"warm": {
+			{Key: "warm", Weight: 2, Value: 60},
+		},
+	})
+	cfg := Populate(set, 4, PopulateParams{})
+	// Optimal: hot w2 (80) + warm w2 (60) = 140 > hot w4 (100).
+	if cfg.Value != 140 {
+		t.Fatalf("populate missed the relax move: %v", cfg)
+	}
+}
+
+func TestPopulateEarlyStopStillValid(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	set := randomOptionSet(r, 40, 9)
+	full := Populate(set, 30, PopulateParams{})
+	early := Populate(set, 30, PopulateParams{EarlyStop: 50})
+	configIsValid(t, early, set, 30)
+	if early.Value > full.Value+1e-9 {
+		t.Fatal("early stop produced higher value than full run (impossible)")
+	}
+	// With a generous iteration budget the early-stopped result should be
+	// close to the full run.
+	if full.Value > 0 && early.Value/full.Value < 0.8 {
+		t.Errorf("early stop lost too much: %v vs %v", early.Value, full.Value)
+	}
+}
+
+func TestConfigCloneIndependent(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Add(Option{Key: "a", Weight: 2, Value: 5})
+	cp := cfg.Clone()
+	cp.Add(Option{Key: "b", Weight: 1, Value: 1})
+	if _, ok := cfg.Options["b"]; ok {
+		t.Fatal("clone shares map")
+	}
+	if cfg.Weight != 2 || cp.Weight != 3 {
+		t.Fatal("weights wrong after clone")
+	}
+}
+
+func TestConfigAddDuplicatePanics(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Add(Option{Key: "a", Weight: 1, Value: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	cfg.Add(Option{Key: "a", Weight: 2, Value: 2})
+}
+
+func TestConfigReplace(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Add(Option{Key: "a", Weight: 3, Value: 30})
+	cfg.Replace("a", Option{Key: "a", Weight: 1, Value: 12})
+	if cfg.Weight != 1 || cfg.Value != 12 {
+		t.Fatalf("after replace: %v", cfg)
+	}
+	// Replace with the empty option deletes the key.
+	cfg.Replace("a", Option{Key: "a"})
+	if len(cfg.Options) != 0 || cfg.Weight != 0 {
+		t.Fatalf("after evict: %v", cfg)
+	}
+}
+
+func TestConfigChunksFor(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Add(Option{Key: "a", Weight: 2, Value: 1, Chunks: []int{4, 10}})
+	got := cfg.ChunksFor("a")
+	if len(got) != 2 || got[0] != 4 {
+		t.Fatalf("ChunksFor = %v", got)
+	}
+	got[0] = 99
+	if cfg.Options["a"].Chunks[0] == 99 {
+		t.Fatal("ChunksFor returned shared storage")
+	}
+	if cfg.ChunksFor("absent") != nil {
+		t.Fatal("absent key must return nil")
+	}
+}
+
+func BenchmarkPopulate300Keys(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	set := randomOptionSet(r, 300, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Populate(set, 90, PopulateParams{})
+	}
+}
+
+func BenchmarkPopulateEarlyStop300Keys(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	set := randomOptionSet(r, 300, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Populate(set, 90, PopulateParams{EarlyStop: 64})
+	}
+}
+
+func BenchmarkExactMCKP300Keys(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	set := randomOptionSet(r, 300, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactMCKP(set, 90)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/agardist/agar/internal/cache"
+)
+
+// Solver selects the algorithm the cache manager uses to choose cache
+// contents.
+type Solver int
+
+const (
+	// SolverPopulate is the paper's POPULATE/RELAX dynamic program
+	// (default).
+	SolverPopulate Solver = iota + 1
+	// SolverExact is the exact multiple-choice-knapsack reference.
+	SolverExact
+	// SolverGreedy is the density-greedy heuristic (ablation baseline).
+	SolverGreedy
+)
+
+// String returns the solver name.
+func (s Solver) String() string {
+	switch s {
+	case SolverPopulate:
+		return "populate"
+	case SolverExact:
+		return "exact"
+	case SolverGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+}
+
+// ManagerParams configures a CacheManager.
+type ManagerParams struct {
+	// K is the number of data chunks per object.
+	K int
+	// CacheSlots is the cache capacity expressed in chunk slots.
+	CacheSlots int
+	// WeightGrid lists the option weights generated per object; nil means
+	// DefaultWeightGrid(K).
+	WeightGrid []int
+	// CacheLatency is the local cache access time used when valuing fully
+	// cached objects.
+	CacheLatency time.Duration
+	// Solver picks the configuration algorithm; zero means SolverPopulate.
+	Solver Solver
+	// EarlyStop forwards to PopulateParams.EarlyStop.
+	EarlyStop int
+}
+
+// CacheManager periodically recomputes the ideal cache configuration from
+// popularity statistics and latency estimates, and applies it to the local
+// cache (§III-c). It is safe for concurrent use.
+type CacheManager struct {
+	params  ManagerParams
+	monitor PopularitySource
+	regions *RegionManager
+	store   *cache.Cache
+
+	mu     sync.Mutex
+	active *Config
+	runs   int
+	peers  []PeerInfo
+}
+
+// NewCacheManager wires a manager to its monitor, region manager and cache.
+func NewCacheManager(params ManagerParams, monitor PopularitySource, regions *RegionManager, store *cache.Cache) *CacheManager {
+	if params.K <= 0 {
+		panic("core: manager needs K > 0")
+	}
+	if params.CacheSlots < 0 {
+		panic("core: negative cache slots")
+	}
+	if params.WeightGrid == nil {
+		params.WeightGrid = DefaultWeightGrid(params.K)
+	}
+	if params.Solver == 0 {
+		params.Solver = SolverPopulate
+	}
+	return &CacheManager{
+		params:  params,
+		monitor: monitor,
+		regions: regions,
+		store:   store,
+		active:  NewConfig(),
+	}
+}
+
+// Active returns the configuration currently in force.
+func (cm *CacheManager) Active() *Config {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.active
+}
+
+// Runs returns how many reconfigurations have completed.
+func (cm *CacheManager) Runs() int {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.runs
+}
+
+// Reconfigure closes the monitor's period, recomputes the ideal
+// configuration, applies it to the cache, and returns it.
+func (cm *CacheManager) Reconfigure() *Config {
+	popularity := cm.monitor.EndPeriod()
+	cfg := cm.Compute(popularity)
+	cm.apply(cfg)
+
+	cm.mu.Lock()
+	cm.active = cfg
+	cm.runs++
+	cm.mu.Unlock()
+	return cfg
+}
+
+// Compute derives the ideal configuration for a popularity snapshot without
+// touching the cache — the planning core, exposed for tests and ablations.
+func (cm *CacheManager) Compute(popularity map[string]float64) *Config {
+	perKey := make(map[string][]Option, len(popularity))
+	for key, pop := range popularity {
+		if pop <= 0 {
+			continue
+		}
+		plan := cm.regions.Plan(key)
+		// Cooperative caching (SVI): chunks resident in peer caches are
+		// already cheap, so options are valued against the adjusted plan
+		// and the knapsack spends local slots elsewhere.
+		plan = adjustPlanForPeers(plan, cm.peerResidency(key))
+		opts := GenerateOptions(key, pop, plan, cm.params.K, cm.params.WeightGrid, cm.params.CacheLatency)
+		if len(opts) > 0 {
+			perKey[key] = opts
+		}
+	}
+	set := NewOptionSet(perKey)
+	switch cm.params.Solver {
+	case SolverExact:
+		return ExactMCKP(set, cm.params.CacheSlots)
+	case SolverGreedy:
+		return Greedy(set, cm.params.CacheSlots)
+	default:
+		return Populate(set, cm.params.CacheSlots, PopulateParams{EarlyStop: cm.params.EarlyStop})
+	}
+}
+
+// apply points the cache's admission filter at the new configuration.
+// Configured chunks are not prefetched — clients populate them on their
+// next read, exactly as Agar's hint flow works. Chunks that left the
+// configuration are not deleted eagerly: as in the memcached-backed
+// prototype, they simply stop being read and the cache's LRU policy evicts
+// them when space is needed, so an object that briefly drops out of the
+// configuration and returns keeps its chunks warm.
+func (cm *CacheManager) apply(cfg *Config) {
+	if cm.store == nil {
+		return
+	}
+	allowed := make(map[cache.EntryID]bool)
+	for key, opt := range cfg.Options {
+		for _, idx := range opt.Chunks {
+			allowed[cache.EntryID{Key: key, Index: idx}] = true
+		}
+	}
+	cm.store.SetAdmission(func(id cache.EntryID) bool { return allowed[id] })
+}
+
+// Hint is the answer the request monitor hands a client before a read
+// (§III-b): which of the object's chunks the local cache is configured to
+// hold. The client reads those from the cache (inserting them on a miss)
+// and fetches the rest from the backend.
+type Hint struct {
+	// Key is the object the hint is for.
+	Key string
+	// CacheChunks lists the chunk indices configured for local caching;
+	// empty means the object is not cached this period.
+	CacheChunks []int
+	// PeerChunks maps chunk indices resident in cooperative peer caches to
+	// the peer to read them from (SVI extension); chunks also in
+	// CacheChunks are omitted.
+	PeerChunks map[int]PeerInfo
+}
+
+// HintFor returns the current hint for a key: the union of the chunks the
+// active configuration assigns to the key and the chunks already resident
+// in the cache (the "cache info" feed of Figure 3). Including residents
+// means an object that briefly drops out of the configuration keeps serving
+// partial hits until its chunks actually age out of the cache.
+func (cm *CacheManager) HintFor(key string) Hint {
+	cm.mu.Lock()
+	configured := cm.active.ChunksFor(key)
+	cm.mu.Unlock()
+
+	if cm.store == nil {
+		return cm.withPeerChunks(Hint{Key: key, CacheChunks: configured})
+	}
+	resident := cm.store.IndicesOf(key)
+	if len(resident) == 0 {
+		return cm.withPeerChunks(Hint{Key: key, CacheChunks: configured})
+	}
+	seen := make(map[int]bool, len(configured)+len(resident))
+	union := make([]int, 0, len(configured)+len(resident))
+	for _, idx := range configured {
+		if !seen[idx] {
+			seen[idx] = true
+			union = append(union, idx)
+		}
+	}
+	for _, idx := range resident {
+		if !seen[idx] {
+			seen[idx] = true
+			union = append(union, idx)
+		}
+	}
+	return cm.withPeerChunks(Hint{Key: key, CacheChunks: union})
+}
+
+// withPeerChunks annotates a hint with chunks readable from peer caches.
+func (cm *CacheManager) withPeerChunks(h Hint) Hint {
+	resident := cm.peerResidency(h.Key)
+	if len(resident) == 0 {
+		return h
+	}
+	local := make(map[int]bool, len(h.CacheChunks))
+	for _, idx := range h.CacheChunks {
+		local[idx] = true
+	}
+	for idx, p := range resident {
+		if local[idx] {
+			continue
+		}
+		if h.PeerChunks == nil {
+			h.PeerChunks = make(map[int]PeerInfo)
+		}
+		h.PeerChunks[idx] = p
+	}
+	return h
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+)
+
+func TestMonitorRecordAndFrequency(t *testing.T) {
+	m := NewMonitor(0.8)
+	for i := 0; i < 100; i++ {
+		m.Record("hot")
+	}
+	m.Record("cold")
+	if m.CurrentFrequency("hot") != 100 || m.CurrentFrequency("cold") != 1 {
+		t.Fatal("frequencies wrong")
+	}
+	if m.Requests() != 101 {
+		t.Fatalf("requests = %d", m.Requests())
+	}
+}
+
+func TestMonitorEndPeriodPaperExample(t *testing.T) {
+	// §IV: first period, frequency 100, alpha 0.8 -> popularity 80.
+	m := NewMonitor(0.8)
+	for i := 0; i < 100; i++ {
+		m.Record("key1")
+	}
+	pop := m.EndPeriod()
+	if pop["key1"] != 80 {
+		t.Fatalf("popularity = %v, want 80", pop["key1"])
+	}
+	// Second period without accesses: 0.8*0 + 0.2*80 = 16 (up to float
+	// rounding in the EWMA recurrence).
+	pop = m.EndPeriod()
+	if diff := pop["key1"] - 16; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("decayed popularity = %v, want 16", pop["key1"])
+	}
+	// Frequencies reset each period.
+	if m.CurrentFrequency("key1") != 0 {
+		t.Fatal("frequency not reset")
+	}
+}
+
+func TestMonitorForgetsDeadKeys(t *testing.T) {
+	m := NewMonitor(0.8)
+	m.Record("once")
+	m.EndPeriod()
+	// 0.8 decays by x0.2 per idle period; after ~5 periods it is under the
+	// floor and must disappear.
+	for i := 0; i < 6; i++ {
+		m.EndPeriod()
+	}
+	if _, ok := m.Popularity()["once"]; ok {
+		t.Fatal("dead key not forgotten")
+	}
+}
+
+func TestMonitorTopKeys(t *testing.T) {
+	m := NewMonitor(0.8)
+	for i := 0; i < 30; i++ {
+		m.Record("a")
+	}
+	for i := 0; i < 20; i++ {
+		m.Record("b")
+	}
+	m.Record("c")
+	m.EndPeriod()
+	top := m.TopKeys(2)
+	if len(top) != 2 || top[0] != "a" || top[1] != "b" {
+		t.Fatalf("TopKeys = %v", top)
+	}
+	if got := m.TopKeys(99); len(got) != 3 {
+		t.Fatalf("TopKeys(99) = %v", got)
+	}
+}
+
+func TestMonitorConcurrent(t *testing.T) {
+	m := NewMonitor(0.8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Record(fmt.Sprintf("key-%d", i%10))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Requests() != 8000 {
+		t.Fatalf("requests = %d", m.Requests())
+	}
+	pop := m.EndPeriod()
+	if pop["key-0"] != 0.8*800 {
+		t.Fatalf("key-0 popularity = %v", pop["key-0"])
+	}
+}
+
+func TestRegionManagerObserveAndEstimate(t *testing.T) {
+	rm := NewRegionManager(geo.Frankfurt, geo.DefaultRegions(), geo.NewRoundRobin(geo.DefaultRegions(), false), 12)
+	if rm.Client() != geo.Frankfurt {
+		t.Fatal("client wrong")
+	}
+	rm.Observe(geo.Tokyo, 1000*time.Millisecond)
+	if got := rm.Estimate(geo.Tokyo); got != 1000*time.Millisecond {
+		t.Fatalf("first observation should seed: %v", got)
+	}
+	rm.Observe(geo.Tokyo, 500*time.Millisecond)
+	// EWMA(0.5): 0.5*500 + 0.5*1000 = 750.
+	if got := rm.Estimate(geo.Tokyo); got != 750*time.Millisecond {
+		t.Fatalf("EWMA = %v, want 750ms", got)
+	}
+	if got := rm.Estimate(geo.Dublin); got != 0 {
+		t.Fatalf("unobserved region estimate = %v", got)
+	}
+}
+
+func TestRegionManagerWarmUp(t *testing.T) {
+	matrix := geo.DefaultMatrix()
+	rm := NewRegionManager(geo.Sydney, geo.DefaultRegions(), geo.NewRoundRobin(geo.DefaultRegions(), false), 12)
+	rm.WarmUp(func(r geo.RegionID) time.Duration {
+		return matrix.Get(geo.Sydney, r)
+	}, 3)
+	for _, r := range geo.DefaultRegions() {
+		if got, want := rm.Estimate(r), matrix.Get(geo.Sydney, r); got != want {
+			t.Fatalf("estimate %v = %v, want %v", r, got, want)
+		}
+	}
+	ests := rm.Estimates()
+	if len(ests) != 6 {
+		t.Fatalf("Estimates has %d entries", len(ests))
+	}
+}
+
+func TestRegionManagerPlan(t *testing.T) {
+	matrix := geo.DefaultMatrix()
+	rm := NewRegionManager(geo.Frankfurt, geo.DefaultRegions(), geo.NewRoundRobin(geo.DefaultRegions(), false), 12)
+	rm.WarmUp(func(r geo.RegionID) time.Duration {
+		return matrix.Get(geo.Frankfurt, r)
+	}, 1)
+	plan := rm.Plan("key")
+	// Plan from estimates must match the plan from the true matrix.
+	want := geo.PlanFetch(matrix, geo.NewRoundRobin(geo.DefaultRegions(), false), "key", 12, geo.Frankfurt)
+	for i := range want.Chunks {
+		if plan.Chunks[i] != want.Chunks[i] {
+			t.Fatalf("plan order differs at %d: %v vs %v", i, plan.Chunks, want.Chunks)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import "sort"
+
+// ExactMCKP solves the cache-configuration problem exactly. Choosing at
+// most one caching option per object under a total weight budget is the
+// multiple-choice knapsack problem; this dynamic program is exponential in
+// nothing and pseudo-polynomial in the cache size, which is small here
+// (hundreds of chunk slots). It serves as the oracle that bounds Populate
+// in tests and ablation benchmarks.
+func ExactMCKP(set *OptionSet, cacheSize int) *Config {
+	if cacheSize <= 0 {
+		return NewConfig()
+	}
+	type cell struct {
+		value  float64
+		valid  bool
+		optIdx int // option index within the key's list, -1 = skip key
+		prevW  int
+	}
+	keys := set.Keys
+	// dp[i][w]: best value using the first i keys at exactly weight w.
+	dp := make([][]cell, len(keys)+1)
+	for i := range dp {
+		dp[i] = make([]cell, cacheSize+1)
+	}
+	dp[0][0] = cell{valid: true, optIdx: -1}
+
+	for i, key := range keys {
+		opts := set.PerKey[key]
+		for w := 0; w <= cacheSize; w++ {
+			if !dp[i][w].valid {
+				continue
+			}
+			// Skip this key.
+			if cur := &dp[i+1][w]; !cur.valid || cur.value < dp[i][w].value {
+				*cur = cell{value: dp[i][w].value, valid: true, optIdx: -1, prevW: w}
+			}
+			// Take each option.
+			for oi, o := range opts {
+				nw := w + o.Weight
+				if o.Weight <= 0 || nw > cacheSize {
+					continue
+				}
+				nv := dp[i][w].value + o.Value
+				if cur := &dp[i+1][nw]; !cur.valid || cur.value < nv {
+					*cur = cell{value: nv, valid: true, optIdx: oi, prevW: w}
+				}
+			}
+		}
+	}
+
+	// Best final weight.
+	bestW, bestV := 0, -1.0
+	for w := 0; w <= cacheSize; w++ {
+		if dp[len(keys)][w].valid && dp[len(keys)][w].value > bestV {
+			bestW, bestV = w, dp[len(keys)][w].value
+		}
+	}
+
+	// Reconstruct.
+	cfg := NewConfig()
+	w := bestW
+	for i := len(keys); i > 0; i-- {
+		c := dp[i][w]
+		if c.optIdx >= 0 {
+			cfg.Add(set.PerKey[keys[i-1]][c.optIdx])
+		}
+		w = c.prevW
+	}
+	return cfg
+}
+
+// Greedy picks options by value density (value per chunk slot), highest
+// first, one option per key, skipping anything that no longer fits. The
+// paper notes greedy algorithms "can err by as much as 50% from the optimal
+// value" on 0/1 knapsack (§II-D); this implementation exists to quantify
+// that gap in the ablation benchmarks.
+func Greedy(set *OptionSet, cacheSize int) *Config {
+	type cand struct {
+		opt     Option
+		density float64
+	}
+	var cands []cand
+	for _, key := range set.Keys {
+		for _, o := range set.PerKey[key] {
+			if o.Weight <= 0 {
+				continue
+			}
+			cands = append(cands, cand{opt: o, density: o.Value / float64(o.Weight)})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].density != cands[j].density {
+			return cands[i].density > cands[j].density
+		}
+		// Prefer heavier options at equal density (more total value).
+		return cands[i].opt.Weight > cands[j].opt.Weight
+	})
+	cfg := NewConfig()
+	for _, c := range cands {
+		if _, taken := cfg.Options[c.opt.Key]; taken {
+			continue
+		}
+		if cfg.Weight+c.opt.Weight > cacheSize {
+			continue
+		}
+		cfg.Add(c.opt)
+	}
+	return cfg
+}

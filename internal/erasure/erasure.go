@@ -1,0 +1,390 @@
+// Package erasure implements a systematic Reed-Solomon erasure codec over
+// GF(2^8), the coding substrate Agar caches operate on.
+//
+// An object is split into k equally sized data chunks; m parity chunks are
+// computed from them. Any k of the resulting k+m chunks suffice to
+// reconstruct the original object. The codec is systematic: the first k
+// chunks are the data itself, so reads that find all data chunks need no
+// decoding at all.
+//
+// Two coding-matrix constructions are provided: a systematised Vandermonde
+// matrix (default, matching most Reed-Solomon deployments) and a Cauchy
+// matrix (as used by Longhair, the library the paper's prototype uses).
+package erasure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/agardist/agar/internal/matrix"
+)
+
+// Construction selects how the coding matrix is built.
+type Construction int
+
+const (
+	// Vandermonde builds the coding matrix from a systematised Vandermonde
+	// matrix. This is the default.
+	Vandermonde Construction = iota + 1
+	// Cauchy builds the coding matrix from an identity block stacked on a
+	// Cauchy block, mirroring Longhair's Cauchy Reed-Solomon codes.
+	Cauchy
+)
+
+// String returns the construction name.
+func (c Construction) String() string {
+	switch c {
+	case Vandermonde:
+		return "vandermonde"
+	case Cauchy:
+		return "cauchy"
+	default:
+		return fmt.Sprintf("construction(%d)", int(c))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrInvalidParams    = errors.New("erasure: k and m must be positive and k+m <= 256")
+	ErrTooFewChunks     = errors.New("erasure: fewer than k chunks available")
+	ErrChunkSizeMism    = errors.New("erasure: chunks have inconsistent sizes")
+	ErrShortData        = errors.New("erasure: data too short to carry size header")
+	ErrCorrupt          = errors.New("erasure: chunk set fails parity verification")
+	ErrChunkCount       = errors.New("erasure: wrong number of chunk slots")
+	ErrSizeHeaderBroken = errors.New("erasure: size header larger than reconstructed payload")
+)
+
+// Codec encodes and decodes objects with Reed-Solomon parameters (k, m).
+// A Codec is immutable and safe for concurrent use.
+type Codec struct {
+	k int
+	m int
+
+	coding *matrix.Matrix // (k+m) x k; top k rows are the identity
+
+	mu       sync.Mutex
+	invCache map[string]*matrix.Matrix // decode-matrix cache keyed by present-row signature
+}
+
+// New returns a codec with k data chunks and m parity chunks using the
+// Vandermonde construction.
+func New(k, m int) (*Codec, error) {
+	return NewWith(k, m, Vandermonde)
+}
+
+// NewWith returns a codec using the given matrix construction.
+func NewWith(k, m int, c Construction) (*Codec, error) {
+	if k <= 0 || m < 0 || k+m > 256 {
+		return nil, ErrInvalidParams
+	}
+	codec := &Codec{k: k, m: m, invCache: make(map[string]*matrix.Matrix)}
+	switch c {
+	case Vandermonde:
+		codec.coding = systematicVandermonde(k, m)
+	case Cauchy:
+		codec.coding = systematicCauchy(k, m)
+	default:
+		return nil, fmt.Errorf("erasure: unknown construction %v", c)
+	}
+	return codec, nil
+}
+
+// systematicVandermonde builds a (k+m) x k coding matrix whose top k rows are
+// the identity, derived by multiplying a plain Vandermonde matrix by the
+// inverse of its top square block. The result stays MDS because row
+// operations preserve the independence of every k-row subset.
+func systematicVandermonde(k, m int) *matrix.Matrix {
+	v := matrix.Vandermonde(k+m, k)
+	top := v.SubMatrix(0, k, 0, k)
+	topInv, err := top.Invert()
+	if err != nil {
+		// The top block of a Vandermonde matrix with distinct evaluation
+		// points is always invertible; reaching this is a programming error.
+		panic(fmt.Sprintf("erasure: vandermonde top block singular: %v", err))
+	}
+	return v.Mul(topInv)
+}
+
+// systematicCauchy stacks the k x k identity on an m x k Cauchy block.
+func systematicCauchy(k, m int) *matrix.Matrix {
+	out := matrix.New(k+m, k)
+	for i := 0; i < k; i++ {
+		out.Set(i, i, 1)
+	}
+	c := matrix.Cauchy(m, k)
+	for r := 0; r < m; r++ {
+		for col := 0; col < k; col++ {
+			out.Set(k+r, col, c.Get(r, col))
+		}
+	}
+	return out
+}
+
+// K returns the number of data chunks.
+func (c *Codec) K() int { return c.k }
+
+// M returns the number of parity chunks.
+func (c *Codec) M() int { return c.m }
+
+// Total returns k + m.
+func (c *Codec) Total() int { return c.k + c.m }
+
+// ChunkSize returns the per-chunk size for an object of dataLen bytes,
+// accounting for the 8-byte length header and padding to a multiple of k.
+func (c *Codec) ChunkSize(dataLen int) int {
+	padded := dataLen + headerSize
+	per := (padded + c.k - 1) / c.k
+	return per
+}
+
+const headerSize = 8 // uint64 little-endian original length
+
+// Split encodes data into k+m chunks. The original length is recorded in an
+// 8-byte header so Join can strip padding. The input slice is not retained.
+func (c *Codec) Split(data []byte) ([][]byte, error) {
+	chunkSize := c.ChunkSize(len(data))
+	// Lay out header + data + zero padding across the k data chunks.
+	buf := make([]byte, c.k*chunkSize)
+	binary.LittleEndian.PutUint64(buf, uint64(len(data)))
+	copy(buf[headerSize:], data)
+
+	chunks := make([][]byte, c.Total())
+	for i := 0; i < c.k; i++ {
+		chunks[i] = buf[i*chunkSize : (i+1)*chunkSize : (i+1)*chunkSize]
+	}
+	for i := c.k; i < c.Total(); i++ {
+		chunks[i] = make([]byte, chunkSize)
+	}
+	if err := c.Encode(chunks); err != nil {
+		return nil, err
+	}
+	return chunks, nil
+}
+
+// Encode fills chunks[k:] with parity computed from chunks[:k]. All chunk
+// slots must be non-nil and of equal size.
+func (c *Codec) Encode(chunks [][]byte) error {
+	if err := c.checkShape(chunks, true); err != nil {
+		return err
+	}
+	size := len(chunks[0])
+	for i := c.k; i < c.Total(); i++ {
+		clear(chunks[i])
+		row := c.coding.RowView(i)
+		for j := 0; j < c.k; j++ {
+			mulAdd(row[j], chunks[j], chunks[i])
+		}
+	}
+	_ = size
+	return nil
+}
+
+// Verify recomputes parity from the data chunks and reports whether the
+// parity chunks match. All chunks must be present.
+func (c *Codec) Verify(chunks [][]byte) (bool, error) {
+	if err := c.checkShape(chunks, true); err != nil {
+		return false, err
+	}
+	size := len(chunks[0])
+	scratch := make([]byte, size)
+	for i := c.k; i < c.Total(); i++ {
+		clear(scratch)
+		row := c.coding.RowView(i)
+		for j := 0; j < c.k; j++ {
+			mulAdd(row[j], chunks[j], scratch)
+		}
+		for b := range scratch {
+			if scratch[b] != chunks[i][b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds every missing chunk in place. Missing chunks are
+// represented by nil entries; at least k entries must be present. The slice
+// must have exactly k+m entries, indexed by chunk id.
+func (c *Codec) Reconstruct(chunks [][]byte) error {
+	return c.reconstruct(chunks, false)
+}
+
+// ReconstructData rebuilds only the missing data chunks (indices < k),
+// leaving missing parity chunks nil. This is the fast path for reads.
+func (c *Codec) ReconstructData(chunks [][]byte) error {
+	return c.reconstruct(chunks, true)
+}
+
+func (c *Codec) reconstruct(chunks [][]byte, dataOnly bool) error {
+	if len(chunks) != c.Total() {
+		return ErrChunkCount
+	}
+	present := make([]int, 0, c.k)
+	size := -1
+	for i, ch := range chunks {
+		if ch == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(ch)
+		} else if len(ch) != size {
+			return ErrChunkSizeMism
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.k {
+		return ErrTooFewChunks
+	}
+
+	// Fast path: all data chunks already present.
+	allData := true
+	for i := 0; i < c.k; i++ {
+		if chunks[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		if dataOnly {
+			return nil
+		}
+		for i := c.k; i < c.Total(); i++ {
+			if chunks[i] == nil {
+				chunks[i] = make([]byte, size)
+			}
+		}
+		return c.Encode(chunks) // recompute any missing parity
+	}
+
+	rows := present[:c.k]
+	dec, err := c.decodeMatrix(rows)
+	if err != nil {
+		return err
+	}
+
+	// Recover the data chunks: data = dec * available.
+	avail := make([][]byte, c.k)
+	for i, r := range rows {
+		avail[i] = chunks[r]
+	}
+	for i := 0; i < c.k; i++ {
+		if chunks[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := dec.RowView(i)
+		for j := 0; j < c.k; j++ {
+			mulAdd(row[j], avail[j], out)
+		}
+		chunks[i] = out
+	}
+	if dataOnly {
+		return nil
+	}
+	// Recompute missing parity from the (now complete) data chunks.
+	for i := c.k; i < c.Total(); i++ {
+		if chunks[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.coding.RowView(i)
+		for j := 0; j < c.k; j++ {
+			mulAdd(row[j], chunks[j], out)
+		}
+		chunks[i] = out
+	}
+	return nil
+}
+
+// decodeMatrix returns the inverse of the coding-matrix rows for the given
+// present chunk ids, cached per row signature.
+func (c *Codec) decodeMatrix(rows []int) (*matrix.Matrix, error) {
+	sig := make([]byte, len(rows))
+	for i, r := range rows {
+		sig[i] = byte(r)
+	}
+	key := string(sig)
+
+	c.mu.Lock()
+	dec, ok := c.invCache[key]
+	c.mu.Unlock()
+	if ok {
+		return dec, nil
+	}
+
+	sub := c.coding.SelectRows(rows)
+	dec, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: decode matrix for rows %v: %w", rows, err)
+	}
+
+	c.mu.Lock()
+	c.invCache[key] = dec
+	c.mu.Unlock()
+	return dec, nil
+}
+
+// Join reassembles the original object from a fully reconstructed chunk set
+// (all data chunks non-nil). It validates and strips the length header.
+func (c *Codec) Join(chunks [][]byte) ([]byte, error) {
+	if len(chunks) != c.Total() {
+		return nil, ErrChunkCount
+	}
+	size := -1
+	for i := 0; i < c.k; i++ {
+		if chunks[i] == nil {
+			return nil, ErrTooFewChunks
+		}
+		if size == -1 {
+			size = len(chunks[i])
+		} else if len(chunks[i]) != size {
+			return nil, ErrChunkSizeMism
+		}
+	}
+	if size*c.k < headerSize {
+		return nil, ErrShortData
+	}
+	buf := make([]byte, 0, size*c.k)
+	for i := 0; i < c.k; i++ {
+		buf = append(buf, chunks[i]...)
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	if n > uint64(len(buf)-headerSize) {
+		return nil, ErrSizeHeaderBroken
+	}
+	return buf[headerSize : headerSize+n : headerSize+n], nil
+}
+
+// Decode is the common read path: reconstruct missing data chunks from any k
+// available chunks, then join into the original object.
+func (c *Codec) Decode(chunks [][]byte) ([]byte, error) {
+	work := make([][]byte, len(chunks))
+	copy(work, chunks)
+	if err := c.ReconstructData(work); err != nil {
+		return nil, err
+	}
+	return c.Join(work)
+}
+
+func (c *Codec) checkShape(chunks [][]byte, needAll bool) error {
+	if len(chunks) != c.Total() {
+		return ErrChunkCount
+	}
+	size := -1
+	for _, ch := range chunks {
+		if ch == nil {
+			if needAll {
+				return ErrTooFewChunks
+			}
+			continue
+		}
+		if size == -1 {
+			size = len(ch)
+		} else if len(ch) != size {
+			return ErrChunkSizeMism
+		}
+	}
+	return nil
+}

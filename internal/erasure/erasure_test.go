@@ -1,0 +1,417 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCodec(t testing.TB, k, m int) *Codec {
+	t.Helper()
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		k, m int
+		ok   bool
+	}{
+		{9, 3, true},
+		{1, 0, true},
+		{4, 2, true},
+		{0, 3, false},
+		{-1, 3, false},
+		{200, 100, false}, // k+m > 256
+		{255, 1, true},
+	}
+	for _, c := range cases {
+		_, err := New(c.k, c.m)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d): err=%v, want ok=%v", c.k, c.m, err, c.ok)
+		}
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	codec := mustCodec(t, 9, 3)
+	for _, size := range []int{0, 1, 8, 9, 100, 1023, 4096, 1 << 20} {
+		data := make([]byte, size)
+		rand.New(rand.NewSource(int64(size))).Read(data)
+		chunks, err := codec.Split(data)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(chunks) != 12 {
+			t.Fatalf("size %d: got %d chunks", size, len(chunks))
+		}
+		got, err := codec.Join(chunks)
+		if err != nil {
+			t.Fatalf("size %d: join: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+func TestSystematic(t *testing.T) {
+	// The first k chunks must carry the raw payload (after the header).
+	codec := mustCodec(t, 4, 2)
+	data := []byte("hello systematic reed solomon world")
+	chunks, err := codec.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var concat []byte
+	for i := 0; i < 4; i++ {
+		concat = append(concat, chunks[i]...)
+	}
+	if !bytes.Contains(concat, data) {
+		t.Fatal("data chunks do not embed the original payload; codec is not systematic")
+	}
+}
+
+func TestReconstructFromAnyK(t *testing.T) {
+	codec := mustCodec(t, 9, 3)
+	data := make([]byte, 10000)
+	rand.New(rand.NewSource(42)).Read(data)
+	orig, err := codec.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Try every way of losing exactly m=3 chunks (220 combinations).
+	n := codec.Total()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				chunks := make([][]byte, n)
+				for i := range orig {
+					chunks[i] = append([]byte(nil), orig[i]...)
+				}
+				chunks[a], chunks[b], chunks[c] = nil, nil, nil
+				if err := codec.Reconstruct(chunks); err != nil {
+					t.Fatalf("lose {%d,%d,%d}: %v", a, b, c, err)
+				}
+				for i := range orig {
+					if !bytes.Equal(chunks[i], orig[i]) {
+						t.Fatalf("lose {%d,%d,%d}: chunk %d wrong after reconstruct", a, b, c, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructDataOnlyLeavesParityNil(t *testing.T) {
+	codec := mustCodec(t, 4, 2)
+	data := []byte("only the data chunks matter on the read path")
+	chunks, _ := codec.Split(data)
+	chunks[1] = nil // lose a data chunk
+	chunks[5] = nil // lose a parity chunk
+	if err := codec.ReconstructData(chunks); err != nil {
+		t.Fatal(err)
+	}
+	if chunks[1] == nil {
+		t.Fatal("data chunk not rebuilt")
+	}
+	if chunks[5] != nil {
+		t.Fatal("parity chunk should remain nil under ReconstructData")
+	}
+	got, err := codec.Join(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestReconstructTooFewChunks(t *testing.T) {
+	codec := mustCodec(t, 4, 2)
+	chunks, _ := codec.Split([]byte("abcdefgh"))
+	chunks[0], chunks[1], chunks[2] = nil, nil, nil // only 3 left < k=4
+	if err := codec.Reconstruct(chunks); err != ErrTooFewChunks {
+		t.Fatalf("got %v, want ErrTooFewChunks", err)
+	}
+}
+
+func TestReconstructWrongSlotCount(t *testing.T) {
+	codec := mustCodec(t, 4, 2)
+	if err := codec.Reconstruct(make([][]byte, 5)); err != ErrChunkCount {
+		t.Fatalf("got %v, want ErrChunkCount", err)
+	}
+}
+
+func TestReconstructSizeMismatch(t *testing.T) {
+	codec := mustCodec(t, 2, 1)
+	chunks, _ := codec.Split([]byte("0123456789"))
+	chunks[1] = chunks[1][:len(chunks[1])-1]
+	if err := codec.Reconstruct(chunks); err != ErrChunkSizeMism {
+		t.Fatalf("got %v, want ErrChunkSizeMism", err)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	codec := mustCodec(t, 6, 3)
+	data := make([]byte, 5000)
+	rand.New(rand.NewSource(7)).Read(data)
+	chunks, _ := codec.Split(data)
+
+	ok, err := codec.Verify(chunks)
+	if err != nil || !ok {
+		t.Fatalf("Verify on intact chunks: ok=%v err=%v", ok, err)
+	}
+
+	chunks[2][10] ^= 0xFF // corrupt a data chunk
+	ok, err = codec.Verify(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Verify accepted corrupted data")
+	}
+}
+
+func TestDecodeWithCorruptHeader(t *testing.T) {
+	codec := mustCodec(t, 3, 2)
+	chunks, _ := codec.Split([]byte("payload"))
+	// Blow up the length header so it claims more data than exists.
+	for i := 0; i < 8 && i < len(chunks[0]); i++ {
+		chunks[0][i] = 0xFF
+	}
+	if _, err := codec.Join(chunks); err != ErrSizeHeaderBroken {
+		t.Fatalf("got %v, want ErrSizeHeaderBroken", err)
+	}
+}
+
+func TestDecodeDoesNotMutateInput(t *testing.T) {
+	codec := mustCodec(t, 4, 2)
+	chunks, _ := codec.Split([]byte("immutability matters"))
+	chunks[0] = nil
+	snapshot := make([][]byte, len(chunks))
+	copy(snapshot, chunks)
+	if _, err := codec.Decode(chunks); err != nil {
+		t.Fatal(err)
+	}
+	for i := range chunks {
+		if (chunks[i] == nil) != (snapshot[i] == nil) {
+			t.Fatalf("Decode mutated caller slice at %d", i)
+		}
+	}
+}
+
+func TestCauchyConstruction(t *testing.T) {
+	codec, err := NewWith(9, 3, Cauchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3000)
+	rand.New(rand.NewSource(3)).Read(data)
+	chunks, err := codec.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lose three chunks and recover.
+	chunks[0], chunks[4], chunks[10] = nil, nil, nil
+	got, err := codec.Decode(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cauchy round trip failed")
+	}
+}
+
+func TestConstructionString(t *testing.T) {
+	if Vandermonde.String() != "vandermonde" || Cauchy.String() != "cauchy" {
+		t.Fatal("construction names wrong")
+	}
+	if Construction(99).String() == "" {
+		t.Fatal("unknown construction must still stringify")
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	codec := mustCodec(t, 9, 3)
+	// 1 MB object: (1<<20 + 8) / 9 rounded up.
+	want := (1<<20 + 8 + 8) / 9
+	if got := codec.ChunkSize(1 << 20); got != want {
+		t.Fatalf("ChunkSize(1MB) = %d, want %d", got, want)
+	}
+	chunks, _ := codec.Split(make([]byte, 1<<20))
+	if len(chunks[0]) != codec.ChunkSize(1<<20) {
+		t.Fatal("Split chunk size disagrees with ChunkSize")
+	}
+}
+
+// Property: for random (k, m), random data and a random loss pattern of up to
+// m chunks, decode recovers the original payload.
+func TestReconstructQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(10)
+		m := r.Intn(5)
+		codec, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		data := make([]byte, 1+r.Intn(2000))
+		r.Read(data)
+		chunks, err := codec.Split(data)
+		if err != nil {
+			return false
+		}
+		// Drop up to m random chunks.
+		for _, i := range r.Perm(k + m)[:r.Intn(m+1)] {
+			chunks[i] = nil
+		}
+		got, err := codec.Decode(chunks)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parity is linear — encode(a XOR b) == encode(a) XOR encode(b).
+func TestLinearityQuick(t *testing.T) {
+	codec := mustCodec(t, 4, 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 64
+		a := make([]byte, 4*size)
+		b := make([]byte, 4*size)
+		r.Read(a)
+		r.Read(b)
+		enc := func(data []byte) [][]byte {
+			chunks := make([][]byte, 6)
+			for i := 0; i < 4; i++ {
+				chunks[i] = append([]byte(nil), data[i*size:(i+1)*size]...)
+			}
+			for i := 4; i < 6; i++ {
+				chunks[i] = make([]byte, size)
+			}
+			if err := codec.Encode(chunks); err != nil {
+				panic(err)
+			}
+			return chunks
+		}
+		xor := make([]byte, len(a))
+		for i := range a {
+			xor[i] = a[i] ^ b[i]
+		}
+		ca, cb, cx := enc(a), enc(b), enc(xor)
+		for i := 4; i < 6; i++ {
+			for j := 0; j < size; j++ {
+				if cx[i][j] != ca[i][j]^cb[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMatrixCaching(t *testing.T) {
+	codec := mustCodec(t, 9, 3)
+	data := make([]byte, 900)
+	rand.New(rand.NewSource(5)).Read(data)
+	orig, _ := codec.Split(data)
+	// Same loss pattern twice must hit the cache and stay correct.
+	for iter := 0; iter < 2; iter++ {
+		chunks := make([][]byte, len(orig))
+		copy(chunks, orig)
+		chunks[0], chunks[1] = nil, nil
+		got, err := codec.Decode(chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("cached decode wrong")
+		}
+	}
+	codec.mu.Lock()
+	n := len(codec.invCache)
+	codec.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("expected exactly 1 cached decode matrix, got %d", n)
+	}
+}
+
+func TestConcurrentDecode(t *testing.T) {
+	codec := mustCodec(t, 9, 3)
+	data := make([]byte, 9000)
+	rand.New(rand.NewSource(9)).Read(data)
+	orig, _ := codec.Split(data)
+
+	done := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func(g int) {
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 20; i++ {
+				chunks := make([][]byte, len(orig))
+				copy(chunks, orig)
+				for _, idx := range r.Perm(12)[:3] {
+					chunks[idx] = nil
+				}
+				got, err := codec.Decode(chunks)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					done <- ErrCorrupt
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode1MB_RS9_3(b *testing.B) {
+	codec := mustCodec(b, 9, 3)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Split(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode1MB_RS9_3_WorstCase(b *testing.B) {
+	codec := mustCodec(b, 9, 3)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(2)).Read(data)
+	orig, _ := codec.Split(data)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunks := make([][]byte, len(orig))
+		copy(chunks, orig)
+		chunks[0], chunks[1], chunks[2] = nil, nil, nil // lose 3 data chunks
+		if _, err := codec.Decode(chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

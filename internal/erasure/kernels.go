@@ -1,0 +1,9 @@
+package erasure
+
+import "github.com/agardist/agar/internal/gf256"
+
+// mulAdd accumulates coeff * src into dst. Split into a helper so the codec's
+// inner loops stay readable and a future SIMD path has a single seam.
+func mulAdd(coeff byte, src, dst []byte) {
+	gf256.MulAddSlice(coeff, src, dst)
+}

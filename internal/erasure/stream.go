@@ -1,0 +1,151 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming API: encode from an io.Reader into per-chunk writers and decode
+// from per-chunk readers into an io.Writer, processing the object in
+// bounded-memory stripes. This is how a production deployment would handle
+// the paper's 1 MB (or larger) objects without materialising whole chunk
+// sets: each stripe of k*stripeUnit bytes is split, encoded and flushed
+// before the next is read.
+
+// DefaultStripeUnit is the per-chunk stripe size used when none is given.
+const DefaultStripeUnit = 64 * 1024
+
+// ErrShortChunkStream is returned when a chunk stream ends before the
+// header-declared object length is satisfied.
+var ErrShortChunkStream = errors.New("erasure: chunk stream ended early")
+
+// EncodeStream reads the object from r and writes chunk i's bytes to
+// writers[i] (len(writers) must equal k+m), in stripes of stripeUnit bytes
+// per chunk (0 means DefaultStripeUnit). It returns the number of payload
+// bytes consumed. The resulting chunk streams are decodable by
+// DecodeStream; they are framed with the same 8-byte length header Split
+// uses, so the trailing padding stripe is unambiguous.
+func (c *Codec) EncodeStream(r io.Reader, writers []io.Writer, stripeUnit int) (int64, error) {
+	if len(writers) != c.Total() {
+		return 0, ErrChunkCount
+	}
+	if stripeUnit <= 0 {
+		stripeUnit = DefaultStripeUnit
+	}
+	// Buffer the whole payload? No: stream stripes. But the header needs
+	// the total length up front, so the first stripe is assembled after
+	// reading ahead one stripe worth of payload; the total length is only
+	// known at EOF. We therefore frame each stripe independently: every
+	// stripe carries its own header, and DecodeStream consumes stripes
+	// until a short (final) one.
+	buf := make([]byte, c.k*stripeUnit)
+	var total int64
+	for {
+		n, err := io.ReadFull(r, buf)
+		switch {
+		case err == io.EOF:
+			// No more payload: emit a terminating empty stripe so the
+			// decoder knows the stream ended exactly here.
+			if werr := c.writeStripe(writers, nil); werr != nil {
+				return total, werr
+			}
+			return total, nil
+		case err == io.ErrUnexpectedEOF || err == nil:
+			total += int64(n)
+			if werr := c.writeStripe(writers, buf[:n]); werr != nil {
+				return total, werr
+			}
+			if n < len(buf) {
+				return total, nil // short stripe terminates the stream
+			}
+		default:
+			return total, fmt.Errorf("erasure: read payload: %w", err)
+		}
+	}
+}
+
+// writeStripe encodes one stripe and appends each chunk to its writer.
+func (c *Codec) writeStripe(writers []io.Writer, payload []byte) error {
+	chunks, err := c.Split(payload)
+	if err != nil {
+		return err
+	}
+	for i, w := range writers {
+		if _, err := w.Write(chunks[i]); err != nil {
+			return fmt.Errorf("erasure: write chunk %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DecodeStream reconstructs the object from per-chunk readers and writes
+// the payload to w. readers must have k+m entries indexed by chunk id; nil
+// entries mark unavailable chunks (any k non-nil suffice). stripeUnit must
+// match the value used by EncodeStream. It returns the payload size.
+func (c *Codec) DecodeStream(readers []io.Reader, w io.Writer, stripeUnit int) (int64, error) {
+	if len(readers) != c.Total() {
+		return 0, ErrChunkCount
+	}
+	if stripeUnit <= 0 {
+		stripeUnit = DefaultStripeUnit
+	}
+	available := 0
+	for _, r := range readers {
+		if r != nil {
+			available++
+		}
+	}
+	if available < c.k {
+		return 0, ErrTooFewChunks
+	}
+
+	fullChunk := c.ChunkSize(c.k * stripeUnit)
+	var total int64
+	for {
+		chunks := make([][]byte, c.Total())
+		short := false
+		sawAny := false
+		for i, r := range readers {
+			if r == nil {
+				continue
+			}
+			buf := make([]byte, fullChunk)
+			n, err := io.ReadFull(r, buf)
+			switch {
+			case err == nil:
+				chunks[i] = buf
+				sawAny = true
+			case err == io.EOF && n == 0:
+				// Stream ended at a stripe boundary — legal only if every
+				// other stream ends too (checked by sawAny below).
+				chunks[i] = nil
+			case err == io.ErrUnexpectedEOF || err == io.EOF:
+				// Final, shorter stripe.
+				chunks[i] = buf[:n]
+				short = true
+				sawAny = true
+			default:
+				return total, fmt.Errorf("erasure: read chunk %d: %w", i, err)
+			}
+		}
+		if !sawAny {
+			return total, nil
+		}
+		// All present chunks of one stripe must agree on size; Decode
+		// validates that and reconstructs.
+		payload, err := c.Decode(chunks)
+		if err != nil {
+			return total, fmt.Errorf("erasure: stripe at offset %d: %w", total, err)
+		}
+		if _, err := w.Write(payload); err != nil {
+			return total, fmt.Errorf("erasure: write payload: %w", err)
+		}
+		total += int64(len(payload))
+		// A stripe carrying less than a full payload unit terminates the
+		// object (including the empty terminator stripe).
+		if short || len(payload) < c.k*stripeUnit {
+			return total, nil
+		}
+	}
+}

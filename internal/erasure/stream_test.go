@@ -1,0 +1,126 @@
+package erasure
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func streamRoundTrip(t *testing.T, codec *Codec, payload []byte, stripeUnit int, drop []int) []byte {
+	t.Helper()
+	writers := make([]io.Writer, codec.Total())
+	bufs := make([]*bytes.Buffer, codec.Total())
+	for i := range writers {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	n, err := codec.EncodeStream(bytes.NewReader(payload), writers, stripeUnit)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("encoded %d bytes, want %d", n, len(payload))
+	}
+	readers := make([]io.Reader, codec.Total())
+	for i := range readers {
+		readers[i] = bytes.NewReader(bufs[i].Bytes())
+	}
+	for _, d := range drop {
+		readers[d] = nil
+	}
+	var out bytes.Buffer
+	m, err := codec.DecodeStream(readers, &out, stripeUnit)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if m != int64(len(payload)) {
+		t.Fatalf("decoded %d bytes, want %d", m, len(payload))
+	}
+	return out.Bytes()
+}
+
+func TestStreamRoundTripSizes(t *testing.T) {
+	codec := mustCodec(t, 9, 3)
+	stripe := 1024
+	for _, size := range []int{0, 1, 100, 9 * 1024, 9*1024 - 1, 9*1024 + 1, 100_000} {
+		payload := make([]byte, size)
+		rand.New(rand.NewSource(int64(size))).Read(payload)
+		got := streamRoundTrip(t, codec, payload, stripe, nil)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: payload mismatch", size)
+		}
+	}
+}
+
+func TestStreamDecodeWithLosses(t *testing.T) {
+	codec := mustCodec(t, 9, 3)
+	payload := make([]byte, 150_000)
+	rand.New(rand.NewSource(1)).Read(payload)
+	got := streamRoundTrip(t, codec, payload, 2048, []int{0, 5, 11})
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after losing 3 chunk streams")
+	}
+}
+
+func TestStreamTooManyLosses(t *testing.T) {
+	codec := mustCodec(t, 4, 2)
+	readers := make([]io.Reader, 6)
+	readers[0] = bytes.NewReader(nil)
+	readers[1] = bytes.NewReader(nil)
+	readers[2] = bytes.NewReader(nil)
+	// only 3 < k=4 available
+	var out bytes.Buffer
+	if _, err := codec.DecodeStream(readers, &out, 1024); err != ErrTooFewChunks {
+		t.Fatalf("err = %v, want ErrTooFewChunks", err)
+	}
+}
+
+func TestStreamWrongWriterCount(t *testing.T) {
+	codec := mustCodec(t, 4, 2)
+	if _, err := codec.EncodeStream(bytes.NewReader(nil), make([]io.Writer, 3), 0); err != ErrChunkCount {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := codec.DecodeStream(make([]io.Reader, 3), io.Discard, 0); err != ErrChunkCount {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStreamDefaultStripeUnit(t *testing.T) {
+	codec := mustCodec(t, 3, 2)
+	payload := make([]byte, 10_000)
+	rand.New(rand.NewSource(2)).Read(payload)
+	got := streamRoundTrip(t, codec, payload, 0, []int{1}) // 0 -> default unit
+	if !bytes.Equal(got, payload) {
+		t.Fatal("default stripe unit round trip failed")
+	}
+}
+
+func TestStreamQuick(t *testing.T) {
+	codec := mustCodec(t, 5, 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		payload := make([]byte, r.Intn(40_000))
+		r.Read(payload)
+		stripe := 256 + r.Intn(2048)
+		drop := r.Perm(7)[:r.Intn(3)]
+		got := streamRoundTrip(t, codec, payload, stripe, drop)
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamExactStripeBoundary(t *testing.T) {
+	// Payload exactly filling N stripes needs the empty terminator stripe.
+	codec := mustCodec(t, 3, 1)
+	stripe := 512
+	payload := make([]byte, 3*stripe*4) // exactly 4 full stripes
+	rand.New(rand.NewSource(3)).Read(payload)
+	got := streamRoundTrip(t, codec, payload, stripe, nil)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("boundary payload mismatch")
+	}
+}

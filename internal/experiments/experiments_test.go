@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+)
+
+// smallParams shrinks the campaign so tests stay fast while preserving the
+// deployment's structure.
+func smallParams() Params {
+	p := DefaultParams()
+	p.NumObjects = 120
+	p.Operations = 400
+	p.WarmupOps = 400
+	p.Runs = 2
+	return p
+}
+
+func smallDeployment(t testing.TB) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeploymentLoadsWorkingSet(t *testing.T) {
+	d := smallDeployment(t)
+	// 120 objects x 12 chunks over 6 regions: 240 chunks per region.
+	for _, r := range geo.DefaultRegions() {
+		if n := d.Cluster.Store(r).Len(); n != 240 {
+			t.Fatalf("region %v has %d chunks", r, n)
+		}
+	}
+}
+
+func TestNewDeploymentValidation(t *testing.T) {
+	p := DefaultParams()
+	p.NumObjects = 0
+	if _, err := NewDeployment(p); err == nil {
+		t.Fatal("accepted zero objects")
+	}
+}
+
+func TestSlotsForMB(t *testing.T) {
+	d := smallDeployment(t)
+	// Paper: 10 MB cache fits ten full 1 MB objects = 90 chunk slots.
+	if got := d.SlotsForMB(10); got != 90 {
+		t.Fatalf("SlotsForMB(10) = %d, want 90", got)
+	}
+	if got := d.SlotsForMB(5); got != 45 {
+		t.Fatalf("SlotsForMB(5) = %d, want 45", got)
+	}
+	if got := d.SlotsForMB(100); got != 900 {
+		t.Fatalf("SlotsForMB(100) = %d, want 900", got)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	cases := map[string]Strategy{
+		"Backend": {Kind: StratBackend},
+		"LRU-3":   {Kind: StratLRU, C: 3},
+		"LFU-9":   {Kind: StratLFU, C: 9},
+		"Agar":    {Kind: StratAgar},
+	}
+	for want, s := range cases {
+		if got := s.Name(); got != want {
+			t.Fatalf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTableIMatchesPaperExactly(t *testing.T) {
+	res := TableI()
+	for r, want := range res.Paper {
+		if res.Probed[r] != want {
+			t.Fatalf("probed %v = %v, paper says %v", r, res.Probed[r], want)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "frankfurt") || !strings.Contains(out, "4600") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	d := smallDeployment(t)
+	res, err := Figure2(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 12 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	byRegion := map[geo.RegionID]map[int]time.Duration{}
+	for _, p := range res.Points {
+		if byRegion[p.Region] == nil {
+			byRegion[p.Region] = map[int]time.Duration{}
+		}
+		byRegion[p.Region][p.C] = p.Mean
+	}
+	for _, region := range []geo.RegionID{geo.Frankfurt, geo.Sydney} {
+		series := byRegion[region]
+		// Latency must be non-increasing in c.
+		prev := series[0]
+		for _, c := range []int{1, 3, 5, 7, 9} {
+			if series[c] > prev+prev/10 { // allow 10% noise
+				t.Fatalf("%v: latency increased at c=%d: %v -> %v", region, c, prev, series[c])
+			}
+			prev = series[c]
+		}
+		// The relationship is non-linear: the drop from c=0 to c=3 must be
+		// far smaller than the drop from c=3 to c=7 for Frankfurt.
+		if region == geo.Frankfurt {
+			early := series[0] - series[3]
+			late := series[3] - series[7]
+			if late < 2*early {
+				t.Errorf("frankfurt gains not back-loaded: early=%v late=%v", early, late)
+			}
+		}
+		// Sydney must benefit substantially already at c=3 (paper §II-C).
+		if region == geo.Sydney {
+			if series[3] > series[0]*7/10 {
+				t.Errorf("sydney c=3 (%v) should be well under c=0 (%v)", series[3], series[0])
+			}
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Figure 2") {
+		t.Fatal("render header missing")
+	}
+}
+
+func TestPolicyComparisonShape(t *testing.T) {
+	d := smallDeployment(t)
+	res, err := PolicyComparison(d, geo.Frankfurt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+
+	agar, ok := res.Row("Agar")
+	if !ok {
+		t.Fatal("no Agar row")
+	}
+	backend, _ := res.Row("Backend")
+	best := res.BestStatic()
+	worst := res.WorstStatic()
+
+	// The paper's headline shape: Agar <= best static < worst static <
+	// backend (roughly).
+	if agar.Mean > best.Mean {
+		t.Errorf("Agar (%v) lost to best static %s (%v)", agar.Mean, best.Strategy, best.Mean)
+	}
+	if worst.Mean >= backend.Mean {
+		t.Errorf("worst static (%v) should still beat backend (%v)", worst.Mean, backend.Mean)
+	}
+	if agar.Mean >= worst.Mean*3/4 {
+		t.Errorf("Agar (%v) should be far below worst static (%v)", agar.Mean, worst.Mean)
+	}
+
+	// Hit ratios decrease with c for the fixed policies (Figure 7).
+	lru1, _ := res.Row("LRU-1")
+	lru9, _ := res.Row("LRU-9")
+	if lru1.HitRatio <= lru9.HitRatio {
+		t.Errorf("LRU-1 hit ratio (%v) should exceed LRU-9's (%v)", lru1.HitRatio, lru9.HitRatio)
+	}
+
+	if out := res.RenderFigure6(); !strings.Contains(out, "Agar vs best static") {
+		t.Fatal("figure 6 render incomplete")
+	}
+	if out := res.RenderFigure7(); !strings.Contains(out, "hit-ratio") {
+		t.Fatal("figure 7 render incomplete")
+	}
+}
+
+func TestFigure9RendersAndOrdersSkews(t *testing.T) {
+	d := smallDeployment(t)
+	res := Figure9(d)
+	if len(res.CDF) != 4 {
+		t.Fatalf("cdf count %d", len(res.CDF))
+	}
+	// Higher skew concentrates mass: at x=5 the CDF must increase with skew.
+	for i := 1; i < len(res.Skews); i++ {
+		if res.CDF[i][4] <= res.CDF[i-1][4] {
+			t.Fatalf("skew %v top-5 share not above skew %v", res.Skews[i], res.Skews[i-1])
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "z=1.4") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFigure10MixesBlockCounts(t *testing.T) {
+	d := smallDeployment(t)
+	res, err := Figure10(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots) != 4 {
+		t.Fatalf("got %d snapshots", len(res.Snapshots))
+	}
+	for _, s := range res.Snapshots {
+		if s.TotalSlots == 0 {
+			t.Fatalf("%v %vMB: empty cache", s.Region, s.CacheMB)
+		}
+		// Agar diversifies contents: more than one group size (the paper's
+		// central observation about Figure 10).
+		if len(s.SlotsByGroup) < 2 {
+			t.Errorf("%v %vMB: cache holds a single group %v", s.Region, s.CacheMB, s.SlotsByGroup)
+		}
+		// Occupancy never exceeds capacity.
+		if s.TotalSlots > d.SlotsForMB(s.CacheMB) {
+			t.Errorf("%v %vMB: %d slots > capacity %d", s.Region, s.CacheMB, s.TotalSlots, d.SlotsForMB(s.CacheMB))
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Figure 10") {
+		t.Fatal("render incomplete")
+	}
+}

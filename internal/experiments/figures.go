@@ -1,0 +1,505 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/agardist/agar/internal/client"
+	"github.com/agardist/agar/internal/core"
+	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/netsim"
+	"github.com/agardist/agar/internal/workload"
+	"github.com/agardist/agar/internal/ycsb"
+)
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// --- Table I ---
+
+// TableIResult reproduces the paper's Table I: per-region chunk read
+// latency from the point of view of Frankfurt, as measured by the region
+// manager's warm-up probes.
+type TableIResult struct {
+	// Probed holds the region manager's estimates against the paper's
+	// Table I matrix.
+	Probed map[geo.RegionID]time.Duration
+	// Paper holds Table I verbatim for comparison.
+	Paper map[geo.RegionID]time.Duration
+}
+
+// TableI probes the Table I latency matrix exactly as an Agar region
+// manager does during warm-up and reports the estimates next to the paper's
+// values.
+func TableI() TableIResult {
+	matrix := geo.TableIMatrix()
+	rm := core.NewRegionManager(geo.Frankfurt, geo.DefaultRegions(),
+		geo.NewRoundRobin(geo.DefaultRegions(), false), 12)
+	rm.WarmUp(func(r geo.RegionID) time.Duration {
+		return matrix.Get(geo.Frankfurt, r)
+	}, 3)
+	return TableIResult{Probed: rm.Estimates(), Paper: geo.TableI()}
+}
+
+// Render prints the table in the paper's layout.
+func (t TableIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table I: read latency from the point of view of Frankfurt\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s\n", "region", "probed(ms)", "paper(ms)")
+	for _, r := range geo.DefaultRegions() {
+		fmt.Fprintf(&b, "%-12s %12.0f %12.0f\n", r, ms(t.Probed[r]), ms(t.Paper[r]))
+	}
+	return b.String()
+}
+
+// --- Figure 2 ---
+
+// Figure2Point is one bar of Figure 2.
+type Figure2Point struct {
+	Region geo.RegionID
+	C      int
+	Mean   time.Duration
+}
+
+// Figure2Result holds the motivating experiment's series.
+type Figure2Result struct {
+	Points []Figure2Point
+}
+
+// Figure2 reruns the §II-C motivating experiment: average read latency in
+// Frankfurt and Sydney while caching c chunks per object in an effectively
+// infinite cache, c in {0, 1, 3, 5, 7, 9}.
+func Figure2(d *Deployment) (Figure2Result, error) {
+	var out Figure2Result
+	// Infinite cache: every object can hold all its chunks.
+	infiniteMB := float64(d.Params.NumObjects * d.Params.PaperObjectBytes * 2 / (1 << 20))
+	for _, region := range []geo.RegionID{geo.Frankfurt, geo.Sydney} {
+		for _, c := range []int{0, 1, 3, 5, 7, 9} {
+			strat := Strategy{Kind: StratLRU, C: c}
+			if c == 0 {
+				strat = Strategy{Kind: StratBackend}
+			}
+			res, err := d.runAveraged(runSpec{
+				strategy: strat,
+				region:   region,
+				cacheMB:  infiniteMB,
+				gen:      d.zipfGen(d.Params.ZipfSkew),
+			})
+			if err != nil {
+				return Figure2Result{}, err
+			}
+			out.Points = append(out.Points, Figure2Point{Region: region, C: c, Mean: res.Mean})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the two series.
+func (f Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: average read latency vs chunks cached (infinite cache, Zipf 1.1)\n")
+	fmt.Fprintf(&b, "%-12s %6s %12s\n", "region", "chunks", "latency(ms)")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%-12s %6d %12.0f\n", p.Region, p.C, ms(p.Mean))
+	}
+	return b.String()
+}
+
+// --- Figures 6 and 7 (one campaign, two renderings) ---
+
+// PolicyRow is one strategy's outcome in the policy-comparison experiment.
+type PolicyRow struct {
+	Strategy string
+	Mean     time.Duration
+	HitRatio float64
+	P95      time.Duration
+	Reconfig int
+}
+
+// PolicyComparisonResult holds the full Figure 6 + Figure 7 campaign for
+// one client region.
+type PolicyComparisonResult struct {
+	Region geo.RegionID
+	Rows   []PolicyRow
+}
+
+// PolicyStrategies returns the paper's Figure 6 bar list: Agar, LRU-c and
+// LFU-c for c in {1,3,5,7,9}, and Backend.
+func PolicyStrategies() []Strategy {
+	out := []Strategy{{Kind: StratAgar}}
+	for _, c := range []int{1, 3, 5, 7, 9} {
+		out = append(out, Strategy{Kind: StratLRU, C: c})
+	}
+	for _, c := range []int{1, 3, 5, 7, 9} {
+		out = append(out, Strategy{Kind: StratLFU, C: c})
+	}
+	return append(out, Strategy{Kind: StratBackend})
+}
+
+// PolicyComparison runs the Figure 6 / Figure 7 campaign for one region:
+// every strategy against the 10 MB cache, Zipf 1.1, averaged over runs.
+func PolicyComparison(d *Deployment, region geo.RegionID) (PolicyComparisonResult, error) {
+	out := PolicyComparisonResult{Region: region}
+	for _, strat := range PolicyStrategies() {
+		res, err := d.runAveraged(runSpec{
+			strategy: strat,
+			region:   region,
+			cacheMB:  10,
+			gen:      d.zipfGen(d.Params.ZipfSkew),
+		})
+		if err != nil {
+			return PolicyComparisonResult{}, err
+		}
+		out.Rows = append(out.Rows, PolicyRow{
+			Strategy: strat.Name(),
+			Mean:     res.Mean,
+			HitRatio: res.HitRatio(),
+			P95:      res.P95,
+			Reconfig: res.Reconfigs,
+		})
+	}
+	return out, nil
+}
+
+// Best returns the named strategy's row.
+func (r PolicyComparisonResult) Row(name string) (PolicyRow, bool) {
+	for _, row := range r.Rows {
+		if row.Strategy == name {
+			return row, true
+		}
+	}
+	return PolicyRow{}, false
+}
+
+// BestStatic returns the lowest-latency non-Agar caching strategy.
+func (r PolicyComparisonResult) BestStatic() PolicyRow {
+	best := PolicyRow{Mean: time.Duration(1) << 62}
+	for _, row := range r.Rows {
+		if row.Strategy == "Agar" || row.Strategy == "Backend" {
+			continue
+		}
+		if row.Mean < best.Mean {
+			best = row
+		}
+	}
+	return best
+}
+
+// WorstStatic returns the highest-latency non-Agar caching strategy.
+func (r PolicyComparisonResult) WorstStatic() PolicyRow {
+	var worst PolicyRow
+	for _, row := range r.Rows {
+		if row.Strategy == "Agar" || row.Strategy == "Backend" {
+			continue
+		}
+		if row.Mean > worst.Mean {
+			worst = row
+		}
+	}
+	return worst
+}
+
+// RenderFigure6 prints average latencies (the paper's Figure 6).
+func (r PolicyComparisonResult) RenderFigure6() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 (%s): average read latency, 10 MB cache, Zipf 1.1\n", r.Region)
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "strategy", "latency(ms)", "p95(ms)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %12.0f %12.0f\n", row.Strategy, ms(row.Mean), ms(row.P95))
+	}
+	if agar, ok := r.Row("Agar"); ok {
+		best := r.BestStatic()
+		worst := r.WorstStatic()
+		fmt.Fprintf(&b, "Agar vs best static (%s): %+.1f%%; vs worst static (%s): %+.1f%%\n",
+			best.Strategy, 100*(ms(agar.Mean)-ms(best.Mean))/ms(best.Mean),
+			worst.Strategy, 100*(ms(agar.Mean)-ms(worst.Mean))/ms(worst.Mean))
+	}
+	return b.String()
+}
+
+// RenderFigure7 prints hit ratios (the paper's Figure 7).
+func (r PolicyComparisonResult) RenderFigure7() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 (%s): hit ratio (full + partial hits), 10 MB cache, Zipf 1.1\n", r.Region)
+	fmt.Fprintf(&b, "%-10s %10s\n", "strategy", "hit-ratio")
+	for _, row := range r.Rows {
+		if row.Strategy == "Backend" {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %9.1f%%\n", row.Strategy, 100*row.HitRatio)
+	}
+	return b.String()
+}
+
+// --- Figure 8a: vary cache size ---
+
+// Figure8aCell is one bar of Figure 8a.
+type Figure8aCell struct {
+	CacheMB  float64
+	Strategy string
+	Mean     time.Duration
+}
+
+// Figure8aResult holds the cache-size sweep.
+type Figure8aResult struct {
+	Cells []Figure8aCell
+}
+
+// Figure8aStrategies returns the sweep's strategy set.
+func Figure8aStrategies() []Strategy {
+	return []Strategy{
+		{Kind: StratAgar},
+		{Kind: StratLRU, C: 5},
+		{Kind: StratLRU, C: 9},
+		{Kind: StratLFU, C: 5},
+		{Kind: StratLFU, C: 9},
+	}
+}
+
+// Figure8a sweeps the cache size over {0, 5, 10, 20, 50, 100} MB in
+// Frankfurt (0 MB = Backend), Zipf 1.1.
+func Figure8a(d *Deployment) (Figure8aResult, error) {
+	var out Figure8aResult
+	// 0 MB: backend only.
+	res, err := d.runAveraged(runSpec{
+		strategy: Strategy{Kind: StratBackend},
+		region:   geo.Frankfurt,
+		gen:      d.zipfGen(d.Params.ZipfSkew),
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Cells = append(out.Cells, Figure8aCell{CacheMB: 0, Strategy: "Backend", Mean: res.Mean})
+	for _, mb := range []float64{5, 10, 20, 50, 100} {
+		for _, strat := range Figure8aStrategies() {
+			res, err := d.runAveraged(runSpec{
+				strategy: strat,
+				region:   geo.Frankfurt,
+				cacheMB:  mb,
+				gen:      d.zipfGen(d.Params.ZipfSkew),
+			})
+			if err != nil {
+				return out, err
+			}
+			out.Cells = append(out.Cells, Figure8aCell{CacheMB: mb, Strategy: strat.Name(), Mean: res.Mean})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the sweep grouped by cache size.
+func (f Figure8aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8a (frankfurt): average read latency while varying cache size, Zipf 1.1\n")
+	fmt.Fprintf(&b, "%-8s %-10s %12s\n", "cache", "strategy", "latency(ms)")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-8s %-10s %12.0f\n", fmt.Sprintf("%.0fMB", c.CacheMB), c.Strategy, ms(c.Mean))
+	}
+	return b.String()
+}
+
+// --- Figure 8b: vary workload ---
+
+// Figure8bCell is one bar of Figure 8b.
+type Figure8bCell struct {
+	Workload string
+	Strategy string
+	Mean     time.Duration
+}
+
+// Figure8bResult holds the workload sweep.
+type Figure8bResult struct {
+	Cells []Figure8bCell
+}
+
+// Figure8b sweeps the workload over uniform and Zipf skews
+// {0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.4} with a 10 MB cache in Frankfurt.
+func Figure8b(d *Deployment) (Figure8bResult, error) {
+	var out Figure8bResult
+	res, err := d.runAveraged(runSpec{
+		strategy: Strategy{Kind: StratBackend},
+		region:   geo.Frankfurt,
+		gen:      d.zipfGen(d.Params.ZipfSkew),
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Cells = append(out.Cells, Figure8bCell{Workload: "-", Strategy: "Backend", Mean: res.Mean})
+
+	type wl struct {
+		name string
+		gen  func(int64) workload.Generator
+	}
+	wls := []wl{{name: "Uniform", gen: d.uniformGen()}}
+	for _, skew := range []float64{0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.4} {
+		wls = append(wls, wl{name: fmt.Sprintf("Zipf %.1f", skew), gen: d.zipfGen(skew)})
+	}
+	for _, w := range wls {
+		for _, strat := range Figure8aStrategies() {
+			res, err := d.runAveraged(runSpec{
+				strategy: strat,
+				region:   geo.Frankfurt,
+				cacheMB:  10,
+				gen:      w.gen,
+			})
+			if err != nil {
+				return out, err
+			}
+			out.Cells = append(out.Cells, Figure8bCell{Workload: w.name, Strategy: strat.Name(), Mean: res.Mean})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the sweep grouped by workload.
+func (f Figure8bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8b (frankfurt): average read latency while varying workload, 10 MB cache\n")
+	fmt.Fprintf(&b, "%-10s %-10s %12s\n", "workload", "strategy", "latency(ms)")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-10s %-10s %12.0f\n", c.Workload, c.Strategy, ms(c.Mean))
+	}
+	return b.String()
+}
+
+// --- Figure 9 ---
+
+// Figure9Result holds the popularity CDFs.
+type Figure9Result struct {
+	Top   int
+	Skews []float64
+	// CDF[i][x] is the cumulative request share of the x+1 most popular
+	// objects under Skews[i].
+	CDF [][]float64
+}
+
+// Figure9 computes the cumulative popularity distribution for Zipf skews
+// {0.5, 0.8, 1.1, 1.4} over the working set, for the 50 most popular
+// objects, exactly as the paper plots.
+func Figure9(d *Deployment) Figure9Result {
+	skews := []float64{0.5, 0.8, 1.1, 1.4}
+	out := Figure9Result{Top: 50, Skews: skews}
+	for _, s := range skews {
+		out.CDF = append(out.CDF, workload.PopularityCDF(d.Params.NumObjects, s, out.Top))
+	}
+	return out
+}
+
+// Render prints the CDFs at the paper's tick marks.
+func (f Figure9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: cumulative popularity CDF (top objects, by skew)\n")
+	fmt.Fprintf(&b, "%-8s", "objects")
+	for _, s := range f.Skews {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("z=%.1f", s))
+	}
+	b.WriteString("\n")
+	for _, x := range []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50} {
+		fmt.Fprintf(&b, "%-8d", x)
+		for i := range f.Skews {
+			fmt.Fprintf(&b, " %7.1f%%", 100*f.CDF[i][x-1])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// --- Figure 10 ---
+
+// Figure10Snapshot describes one Agar cache's contents at the end of a run.
+type Figure10Snapshot struct {
+	Region  geo.RegionID
+	CacheMB float64
+	// SlotsByGroup maps "chunks cached per object" to the number of cache
+	// slots those objects occupy.
+	SlotsByGroup map[int]int
+	// TotalSlots is the occupied slot count.
+	TotalSlots int
+}
+
+// Figure10Result holds the four snapshots of Figure 10.
+type Figure10Result struct {
+	Snapshots []Figure10Snapshot
+}
+
+// Figure10 runs Agar in Frankfurt and Sydney with 10 MB and 5 MB caches and
+// snapshots what the cache holds: how much space objects with 9, 7, 5, ...
+// cached chunks occupy.
+func Figure10(d *Deployment) (Figure10Result, error) {
+	var out Figure10Result
+	for _, setup := range []struct {
+		region  geo.RegionID
+		cacheMB float64
+	}{
+		{geo.Frankfurt, 10},
+		{geo.Frankfurt, 5},
+		{geo.Sydney, 10},
+		{geo.Sydney, 5},
+	} {
+		env := d.env(d.Params.Seed + 31)
+		node := core.NewNode(core.NodeParams{
+			Region:         setup.region,
+			Regions:        d.Cluster.Regions(),
+			Placement:      d.Cluster.Placement(),
+			K:              d.Params.K,
+			M:              d.Params.M,
+			CacheBytes:     int64(d.SlotsForMB(setup.cacheMB)) * d.ChunkBytes(),
+			ChunkBytes:     d.ChunkBytes(),
+			ReconfigPeriod: d.Params.ReconfigPeriod,
+			CacheLatency:   d.Params.CacheLatency,
+			Solver:         d.Params.Solver,
+			EarlyStop:      d.Params.EarlyStop,
+		})
+		sampler := netsim.NewSampler(d.Matrix, d.Params.Jitter, d.Params.Seed+99)
+		node.RegionManager().WarmUp(func(r geo.RegionID) time.Duration {
+			return sampler.Chunk(setup.region, r)
+		}, 3)
+		reader := client.NewAgarReader(env, setup.region, node)
+		_, err := ycsb.Run(ycsb.RunConfig{
+			Reader:     reader,
+			Generator:  d.zipfGen(d.Params.ZipfSkew)(d.Params.Seed + 13),
+			Operations: d.Params.Operations,
+			WarmupOps:  d.Params.WarmupOps,
+			Node:       node,
+			Clients:    d.Params.Clients,
+		})
+		if err != nil {
+			return out, err
+		}
+		snap := Figure10Snapshot{
+			Region:       setup.region,
+			CacheMB:      setup.cacheMB,
+			SlotsByGroup: make(map[int]int),
+		}
+		for _, idxs := range node.Cache().Snapshot() {
+			snap.SlotsByGroup[len(idxs)] += len(idxs)
+			snap.TotalSlots += len(idxs)
+		}
+		out.Snapshots = append(out.Snapshots, snap)
+	}
+	return out, nil
+}
+
+// Render prints each snapshot's block-count distribution.
+func (f Figure10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: Agar cache contents (share of occupied slots by chunks-per-object)\n")
+	for _, s := range f.Snapshots {
+		fmt.Fprintf(&b, "%s %.0fMB:", s.Region, s.CacheMB)
+		groups := make([]int, 0, len(s.SlotsByGroup))
+		for g := range s.SlotsByGroup {
+			groups = append(groups, g)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(groups)))
+		for _, g := range groups {
+			share := 0.0
+			if s.TotalSlots > 0 {
+				share = 100 * float64(s.SlotsByGroup[g]) / float64(s.TotalSlots)
+			}
+			fmt.Fprintf(&b, " %d-blocks=%.0f%%", g, share)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8).
+//
+// The field is constructed from the irreducible polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same generator polynomial used by
+// most Reed-Solomon deployments. Addition and subtraction are XOR;
+// multiplication and division are performed through exp/log tables built
+// once at package initialisation.
+//
+// The package also provides slice kernels (MulSlice, MulAddSlice) used by the
+// erasure codec's encode and reconstruct inner loops.
+package gf256
+
+import "fmt"
+
+// Polynomial is the irreducible polynomial that defines the field,
+// x^8 + x^4 + x^3 + x^2 + 1.
+const Polynomial = 0x11D
+
+// Generator is the primitive element used to build the exp/log tables.
+const Generator = 2
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var (
+	expTable [512]byte // expTable[i] = Generator^i; doubled to avoid mod 255 in Mul
+	logTable [256]byte // logTable[x] = i such that Generator^i == x; logTable[0] unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x >= Order {
+			x ^= Polynomial
+		}
+	}
+	// Double the exp table so Mul can skip the (logA+logB) % 255 reduction.
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8). Subtraction equals addition (XOR).
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). Div panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	diff := int(logTable[a]) - int(logTable[b])
+	if diff < 0 {
+		diff += 255
+	}
+	return expTable[diff]
+}
+
+// Inv returns the multiplicative inverse of a. Inv panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: zero has no inverse")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns Generator^n for n >= 0.
+func Exp(n int) byte {
+	if n < 0 {
+		panic(fmt.Sprintf("gf256: negative exponent %d", n))
+	}
+	return expTable[n%255]
+}
+
+// Log returns the discrete logarithm of a to base Generator.
+// Log panics if a is zero, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: zero has no logarithm")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a raised to the power n (n >= 0).
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*n)%255]
+}
+
+// MulSlice sets dst[i] = c * src[i] for every i. It panics if the slices
+// have different lengths.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = expTable[logC+int(logTable[s])]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for every i; that is, it accumulates
+// the scaled source into dst. It panics if the slices have different lengths.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// MulTable returns the full 256-entry multiplication row for coefficient c,
+// i.e. row[x] == Mul(c, x). Useful for table-driven inner loops.
+func MulTable(c byte) *[256]byte {
+	var row [256]byte
+	if c == 0 {
+		return &row
+	}
+	logC := int(logTable[c])
+	for x := 1; x < 256; x++ {
+		row[x] = expTable[logC+int(logTable[byte(x)])]
+	}
+	return &row
+}

@@ -1,0 +1,324 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/agardist/agar/internal/backend"
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/core"
+	"github.com/agardist/agar/internal/erasure"
+	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/netsim"
+)
+
+// ClusterConfig sizes a localhost deployment of the full system.
+type ClusterConfig struct {
+	// Regions to deploy (default: the paper's six).
+	Regions []geo.RegionID
+	// K, M are the erasure-code parameters.
+	K, M int
+	// ClientRegion hosts the Agar node whose cache and hints are served.
+	ClientRegion geo.RegionID
+	// CacheBytes bounds the Agar node's cache; ChunkBytes is the slot unit.
+	CacheBytes, ChunkBytes int64
+	// ReconfigPeriod is the node's wall-clock reconfiguration period.
+	ReconfigPeriod time.Duration
+	// Matrix is the emulated wide-area latency model (default matrix when
+	// nil); DelayScale compresses its delays for fast local runs (e.g.
+	// 0.01 turns 980 ms into 9.8 ms). Zero scale disables delay injection.
+	Matrix     *geo.LatencyMatrix
+	DelayScale float64
+	// UseUDPHints selects the UDP hint channel instead of TCP.
+	UseUDPHints bool
+}
+
+// Cluster is a running localhost deployment: one store server per region,
+// the client region's cache server and hint service, and the Agar node
+// driving reconfiguration on the wall clock.
+type Cluster struct {
+	cfg     ClusterConfig
+	codec   *erasure.Codec
+	cluster *backend.Cluster
+	node    *core.Node
+
+	storeSrvs map[geo.RegionID]*Server
+	cacheSrv  *Server
+	hintSrv   *Server
+	udpSrv    *UDPHintServer
+
+	closeOnce sync.Once
+}
+
+// StartCluster boots every role on ephemeral localhost ports.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Regions) == 0 {
+		cfg.Regions = geo.DefaultRegions()
+	}
+	if cfg.K == 0 {
+		cfg.K, cfg.M = 9, 3
+	}
+	if cfg.Matrix == nil {
+		cfg.Matrix = geo.DefaultMatrix()
+	}
+	if cfg.ReconfigPeriod == 0 {
+		cfg.ReconfigPeriod = 30 * time.Second
+	}
+	codec, err := erasure.New(cfg.K, cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	placement := geo.NewRoundRobin(cfg.Regions, false)
+	cluster := backend.NewCluster(cfg.Regions, codec, placement)
+
+	c := &Cluster{
+		cfg:       cfg,
+		codec:     codec,
+		cluster:   cluster,
+		storeSrvs: make(map[geo.RegionID]*Server),
+	}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
+
+	for _, r := range cfg.Regions {
+		srv, err := NewStoreServer("127.0.0.1:0", cluster.Store(r))
+		if err != nil {
+			return fail(err)
+		}
+		c.storeSrvs[r] = srv
+	}
+
+	c.node = core.NewNode(core.NodeParams{
+		Region:         cfg.ClientRegion,
+		Regions:        cfg.Regions,
+		Placement:      placement,
+		K:              cfg.K,
+		M:              cfg.M,
+		CacheBytes:     cfg.CacheBytes,
+		ChunkBytes:     cfg.ChunkBytes,
+		ReconfigPeriod: cfg.ReconfigPeriod,
+		CacheLatency:   20 * time.Millisecond,
+	})
+	c.node.RegionManager().WarmUp(func(r geo.RegionID) time.Duration {
+		return cfg.Matrix.Get(cfg.ClientRegion, r)
+	}, 1)
+
+	if c.cacheSrv, err = NewCacheServer("127.0.0.1:0", c.node.Cache()); err != nil {
+		return fail(err)
+	}
+	if c.hintSrv, err = NewHintServer("127.0.0.1:0", c.node); err != nil {
+		return fail(err)
+	}
+	if cfg.UseUDPHints {
+		if c.udpSrv, err = NewUDPHintServer("127.0.0.1:0", c.node); err != nil {
+			return fail(err)
+		}
+	}
+	c.node.Start()
+	return c, nil
+}
+
+// Node exposes the Agar node (for forcing reconfigurations in tests).
+func (c *Cluster) Node() *core.Node { return c.node }
+
+// Backend exposes the in-process cluster for loading data.
+func (c *Cluster) Backend() *backend.Cluster { return c.cluster }
+
+// StoreAddr returns a region's store server address.
+func (c *Cluster) StoreAddr(r geo.RegionID) string { return c.storeSrvs[r].Addr() }
+
+// CacheAddr returns the client region's cache server address.
+func (c *Cluster) CacheAddr() string { return c.cacheSrv.Addr() }
+
+// HintAddr returns the TCP hint server address.
+func (c *Cluster) HintAddr() string { return c.hintSrv.Addr() }
+
+// UDPHintAddr returns the UDP hint address ("" if disabled).
+func (c *Cluster) UDPHintAddr() string {
+	if c.udpSrv == nil {
+		return ""
+	}
+	return c.udpSrv.Addr()
+}
+
+// Close shuts every server down and stops the node.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		if c.node != nil {
+			c.node.Stop()
+		}
+		for _, s := range c.storeSrvs {
+			s.Close()
+		}
+		if c.cacheSrv != nil {
+			c.cacheSrv.Close()
+		}
+		if c.hintSrv != nil {
+			c.hintSrv.Close()
+		}
+		if c.udpSrv != nil {
+			c.udpSrv.Close()
+		}
+	})
+}
+
+// Hinter abstracts the TCP and UDP hint clients.
+type Hinter interface {
+	Hint(key string) ([]int, error)
+}
+
+// NetworkReader reads objects through the live deployment: it requests a
+// hint, fetches cached chunks from the cache server and the remaining
+// nearest chunks from the store servers — all chunk fetches run in
+// parallel goroutines, like the paper's thread-pooled YCSB client — then
+// decodes. Wide-area delays are injected client-side, scaled by
+// cfg.DelayScale.
+type NetworkReader struct {
+	cluster *Cluster
+	region  geo.RegionID
+	hinter  Hinter
+	cacheC  *RemoteCache
+	stores  map[geo.RegionID]*RemoteStore
+	sampler *netsim.Sampler
+}
+
+// NewNetworkReader connects a reader to every server of the cluster.
+func NewNetworkReader(c *Cluster, region geo.RegionID) (*NetworkReader, error) {
+	var hinter Hinter
+	if c.cfg.UseUDPHints {
+		h, err := NewUDPHinter(c.UDPHintAddr())
+		if err != nil {
+			return nil, err
+		}
+		hinter = h
+	} else {
+		hinter = NewRemoteHinter(c.HintAddr())
+	}
+	stores := make(map[geo.RegionID]*RemoteStore, len(c.storeSrvs))
+	for r, srv := range c.storeSrvs {
+		stores[r] = NewRemoteStore(srv.Addr())
+	}
+	return &NetworkReader{
+		cluster: c,
+		region:  region,
+		hinter:  hinter,
+		cacheC:  NewRemoteCache(c.CacheAddr()),
+		stores:  stores,
+		sampler: netsim.NewSampler(c.cfg.Matrix, 0, 1),
+	}, nil
+}
+
+// Close drops every connection.
+func (r *NetworkReader) Close() {
+	if h, ok := r.hinter.(interface{ Close() }); ok {
+		h.Close()
+	}
+	r.cacheC.Close()
+	for _, s := range r.stores {
+		s.Close()
+	}
+}
+
+// delay sleeps for the scaled wide-area latency of one chunk read.
+func (r *NetworkReader) delay(to geo.RegionID) {
+	if r.cluster.cfg.DelayScale <= 0 {
+		return
+	}
+	lat := r.sampler.Chunk(r.region, to)
+	time.Sleep(time.Duration(float64(lat) * r.cluster.cfg.DelayScale))
+}
+
+// Read fetches and decodes one object over the network and returns its
+// bytes, the wall-clock latency, and the number of chunks served from the
+// cache.
+func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
+	start := time.Now()
+	k := r.cluster.codec.K()
+	total := r.cluster.codec.Total()
+
+	hintChunks, err := r.hinter.Hint(key)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("live: hint %q: %w", key, err)
+	}
+
+	plan := geo.PlanFetch(r.cluster.cfg.Matrix, r.cluster.cluster.Placement(), key, total, r.region)
+	locs := r.cluster.cluster.Placement().Locate(key, total)
+	hinted := make(map[int]bool, len(hintChunks))
+	for _, idx := range hintChunks {
+		hinted[idx] = true
+	}
+
+	// Choose the k chunks to fetch: hinted first, then nearest others.
+	want := append([]int(nil), hintChunks...)
+	for _, idx := range plan.Chunks {
+		if len(want) == k {
+			break
+		}
+		if !hinted[idx] {
+			want = append(want, idx)
+		}
+	}
+	if len(want) > k {
+		want = want[:k]
+	}
+
+	type outcome struct {
+		idx       int
+		data      []byte
+		fromCache bool
+		err       error
+	}
+	results := make(chan outcome, len(want))
+	var wg sync.WaitGroup
+	for _, idx := range want {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			if hinted[idx] {
+				if data, err := r.cacheC.Get(cache.EntryID{Key: key, Index: idx}); err == nil {
+					results <- outcome{idx: idx, data: data, fromCache: true}
+					return
+				}
+				// Hinted but missing: fall through to the backend.
+			}
+			r.delay(locs[idx])
+			data, err := r.stores[locs[idx]].Get(backend.ChunkID{Key: key, Index: idx})
+			results <- outcome{idx: idx, data: data, err: err}
+		}(idx)
+	}
+	wg.Wait()
+	close(results)
+
+	chunks := make([][]byte, total)
+	got, fromCache := 0, 0
+	var toCache []outcome
+	for o := range results {
+		if o.err != nil {
+			continue
+		}
+		chunks[o.idx] = o.data
+		got++
+		if o.fromCache {
+			fromCache++
+		} else if hinted[o.idx] {
+			toCache = append(toCache, o)
+		}
+	}
+	if got < k {
+		return nil, time.Since(start), fromCache, fmt.Errorf("live: only %d of %d chunks for %q", got, k, key)
+	}
+	data, err := r.cluster.codec.Decode(chunks)
+	if err != nil {
+		return nil, time.Since(start), fromCache, err
+	}
+	elapsed := time.Since(start)
+
+	// Populate hinted-but-missing chunks off the measured path.
+	for _, o := range toCache {
+		_ = r.cacheC.Put(cache.EntryID{Key: key, Index: o.idx}, o.data)
+	}
+	return data, elapsed, fromCache, nil
+}

@@ -1,0 +1,219 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/agardist/agar/internal/backend"
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/wire"
+)
+
+// conn is a mutex-guarded framed connection with lazy dialing, so one
+// remote endpoint serialises its request/response exchanges.
+type conn struct {
+	addr string
+
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (rc *conn) call(req wire.Message) (wire.Message, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.c == nil {
+		c, err := net.DialTimeout("tcp", rc.addr, 5*time.Second)
+		if err != nil {
+			return wire.Message{}, fmt.Errorf("live: dial %s: %w", rc.addr, err)
+		}
+		rc.c = c
+	}
+	resp, err := wire.Call(rc.c, req)
+	if err != nil && resp.Header.Op != wire.OpError {
+		// Transport failure: drop the connection so the next call redials.
+		rc.c.Close()
+		rc.c = nil
+	}
+	return resp, err
+}
+
+func (rc *conn) close() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+	}
+}
+
+// RemoteStore is the client adapter for a region's store server.
+type RemoteStore struct{ rc conn }
+
+// NewRemoteStore returns an adapter for the store server at addr.
+func NewRemoteStore(addr string) *RemoteStore {
+	return &RemoteStore{rc: conn{addr: addr}}
+}
+
+// Close drops the connection.
+func (s *RemoteStore) Close() { s.rc.close() }
+
+// Get fetches one chunk.
+func (s *RemoteStore) Get(id backend.ChunkID) ([]byte, error) {
+	resp, err := s.rc.call(wire.Message{Header: wire.Header{Op: wire.OpGet, Key: id.Key, Index: id.Index}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Op == wire.OpNotFound {
+		return nil, backend.ErrNotFound
+	}
+	return resp.Body, nil
+}
+
+// Put stores one chunk.
+func (s *RemoteStore) Put(id backend.ChunkID, data []byte) error {
+	_, err := s.rc.call(wire.Message{
+		Header: wire.Header{Op: wire.OpPut, Key: id.Key, Index: id.Index},
+		Body:   data,
+	})
+	return err
+}
+
+// Stats fetches the server's counters.
+func (s *RemoteStore) Stats() (map[string]int64, error) {
+	resp, err := s.rc.call(wire.Message{Header: wire.Header{Op: wire.OpStats}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Header.Stats, nil
+}
+
+// RemoteCache is the client adapter for a chunk cache server.
+type RemoteCache struct{ rc conn }
+
+// NewRemoteCache returns an adapter for the cache server at addr.
+func NewRemoteCache(addr string) *RemoteCache {
+	return &RemoteCache{rc: conn{addr: addr}}
+}
+
+// Close drops the connection.
+func (c *RemoteCache) Close() { c.rc.close() }
+
+// Get fetches one cached chunk.
+func (c *RemoteCache) Get(id cache.EntryID) ([]byte, error) {
+	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpGet, Key: id.Key, Index: id.Index}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Op == wire.OpNotFound {
+		return nil, cache.ErrNotFound
+	}
+	return resp.Body, nil
+}
+
+// Put inserts one chunk.
+func (c *RemoteCache) Put(id cache.EntryID, data []byte) error {
+	_, err := c.rc.call(wire.Message{
+		Header: wire.Header{Op: wire.OpPut, Key: id.Key, Index: id.Index},
+		Body:   data,
+	})
+	return err
+}
+
+// IndicesOf lists the resident chunk indices for a key.
+func (c *RemoteCache) IndicesOf(key string) ([]int, error) {
+	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpIndices, Key: key}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Header.Indices, nil
+}
+
+// DeleteObject removes every chunk of a key (write invalidation).
+func (c *RemoteCache) DeleteObject(key string) error {
+	_, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpDelObj, Key: key}})
+	return err
+}
+
+// Snapshot fetches the cache's full contents summary.
+func (c *RemoteCache) Snapshot() (map[string][]int, error) {
+	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpSnapshot}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Header.Groups, nil
+}
+
+// Stats fetches cache counters.
+func (c *RemoteCache) Stats() (map[string]int64, error) {
+	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpStats}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Header.Stats, nil
+}
+
+// RemoteHinter asks an Agar node for caching hints over TCP.
+type RemoteHinter struct{ rc conn }
+
+// NewRemoteHinter returns an adapter for the hint server at addr.
+func NewRemoteHinter(addr string) *RemoteHinter {
+	return &RemoteHinter{rc: conn{addr: addr}}
+}
+
+// Close drops the connection.
+func (h *RemoteHinter) Close() { h.rc.close() }
+
+// Hint requests the caching hint for a key.
+func (h *RemoteHinter) Hint(key string) ([]int, error) {
+	resp, err := h.rc.call(wire.Message{Header: wire.Header{Op: wire.OpHint, Key: key}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Header.Indices, nil
+}
+
+// UDPHinter asks for hints over UDP, like the paper's prototype.
+type UDPHinter struct {
+	addr *net.UDPAddr
+
+	mu   sync.Mutex
+	conn net.PacketConn
+	buf  []byte
+}
+
+// NewUDPHinter returns a UDP hint client for the server at addr.
+func NewUDPHinter(addr string) (*UDPHinter, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &UDPHinter{addr: ua, conn: conn, buf: make([]byte, 64<<10)}, nil
+}
+
+// Close releases the socket.
+func (h *UDPHinter) Close() { h.conn.Close() }
+
+// Hint requests the caching hint for a key, with a 2-second timeout.
+func (h *UDPHinter) Hint(key string) ([]int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	err := wire.WriteDatagram(h.conn, h.addr, wire.Message{Header: wire.Header{Op: wire.OpHint, Key: key}})
+	if err != nil {
+		return nil, err
+	}
+	h.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, _, err := wire.ReadDatagram(h.conn, h.buf)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Op == wire.OpError {
+		return nil, fmt.Errorf("live: hint error: %s", resp.Header.Error)
+	}
+	return resp.Header.Indices, nil
+}

@@ -1,0 +1,241 @@
+// Package live runs Agar's roles over real sockets: per-region backend
+// store servers, memcached-style chunk cache servers, and the Agar node's
+// hint service (TCP and UDP). It also provides the matching remote client
+// adapters and a network read path with genuinely parallel chunk fetches.
+//
+// The experiment harness measures on the in-process simulator; this package
+// exists so the system can actually be deployed — integration tests and the
+// live-cluster example run every role on localhost with scaled wide-area
+// delays injected client-side.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/agardist/agar/internal/backend"
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/core"
+	"github.com/agardist/agar/internal/wire"
+)
+
+// handler processes one request message into one response message.
+type handler func(wire.Message) wire.Message
+
+// Server is a generic framed-TCP request/response server.
+type Server struct {
+	ln     net.Listener
+	handle handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newServer starts serving on addr ("127.0.0.1:0" for an ephemeral port).
+func newServer(addr string, h handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handle: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes active connections, and waits for all
+// connection goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := wire.Read(conn)
+		if err != nil {
+			return
+		}
+		if err := wire.Write(conn, s.handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+// NewStoreServer serves one region's backend store.
+func NewStoreServer(addr string, store *backend.Store) (*Server, error) {
+	return newServer(addr, func(req wire.Message) wire.Message {
+		id := backend.ChunkID{Key: req.Header.Key, Index: req.Header.Index}
+		switch req.Header.Op {
+		case wire.OpGet:
+			data, err := store.Get(id)
+			if errors.Is(err, backend.ErrNotFound) {
+				return wire.Message{Header: wire.Header{Op: wire.OpNotFound}}
+			}
+			if err != nil {
+				return wire.ErrorMessage(err)
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK}, Body: data}
+		case wire.OpPut:
+			if err := store.Put(id, req.Body); err != nil {
+				return wire.ErrorMessage(err)
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+		case wire.OpDelete:
+			store.Delete(id)
+			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+		case wire.OpStats:
+			return wire.Message{Header: wire.Header{
+				Op:    wire.OpOK,
+				Stats: map[string]int64{"chunks": int64(store.Len()), "bytes": store.Bytes()},
+			}}
+		default:
+			return wire.ErrorMessage(fmt.Errorf("store: unknown op %q", req.Header.Op))
+		}
+	})
+}
+
+// NewCacheServer serves a chunk cache with memcached-like semantics.
+func NewCacheServer(addr string, c *cache.Cache) (*Server, error) {
+	return newServer(addr, func(req wire.Message) wire.Message {
+		id := cache.EntryID{Key: req.Header.Key, Index: req.Header.Index}
+		switch req.Header.Op {
+		case wire.OpGet:
+			data, err := c.Get(id)
+			if errors.Is(err, cache.ErrNotFound) {
+				return wire.Message{Header: wire.Header{Op: wire.OpNotFound}}
+			}
+			if err != nil {
+				return wire.ErrorMessage(err)
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK}, Body: data}
+		case wire.OpPut:
+			if err := c.Put(id, req.Body); err != nil {
+				return wire.ErrorMessage(err)
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+		case wire.OpDelete:
+			c.Delete(id)
+			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+		case wire.OpDelObj:
+			c.DeleteObject(req.Header.Key)
+			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+		case wire.OpIndices:
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: c.IndicesOf(req.Header.Key)}}
+		case wire.OpSnapshot:
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Groups: c.Snapshot()}}
+		case wire.OpStats:
+			st := c.Stats()
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Stats: map[string]int64{
+				"gets": st.Gets, "hits": st.Hits, "sets": st.Sets,
+				"evictions": st.Evictions, "used": c.Used(), "capacity": c.Capacity(),
+			}}}
+		default:
+			return wire.ErrorMessage(fmt.Errorf("cache: unknown op %q", req.Header.Op))
+		}
+	})
+}
+
+// NewHintServer serves an Agar node's request-monitor interface over TCP.
+func NewHintServer(addr string, node *core.Node) (*Server, error) {
+	return newServer(addr, func(req wire.Message) wire.Message {
+		if req.Header.Op != wire.OpHint {
+			return wire.ErrorMessage(fmt.Errorf("hint: unknown op %q", req.Header.Op))
+		}
+		hint := node.HandleRead(req.Header.Key)
+		return wire.Message{Header: wire.Header{Op: wire.OpOK, Key: hint.Key, Indices: hint.CacheChunks}}
+	})
+}
+
+// UDPHintServer serves hints over UDP, the paper's low-overhead channel
+// between clients and the request monitor.
+type UDPHintServer struct {
+	conn net.PacketConn
+	wg   sync.WaitGroup
+}
+
+// NewUDPHintServer starts a UDP hint responder for the node.
+func NewUDPHintServer(addr string, node *core.Node) (*UDPHintServer, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: udp listen %s: %w", addr, err)
+	}
+	s := &UDPHintServer{conn: conn}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		buf := make([]byte, 64<<10)
+		for {
+			req, from, err := wire.ReadDatagram(conn, buf)
+			if err != nil {
+				if isClosed(err) {
+					return
+				}
+				continue // drop malformed datagrams, as UDP services do
+			}
+			hint := node.HandleRead(req.Header.Key)
+			_ = wire.WriteDatagram(conn, from, wire.Message{
+				Header: wire.Header{Op: wire.OpOK, Key: hint.Key, Indices: hint.CacheChunks},
+			})
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound UDP address.
+func (s *UDPHintServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close stops the responder and waits for it to exit.
+func (s *UDPHintServer) Close() {
+	s.conn.Close()
+	s.wg.Wait()
+}
+
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,168 @@
+// Package netsim provides the time and delay substrate for running Agar
+// either under simulation or against real sockets.
+//
+// The experiment harness replays the paper's wide-area deployment on a
+// virtual clock: chunk-read latencies are drawn from the geo latency matrix
+// with deterministic jitter and composed (a parallel fetch costs the maximum
+// of its chunk latencies), and the clock advances by the composed latency
+// instead of sleeping. The live TCP mode uses the same samplers but sleeps
+// for real, optionally scaled down.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+)
+
+// Clock abstracts time so experiments can run on virtual time.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks (or advances virtual time) for d.
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock is a logical clock that advances only when Sleep or Advance
+// is called. It is safe for concurrent use, but note that concurrent
+// sleepers serialise: each Sleep advances the clock by its full duration.
+// The experiment harness drives a single logical timeline, which is exactly
+// the semantics it needs.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing the clock.
+func (c *VirtualClock) Sleep(d time.Duration) { c.Advance(d) }
+
+// Advance moves the clock forward by d (negative d panics).
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: cannot advance clock by %v", d))
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Sampler draws concrete chunk-read latencies from a latency matrix with
+// deterministic multiplicative jitter, modelling run-to-run WAN variance.
+// It is safe for concurrent use.
+type Sampler struct {
+	mu     sync.Mutex
+	matrix *geo.LatencyMatrix
+	jitter float64 // fraction, e.g. 0.05 for +-5%
+	rng    *rand.Rand
+}
+
+// NewSampler returns a sampler over the matrix with the given jitter
+// fraction and seed. Jitter must lie in [0, 1).
+func NewSampler(m *geo.LatencyMatrix, jitter float64, seed int64) *Sampler {
+	if jitter < 0 || jitter >= 1 {
+		panic(fmt.Sprintf("netsim: jitter %v out of [0,1)", jitter))
+	}
+	return &Sampler{matrix: m, jitter: jitter, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Chunk returns a jittered chunk-read latency for a client in `from`
+// reading a chunk stored in `to`.
+func (s *Sampler) Chunk(from, to geo.RegionID) time.Duration {
+	base := s.matrix.Get(from, to)
+	return s.perturb(base)
+}
+
+// Fixed returns a jittered sample around an arbitrary base duration (used
+// for cache access and decode costs).
+func (s *Sampler) Fixed(base time.Duration) time.Duration {
+	return s.perturb(base)
+}
+
+func (s *Sampler) perturb(base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if s.jitter == 0 {
+		return base
+	}
+	s.mu.Lock()
+	u := s.rng.Float64()
+	s.mu.Unlock()
+	f := 1 + s.jitter*(2*u-1)
+	return time.Duration(float64(base) * f)
+}
+
+// Matrix exposes the sampler's underlying latency matrix (for planning).
+func (s *Sampler) Matrix() *geo.LatencyMatrix { return s.matrix }
+
+// ParallelFetch composes the latency of fetching a set of chunks
+// concurrently: the slowest chunk dominates. An empty set costs zero.
+func ParallelFetch(lats []time.Duration) time.Duration {
+	var maxLat time.Duration
+	for _, l := range lats {
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	return maxLat
+}
+
+// Delayer injects latencies into a live deployment. Scale compresses
+// simulated wide-area delays so integration tests finish quickly (e.g.
+// Scale=0.01 turns 980 ms into 9.8 ms) while preserving their ratios.
+type Delayer struct {
+	sampler *Sampler
+	clock   Clock
+	scale   float64
+}
+
+// NewDelayer returns a delayer that sleeps on clock for scale*sampled time.
+func NewDelayer(s *Sampler, clock Clock, scale float64) *Delayer {
+	if scale < 0 {
+		panic("netsim: negative delay scale")
+	}
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Delayer{sampler: s, clock: clock, scale: scale}
+}
+
+// DelayChunk sleeps for the scaled chunk-read latency and returns the
+// unscaled latency that was modelled.
+func (d *Delayer) DelayChunk(from, to geo.RegionID) time.Duration {
+	lat := d.sampler.Chunk(from, to)
+	d.clock.Sleep(time.Duration(float64(lat) * d.scale))
+	return lat
+}
+
+// DelayFixed sleeps for the scaled jittered base and returns the unscaled
+// modelled latency.
+func (d *Delayer) DelayFixed(base time.Duration) time.Duration {
+	lat := d.sampler.Fixed(base)
+	d.clock.Sleep(time.Duration(float64(lat) * d.scale))
+	return lat
+}

@@ -1,0 +1,321 @@
+// Package paxos implements single-decree Paxos over a set of acceptors,
+// replicated across numbered log instances — the synchronisation substrate
+// the paper's §VI names for bringing cache coherence (and therefore writes)
+// to Agar.
+//
+// The implementation is deliberately classic: proposers run phase 1
+// (prepare/promise) and phase 2 (accept/accepted) against a quorum of
+// acceptors; a value is chosen once a majority accepts it under one ballot.
+// Acceptors expose failure injection so tests can exercise minority loss
+// and duelling proposers. Transport is synchronous in-process calls: the
+// paper's deployment would put these behind the wire protocol, but the
+// protocol logic — the part worth testing — is transport-independent.
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by proposals.
+var (
+	ErrNoQuorum = errors.New("paxos: no quorum of acceptors reachable")
+	ErrDown     = errors.New("paxos: acceptor is down")
+)
+
+// Ballot orders proposal attempts; ties break on proposer id.
+type Ballot struct {
+	Round    int64
+	Proposer int
+}
+
+// Less reports whether b orders before o.
+func (b Ballot) Less(o Ballot) bool {
+	if b.Round != o.Round {
+		return b.Round < o.Round
+	}
+	return b.Proposer < o.Proposer
+}
+
+// String renders the ballot.
+func (b Ballot) String() string { return fmt.Sprintf("%d.%d", b.Round, b.Proposer) }
+
+// instanceState is one acceptor's durable state for one log instance.
+type instanceState struct {
+	promised Ballot
+	accepted bool
+	accBal   Ballot
+	accVal   string
+}
+
+// Acceptor is one Paxos acceptor holding state for every log instance. It
+// is safe for concurrent use.
+type Acceptor struct {
+	id int
+
+	mu        sync.Mutex
+	down      bool
+	instances map[int64]*instanceState
+}
+
+// NewAcceptor returns an empty acceptor.
+func NewAcceptor(id int) *Acceptor {
+	return &Acceptor{id: id, instances: make(map[int64]*instanceState)}
+}
+
+// ID returns the acceptor's identity.
+func (a *Acceptor) ID() int { return a.id }
+
+// SetDown injects (or clears) a crash: a down acceptor rejects every
+// message, modelling an unreachable node.
+func (a *Acceptor) SetDown(down bool) {
+	a.mu.Lock()
+	a.down = down
+	a.mu.Unlock()
+}
+
+func (a *Acceptor) state(instance int64) *instanceState {
+	st, ok := a.instances[instance]
+	if !ok {
+		st = &instanceState{}
+		a.instances[instance] = st
+	}
+	return st
+}
+
+// Promise answers a phase-1 prepare: it promises to ignore lower ballots
+// and reports any previously accepted value.
+type Promise struct {
+	OK       bool
+	Accepted bool
+	AccBal   Ballot
+	AccVal   string
+}
+
+// Prepare handles phase 1.
+func (a *Acceptor) Prepare(instance int64, b Ballot) (Promise, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return Promise{}, ErrDown
+	}
+	st := a.state(instance)
+	if b.Less(st.promised) {
+		return Promise{OK: false}, nil
+	}
+	st.promised = b
+	return Promise{OK: true, Accepted: st.accepted, AccBal: st.accBal, AccVal: st.accVal}, nil
+}
+
+// Accept handles phase 2; it succeeds unless a higher ballot was promised.
+func (a *Acceptor) Accept(instance int64, b Ballot, value string) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return false, ErrDown
+	}
+	st := a.state(instance)
+	if b.Less(st.promised) {
+		return false, nil
+	}
+	st.promised = b
+	st.accepted = true
+	st.accBal = b
+	st.accVal = value
+	return true, nil
+}
+
+// Proposer drives proposals against a fixed acceptor set on behalf of one
+// node id. It is safe for concurrent use.
+type Proposer struct {
+	id        int
+	acceptors []*Acceptor
+
+	mu    sync.Mutex
+	round int64
+}
+
+// NewProposer returns a proposer with the given identity.
+func NewProposer(id int, acceptors []*Acceptor) *Proposer {
+	if len(acceptors) == 0 {
+		panic("paxos: proposer needs acceptors")
+	}
+	cp := make([]*Acceptor, len(acceptors))
+	copy(cp, acceptors)
+	return &Proposer{id: id, acceptors: cp}
+}
+
+func (p *Proposer) quorum() int { return len(p.acceptors)/2 + 1 }
+
+func (p *Proposer) nextBallot() Ballot {
+	p.mu.Lock()
+	p.round++
+	b := Ballot{Round: p.round, Proposer: p.id}
+	p.mu.Unlock()
+	return b
+}
+
+// bumpRound ensures the next ballot exceeds a rival ballot we observed.
+func (p *Proposer) bumpRound(seen Ballot) {
+	p.mu.Lock()
+	if seen.Round > p.round {
+		p.round = seen.Round
+	}
+	p.mu.Unlock()
+}
+
+// Propose runs Paxos for the instance until a value is chosen and returns
+// the chosen value — which, per the protocol, may be a previously accepted
+// rival value rather than the argument. maxAttempts bounds duelling; 0
+// means a generous default.
+func (p *Proposer) Propose(instance int64, value string, maxAttempts int) (string, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 64
+	}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		ballot := p.nextBallot()
+
+		// Phase 1: prepare.
+		var promises int
+		var prior *Promise
+		for _, a := range p.acceptors {
+			pr, err := a.Prepare(instance, ballot)
+			if err != nil || !pr.OK {
+				continue
+			}
+			promises++
+			if pr.Accepted && (prior == nil || prior.AccBal.Less(pr.AccBal)) {
+				cp := pr
+				prior = &cp
+			}
+		}
+		if promises < p.quorum() {
+			continue
+		}
+		// Adopt any previously accepted value (the heart of Paxos safety).
+		proposal := value
+		if prior != nil {
+			proposal = prior.AccVal
+		}
+
+		// Phase 2: accept.
+		var accepts int
+		for _, a := range p.acceptors {
+			ok, err := a.Accept(instance, ballot, proposal)
+			if err != nil || !ok {
+				continue
+			}
+			accepts++
+		}
+		if accepts >= p.quorum() {
+			return proposal, nil
+		}
+		p.bumpRound(Ballot{Round: ballot.Round + 1})
+	}
+	return "", ErrNoQuorum
+}
+
+// Learn queries the acceptors for the chosen value of an instance: a value
+// is chosen when a majority reports it accepted under the same ballot.
+func Learn(acceptors []*Acceptor, instance int64) (string, bool) {
+	counts := make(map[Ballot]int)
+	values := make(map[Ballot]string)
+	for _, a := range acceptors {
+		a.mu.Lock()
+		st, ok := a.instances[instance]
+		if ok && !a.down && st.accepted {
+			counts[st.accBal]++
+			values[st.accBal] = st.accVal
+		}
+		a.mu.Unlock()
+	}
+	need := len(acceptors)/2 + 1
+	for b, n := range counts {
+		if n >= need {
+			return values[b], true
+		}
+	}
+	return "", false
+}
+
+// Log is a replicated log built from Paxos instances: Append chooses the
+// next free instance for a value (retrying later instances when beaten),
+// and Committed returns the chosen prefix.
+type Log struct {
+	proposer *Proposer
+
+	mu   sync.Mutex
+	next int64
+}
+
+// NewLog returns a log appender for one node.
+func NewLog(proposer *Proposer) *Log {
+	return &Log{proposer: proposer}
+}
+
+// Append chooses a log slot for the value and returns its instance number.
+// If a rival value wins the targeted slot, Append moves to the next slot
+// until its own value is chosen.
+func (l *Log) Append(value string) (int64, error) {
+	for attempt := 0; attempt < 1024; attempt++ {
+		l.mu.Lock()
+		instance := l.next
+		l.next++
+		l.mu.Unlock()
+
+		chosen, err := l.proposer.Propose(instance, value, 0)
+		if err != nil {
+			return 0, err
+		}
+		if chosen == value {
+			return instance, nil
+		}
+		// A rival's value occupied this slot; record and try the next.
+	}
+	return 0, fmt.Errorf("paxos: could not place value after 1024 slots")
+}
+
+// SkipTo advances the appender past externally observed instances.
+func (l *Log) SkipTo(instance int64) {
+	l.mu.Lock()
+	if instance > l.next {
+		l.next = instance
+	}
+	l.mu.Unlock()
+}
+
+// CommittedPrefix reads the contiguous chosen prefix of the log from the
+// acceptors.
+func CommittedPrefix(acceptors []*Acceptor, from int64) []string {
+	var out []string
+	for i := from; ; i++ {
+		v, ok := Learn(acceptors, i)
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ChosenInstances lists every instance with a chosen value (for tests).
+func ChosenInstances(acceptors []*Acceptor) []int64 {
+	seen := make(map[int64]bool)
+	for _, a := range acceptors {
+		a.mu.Lock()
+		for i := range a.instances {
+			seen[i] = true
+		}
+		a.mu.Unlock()
+	}
+	var out []int64
+	for i := range seen {
+		if _, ok := Learn(acceptors, i); ok {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

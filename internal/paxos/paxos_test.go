@@ -1,0 +1,255 @@
+package paxos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newQuorum(n int) []*Acceptor {
+	out := make([]*Acceptor, n)
+	for i := range out {
+		out[i] = NewAcceptor(i)
+	}
+	return out
+}
+
+func TestBallotOrdering(t *testing.T) {
+	a := Ballot{Round: 1, Proposer: 2}
+	b := Ballot{Round: 2, Proposer: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("round must dominate")
+	}
+	c := Ballot{Round: 1, Proposer: 3}
+	if !a.Less(c) {
+		t.Fatal("proposer id must break ties")
+	}
+	if a.String() != "1.2" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestSingleProposerChoosesValue(t *testing.T) {
+	acc := newQuorum(3)
+	p := NewProposer(0, acc)
+	got, err := p.Propose(0, "value-a", 0)
+	if err != nil || got != "value-a" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+	learned, ok := Learn(acc, 0)
+	if !ok || learned != "value-a" {
+		t.Fatalf("learned %q ok=%v", learned, ok)
+	}
+}
+
+func TestChosenValueIsStable(t *testing.T) {
+	// Once chosen, later proposals must adopt the chosen value.
+	acc := newQuorum(5)
+	p1 := NewProposer(1, acc)
+	p2 := NewProposer(2, acc)
+	if _, err := p1.Propose(7, "first", 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Propose(7, "second", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "first" {
+		t.Fatalf("safety violation: second proposer chose %q", got)
+	}
+}
+
+func TestMinorityFailureStillProgresses(t *testing.T) {
+	acc := newQuorum(5)
+	acc[0].SetDown(true)
+	acc[1].SetDown(true)
+	p := NewProposer(0, acc)
+	got, err := p.Propose(0, "v", 0)
+	if err != nil || got != "v" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestMajorityFailureBlocks(t *testing.T) {
+	acc := newQuorum(3)
+	acc[0].SetDown(true)
+	acc[1].SetDown(true)
+	p := NewProposer(0, acc)
+	if _, err := p.Propose(0, "v", 4); err != ErrNoQuorum {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+	// Recovery restores progress.
+	acc[0].SetDown(false)
+	if got, err := p.Propose(0, "v", 0); err != nil || got != "v" {
+		t.Fatalf("after recovery: %q %v", got, err)
+	}
+}
+
+func TestAcceptorRejectsLowerBallots(t *testing.T) {
+	a := NewAcceptor(0)
+	high := Ballot{Round: 5, Proposer: 0}
+	low := Ballot{Round: 3, Proposer: 0}
+	if pr, _ := a.Prepare(0, high); !pr.OK {
+		t.Fatal("high prepare rejected")
+	}
+	if pr, _ := a.Prepare(0, low); pr.OK {
+		t.Fatal("low prepare accepted after higher promise")
+	}
+	if ok, _ := a.Accept(0, low, "v"); ok {
+		t.Fatal("low accept succeeded after higher promise")
+	}
+	if ok, _ := a.Accept(0, high, "v"); !ok {
+		t.Fatal("promised accept failed")
+	}
+}
+
+func TestDuellingProposersAgree(t *testing.T) {
+	// Concurrent proposers on the same instance must agree on one value.
+	for trial := 0; trial < 20; trial++ {
+		acc := newQuorum(5)
+		var wg sync.WaitGroup
+		results := make([]string, 4)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p := NewProposer(i, acc)
+				v, err := p.Propose(0, fmt.Sprintf("value-%d", i), 0)
+				if err != nil {
+					results[i] = "ERR:" + err.Error()
+					return
+				}
+				results[i] = v
+			}(i)
+		}
+		wg.Wait()
+		first := ""
+		for i, r := range results {
+			if r == "" || len(r) > 4 && r[:4] == "ERR:" {
+				t.Fatalf("trial %d proposer %d failed: %q", trial, i, r)
+			}
+			if first == "" {
+				first = r
+			} else if r != first {
+				t.Fatalf("trial %d: divergent decisions %q vs %q", trial, first, r)
+			}
+		}
+		learned, ok := Learn(acc, 0)
+		if !ok || learned != first {
+			t.Fatalf("trial %d: learner saw %q (ok=%v), proposers saw %q", trial, learned, ok, first)
+		}
+	}
+}
+
+func TestLogAppendOrdersValues(t *testing.T) {
+	acc := newQuorum(3)
+	logA := NewLog(NewProposer(0, acc))
+	logB := NewLog(NewProposer(1, acc))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := logA.Append(fmt.Sprintf("a-%d", i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := logB.Append(fmt.Sprintf("b-%d", i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	prefix := CommittedPrefix(acc, 0)
+	if len(prefix) < 20 {
+		t.Fatalf("committed prefix has %d entries, want >= 20", len(prefix))
+	}
+	// Every appended value appears exactly once.
+	seen := make(map[string]int)
+	for _, v := range prefix {
+		seen[v]++
+	}
+	for i := 0; i < 10; i++ {
+		for _, pfx := range []string{"a", "b"} {
+			key := fmt.Sprintf("%s-%d", pfx, i)
+			if seen[key] != 1 {
+				t.Fatalf("value %s appears %d times", key, seen[key])
+			}
+		}
+	}
+}
+
+func TestLogSkipTo(t *testing.T) {
+	acc := newQuorum(3)
+	l := NewLog(NewProposer(0, acc))
+	l.SkipTo(5)
+	idx, err := l.Append("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 5 {
+		t.Fatalf("appended at %d, want 5", idx)
+	}
+	l.SkipTo(2) // must not move backwards
+	idx, _ = l.Append("w")
+	if idx != 6 {
+		t.Fatalf("appended at %d, want 6", idx)
+	}
+}
+
+func TestChosenInstances(t *testing.T) {
+	acc := newQuorum(3)
+	p := NewProposer(0, acc)
+	p.Propose(0, "x", 0)
+	p.Propose(2, "y", 0)
+	got := ChosenInstances(acc)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("chosen = %v", got)
+	}
+}
+
+// Property: for random schedules of proposals over random instances, every
+// instance converges to exactly one value and all learners agree.
+func TestAgreementQuick(t *testing.T) {
+	f := func(seed uint8) bool {
+		acc := newQuorum(3)
+		nProposers := 2 + int(seed%3)
+		var wg sync.WaitGroup
+		for pid := 0; pid < nProposers; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				p := NewProposer(pid, acc)
+				for inst := int64(0); inst < 3; inst++ {
+					p.Propose(inst, fmt.Sprintf("p%d-i%d", pid, inst), 0)
+				}
+			}(pid)
+		}
+		wg.Wait()
+		for inst := int64(0); inst < 3; inst++ {
+			if _, ok := Learn(acc, inst); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkProposeThreeAcceptors(b *testing.B) {
+	acc := newQuorum(3)
+	p := NewProposer(0, acc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Propose(int64(i), "value", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

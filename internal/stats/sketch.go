@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// CountMinSketch is a fixed-memory frequency estimator: counts are spread
+// over depth rows of width counters; an item's estimate is the minimum of
+// its row counters, so estimates only ever over-count. This is the
+// approximate-statistics substrate the paper points at (TinyLFU, §VII) for
+// scaling Agar's request monitor beyond exact per-key counting.
+type CountMinSketch struct {
+	width uint32
+	depth int
+	rows  [][]uint32
+}
+
+// NewCountMinSketch returns a sketch with the given shape. Width is rounded
+// up to at least 16; depth is clamped to [1, 8].
+func NewCountMinSketch(width, depth int) *CountMinSketch {
+	if width < 16 {
+		width = 16
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 8 {
+		depth = 8
+	}
+	rows := make([][]uint32, depth)
+	for i := range rows {
+		rows[i] = make([]uint32, width)
+	}
+	return &CountMinSketch{width: uint32(width), depth: depth, rows: rows}
+}
+
+// NewCountMinSketchForError sizes a sketch for a target additive error
+// epsilon (relative to the total count) with failure probability delta,
+// using the standard w = e/epsilon, d = ln(1/delta) formulas.
+func NewCountMinSketchForError(epsilon, delta float64) *CountMinSketch {
+	if epsilon <= 0 || epsilon >= 1 {
+		epsilon = 0.01
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.01
+	}
+	w := int(math.Ceil(math.E / epsilon))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMinSketch(w, d)
+}
+
+// hashPair derives two independent 32-bit hashes; row i uses h1 + i*h2
+// (Kirsch–Mitzenmacher double hashing).
+func hashPair(key string) (uint32, uint32) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	v := h.Sum64()
+	h1 := uint32(v)
+	h2 := uint32(v>>32) | 1 // odd, so strides cycle the whole table
+	return h1, h2
+}
+
+// Add increments the item's counters by n.
+func (s *CountMinSketch) Add(key string, n uint32) {
+	h1, h2 := hashPair(key)
+	for i := 0; i < s.depth; i++ {
+		idx := (h1 + uint32(i)*h2) % s.width
+		s.rows[i][idx] += n
+	}
+}
+
+// Estimate returns the (over-)estimated count for the item.
+func (s *CountMinSketch) Estimate(key string) uint32 {
+	h1, h2 := hashPair(key)
+	est := uint32(math.MaxUint32)
+	for i := 0; i < s.depth; i++ {
+		idx := (h1 + uint32(i)*h2) % s.width
+		if c := s.rows[i][idx]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Reset zeroes every counter.
+func (s *CountMinSketch) Reset() {
+	for _, row := range s.rows {
+		clear(row)
+	}
+}
+
+// Halve divides every counter by two — TinyLFU's aging mechanism, which
+// keeps the sketch responsive to popularity shifts.
+func (s *CountMinSketch) Halve() {
+	for _, row := range s.rows {
+		for i := range row {
+			row[i] >>= 1
+		}
+	}
+}
+
+// BloomFilter is a classic split-free Bloom filter used as TinyLFU's
+// "doorkeeper": one-hit wonders stay in the filter and never consume sketch
+// or candidate-table space.
+type BloomFilter struct {
+	bits   []uint64
+	nbits  uint32
+	hashes int
+}
+
+// NewBloomFilter sizes a filter for n expected items at roughly 1% false
+// positives.
+func NewBloomFilter(n int) *BloomFilter {
+	if n < 16 {
+		n = 16
+	}
+	nbits := uint32(n * 10) // ~10 bits/item -> ~1% fp with 7 hashes
+	words := (nbits + 63) / 64
+	return &BloomFilter{bits: make([]uint64, words), nbits: words * 64, hashes: 7}
+}
+
+// Add inserts the key.
+func (b *BloomFilter) Add(key string) {
+	h1, h2 := hashPair(key)
+	for i := 0; i < b.hashes; i++ {
+		bit := (h1 + uint32(i)*h2) % b.nbits
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// Contains reports (probabilistic) membership.
+func (b *BloomFilter) Contains(key string) bool {
+	h1, h2 := hashPair(key)
+	for i := 0; i < b.hashes; i++ {
+		bit := (h1 + uint32(i)*h2) % b.nbits
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (b *BloomFilter) Reset() {
+	clear(b.bits)
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	s := NewCountMinSketch(512, 4)
+	truth := map[string]uint32{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("key-%d", r.Intn(200))
+		s.Add(key, 1)
+		truth[key]++
+	}
+	for key, want := range truth {
+		if got := s.Estimate(key); got < want {
+			t.Fatalf("sketch undercounted %s: %d < %d", key, got, want)
+		}
+	}
+}
+
+func TestCountMinAccuracyOnSkewedStream(t *testing.T) {
+	s := NewCountMinSketchForError(0.005, 0.01)
+	truth := map[string]uint32{}
+	r := rand.New(rand.NewSource(2))
+	total := uint32(0)
+	for i := 0; i < 50000; i++ {
+		// zipf-ish: low keys much more frequent
+		key := fmt.Sprintf("key-%d", int(r.ExpFloat64()*30))
+		s.Add(key, 1)
+		truth[key]++
+		total++
+	}
+	// Additive error should stay within ~epsilon * total for hot keys.
+	budget := uint32(float64(total) * 0.01)
+	for key, want := range truth {
+		if want < 100 {
+			continue
+		}
+		got := s.Estimate(key)
+		if got-want > budget {
+			t.Fatalf("estimate for %s off by %d (> %d)", key, got-want, budget)
+		}
+	}
+}
+
+func TestCountMinUnseenKeySmall(t *testing.T) {
+	s := NewCountMinSketch(1024, 4)
+	for i := 0; i < 1000; i++ {
+		s.Add(fmt.Sprintf("key-%d", i%50), 1)
+	}
+	if got := s.Estimate("never-seen-key-xyz"); got > 10 {
+		t.Fatalf("unseen key estimate %d too high", got)
+	}
+}
+
+func TestCountMinResetAndHalve(t *testing.T) {
+	s := NewCountMinSketch(64, 4)
+	s.Add("k", 8)
+	if s.Estimate("k") < 8 {
+		t.Fatal("count lost")
+	}
+	s.Halve()
+	if got := s.Estimate("k"); got < 4 || got > 5 {
+		t.Fatalf("halved estimate %d", got)
+	}
+	s.Reset()
+	if s.Estimate("k") != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestCountMinShapeClamps(t *testing.T) {
+	s := NewCountMinSketch(1, 0)
+	s.Add("x", 1)
+	if s.Estimate("x") != 1 {
+		t.Fatal("clamped sketch broken")
+	}
+	s2 := NewCountMinSketch(16, 100)
+	if s2.depth != 8 {
+		t.Fatalf("depth clamp: %d", s2.depth)
+	}
+	s3 := NewCountMinSketchForError(-1, 2)
+	s3.Add("x", 1)
+	if s3.Estimate("x") != 1 {
+		t.Fatal("defaulted sketch broken")
+	}
+}
+
+func TestBloomFilterBasics(t *testing.T) {
+	b := NewBloomFilter(1000)
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("member-%d", i)
+		b.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !b.Contains(k) {
+			t.Fatalf("false negative for %s", k)
+		}
+	}
+	// False-positive rate should be low.
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.Contains(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	if fp > 500 { // 5%, far above the ~1% design point
+		t.Fatalf("false positive rate too high: %d/10000", fp)
+	}
+	b.Reset()
+	if b.Contains(keys[0]) {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestBloomNoFalseNegativesQuick(t *testing.T) {
+	f := func(keys []string) bool {
+		b := NewBloomFilter(len(keys) + 1)
+		for _, k := range keys {
+			b.Add(k)
+		}
+		for _, k := range keys {
+			if !b.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	s := NewCountMinSketch(4096, 4)
+	for i := 0; i < b.N; i++ {
+		s.Add("some-object-key", 1)
+	}
+}
+
+func BenchmarkCountMinEstimate(b *testing.B) {
+	s := NewCountMinSketch(4096, 4)
+	s.Add("some-object-key", 100)
+	for i := 0; i < b.N; i++ {
+		s.Estimate("some-object-key")
+	}
+}

@@ -1,0 +1,180 @@
+// Package stats provides the statistical primitives shared by Agar's request
+// monitor and the benchmark harness: exponentially weighted moving averages,
+// streaming mean/variance, and latency summaries with percentiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// EWMA tracks an exponentially weighted moving average with weighting
+// coefficient alpha, exactly as the paper's popularity estimate (§IV):
+//
+//	value_i = alpha*sample_i + (1-alpha)*value_{i-1}
+//
+// The zero value is unusable; construct with NewEWMA.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	samples int
+}
+
+// NewEWMA returns an EWMA with the given coefficient. Alpha must lie in
+// (0, 1]; the paper uses 0.8.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds one period's sample into the average and returns the new
+// value. The first sample still passes through the EWMA recurrence with an
+// implicit prior of zero, matching the paper's worked example (first period
+// popularity = alpha * freq).
+func (e *EWMA) Update(sample float64) float64 {
+	e.value = e.alpha*sample + (1-e.alpha)*e.value
+	e.samples++
+	return e.value
+}
+
+// Value returns the current average.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Samples returns how many periods have been folded in.
+func (e *EWMA) Samples() int { return e.samples }
+
+// Welford accumulates streaming mean and variance. The zero value is ready
+// to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds in one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (0 with fewer than 2 observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// LatencySummary collects latency observations and reports mean and
+// percentiles. It retains all samples; experiment runs are bounded (a few
+// thousand operations) so exact percentiles are affordable.
+type LatencySummary struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewLatencySummary returns an empty summary with capacity for n samples.
+func NewLatencySummary(n int) *LatencySummary {
+	return &LatencySummary{samples: make([]time.Duration, 0, n)}
+}
+
+// Add records one latency observation.
+func (s *LatencySummary) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *LatencySummary) N() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *LatencySummary) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(s.samples))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted samples. It returns 0 when empty.
+func (s *LatencySummary) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	return s.samples[rank-1]
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *LatencySummary) Min() time.Duration { return s.Percentile(0) }
+
+// Max returns the largest observation (0 when empty).
+func (s *LatencySummary) Max() time.Duration { return s.Percentile(100) }
+
+// Merge folds another summary's samples into this one.
+func (s *LatencySummary) Merge(o *LatencySummary) {
+	s.samples = append(s.samples, o.samples...)
+	s.sorted = false
+}
+
+// Counter is a simple monotonically increasing event counter with named
+// buckets, used for cache hit accounting. The zero value is ready to use.
+type Counter struct {
+	counts map[string]int64
+}
+
+// Inc adds one to the named bucket.
+func (c *Counter) Inc(name string) { c.Addn(name, 1) }
+
+// Addn adds n to the named bucket.
+func (c *Counter) Addn(name string, n int64) {
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += n
+}
+
+// Get returns the named bucket's count.
+func (c *Counter) Get(name string) int64 { return c.counts[name] }
+
+// Ratio returns bucket a divided by the sum of buckets bs, or 0 when the
+// denominator is zero.
+func (c *Counter) Ratio(a string, bs ...string) float64 {
+	var denom int64
+	for _, b := range bs {
+		denom += c.counts[b]
+	}
+	if denom == 0 {
+		return 0
+	}
+	return float64(c.counts[a]) / float64(denom)
+}

@@ -1,0 +1,183 @@
+// Package wire implements the framing protocol Agar's live deployment
+// speaks over TCP and UDP.
+//
+// Every message is one frame:
+//
+//	u32 frame length (big endian, excluding itself)
+//	u16 header length
+//	header: JSON-encoded Header
+//	body: raw bytes (chunk payloads), may be empty
+//
+// The JSON header keeps the protocol debuggable and extensible; chunk
+// payloads travel uncopied as the raw body. The same Header structure is
+// reused for requests and responses. UDP hint datagrams carry a single
+// frame per packet, mirroring the paper's low-overhead client-to-monitor
+// channel.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// MaxFrame bounds a frame to guard against corrupt length prefixes.
+const MaxFrame = 16 << 20
+
+// Op codes carried in Header.Op.
+const (
+	OpGet      = "get"       // fetch one chunk
+	OpPut      = "put"       // store one chunk
+	OpDelete   = "delete"    // remove one chunk
+	OpDelObj   = "delobj"    // remove all chunks of an object
+	OpIndices  = "indices"   // list resident chunk indices for a key
+	OpHint     = "hint"      // request a caching hint (Agar monitor)
+	OpStats    = "stats"     // fetch server statistics
+	OpSnapshot = "snapshot"  // fetch cache contents summary
+	OpOK       = "ok"        // success response
+	OpError    = "error"     // failure response
+	OpNotFound = "not-found" // missing chunk response
+)
+
+// Header is the JSON-encoded frame header.
+type Header struct {
+	// Op is the request operation or response status.
+	Op string `json:"op"`
+	// Key is the object key, when relevant.
+	Key string `json:"key,omitempty"`
+	// Index is the chunk index, when relevant.
+	Index int `json:"index,omitempty"`
+	// Indices carries chunk index lists (hints, residency answers).
+	Indices []int `json:"indices,omitempty"`
+	// Error carries the error text for OpError responses.
+	Error string `json:"error,omitempty"`
+	// Stats carries free-form counters for OpStats responses.
+	Stats map[string]int64 `json:"stats,omitempty"`
+	// Groups carries the cache snapshot (key -> resident indices).
+	Groups map[string][]int `json:"groups,omitempty"`
+}
+
+// Message is one protocol frame.
+type Message struct {
+	Header Header
+	Body   []byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrBadFrame      = errors.New("wire: malformed frame")
+)
+
+// Encode serialises the message into a frame.
+func Encode(m Message) ([]byte, error) {
+	header, err := json.Marshal(m.Header)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode header: %w", err)
+	}
+	if len(header) > 0xFFFF {
+		return nil, fmt.Errorf("wire: header too large (%d bytes)", len(header))
+	}
+	total := 2 + len(header) + len(m.Body)
+	if total > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf, uint32(total))
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(header)))
+	copy(buf[6:], header)
+	copy(buf[6+len(header):], m.Body)
+	return buf, nil
+}
+
+// Decode parses one frame payload (without the u32 length prefix).
+func Decode(frame []byte) (Message, error) {
+	if len(frame) < 2 {
+		return Message{}, ErrBadFrame
+	}
+	hlen := int(binary.BigEndian.Uint16(frame))
+	if 2+hlen > len(frame) {
+		return Message{}, ErrBadFrame
+	}
+	var h Header
+	if err := json.Unmarshal(frame[2:2+hlen], &h); err != nil {
+		return Message{}, fmt.Errorf("wire: decode header: %w", err)
+	}
+	body := frame[2+hlen:]
+	out := Message{Header: h}
+	if len(body) > 0 {
+		out.Body = append([]byte(nil), body...)
+	}
+	return out, nil
+}
+
+// Write sends one message on a stream connection.
+func Write(w io.Writer, m Message) error {
+	buf, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Read receives one message from a stream connection.
+func Read(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return Message{}, ErrFrameTooLarge
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return Message{}, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return Decode(frame)
+}
+
+// Call performs one request/response round trip on a stream connection.
+func Call(conn net.Conn, req Message) (Message, error) {
+	if err := Write(conn, req); err != nil {
+		return Message{}, err
+	}
+	resp, err := Read(conn)
+	if err != nil {
+		return Message{}, err
+	}
+	if resp.Header.Op == OpError {
+		return resp, fmt.Errorf("wire: remote error: %s", resp.Header.Error)
+	}
+	return resp, nil
+}
+
+// WriteDatagram sends one message as a single UDP datagram.
+func WriteDatagram(conn net.PacketConn, addr net.Addr, m Message) error {
+	buf, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = conn.WriteTo(buf[4:], addr) // datagrams carry no length prefix
+	return err
+}
+
+// ReadDatagram receives one message from a UDP socket. The buffer must be
+// large enough for the expected datagram (hints are small).
+func ReadDatagram(conn net.PacketConn, buf []byte) (Message, net.Addr, error) {
+	n, addr, err := conn.ReadFrom(buf)
+	if err != nil {
+		return Message{}, nil, err
+	}
+	m, err := Decode(buf[:n])
+	return m, addr, err
+}
+
+// ErrorMessage builds an OpError response.
+func ErrorMessage(err error) Message {
+	return Message{Header: Header{Op: OpError, Error: err.Error()}}
+}

@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Header: Header{Op: OpGet, Key: "obj", Index: 4}},
+		{Header: Header{Op: OpOK}, Body: []byte("chunk-bytes")},
+		{Header: Header{Op: OpHint, Key: "k", Indices: []int{4, 3, 9}}},
+		{Header: Header{Op: OpError, Error: "boom"}},
+		{Header: Header{Op: OpStats, Stats: map[string]int64{"hits": 42}}},
+		{Header: Header{Op: OpSnapshot, Groups: map[string][]int{"a": {1, 2}}}},
+	}
+	for _, m := range msgs {
+		buf, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(buf[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Header.Op != m.Header.Op || got.Header.Key != m.Header.Key ||
+			got.Header.Index != m.Header.Index || got.Header.Error != m.Header.Error {
+			t.Fatalf("header mismatch: %+v vs %+v", got.Header, m.Header)
+		}
+		if !bytes.Equal(got.Body, m.Body) {
+			t.Fatalf("body mismatch")
+		}
+		if len(m.Header.Indices) > 0 && len(got.Header.Indices) != len(m.Header.Indices) {
+			t.Fatal("indices lost")
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1}); err == nil {
+		t.Fatal("accepted short frame")
+	}
+	if _, err := Decode([]byte{0xFF, 0xFF, 1, 2, 3}); err == nil {
+		t.Fatal("accepted header overrun")
+	}
+	if _, err := Decode([]byte{0, 2, '{', 'x'}); err == nil {
+		t.Fatal("accepted bad JSON header")
+	}
+}
+
+func TestReadWriteStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := Message{Header: Header{Op: OpPut, Key: "k", Index: 2}, Body: []byte("data")}
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Key != "k" || !bytes.Equal(got.Body, []byte("data")) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestReadRejectsHugeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Read(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		req, err := Read(conn)
+		if err != nil {
+			return
+		}
+		Write(conn, Message{Header: Header{Op: OpOK, Key: req.Header.Key}, Body: []byte("pong")})
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	resp, err := Call(conn, Message{Header: Header{Op: OpGet, Key: "ping"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Key != "ping" || string(resp.Body) != "pong" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	<-done
+}
+
+func TestCallSurfacesRemoteError(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := Read(conn); err != nil {
+			return
+		}
+		Write(conn, ErrorMessage(ErrBadFrame))
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := Call(conn, Message{Header: Header{Op: OpGet}}); err == nil {
+		t.Fatal("remote error not surfaced")
+	}
+}
+
+func TestUDPDatagramRoundTrip(t *testing.T) {
+	server, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	clientConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientConn.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 64<<10)
+		req, addr, err := ReadDatagram(server, buf)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- WriteDatagram(server, addr, Message{
+			Header: Header{Op: OpOK, Key: req.Header.Key, Indices: []int{1, 2, 3}},
+		})
+	}()
+
+	err = WriteDatagram(clientConn, server.LocalAddr(), Message{Header: Header{Op: OpHint, Key: "obj"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	resp, _, err := ReadDatagram(clientConn, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Key != "obj" || len(resp.Header.Indices) != 3 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(key string, index uint8, body []byte) bool {
+		m := Message{Header: Header{Op: OpPut, Key: key, Index: int(index)}, Body: body}
+		buf, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf[4:])
+		if err != nil {
+			return false
+		}
+		return got.Header.Key == key && got.Header.Index == int(index) && bytes.Equal(got.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package ycsb reimplements the harness role the paper's modified YCSB
+// client plays (§V-A): drive a read-only request stream from a workload
+// generator through a reading strategy, measure full-object read latencies,
+// and aggregate them over multiple runs.
+//
+// Runs execute on a virtual clock: each operation advances time by its
+// modelled latency, and the region's Agar node (when present) reconfigures
+// whenever its period elapses on that clock — so "30 seconds" of cache
+// reconfiguration behaves exactly as in the paper without wall-clock cost.
+package ycsb
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/agardist/agar/internal/client"
+	"github.com/agardist/agar/internal/core"
+	"github.com/agardist/agar/internal/netsim"
+	"github.com/agardist/agar/internal/stats"
+	"github.com/agardist/agar/internal/workload"
+)
+
+// RunConfig describes one measurement run.
+type RunConfig struct {
+	// Reader is the strategy under test.
+	Reader client.Reader
+	// Generator produces the key stream.
+	Generator workload.Generator
+	// Operations is the number of measured reads (the paper uses 1,000).
+	Operations int
+	// WarmupOps run before measurement to populate caches and statistics;
+	// they advance time but are not recorded.
+	WarmupOps int
+	// Clock is the virtual timeline; nil creates a fresh one.
+	Clock *netsim.VirtualClock
+	// Node, when set, is given the chance to reconfigure after every
+	// operation according to its period on the virtual clock.
+	Node *core.Node
+	// Clients models n concurrent client threads per YCSB instance (the
+	// paper runs 2): wall time advances by latency/n per operation. Zero
+	// or one means a single serial client.
+	Clients int
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Strategy is the reader's name.
+	Strategy string
+	// Operations is the number of measured reads.
+	Operations int
+	// Mean is the average read latency — the paper's headline metric.
+	Mean time.Duration
+	// P50, P95 and P99 are latency percentiles.
+	P50, P95, P99 time.Duration
+	// FullHits, PartialHits and Misses classify the measured reads.
+	FullHits, PartialHits, Misses int
+	// Errors counts failed reads (excluded from latency stats).
+	Errors int
+	// Reconfigs counts Agar reconfigurations during the measured phase.
+	Reconfigs int
+}
+
+// HitRatio returns (full + partial hits) / operations, the paper's
+// Figure 7 metric.
+func (r Result) HitRatio() float64 {
+	if r.Operations == 0 {
+		return 0
+	}
+	return float64(r.FullHits+r.PartialHits) / float64(r.Operations)
+}
+
+// Run executes one measurement run.
+func Run(cfg RunConfig) (Result, error) {
+	if cfg.Reader == nil || cfg.Generator == nil {
+		return Result{}, fmt.Errorf("ycsb: reader and generator are required")
+	}
+	if cfg.Operations <= 0 {
+		return Result{}, fmt.Errorf("ycsb: operations must be positive")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = netsim.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	}
+	if cfg.Node != nil {
+		// Activate the first configuration period immediately.
+		cfg.Node.MaybeReconfigure(clock.Now())
+	}
+
+	lat := stats.NewLatencySummary(cfg.Operations)
+	res := Result{Strategy: cfg.Reader.Name(), Operations: cfg.Operations}
+	reconfStart := 0
+	if cfg.Node != nil {
+		reconfStart = cfg.Node.Manager().Runs()
+	}
+
+	clients := cfg.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	total := cfg.WarmupOps + cfg.Operations
+	for i := 0; i < total; i++ {
+		key := workload.KeyName(cfg.Generator.Next())
+		_, r, err := cfg.Reader.Read(key)
+		clock.Advance(r.Latency / time.Duration(clients))
+		if cfg.Node != nil {
+			cfg.Node.MaybeReconfigure(clock.Now())
+		}
+		if i < cfg.WarmupOps {
+			if cfg.Node != nil {
+				reconfStart = cfg.Node.Manager().Runs()
+			}
+			continue
+		}
+		if err != nil {
+			res.Errors++
+			continue
+		}
+		lat.Add(r.Latency)
+		switch {
+		case r.FullHit:
+			res.FullHits++
+		case r.PartialHit:
+			res.PartialHits++
+		default:
+			res.Misses++
+		}
+	}
+
+	res.Mean = lat.Mean()
+	res.P50 = lat.Percentile(50)
+	res.P95 = lat.Percentile(95)
+	res.P99 = lat.Percentile(99)
+	if cfg.Node != nil {
+		res.Reconfigs = cfg.Node.Manager().Runs() - reconfStart
+	}
+	return res, nil
+}
+
+// Average folds multiple run results into one (means of means, summed hit
+// classes renormalised by total operations), the way the paper averages its
+// five runs.
+func Average(results []Result) Result {
+	if len(results) == 0 {
+		return Result{}
+	}
+	out := Result{Strategy: results[0].Strategy}
+	var mean, p50, p95, p99 time.Duration
+	for _, r := range results {
+		mean += r.Mean
+		p50 += r.P50
+		p95 += r.P95
+		p99 += r.P99
+		out.Operations += r.Operations
+		out.FullHits += r.FullHits
+		out.PartialHits += r.PartialHits
+		out.Misses += r.Misses
+		out.Errors += r.Errors
+		out.Reconfigs += r.Reconfigs
+	}
+	n := time.Duration(len(results))
+	out.Mean = mean / n
+	out.P50 = p50 / n
+	out.P95 = p95 / n
+	out.P99 = p99 / n
+	return out
+}

@@ -1,0 +1,166 @@
+package ycsb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/agardist/agar/internal/client"
+	"github.com/agardist/agar/internal/netsim"
+	"github.com/agardist/agar/internal/workload"
+)
+
+// fakeReader returns fixed latencies and hit classes in rotation.
+type fakeReader struct {
+	lats  []time.Duration
+	hits  []bool
+	calls int
+	fail  bool
+}
+
+func (f *fakeReader) Name() string { return "fake" }
+
+func (f *fakeReader) Read(key string) ([]byte, client.Result, error) {
+	i := f.calls
+	f.calls++
+	res := client.Result{Latency: f.lats[i%len(f.lats)]}
+	if f.hits != nil && f.hits[i%len(f.hits)] {
+		res.PartialHit = true
+		res.CacheChunks = 1
+	}
+	if f.fail {
+		return nil, res, errors.New("boom")
+	}
+	return []byte("x"), res, nil
+}
+
+func TestRunBasicAccounting(t *testing.T) {
+	r := &fakeReader{
+		lats: []time.Duration{100 * time.Millisecond, 300 * time.Millisecond},
+		hits: []bool{true, false},
+	}
+	res, err := Run(RunConfig{
+		Reader:     r,
+		Generator:  workload.NewSequential(10),
+		Operations: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operations != 100 || res.Strategy != "fake" {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Mean != 200*time.Millisecond {
+		t.Fatalf("mean = %v", res.Mean)
+	}
+	if res.PartialHits != 50 || res.Misses != 50 || res.FullHits != 0 {
+		t.Fatalf("hits = %+v", res)
+	}
+	if hr := res.HitRatio(); hr != 0.5 {
+		t.Fatalf("hit ratio = %v", hr)
+	}
+	if res.P50 != 100*time.Millisecond || res.P99 != 300*time.Millisecond {
+		t.Fatalf("percentiles: p50=%v p99=%v", res.P50, res.P99)
+	}
+}
+
+func TestRunWarmupExcluded(t *testing.T) {
+	r := &fakeReader{lats: []time.Duration{time.Second}}
+	res, err := Run(RunConfig{
+		Reader:     r,
+		Generator:  workload.NewSequential(5),
+		Operations: 10,
+		WarmupOps:  20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.calls != 30 {
+		t.Fatalf("reader called %d times", r.calls)
+	}
+	if res.Operations != 10 {
+		t.Fatalf("operations = %d", res.Operations)
+	}
+}
+
+func TestRunAdvancesVirtualClock(t *testing.T) {
+	clock := netsim.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	r := &fakeReader{lats: []time.Duration{time.Second}}
+	_, err := Run(RunConfig{
+		Reader:     r,
+		Generator:  workload.NewSequential(3),
+		Operations: 10,
+		Clock:      clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Now().Sub(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)); got != 10*time.Second {
+		t.Fatalf("clock advanced %v", got)
+	}
+}
+
+func TestRunClientsDivideTime(t *testing.T) {
+	clock := netsim.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	r := &fakeReader{lats: []time.Duration{time.Second}}
+	_, err := Run(RunConfig{
+		Reader:     r,
+		Generator:  workload.NewSequential(3),
+		Operations: 10,
+		Clock:      clock,
+		Clients:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Now().Sub(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)); got != 5*time.Second {
+		t.Fatalf("clock advanced %v with 2 clients", got)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	r := &fakeReader{lats: []time.Duration{time.Millisecond}, fail: true}
+	res, err := Run(RunConfig{
+		Reader:     r,
+		Generator:  workload.NewSequential(3),
+		Operations: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 7 || res.Mean != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Run(RunConfig{
+		Reader:    &fakeReader{lats: []time.Duration{1}},
+		Generator: workload.NewSequential(1),
+	}); err == nil {
+		t.Fatal("zero operations accepted")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := Result{Strategy: "s", Operations: 10, Mean: 100 * time.Millisecond,
+		P50: 90 * time.Millisecond, FullHits: 4, Misses: 6}
+	b := Result{Strategy: "s", Operations: 10, Mean: 300 * time.Millisecond,
+		P50: 290 * time.Millisecond, FullHits: 6, Misses: 4}
+	avg := Average([]Result{a, b})
+	if avg.Mean != 200*time.Millisecond || avg.P50 != 190*time.Millisecond {
+		t.Fatalf("avg = %+v", avg)
+	}
+	if avg.Operations != 20 || avg.FullHits != 10 {
+		t.Fatalf("sums wrong: %+v", avg)
+	}
+	if avg.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio = %v", avg.HitRatio())
+	}
+	if got := Average(nil); got.Operations != 0 {
+		t.Fatal("empty average")
+	}
+}
