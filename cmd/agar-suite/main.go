@@ -1,0 +1,185 @@
+// Command agar-suite runs the chaos and benchmark scenario library on the
+// in-process simulator, comparing cache-policy arms phase by phase, and
+// writes machine-readable plus human-readable reports.
+//
+// Usage:
+//
+//	agar-suite -list
+//	agar-suite -scenario baseline
+//	agar-suite -scenario all -out results/
+//	agar-suite -scenario partition -arms agar,lru,backend -seed 7
+//	agar-suite -scenario baseline -scale 0.2 -opcap 500   # quick smoke
+//	agar-suite -scenario baseline -live                   # + localhost cluster smoke
+//
+// Outputs (under -out, default "."):
+//
+//	BENCH_scenario.json — every scenario's per-phase/per-arm metrics
+//	SCENARIOS.md        — markdown summary with paired deltas
+//
+// The exit code is 0 on success, 1 when any scenario fails to run, and 2
+// on invalid usage — so CI can gate on a smoke scenario.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/agardist/agar/internal/scenario"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list     = flag.Bool("list", false, "list built-in scenarios and exit")
+		name     = flag.String("scenario", "all", "scenario to run (see -list), or 'all'")
+		out      = flag.String("out", ".", "directory for BENCH_scenario.json and SCENARIOS.md")
+		seed     = flag.Int64("seed", 1, "deterministic seed (shared by every arm)")
+		opCap    = flag.Int("opcap", 5000, "safety cap on measured operations per phase")
+		warmup   = flag.Int("warmup", 300, "warm-up operations before measurement (0 disables)")
+		armsFlag = flag.String("arms", "", "comma-separated arms: agar,lru,lfu,fixed,backend (default agar,lru,lfu,backend)")
+		chunks   = flag.Int("c", 3, "fixed chunks-per-object for the lru/lfu/fixed arms")
+		scale    = flag.Float64("scale", 1, "time-scale factor applied to every phase (0 < scale <= 1)")
+		objects  = flag.Int("objects", 0, "override the working-set size (0 = scenario default)")
+		live     = flag.Bool("live", false, "additionally smoke each scenario's first phase on the localhost cluster")
+		quiet    = flag.Bool("q", false, "suppress per-scenario markdown on stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenario.Library() {
+			fmt.Printf("%-16s %s\n", s.Name, s.Description)
+		}
+		return 0
+	}
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintf(os.Stderr, "agar-suite: -scale %v outside (0, 1]\n", *scale)
+		return 2
+	}
+
+	var specs []scenario.Spec
+	if *name == "all" {
+		specs = scenario.Library()
+	} else {
+		for _, n := range strings.Split(*name, ",") {
+			s, ok := scenario.Lookup(strings.TrimSpace(n))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "agar-suite: unknown scenario %q; -list shows the library\n", n)
+				return 2
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	opts := scenario.Options{OpCap: *opCap, WarmupOps: *warmup, Seed: *seed}
+	if *warmup == 0 {
+		opts.WarmupOps = -1 // flag 0 means "no warm-up", not "use the default"
+	}
+	if *armsFlag != "" {
+		for _, a := range strings.Split(*armsFlag, ",") {
+			strat, err := scenario.ParseArm(strings.TrimSpace(a), *chunks)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "agar-suite: %v\n", err)
+				return 2
+			}
+			opts.Arms = append(opts.Arms, strat)
+		}
+	} else if *chunks != 3 {
+		opts.Arms = scenario.DefaultArms(*chunks)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "agar-suite: %v\n", err)
+		return 1
+	}
+
+	suite := suiteReport{
+		Schema:    "agar/scenario-suite/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Seed:      *seed,
+	}
+	var md strings.Builder
+	md.WriteString("# Agar scenario suite\n")
+	fmt.Fprintf(&md, "\ngenerated %s · seed %d · scale %g\n", suite.Generated, *seed, *scale)
+
+	failed := 0
+	for _, spec := range specs {
+		if *objects > 0 {
+			spec.Objects = *objects
+		}
+		runSpec := spec
+		if *scale != 1 {
+			runSpec = spec.Scale(*scale)
+		}
+		start := time.Now()
+		rep, err := scenario.Run(runSpec, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agar-suite: scenario %s: %v\n", spec.Name, err)
+			failed++
+			continue
+		}
+		suite.Scenarios = append(suite.Scenarios, rep)
+		repMD := rep.Markdown()
+		md.WriteString("\n" + repMD)
+		if !*quiet {
+			fmt.Println(repMD)
+		}
+		fmt.Fprintf(os.Stderr, "agar-suite: %s done in %v\n", spec.Name, time.Since(start).Round(time.Millisecond))
+
+		if *live {
+			lr, err := scenario.RunLiveSmoke(runSpec, scenario.LiveOptions{Seed: *seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "agar-suite: scenario %s live smoke: %v\n", spec.Name, err)
+				failed++
+				continue
+			}
+			suite.LiveSmokes = append(suite.LiveSmokes, lr)
+			fmt.Fprintf(&md, "\nLive smoke (`%s`, phase %s): %d reads, mean %.1f ms, p95 %.1f ms, %d cache chunk hits, %d errors\n",
+				lr.Scenario, lr.Phase, lr.Latency.Count, lr.Latency.MeanMS, lr.Latency.P95MS, lr.CacheChunks, lr.Errors)
+			if lr.Errors > 0 {
+				failed++
+			}
+		}
+	}
+
+	if len(suite.Scenarios) > 0 {
+		data, err := json.MarshalIndent(suite, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agar-suite: encode: %v\n", err)
+			return 1
+		}
+		jsonPath := filepath.Join(*out, "BENCH_scenario.json")
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "agar-suite: %v\n", err)
+			return 1
+		}
+		mdPath := filepath.Join(*out, "SCENARIOS.md")
+		if err := os.WriteFile(mdPath, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "agar-suite: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "agar-suite: wrote %s and %s\n", jsonPath, mdPath)
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "agar-suite: %d scenario(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// suiteReport is the top-level BENCH_scenario.json document.
+type suiteReport struct {
+	Schema     string                 `json:"schema"`
+	Generated  string                 `json:"generated"`
+	Seed       int64                  `json:"seed"`
+	Scenarios  []*scenario.Report     `json:"scenarios"`
+	LiveSmokes []*scenario.LiveResult `json:"live_smokes,omitempty"`
+}

@@ -1,0 +1,3 @@
+module github.com/agardist/agar
+
+go 1.24

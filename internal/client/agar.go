@@ -110,10 +110,11 @@ func (r *AgarReader) Read(key string) ([]byte, Result, error) {
 			continue
 		}
 		outcomes = append(outcomes, fetchOutcome{index: idx, data: data})
+		have[idx] = true
 		res.PeerChunks++
 	}
 	if len(want) > 0 {
-		fetched, lat, waves, err := fetchBackend(r.env, r.region, key, want, maxWaves(codec))
+		fetched, lat, waves, err := fetchBackend(r.env, r.region, key, want, have, maxWaves(codec))
 		if err != nil {
 			return nil, Result{Latency: monLat + lat, Waves: waves}, err
 		}
@@ -151,9 +152,8 @@ func (r *AgarReader) Read(key string) ([]byte, Result, error) {
 		for _, idx := range missingHint {
 			chunk, ok := byIdx[idx]
 			if !ok {
-				var err error
-				chunk, err = r.env.Cluster.GetChunk(key, idx)
-				if err != nil {
+				chunk, ok = offPathFetch(r.env, r.region, key, idx)
+				if !ok {
 					continue
 				}
 			}

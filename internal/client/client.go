@@ -103,14 +103,19 @@ type fetchOutcome struct {
 // in parallel waves. If a chunk fails (region down), the next wave
 // substitutes the nearest unused chunks. The returned latency is the sum of
 // per-wave maxima — the client must wait for the slowest response of a wave
-// before it knows it needs more chunks.
-func fetchBackend(env *Env, region geo.RegionID, key string, want []int, waveLimit int) ([]fetchOutcome, time.Duration, int, error) {
+// before it knows it needs more chunks. Indices in `have` are chunks the
+// caller already holds (cache or peer hits); substitution never proposes
+// them, since re-fetching one would not add a new distinct chunk.
+func fetchBackend(env *Env, region geo.RegionID, key string, want []int, have map[int]bool, waveLimit int) ([]fetchOutcome, time.Duration, int, error) {
 	codec := env.Cluster.Codec()
 	total := codec.Total()
 	locs := env.Cluster.Placement().Locate(key, total)
 	plan := geo.PlanFetch(env.Matrix, env.Cluster.Placement(), key, total, region)
 
 	tried := make(map[int]bool, total)
+	for idx := range have {
+		tried[idx] = true
+	}
 	failedRegions := make(map[geo.RegionID]bool)
 	pending := append([]int(nil), want...)
 	var out []fetchOutcome
@@ -129,6 +134,14 @@ func fetchBackend(env *Env, region geo.RegionID, key string, want []int, waveLim
 			lat := env.chunkLatency(region, locs[idx])
 			if lat > waveLat {
 				waveLat = lat
+			}
+			// A severed link (netsim partition or region outage) fails the
+			// fetch after the full modelled latency — the client pays the
+			// timeout before it can substitute another chunk.
+			if env.Sampler != nil && env.Sampler.Unreachable(region, locs[idx]) {
+				failed++
+				failedRegions[locs[idx]] = true
+				continue
 			}
 			data, err := env.Cluster.Store(locs[idx]).Get(backend.ChunkID{Key: key, Index: idx})
 			if err != nil {
@@ -195,6 +208,24 @@ func containsInt(xs []int, x int) bool {
 // maxWaves bounds degraded-read retries: every chunk can be tried once.
 func maxWaves(codec interface{ Total() int }) int { return codec.Total() }
 
+// offPathFetch reads one chunk directly from its home region for off-path
+// cache population, respecting chaos cuts: a chunk behind a severed link
+// is not fetchable, exactly as on the read path.
+func offPathFetch(env *Env, region geo.RegionID, key string, idx int) ([]byte, bool) {
+	locs := env.Cluster.Placement().Locate(key, env.Cluster.Codec().Total())
+	if idx < 0 || idx >= len(locs) {
+		return nil, false
+	}
+	if env.Sampler != nil && env.Sampler.Unreachable(region, locs[idx]) {
+		return nil, false
+	}
+	data, err := env.Cluster.GetChunk(key, idx)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
 // decode reassembles the object from fetched chunks and returns the decode
 // cost to add to the read latency.
 func decode(env *Env, outcomes []fetchOutcome) ([]byte, time.Duration, error) {
@@ -234,7 +265,7 @@ func (r *BackendReader) Read(key string) ([]byte, Result, error) {
 	codec := r.env.Cluster.Codec()
 	plan := geo.PlanFetch(r.env.Matrix, r.env.Cluster.Placement(), key, codec.Total(), r.region)
 	want := plan.NearestK(codec.K())
-	outcomes, lat, waves, err := fetchBackend(r.env, r.region, key, want, maxWaves(codec))
+	outcomes, lat, waves, err := fetchBackend(r.env, r.region, key, want, nil, maxWaves(codec))
 	if err != nil {
 		return nil, Result{Latency: lat, Waves: waves}, err
 	}

@@ -40,6 +40,13 @@ func NewFixedReader(env *Env, region geo.RegionID, policy cache.Policy, c int, c
 // Name implements Reader.
 func (r *FixedReader) Name() string { return r.name }
 
+// WithName overrides the reported strategy name (the experiments layer
+// labels the pinned-policy reader "fixed-c") and returns the reader.
+func (r *FixedReader) WithName(name string) *FixedReader {
+	r.name = name
+	return r
+}
+
 // Cache exposes the reader's local cache (for inspection in tests and the
 // experiment harness).
 func (r *FixedReader) Cache() *cache.Cache { return r.store }
@@ -81,7 +88,7 @@ func (r *FixedReader) Read(key string) ([]byte, Result, error) {
 	var res Result
 	outcomes := cached
 	if len(want) > 0 {
-		fetched, lat, waves, err := fetchBackend(r.env, r.region, key, want, maxWaves(codec))
+		fetched, lat, waves, err := fetchBackend(r.env, r.region, key, want, have, maxWaves(codec))
 		if err != nil {
 			return nil, Result{Latency: lat, Waves: waves}, err
 		}
@@ -122,9 +129,8 @@ func (r *FixedReader) Read(key string) ([]byte, Result, error) {
 			if !ok {
 				// The policy chunk was not part of this read's fetch set
 				// (can happen under failures); fetch it silently.
-				var err error
-				chunk, err = r.env.Cluster.GetChunk(key, idx)
-				if err != nil {
+				chunk, ok = offPathFetch(r.env, r.region, key, idx)
+				if !ok {
 					continue
 				}
 			}

@@ -172,8 +172,8 @@ loop:
 	// The paper returns MaxV[CacheSize]; if that class was never reached
 	// (small option sets), fall back to the best configuration that fits.
 	best := NewConfig()
-	for w, cfg := range maxV {
-		if w <= cacheSize && cfg.Value > best.Value {
+	for _, w := range sortedWeights(maxV) {
+		if cfg := maxV[w]; w <= cacheSize && cfg.Value > best.Value {
 			best = cfg
 		}
 	}
@@ -215,7 +215,8 @@ func relax(cfg *Config, opt Option, set *OptionSet) {
 				continue
 			}
 			v := cfg.Value + gain - oldOpt.Value + repl.Value
-			if v > cfg.Value && (best == nil || v > best.value) {
+			if v > cfg.Value && (best == nil || v > best.value ||
+				(v == best.value && oldKey < best.oldKey)) {
 				best = &swap{oldKey: oldKey, repl: repl, value: v}
 			}
 		}
@@ -237,7 +238,8 @@ func relax(cfg *Config, opt Option, set *OptionSet) {
 			continue
 		}
 		v := cfg.Value - oldOpt.Value + repl.Value + opt.Value
-		if v > cfg.Value && (best == nil || v > best.value) {
+		if v > cfg.Value && (best == nil || v > best.value ||
+			(v == best.value && oldKey < best.oldKey)) {
 			best = &swap{oldKey: oldKey, repl: repl, value: v}
 		}
 	}

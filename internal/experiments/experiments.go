@@ -147,16 +147,23 @@ func (d *Deployment) SlotsForMB(mb float64) int {
 	return int(math.Round(mb * (1 << 20) / perChunk))
 }
 
-// env builds a fresh client environment with a run-specific sampler.
-func (d *Deployment) env(seed int64) *client.Env {
+// Env builds a client environment around an explicit sampler. The scenario
+// runner threads a chaos-bound sampler through here; pass a fresh
+// netsim.NewSampler for plain runs.
+func (d *Deployment) Env(sampler *netsim.Sampler) *client.Env {
 	return &client.Env{
 		Cluster:        d.Cluster,
 		Matrix:         d.Matrix,
-		Sampler:        netsim.NewSampler(d.Matrix, d.Params.Jitter, seed),
+		Sampler:        sampler,
 		CacheLatency:   d.Params.CacheLatency,
 		DecodeLatency:  d.Params.DecodeLatency,
 		MonitorLatency: d.Params.MonitorLatency,
 	}
+}
+
+// env builds a fresh client environment with a run-specific sampler.
+func (d *Deployment) env(seed int64) *client.Env {
+	return d.Env(netsim.NewSampler(d.Matrix, d.Params.Jitter, seed))
 }
 
 // StrategyKind enumerates the reading strategies of §V-A.
@@ -168,6 +175,10 @@ const (
 	StratLRU
 	StratLFU
 	StratAgar
+	// StratFixed caches a fixed c chunks per object under a pinned policy
+	// that never evicts: the cache freezes on whatever it saw first — the
+	// "static cache" baseline the scenario suite compares against.
+	StratFixed
 )
 
 // Strategy names one evaluated configuration.
@@ -186,6 +197,8 @@ func (s Strategy) Name() string {
 		return fmt.Sprintf("LRU-%d", s.C)
 	case StratLFU:
 		return fmt.Sprintf("LFU-%d", s.C)
+	case StratFixed:
+		return fmt.Sprintf("Fixed-%d", s.C)
 	case StratAgar:
 		return "Agar"
 	default:
@@ -202,27 +215,37 @@ type runSpec struct {
 	seed     int64
 }
 
-// runOnce executes a single run and returns its result.
-func (d *Deployment) runOnce(spec runSpec) (ycsb.Result, error) {
-	env := d.env(spec.seed)
-	slots := d.SlotsForMB(spec.cacheMB)
+// NewReader builds the reader (and Agar node, when the strategy is Agar)
+// for one strategy over the given environment. The seed derives the Agar
+// region manager's warm-up probe sampler; cacheMB sizes the strategy's
+// cache in paper megabytes.
+func (d *Deployment) NewReader(strat Strategy, env *client.Env, region geo.RegionID, cacheMB float64, seed int64) (client.Reader, *core.Node, error) {
+	slots := d.SlotsForMB(cacheMB)
 	cacheBytes := int64(slots) * d.ChunkBytes()
 	if cacheBytes <= 0 {
 		cacheBytes = 1
 	}
-
-	var reader client.Reader
-	var node *core.Node
-	switch spec.strategy.Kind {
+	switch strat.Kind {
+	case StratLRU, StratLFU, StratFixed:
+		if strat.C < 1 || strat.C > d.Params.K {
+			return nil, nil, fmt.Errorf("experiments: %s chunk count %d outside [1, %d]", strat.Name(), strat.C, d.Params.K)
+		}
+	}
+	switch strat.Kind {
 	case StratBackend:
-		reader = client.NewBackendReader(env, spec.region)
+		return client.NewBackendReader(env, region), nil, nil
 	case StratLRU:
-		reader = client.NewFixedReader(env, spec.region, cache.NewLRU(), spec.strategy.C, cacheBytes)
+		return client.NewFixedReader(env, region, cache.NewLRU(), strat.C, cacheBytes), nil, nil
 	case StratLFU:
-		reader = client.NewFixedReader(env, spec.region, cache.NewLFU(), spec.strategy.C, cacheBytes)
+		return client.NewFixedReader(env, region, cache.NewLFU(), strat.C, cacheBytes), nil, nil
+	case StratFixed:
+		// The pinned policy reports itself as "pinned"; label the reader to
+		// match this strategy's naming.
+		return client.NewFixedReader(env, region, cache.NewPinned(), strat.C, cacheBytes).
+			WithName(fmt.Sprintf("fixed-%d", strat.C)), nil, nil
 	case StratAgar:
-		node = core.NewNode(core.NodeParams{
-			Region:         spec.region,
+		node := core.NewNode(core.NodeParams{
+			Region:         region,
 			Regions:        d.Cluster.Regions(),
 			Placement:      d.Cluster.Placement(),
 			K:              d.Params.K,
@@ -236,13 +259,22 @@ func (d *Deployment) runOnce(spec runSpec) (ycsb.Result, error) {
 		})
 		// Warm-up latency probes through the same jittered sampler the
 		// reads use, as the paper's region manager does.
-		sampler := netsim.NewSampler(d.Matrix, d.Params.Jitter, spec.seed+7777)
+		sampler := netsim.NewSampler(d.Matrix, d.Params.Jitter, seed+7777)
 		node.RegionManager().WarmUp(func(r geo.RegionID) time.Duration {
-			return sampler.Chunk(spec.region, r)
+			return sampler.Chunk(region, r)
 		}, 3)
-		reader = client.NewAgarReader(env, spec.region, node)
+		return client.NewAgarReader(env, region, node), node, nil
 	default:
-		return ycsb.Result{}, fmt.Errorf("experiments: unknown strategy %v", spec.strategy)
+		return nil, nil, fmt.Errorf("experiments: unknown strategy %v", strat)
+	}
+}
+
+// runOnce executes a single run and returns its result.
+func (d *Deployment) runOnce(spec runSpec) (ycsb.Result, error) {
+	env := d.env(spec.seed)
+	reader, node, err := d.NewReader(spec.strategy, env, spec.region, spec.cacheMB, spec.seed)
+	if err != nil {
+		return ycsb.Result{}, err
 	}
 
 	return ycsb.Run(ycsb.RunConfig{

@@ -30,6 +30,11 @@ type ClusterConfig struct {
 	// 0.01 turns 980 ms into 9.8 ms). Zero scale disables delay injection.
 	Matrix     *geo.LatencyMatrix
 	DelayScale float64
+	// Schedule, when set, overlays time-varying chaos (latency shifts and
+	// link cuts) on the emulated WAN, evaluated against the wall clock.
+	// Readers skip chunks behind severed links at fetch-planning time, the
+	// way a real client's failure detector steers around a partition.
+	Schedule *netsim.Schedule
 	// UseUDPHints selects the UDP hint channel instead of TCP.
 	UseUDPHints bool
 }
@@ -201,13 +206,17 @@ func NewNetworkReader(c *Cluster, region geo.RegionID) (*NetworkReader, error) {
 	for r, srv := range c.storeSrvs {
 		stores[r] = NewRemoteStore(srv.Addr())
 	}
+	sampler := netsim.NewSampler(c.cfg.Matrix, 0, 1)
+	if c.cfg.Schedule != nil {
+		sampler.SetChaos(netsim.RealClock{}, c.cfg.Schedule)
+	}
 	return &NetworkReader{
 		cluster: c,
 		region:  region,
 		hinter:  hinter,
 		cacheC:  NewRemoteCache(c.CacheAddr()),
 		stores:  stores,
-		sampler: netsim.NewSampler(c.cfg.Matrix, 0, 1),
+		sampler: sampler,
 	}, nil
 }
 
@@ -251,15 +260,17 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 		hinted[idx] = true
 	}
 
-	// Choose the k chunks to fetch: hinted first, then nearest others.
+	// Choose the k chunks to fetch: hinted first, then nearest others —
+	// steering around regions the chaos schedule has severed.
 	want := append([]int(nil), hintChunks...)
 	for _, idx := range plan.Chunks {
 		if len(want) == k {
 			break
 		}
-		if !hinted[idx] {
-			want = append(want, idx)
+		if hinted[idx] || r.sampler.Unreachable(r.region, locs[idx]) {
+			continue
 		}
+		want = append(want, idx)
 	}
 	if len(want) > k {
 		want = want[:k]
@@ -283,6 +294,10 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 					return
 				}
 				// Hinted but missing: fall through to the backend.
+			}
+			if r.sampler.Unreachable(r.region, locs[idx]) {
+				results <- outcome{idx: idx, err: fmt.Errorf("live: region %v unreachable", locs[idx])}
+				return
 			}
 			r.delay(locs[idx])
 			data, err := r.stores[locs[idx]].Get(backend.ChunkID{Key: key, Index: idx})

@@ -78,6 +78,12 @@ type Sampler struct {
 	matrix *geo.LatencyMatrix
 	jitter float64 // fraction, e.g. 0.05 for +-5%
 	rng    *rand.Rand
+
+	// Chaos overlay: when bound, chunk latencies pass through the
+	// schedule's active shifts at the clock's current instant, and cut
+	// links report as unreachable.
+	clock    Clock
+	schedule *Schedule
 }
 
 // NewSampler returns a sampler over the matrix with the given jitter
@@ -89,11 +95,44 @@ func NewSampler(m *geo.LatencyMatrix, jitter float64, seed int64) *Sampler {
 	return &Sampler{matrix: m, jitter: jitter, rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetChaos binds the sampler to a chaos schedule evaluated on the given
+// clock. Subsequent Chunk calls apply the schedule's active latency shifts
+// and Unreachable consults its cuts. A nil schedule unbinds.
+func (s *Sampler) SetChaos(clock Clock, schedule *Schedule) {
+	s.mu.Lock()
+	s.clock = clock
+	s.schedule = schedule
+	s.mu.Unlock()
+}
+
+// chaos returns the bound clock and schedule, or ok=false when unbound.
+func (s *Sampler) chaos() (Clock, *Schedule, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.schedule == nil || s.clock == nil {
+		return nil, nil, false
+	}
+	return s.clock, s.schedule, true
+}
+
 // Chunk returns a jittered chunk-read latency for a client in `from`
-// reading a chunk stored in `to`.
+// reading a chunk stored in `to`, after applying any active chaos shifts.
 func (s *Sampler) Chunk(from, to geo.RegionID) time.Duration {
 	base := s.matrix.Get(from, to)
+	if clock, sched, ok := s.chaos(); ok {
+		base = sched.LatencyAt(clock.Now(), from, to, base)
+	}
 	return s.perturb(base)
+}
+
+// Unreachable reports whether the (from, to) link is currently severed by
+// the bound chaos schedule. An unbound sampler never reports cuts.
+func (s *Sampler) Unreachable(from, to geo.RegionID) bool {
+	clock, sched, ok := s.chaos()
+	if !ok {
+		return false
+	}
+	return sched.CutAt(clock.Now(), from, to)
 }
 
 // Fixed returns a jittered sample around an arbitrary base duration (used

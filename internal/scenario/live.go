@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/live"
+	"github.com/agardist/agar/internal/stats"
+	"github.com/agardist/agar/internal/workload"
+)
+
+// LiveOptions sizes a live smoke run. The smoke boots the full localhost
+// cluster (store servers, cache server, hint service, real TCP framing) and
+// replays the scenario's opening phase through it — a deployment-level
+// sanity check for the simulated results, not a benchmark.
+type LiveOptions struct {
+	// Ops is the number of measured reads (default 120).
+	Ops int
+	// Objects is the working set (default 40).
+	Objects int
+	// ObjectBytes is the stored object size (default 4 KiB).
+	ObjectBytes int
+	// K, M are the erasure-code parameters (default 4+2: one chunk per
+	// default region, so outages and partitions bite).
+	K, M int
+	// DelayScale compresses the emulated WAN delays (default 0.002:
+	// 980 ms becomes ~2 ms). Negative disables delay injection entirely.
+	DelayScale float64
+	// Seed drives the workload.
+	Seed int64
+}
+
+func (o LiveOptions) withDefaults() LiveOptions {
+	if o.Ops <= 0 {
+		o.Ops = 120
+	}
+	if o.Objects <= 0 {
+		o.Objects = 40
+	}
+	if o.ObjectBytes <= 0 {
+		o.ObjectBytes = 4 * 1024
+	}
+	if o.K <= 0 {
+		o.K, o.M = 4, 2
+	}
+	if o.DelayScale == 0 {
+		o.DelayScale = 0.002
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// LiveResult summarises a live smoke run.
+type LiveResult struct {
+	Scenario    string                `json:"scenario"`
+	Phase       string                `json:"phase"`
+	Latency     stats.DurationSummary `json:"latency"`
+	CacheChunks int                   `json:"cache_chunks"`
+	Errors      int                   `json:"errors"`
+}
+
+// RunLiveSmoke replays the scenario's first phase against the localhost
+// cluster: real sockets, real wire framing, the region's Agar node
+// reconfiguring on the wall clock, and the phase's chaos events (if any)
+// compiled onto a wall-clock netsim schedule. It validates that the
+// simulated pipeline holds together as a deployed system.
+func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	region := geo.Frankfurt
+	if spec.Region != "" {
+		region, _ = geo.ParseRegion(spec.Region)
+	}
+
+	// The first phase, with hot key ranges rescaled from the scenario's
+	// working set into the smoke's smaller one. Its network events are
+	// compiled now but stay dormant (epoch parked in the future) until
+	// measurement starts, so cluster boot, loading and warm-up run chaos-
+	// free — the same semantics as the simulated runner.
+	phase := rescalePhase(spec.Phases[0], spec.objects(), opts.Objects)
+	firstPhase := Spec{Name: spec.Name, Phases: []Phase{phase}}
+	sched := compile(firstPhase, time.Now()).schedule
+	sched.SetEpoch(time.Now().Add(24 * time.Hour))
+
+	chunkBytes := int64(opts.ObjectBytes/opts.K + 1)
+	cluster, err := live.StartCluster(live.ClusterConfig{
+		Regions:        geo.DefaultRegions(),
+		K:              opts.K,
+		M:              opts.M,
+		ClientRegion:   region,
+		CacheBytes:     30 * chunkBytes,
+		ChunkBytes:     chunkBytes,
+		ReconfigPeriod: 200 * time.Millisecond,
+		DelayScale:     opts.DelayScale,
+		Schedule:       sched,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q live: %w", spec.Name, err)
+	}
+	defer cluster.Close()
+
+	payload := make([]byte, opts.ObjectBytes)
+	for i := range payload {
+		payload[i] = byte(i * 17)
+	}
+	for i := 0; i < opts.Objects; i++ {
+		if err := cluster.Backend().PutObject(workload.KeyName(i), payload); err != nil {
+			return nil, fmt.Errorf("scenario %q live: load: %w", spec.Name, err)
+		}
+	}
+
+	reader, err := live.NewNetworkReader(cluster, region)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q live: %w", spec.Name, err)
+	}
+	defer reader.Close()
+
+	gen := phase.Workload.generator(opts.Objects, opts.Seed)
+	res := &LiveResult{Scenario: spec.Name, Phase: phase.Name}
+	lat := stats.NewLatencySummary(opts.Ops)
+	warmup := opts.Ops / 3
+	for i := 0; i < warmup+opts.Ops; i++ {
+		if i == warmup {
+			// Measurement starts here: activate the phase's chaos events.
+			sched.SetEpoch(time.Now())
+		}
+		key := workload.KeyName(gen.Next())
+		_, elapsed, fromCache, err := reader.Read(key)
+		if i < warmup {
+			continue
+		}
+		if err != nil {
+			res.Errors++
+			continue
+		}
+		lat.Add(elapsed)
+		res.CacheChunks += fromCache
+	}
+	res.Latency = lat.Summarize()
+	return res, nil
+}
+
+// rescalePhase maps the phase's hot key ranges from an n-object working
+// set onto an m-object one, preserving their relative position and width.
+func rescalePhase(p Phase, n, m int) Phase {
+	scaleRange := func(lo, hi int) (int, int) {
+		nlo := lo * m / n
+		nhi := hi * m / n
+		if nhi <= nlo {
+			nhi = nlo + 1
+		}
+		if nhi > m {
+			nhi = m
+			if nlo >= nhi {
+				nlo = nhi - 1
+			}
+		}
+		return nlo, nhi
+	}
+	var scaleWorkload func(w Workload) Workload
+	scaleWorkload = func(w Workload) Workload {
+		if w.Kind == WorkloadHotspot {
+			w.HotLo, w.HotHi = scaleRange(w.HotLo, w.HotHi)
+		}
+		if len(w.Components) > 0 {
+			comps := make([]MixComponent, len(w.Components))
+			copy(comps, w.Components)
+			for i, c := range comps {
+				comps[i].Workload = scaleWorkload(c.Workload)
+			}
+			w.Components = comps
+		}
+		return w
+	}
+	p.Workload = scaleWorkload(p.Workload)
+	if len(p.Events) > 0 {
+		events := make([]Event, len(p.Events))
+		copy(events, p.Events)
+		for i, e := range events {
+			if e.Kind == EventFlashCrowd {
+				events[i].HotLo, events[i].HotHi = scaleRange(e.HotLo, e.HotHi)
+			}
+		}
+		p.Events = events
+	}
+	return p
+}

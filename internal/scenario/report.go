@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/agardist/agar/internal/experiments"
+	"github.com/agardist/agar/internal/stats"
+	"github.com/agardist/agar/internal/ycsb"
+)
+
+// ReportSchema versions the JSON layout of a scenario report.
+const ReportSchema = "agar/scenario-report/v1"
+
+// ArmPhase is one arm's metrics over one phase.
+type ArmPhase struct {
+	Arm         string  `json:"arm"`
+	Ops         int     `json:"ops"`
+	Errors      int     `json:"errors"`
+	MeanMS      float64 `json:"mean_ms"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+	HitRatio    float64 `json:"hit_ratio"`
+	FullHits    int     `json:"full_hits"`
+	PartialHits int     `json:"partial_hits"`
+	Misses      int     `json:"misses"`
+	Reconfigs   int     `json:"reconfigs"`
+}
+
+// PhaseReport is one phase across every arm.
+type PhaseReport struct {
+	Name      string     `json:"name"`
+	DurationS float64    `json:"duration_s"`
+	Workload  Workload   `json:"workload"`
+	Events    []Event    `json:"events,omitempty"`
+	Arms      []ArmPhase `json:"arms"`
+}
+
+// ArmTotal aggregates one arm over the whole scenario. Mean is
+// ops-weighted across phases; P99MS is the worst phase's p99.
+type ArmTotal struct {
+	Arm      string  `json:"arm"`
+	Ops      int     `json:"ops"`
+	Errors   int     `json:"errors"`
+	MeanMS   float64 `json:"mean_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Delta is a paired comparison of Agar's mean latency against another arm
+// over one phase: negative percentages mean Agar was faster.
+type Delta struct {
+	Phase    string  `json:"phase"`
+	Arm      string  `json:"arm"`
+	AgarMS   float64 `json:"agar_ms"`
+	ArmMS    float64 `json:"arm_ms"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// Report is the machine-readable outcome of one scenario run.
+type Report struct {
+	Schema      string        `json:"schema"`
+	Scenario    string        `json:"scenario"`
+	Description string        `json:"description,omitempty"`
+	Region      string        `json:"region"`
+	Seed        int64         `json:"seed"`
+	Arms        []string      `json:"arms"`
+	Phases      []PhaseReport `json:"phases"`
+	Totals      []ArmTotal    `json:"totals"`
+	Deltas      []Delta       `json:"deltas,omitempty"`
+	ElapsedMS   float64       `json:"elapsed_ms"`
+}
+
+// buildReport folds per-arm per-phase results into the report layout.
+func buildReport(spec Spec, region string, arms []experiments.Strategy, perArm [][]ycsb.Result, opts Options) *Report {
+	rep := &Report{
+		Schema:      ReportSchema,
+		Scenario:    spec.Name,
+		Description: spec.Description,
+		Region:      region,
+		Seed:        opts.Seed,
+	}
+	for _, a := range arms {
+		rep.Arms = append(rep.Arms, a.Name())
+	}
+
+	for pi, p := range spec.Phases {
+		pr := PhaseReport{
+			Name:      p.Name,
+			DurationS: p.Duration.Seconds(),
+			Workload:  p.Workload,
+			Events:    p.Events,
+		}
+		for ai := range arms {
+			r := perArm[ai][pi]
+			pr.Arms = append(pr.Arms, ArmPhase{
+				Arm:         arms[ai].Name(),
+				Ops:         r.Operations,
+				Errors:      r.Errors,
+				MeanMS:      stats.MS(r.Mean),
+				P50MS:       stats.MS(r.P50),
+				P95MS:       stats.MS(r.P95),
+				P99MS:       stats.MS(r.P99),
+				MaxMS:       stats.MS(r.Max),
+				HitRatio:    r.HitRatio(),
+				FullHits:    r.FullHits,
+				PartialHits: r.PartialHits,
+				Misses:      r.Misses,
+				Reconfigs:   r.Reconfigs,
+			})
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+
+	// Totals: means weighted by the reads that produced latency samples
+	// (errored reads carry no latency), summed hit classes over all
+	// requests, worst-phase p99.
+	for ai := range arms {
+		t := ArmTotal{Arm: arms[ai].Name()}
+		var weighted float64
+		hits, measured := 0, 0
+		for _, r := range perArm[ai] {
+			t.Ops += r.Operations
+			t.Errors += r.Errors
+			n := r.Operations - r.Errors
+			measured += n
+			weighted += stats.MS(r.Mean) * float64(n)
+			hits += r.FullHits + r.PartialHits
+			if p99 := stats.MS(r.P99); p99 > t.P99MS {
+				t.P99MS = p99
+			}
+		}
+		if measured > 0 {
+			t.MeanMS = weighted / float64(measured)
+		}
+		if t.Ops > 0 {
+			t.HitRatio = float64(hits) / float64(t.Ops)
+		}
+		rep.Totals = append(rep.Totals, t)
+	}
+
+	// Paired deltas: Agar against every other arm, per phase.
+	agarIdx := -1
+	for ai := range arms {
+		if arms[ai].Kind == experiments.StratAgar {
+			agarIdx = ai
+			break
+		}
+	}
+	if agarIdx >= 0 {
+		for pi, p := range spec.Phases {
+			agarMS := stats.MS(perArm[agarIdx][pi].Mean)
+			for ai := range arms {
+				if ai == agarIdx {
+					continue
+				}
+				armMS := stats.MS(perArm[ai][pi].Mean)
+				d := Delta{Phase: p.Name, Arm: arms[ai].Name(), AgarMS: agarMS, ArmMS: armMS}
+				if armMS > 0 {
+					d.DeltaPct = (agarMS - armMS) / armMS * 100
+				}
+				rep.Deltas = append(rep.Deltas, d)
+			}
+		}
+	}
+	return rep
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Markdown renders the human-readable summary: per-phase tables plus the
+// paired delta matrix.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Scenario: %s\n\n", r.Scenario)
+	if r.Description != "" {
+		fmt.Fprintf(&b, "%s\n\n", r.Description)
+	}
+	fmt.Fprintf(&b, "region `%s` · seed %d · arms: %s\n", r.Region, r.Seed, strings.Join(r.Arms, ", "))
+
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "\n### Phase %s (%.0fs", p.Name, p.DurationS)
+		fmt.Fprintf(&b, ", %s", p.Workload.Kind)
+		for _, e := range p.Events {
+			fmt.Fprintf(&b, ", %s@%s", e.Kind, e.At.Round(time.Second))
+		}
+		b.WriteString(")\n\n")
+		b.WriteString("| arm | ops | mean | p50 | p95 | p99 | hit ratio | errors |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, a := range p.Arms {
+			fmt.Fprintf(&b, "| %s | %d | %.0f ms | %.0f ms | %.0f ms | %.0f ms | %.3f | %d |\n",
+				a.Arm, a.Ops, a.MeanMS, a.P50MS, a.P95MS, a.P99MS, a.HitRatio, a.Errors)
+		}
+	}
+
+	b.WriteString("\n### Totals\n\n")
+	b.WriteString("| arm | ops | mean | worst p99 | hit ratio | errors |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+	for _, t := range r.Totals {
+		fmt.Fprintf(&b, "| %s | %d | %.0f ms | %.0f ms | %.3f | %d |\n",
+			t.Arm, t.Ops, t.MeanMS, t.P99MS, t.HitRatio, t.Errors)
+	}
+
+	if len(r.Deltas) > 0 {
+		b.WriteString("\n### Paired deltas (Agar mean latency vs arm; negative = Agar faster)\n\n")
+		// One row per phase, one column per non-Agar arm.
+		cols := []string{}
+		seen := map[string]bool{}
+		for _, d := range r.Deltas {
+			if !seen[d.Arm] {
+				seen[d.Arm] = true
+				cols = append(cols, d.Arm)
+			}
+		}
+		fmt.Fprintf(&b, "| phase | %s |\n", strings.Join(cols, " | "))
+		b.WriteString("|---|" + strings.Repeat("---:|", len(cols)) + "\n")
+		byPhase := map[string]map[string]Delta{}
+		order := []string{}
+		for _, d := range r.Deltas {
+			if byPhase[d.Phase] == nil {
+				byPhase[d.Phase] = map[string]Delta{}
+				order = append(order, d.Phase)
+			}
+			byPhase[d.Phase][d.Arm] = d
+		}
+		for _, phase := range order {
+			fmt.Fprintf(&b, "| %s |", phase)
+			for _, c := range cols {
+				d, ok := byPhase[phase][c]
+				if !ok || d.ArmMS == 0 {
+					b.WriteString(" — |")
+					continue
+				}
+				fmt.Fprintf(&b, " %+.1f%% |", d.DeltaPct)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

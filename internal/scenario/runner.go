@@ -1,0 +1,384 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/core"
+	"github.com/agardist/agar/internal/experiments"
+	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/netsim"
+	"github.com/agardist/agar/internal/workload"
+	"github.com/agardist/agar/internal/ycsb"
+)
+
+// Options tunes a scenario run without changing the scenario's shape.
+type Options struct {
+	// Arms are the cache policies to compare; nil means DefaultArms with
+	// the spec's CacheChunks.
+	Arms []experiments.Strategy
+	// OpCap bounds the measured operations per phase as a safety net
+	// against runaway virtual phases (default 5000).
+	OpCap int
+	// WarmupOps run on the first phase's workload before measurement, with
+	// chaos inactive. Zero means the default of 300; pass a negative value
+	// to disable warm-up entirely (cold-cache runs).
+	WarmupOps int
+	// Seed makes the whole run deterministic; every arm replays the same
+	// seeded key stream and latency jitter so arms pair (default 1).
+	Seed int64
+	// ObjectBytes is the real simulated object size (default 9 KiB).
+	ObjectBytes int
+	// Solver picks Agar's knapsack algorithm (default POPULATE).
+	Solver core.Solver
+}
+
+func (o Options) withDefaults() Options {
+	if o.OpCap <= 0 {
+		o.OpCap = 5000
+	}
+	if o.WarmupOps < 0 {
+		o.WarmupOps = 0
+	} else if o.WarmupOps == 0 {
+		o.WarmupOps = 300
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ObjectBytes <= 0 {
+		o.ObjectBytes = 9 * 1024
+	}
+	if o.Solver == 0 {
+		o.Solver = core.SolverPopulate
+	}
+	return o
+}
+
+// DefaultArms returns the suite's standard comparison: Agar's knapsack
+// against the LRU-c, LFU-c and backend-only baselines.
+func DefaultArms(c int) []experiments.Strategy {
+	return []experiments.Strategy{
+		{Kind: experiments.StratAgar},
+		{Kind: experiments.StratLRU, C: c},
+		{Kind: experiments.StratLFU, C: c},
+		{Kind: experiments.StratBackend},
+	}
+}
+
+// AllArms additionally includes the pinned fixed-cache baseline.
+func AllArms(c int) []experiments.Strategy {
+	return append(DefaultArms(c), experiments.Strategy{Kind: experiments.StratFixed, C: c})
+}
+
+// ParseArm resolves an arm name ("agar", "lru", "lfu", "fixed", "backend")
+// to a strategy with the given fixed chunk count.
+func ParseArm(name string, c int) (experiments.Strategy, error) {
+	switch name {
+	case "agar":
+		return experiments.Strategy{Kind: experiments.StratAgar}, nil
+	case "lru":
+		return experiments.Strategy{Kind: experiments.StratLRU, C: c}, nil
+	case "lfu":
+		return experiments.Strategy{Kind: experiments.StratLFU, C: c}, nil
+	case "fixed":
+		return experiments.Strategy{Kind: experiments.StratFixed, C: c}, nil
+	case "backend":
+		return experiments.Strategy{Kind: experiments.StratBackend}, nil
+	default:
+		return experiments.Strategy{}, fmt.Errorf("scenario: unknown arm %q (want agar|lru|lfu|fixed|backend)", name)
+	}
+}
+
+// generator builds the phase workload's key stream.
+func (w Workload) generator(n int, seed int64) workload.Generator {
+	skew := w.Skew
+	if skew == 0 {
+		skew = 1.1 // the paper's default
+	}
+	switch w.Kind {
+	case WorkloadZipfian:
+		return workload.NewZipfian(n, skew, seed)
+	case WorkloadScrambled:
+		return workload.NewScrambledZipfian(n, skew, seed)
+	case WorkloadUniform:
+		return workload.NewUniform(n, seed)
+	case WorkloadHotspot:
+		return workload.NewRangeHotspot(n, w.HotLo, w.HotHi, w.HotFrac, seed)
+	case WorkloadLatest:
+		return workload.NewLatest(n, skew, seed)
+	case WorkloadMix:
+		comps := make([]workload.Component, len(w.Components))
+		for i, c := range w.Components {
+			comps[i] = workload.Component{
+				Weight: c.Weight,
+				Gen:    c.Workload.generator(n, seed+int64(i)*97+1),
+			}
+		}
+		return workload.NewMix(seed, comps...)
+	default:
+		panic(fmt.Sprintf("scenario: unvalidated workload kind %q", w.Kind))
+	}
+}
+
+// flashWindow is a compiled flash-crowd overlay, in offsets from the
+// schedule epoch.
+type flashWindow struct {
+	window netsim.Window
+	lo, hi int
+	frac   float64
+}
+
+// crashAction is a compiled one-shot cache crash.
+type crashAction struct {
+	at    time.Duration
+	fired bool
+}
+
+// flashGen overlays flash-crowd windows on a base generator: inside an
+// active window, frac of the requests divert uniformly into the hot range.
+type flashGen struct {
+	clock   *netsim.VirtualClock
+	epoch   time.Time
+	base    workload.Generator
+	windows []flashWindow
+	rng     *rand.Rand
+}
+
+// Next implements workload.Generator.
+func (g *flashGen) Next() int {
+	off := g.clock.Now().Sub(g.epoch)
+	for _, w := range g.windows {
+		if !w.window.Contains(off) {
+			continue
+		}
+		if g.rng.Float64() < w.frac {
+			return w.lo + g.rng.Intn(w.hi-w.lo)
+		}
+		break
+	}
+	return g.base.Next()
+}
+
+// N implements workload.Generator.
+func (g *flashGen) N() int { return g.base.N() }
+
+// compiled is a spec lowered onto one arm-run's virtual timeline.
+type compiled struct {
+	schedule *netsim.Schedule
+	flash    [][]flashWindow  // per phase
+	crashes  [][]*crashAction // per phase
+}
+
+// compile lowers the spec's events onto a schedule anchored at epoch.
+// Network events (shifts, partitions, outages) become schedule rules;
+// client-side events (cache crashes, flash crowds) become per-phase hooks.
+func compile(spec Spec, epoch time.Time) *compiled {
+	c := &compiled{
+		schedule: netsim.NewSchedule(epoch),
+		flash:    make([][]flashWindow, len(spec.Phases)),
+		crashes:  make([][]*crashAction, len(spec.Phases)),
+	}
+	var off time.Duration
+	for i, p := range spec.Phases {
+		for _, e := range p.Events {
+			start := off + e.At
+			end := start + e.Duration
+			if e.Duration == 0 {
+				end = off + p.Duration
+			}
+			w := netsim.Window{Start: start, End: end}
+			switch e.Kind {
+			case EventLatencyShift:
+				from, _ := wildcardRegion(e.From)
+				to, _ := wildcardRegion(e.To)
+				c.schedule.Shift(w, from, to, e.Factor, e.Add)
+			case EventPartition:
+				a, _ := geo.ParseRegion(e.From)
+				b, _ := geo.ParseRegion(e.To)
+				c.schedule.Cut(w, a, b)
+			case EventRegionOutage:
+				r, _ := geo.ParseRegion(e.Region)
+				c.schedule.CutRegion(w, r)
+			case EventCacheCrash:
+				c.crashes[i] = append(c.crashes[i], &crashAction{at: start})
+			case EventFlashCrowd:
+				c.flash[i] = append(c.flash[i], flashWindow{window: w, lo: e.HotLo, hi: e.HotHi, frac: e.HotFrac})
+			}
+		}
+		off += p.Duration
+	}
+	return c
+}
+
+// Run executes the scenario for every arm on the in-process simulator and
+// assembles the report. Arms share one loaded deployment (the backend is
+// immutable during runs — outages are modelled at the network layer) and
+// replay identical seeded workloads, so per-phase results pair across arms.
+func Run(spec Spec, opts Options) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	region := geo.Frankfurt
+	if spec.Region != "" {
+		region, _ = geo.ParseRegion(spec.Region)
+	}
+	arms := opts.Arms
+	if len(arms) == 0 {
+		c := spec.CacheChunks
+		if c <= 0 {
+			c = 3
+		}
+		arms = DefaultArms(c)
+	}
+
+	params := experiments.DefaultParams()
+	params.NumObjects = spec.objects()
+	params.ObjectBytes = opts.ObjectBytes
+	params.Seed = opts.Seed
+	params.Solver = opts.Solver
+	if spec.Clients > 0 {
+		params.Clients = spec.Clients
+	}
+	d, err := experiments.NewDeployment(params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+
+	start := time.Now()
+	perArm := make([][]ycsb.Result, len(arms))
+	for i, arm := range arms {
+		results, err := runArm(d, spec, opts, arm, region)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q arm %s: %w", spec.Name, arm.Name(), err)
+		}
+		perArm[i] = results
+	}
+	rep := buildReport(spec, region.String(), arms, perArm, opts)
+	rep.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return rep, nil
+}
+
+// runArm plays the whole scenario timeline through one policy arm.
+func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.Strategy, region geo.RegionID) ([]ycsb.Result, error) {
+	cacheMB := spec.CacheMB
+	if cacheMB <= 0 {
+		cacheMB = 10
+	}
+	clients := d.Params.Clients
+
+	clock := netsim.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	sampler := netsim.NewSampler(d.Matrix, d.Params.Jitter, opts.Seed)
+	env := d.Env(sampler)
+	reader, node, err := d.NewReader(arm, env, region, cacheMB, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm caches and popularity statistics on the opening workload with
+	// chaos inactive, exactly like the paper's warm-up reads.
+	n := spec.objects()
+	if opts.WarmupOps > 0 {
+		_, err := ycsb.Run(ycsb.RunConfig{
+			Reader:     reader,
+			Generator:  spec.Phases[0].Workload.generator(n, opts.Seed+101),
+			Operations: opts.WarmupOps,
+			Clock:      clock,
+			Node:       node,
+			Clients:    clients,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("warm-up: %w", err)
+		}
+	}
+
+	// Measurement starts now: anchor the chaos timeline here and bind it
+	// into the sampler every read flows through.
+	epoch := clock.Now()
+	comp := compile(spec, epoch)
+	sampler.SetChaos(clock, comp.schedule)
+	defer sampler.SetChaos(nil, nil)
+
+	clearCache := cacheClearer(reader, node)
+
+	results := make([]ycsb.Result, 0, len(spec.Phases))
+	var elapsed time.Duration
+	for i, p := range spec.Phases {
+		// Deadlines anchor to the epoch, exactly like the compiled event
+		// windows: a phase whose last operation overshoots its boundary
+		// starts the next phase late, but the overshoot never accumulates
+		// and event windows stay aligned with phase boundaries.
+		elapsed += p.Duration
+		deadline := epoch.Add(elapsed)
+		var gen workload.Generator = p.Workload.generator(n, opts.Seed+int64(i)*1009+7)
+		if len(comp.flash[i]) > 0 {
+			gen = &flashGen{
+				clock:   clock,
+				epoch:   epoch,
+				base:    gen,
+				windows: comp.flash[i],
+				rng:     rand.New(rand.NewSource(opts.Seed + int64(i)*31 + 13)),
+			}
+		}
+		var beforeOp func(time.Time)
+		if crashes := comp.crashes[i]; len(crashes) > 0 {
+			beforeOp = func(now time.Time) {
+				off := now.Sub(epoch)
+				for _, c := range crashes {
+					if !c.fired && off >= c.at {
+						c.fired = true
+						if clearCache != nil {
+							clearCache()
+						}
+					}
+				}
+			}
+		}
+		res, err := ycsb.Run(ycsb.RunConfig{
+			Reader:     reader,
+			Generator:  gen,
+			Operations: opts.OpCap,
+			Clock:      clock,
+			Node:       node,
+			Clients:    clients,
+			Deadline:   deadline,
+			BeforeOp:   beforeOp,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("phase %q: %w", p.Name, err)
+		}
+		// If the op cap ended the phase early, jump to the phase boundary so
+		// later phases see their event windows at the declared offsets.
+		if now := clock.Now(); now.Before(deadline) {
+			clock.Advance(deadline.Sub(now))
+		}
+		// Fire any timed actions still pending for this phase (scheduled
+		// after the last operation, or inside an op-cap-skipped interval),
+		// so every arm leaves the phase in the same state regardless of its
+		// op rate.
+		for _, c := range comp.crashes[i] {
+			if !c.fired {
+				c.fired = true
+				if clearCache != nil {
+					clearCache()
+				}
+			}
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// cacheClearer resolves how a cache-crash event empties this arm's cache;
+// nil for arms with no cache (backend).
+func cacheClearer(reader interface{}, node *core.Node) func() {
+	if node != nil {
+		return node.Cache().Clear
+	}
+	if c, ok := reader.(interface{ Cache() *cache.Cache }); ok {
+		return c.Cache().Clear
+	}
+	return nil
+}

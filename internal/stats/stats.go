@@ -134,6 +134,34 @@ func (s *LatencySummary) Percentile(p float64) time.Duration {
 	return s.samples[rank-1]
 }
 
+// DurationSummary is a JSON-friendly snapshot of a latency distribution,
+// in milliseconds — the unit every report in this repo uses.
+type DurationSummary struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MinMS  float64 `json:"min_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// MS converts a duration to float milliseconds.
+func MS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Summarize snapshots the distribution.
+func (s *LatencySummary) Summarize() DurationSummary {
+	return DurationSummary{
+		Count:  s.N(),
+		MeanMS: MS(s.Mean()),
+		P50MS:  MS(s.Percentile(50)),
+		P95MS:  MS(s.Percentile(95)),
+		P99MS:  MS(s.Percentile(99)),
+		MinMS:  MS(s.Min()),
+		MaxMS:  MS(s.Max()),
+	}
+}
+
 // Min returns the smallest observation (0 when empty).
 func (s *LatencySummary) Min() time.Duration { return s.Percentile(0) }
 

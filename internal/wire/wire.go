@@ -70,6 +70,9 @@ type Message struct {
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 	ErrBadFrame      = errors.New("wire: malformed frame")
+	// ErrTruncated reports a stream that ended mid-frame: the peer closed
+	// or the connection dropped after a partial length prefix or body.
+	ErrTruncated = errors.New("wire: truncated frame")
 )
 
 // Encode serialises the message into a frame.
@@ -93,14 +96,16 @@ func Encode(m Message) ([]byte, error) {
 	return buf, nil
 }
 
-// Decode parses one frame payload (without the u32 length prefix).
+// Decode parses one frame payload (without the u32 length prefix). Frames
+// whose declared header length exceeds the frame are rejected with
+// ErrBadFrame rather than read out of bounds.
 func Decode(frame []byte) (Message, error) {
 	if len(frame) < 2 {
-		return Message{}, ErrBadFrame
+		return Message{}, fmt.Errorf("%w: %d-byte frame below minimum", ErrBadFrame, len(frame))
 	}
 	hlen := int(binary.BigEndian.Uint16(frame))
 	if 2+hlen > len(frame) {
-		return Message{}, ErrBadFrame
+		return Message{}, fmt.Errorf("%w: header length %d exceeds %d-byte frame", ErrBadFrame, hlen, len(frame))
 	}
 	var h Header
 	if err := json.Unmarshal(frame[2:2+hlen], &h); err != nil {
@@ -124,10 +129,15 @@ func Write(w io.Writer, m Message) error {
 	return err
 }
 
-// Read receives one message from a stream connection.
+// Read receives one message from a stream connection. A stream that ends
+// cleanly between frames returns io.EOF; one that ends mid-frame returns
+// ErrTruncated so callers can tell a graceful close from a torn one.
 func Read(r io.Reader) (Message, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Message{}, fmt.Errorf("%w: stream ended inside the length prefix", ErrTruncated)
+		}
 		return Message{}, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
@@ -135,7 +145,11 @@ func Read(r io.Reader) (Message, error) {
 		return Message{}, ErrFrameTooLarge
 	}
 	frame := make([]byte, n)
-	if _, err := io.ReadFull(r, frame); err != nil {
+	read, err := io.ReadFull(r, frame)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Message{}, fmt.Errorf("%w: stream ended %d bytes into a %d-byte frame", ErrTruncated, read, n)
+		}
 		return Message{}, fmt.Errorf("wire: short frame: %w", err)
 	}
 	return Decode(frame)

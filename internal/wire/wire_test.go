@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"net"
 	"testing"
 	"testing/quick"
@@ -189,5 +191,99 @@ func TestEncodeDecodeQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestDecodeHeaderLengthValidation table-drives Decode over frames whose
+// declared header length disagrees with the frame's actual size.
+func TestDecodeHeaderLengthValidation(t *testing.T) {
+	valid, err := Encode(Message{Header: Header{Op: OpGet, Key: "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		frame   []byte
+		wantErr error
+	}{
+		{"empty frame", nil, ErrBadFrame},
+		{"one-byte frame", []byte{0}, ErrBadFrame},
+		{"header length one past frame end", []byte{0, 3, '{', '}'}, ErrBadFrame},
+		{"header length far past frame end", []byte{0xFF, 0xFF, '{', '}'}, ErrBadFrame},
+		{"header fills frame exactly", []byte{0, 2, '{', '}'}, nil},
+		{"valid encoded frame", valid[4:], nil},
+	}
+	for _, c := range cases {
+		_, err := Decode(c.frame)
+		if c.wantErr == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.wantErr) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestReadTruncatedFrames table-drives Read over streams that end mid-frame:
+// every truncation must surface ErrTruncated, not a hang or a generic error,
+// while a clean end-of-stream stays io.EOF.
+func TestReadTruncatedFrames(t *testing.T) {
+	whole, err := Encode(Message{Header: Header{Op: OpPut, Key: "obj", Index: 1}, Body: []byte("chunk")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		stream  []byte
+		wantErr error
+	}{
+		{"clean EOF before any frame", nil, io.EOF},
+		{"cut inside length prefix", whole[:2], ErrTruncated},
+		{"cut after length prefix", whole[:4], ErrTruncated},
+		{"cut inside header", whole[:8], ErrTruncated},
+		{"cut one byte short of the body", whole[:len(whole)-1], ErrTruncated},
+		{"whole frame", whole, nil},
+	}
+	for _, c := range cases {
+		_, err := Read(bytes.NewReader(c.stream))
+		if c.wantErr == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.wantErr) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestReadTruncatedOverTCP exercises the torn-connection path end to end:
+// the peer closes mid-frame and Read must return ErrTruncated promptly.
+func TestReadTruncatedOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		frame, _ := Encode(Message{Header: Header{Op: OpOK}, Body: make([]byte, 1024)})
+		conn.Write(frame[:len(frame)/2])
+		conn.Close()
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := Read(conn); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
 	}
 }

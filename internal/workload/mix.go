@@ -1,0 +1,101 @@
+package workload
+
+import "math/rand"
+
+// --- range hotspot ---
+
+// RangeHotspot sends hotFrac of the traffic uniformly into the key range
+// [lo, hi) and the rest uniformly over the whole key space — the shape of a
+// flash crowd on a contiguous key range (a regional news story, a viral
+// object set) rather than on the globally most popular keys.
+type RangeHotspot struct {
+	n       int
+	lo, hi  int
+	hotFrac float64
+	rng     *rand.Rand
+}
+
+// NewRangeHotspot returns a flash-crowd generator over n keys with the hot
+// range [lo, hi).
+func NewRangeHotspot(n, lo, hi int, hotFrac float64, seed int64) *RangeHotspot {
+	if n <= 0 || lo < 0 || hi <= lo || hi > n {
+		panic("workload: bad range hotspot bounds")
+	}
+	if hotFrac < 0 || hotFrac > 1 {
+		panic("workload: hotFrac must be in [0,1]")
+	}
+	return &RangeHotspot{n: n, lo: lo, hi: hi, hotFrac: hotFrac, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Generator.
+func (g *RangeHotspot) Next() int {
+	if g.rng.Float64() < g.hotFrac {
+		return g.lo + g.rng.Intn(g.hi-g.lo)
+	}
+	return g.rng.Intn(g.n)
+}
+
+// N implements Generator.
+func (g *RangeHotspot) N() int { return g.n }
+
+// --- weighted mixture ---
+
+// Component is one weighted member of a Mix.
+type Component struct {
+	// Weight is the component's share of the traffic (any positive scale;
+	// weights are normalised over the mix).
+	Weight float64
+	// Gen produces this component's keys.
+	Gen Generator
+}
+
+// Mix draws each request from one of its component generators, chosen with
+// probability proportional to its weight. All components must cover the
+// same key space. It models composite workloads: e.g. 80% Zipfian reads
+// plus 20% uniform scan background.
+type Mix struct {
+	n          int
+	components []Component
+	cum        []float64
+	rng        *rand.Rand
+}
+
+// NewMix returns a mixture over the components. It panics on an empty
+// component list, non-positive weights, or mismatched key spaces.
+func NewMix(seed int64, components ...Component) *Mix {
+	if len(components) == 0 {
+		panic("workload: mix needs at least one component")
+	}
+	n := components[0].Gen.N()
+	total := 0.0
+	for _, c := range components {
+		if c.Weight <= 0 {
+			panic("workload: mix weights must be positive")
+		}
+		if c.Gen.N() != n {
+			panic("workload: mix components disagree on key space size")
+		}
+		total += c.Weight
+	}
+	cum := make([]float64, len(components))
+	sum := 0.0
+	for i, c := range components {
+		sum += c.Weight / total
+		cum[i] = sum
+	}
+	return &Mix{n: n, components: components, cum: cum, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Generator.
+func (m *Mix) Next() int {
+	u := m.rng.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.components[i].Gen.Next()
+		}
+	}
+	return m.components[len(m.components)-1].Gen.Next()
+}
+
+// N implements Generator.
+func (m *Mix) N() int { return m.n }

@@ -1,0 +1,97 @@
+package workload
+
+import "testing"
+
+func TestRangeHotspotConcentration(t *testing.T) {
+	const n, lo, hi = 1000, 200, 250
+	g := NewRangeHotspot(n, lo, hi, 0.9, 42)
+	inRange := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := g.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("key %d out of [0,%d)", k, n)
+		}
+		if k >= lo && k < hi {
+			inRange++
+		}
+	}
+	// 90% targeted + ~5% of the uniform remainder lands in the range.
+	frac := float64(inRange) / draws
+	if frac < 0.85 || frac > 0.97 {
+		t.Fatalf("hot range received %.3f of traffic, want ~0.905", frac)
+	}
+	if g.N() != n {
+		t.Fatalf("N() = %d, want %d", g.N(), n)
+	}
+}
+
+func TestRangeHotspotValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		n, lo, hi int
+		frac      float64
+	}{
+		{"hi<=lo", 100, 50, 50, 0.5},
+		{"hi>n", 100, 0, 101, 0.5},
+		{"negative lo", 100, -1, 10, 0.5},
+		{"frac>1", 100, 0, 10, 1.5},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			NewRangeHotspot(c.n, c.lo, c.hi, c.frac, 1)
+		}()
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	const n = 500
+	// A mix of two degenerate hotspots makes the component choice visible:
+	// component A always draws from [0,10), component B from [490,500).
+	a := NewRangeHotspot(n, 0, 10, 1, 1)
+	b := NewRangeHotspot(n, 490, 500, 1, 2)
+	m := NewMix(7, Component{Weight: 3, Gen: a}, Component{Weight: 1, Gen: b})
+	if m.N() != n {
+		t.Fatalf("N() = %d, want %d", m.N(), n)
+	}
+	fromA := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := m.Next()
+		switch {
+		case k < 10:
+			fromA++
+		case k >= 490:
+		default:
+			t.Fatalf("key %d from neither component", k)
+		}
+	}
+	frac := float64(fromA) / draws
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("component A received %.3f of traffic, want ~0.75", frac)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	g10 := NewUniform(10, 1)
+	g20 := NewUniform(20, 1)
+	for name, build := range map[string]func(){
+		"empty":           func() { NewMix(1) },
+		"zero weight":     func() { NewMix(1, Component{Weight: 0, Gen: g10}) },
+		"mismatched size": func() { NewMix(1, Component{Weight: 1, Gen: g10}, Component{Weight: 1, Gen: g20}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+}

@@ -40,6 +40,14 @@ type RunConfig struct {
 	// paper runs 2): wall time advances by latency/n per operation. Zero
 	// or one means a single serial client.
 	Clients int
+	// Deadline, when non-zero, ends the measured phase once the virtual
+	// clock reaches it; Operations then acts as a safety cap rather than a
+	// target. Warm-up operations always run in full. The scenario runner
+	// drives duration-based phases through this.
+	Deadline time.Time
+	// BeforeOp, when set, is called with the virtual now before every
+	// operation (warm-up included) — the hook timed chaos actions fire on.
+	BeforeOp func(now time.Time)
 }
 
 // Result aggregates one run.
@@ -52,6 +60,8 @@ type Result struct {
 	Mean time.Duration
 	// P50, P95 and P99 are latency percentiles.
 	P50, P95, P99 time.Duration
+	// Min and Max bound the measured latencies.
+	Min, Max time.Duration
 	// FullHits, PartialHits and Misses classify the measured reads.
 	FullHits, PartialHits, Misses int
 	// Errors counts failed reads (excluded from latency stats).
@@ -87,7 +97,7 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 
 	lat := stats.NewLatencySummary(cfg.Operations)
-	res := Result{Strategy: cfg.Reader.Name(), Operations: cfg.Operations}
+	res := Result{Strategy: cfg.Reader.Name()}
 	reconfStart := 0
 	if cfg.Node != nil {
 		reconfStart = cfg.Node.Manager().Runs()
@@ -99,6 +109,12 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 	total := cfg.WarmupOps + cfg.Operations
 	for i := 0; i < total; i++ {
+		if i >= cfg.WarmupOps && !cfg.Deadline.IsZero() && !clock.Now().Before(cfg.Deadline) {
+			break
+		}
+		if cfg.BeforeOp != nil {
+			cfg.BeforeOp(clock.Now())
+		}
 		key := workload.KeyName(cfg.Generator.Next())
 		_, r, err := cfg.Reader.Read(key)
 		clock.Advance(r.Latency / time.Duration(clients))
@@ -111,6 +127,7 @@ func Run(cfg RunConfig) (Result, error) {
 			}
 			continue
 		}
+		res.Operations++
 		if err != nil {
 			res.Errors++
 			continue
@@ -130,6 +147,8 @@ func Run(cfg RunConfig) (Result, error) {
 	res.P50 = lat.Percentile(50)
 	res.P95 = lat.Percentile(95)
 	res.P99 = lat.Percentile(99)
+	res.Min = lat.Min()
+	res.Max = lat.Max()
 	if cfg.Node != nil {
 		res.Reconfigs = cfg.Node.Manager().Runs() - reconfStart
 	}
@@ -150,6 +169,12 @@ func Average(results []Result) Result {
 		p50 += r.P50
 		p95 += r.P95
 		p99 += r.P99
+		if r.Min > 0 && (out.Min == 0 || r.Min < out.Min) {
+			out.Min = r.Min
+		}
+		if r.Max > out.Max {
+			out.Max = r.Max
+		}
 		out.Operations += r.Operations
 		out.FullHits += r.FullHits
 		out.PartialHits += r.PartialHits
