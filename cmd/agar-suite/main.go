@@ -10,6 +10,8 @@
 //	agar-suite -scenario partition -arms agar,lru,backend -seed 7
 //	agar-suite -scenario baseline -scale 0.2 -opcap 500   # quick smoke
 //	agar-suite -scenario baseline -live                   # + localhost cluster smoke
+//	agar-suite -dumpspec baseline > my.json               # spec file template
+//	agar-suite -spec my.json,other.json                   # run custom spec files
 //
 // Outputs (under -out, default "."):
 //
@@ -40,6 +42,8 @@ func run() int {
 	var (
 		list     = flag.Bool("list", false, "list built-in scenarios and exit")
 		name     = flag.String("scenario", "all", "scenario to run (see -list), or 'all'")
+		specFile = flag.String("spec", "", "comma-separated JSON scenario spec files to run (see -dumpspec)")
+		dump     = flag.String("dumpspec", "", "print a built-in scenario as a JSON spec file and exit")
 		out      = flag.String("out", ".", "directory for BENCH_scenario.json and SCENARIOS.md")
 		seed     = flag.Int64("seed", 1, "deterministic seed (shared by every arm)")
 		opCap    = flag.Int("opcap", 5000, "safety cap on measured operations per phase")
@@ -59,22 +63,56 @@ func run() int {
 		}
 		return 0
 	}
+	if *dump != "" {
+		s, ok := scenario.Lookup(*dump)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "agar-suite: unknown scenario %q; -list shows the library\n", *dump)
+			return 2
+		}
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agar-suite: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(data))
+		return 0
+	}
 	if *scale <= 0 || *scale > 1 {
 		fmt.Fprintf(os.Stderr, "agar-suite: -scale %v outside (0, 1]\n", *scale)
 		return 2
 	}
 
+	// Spec files run alongside an explicit -scenario selection; with -spec
+	// alone, only the files run.
+	scenarioSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scenario" {
+			scenarioSet = true
+		}
+	})
 	var specs []scenario.Spec
-	if *name == "all" {
-		specs = scenario.Library()
-	} else {
-		for _, n := range strings.Split(*name, ",") {
-			s, ok := scenario.Lookup(strings.TrimSpace(n))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "agar-suite: unknown scenario %q; -list shows the library\n", n)
+	if *specFile != "" {
+		for _, p := range strings.Split(*specFile, ",") {
+			s, err := scenario.LoadSpecFile(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "agar-suite: %v\n", err)
 				return 2
 			}
 			specs = append(specs, s)
+		}
+	}
+	if *specFile == "" || scenarioSet {
+		if *name == "all" {
+			specs = append(specs, scenario.Library()...)
+		} else {
+			for _, n := range strings.Split(*name, ",") {
+				s, ok := scenario.Lookup(strings.TrimSpace(n))
+				if !ok {
+					fmt.Fprintf(os.Stderr, "agar-suite: unknown scenario %q; -list shows the library\n", n)
+					return 2
+				}
+				specs = append(specs, s)
+			}
 		}
 	}
 

@@ -1,9 +1,11 @@
 // Command cache-server runs a standalone chunk cache over TCP with a
-// memcached-like get/set/delete surface and a pluggable eviction policy.
+// memcached-like get/set/delete surface (single-chunk and batched mget/mput
+// round trips), a pluggable eviction policy, and a sharded store for
+// concurrent client fan-in.
 //
 // Usage:
 //
-//	cache-server -addr 127.0.0.1:7101 -capacity 10485760 -policy lru
+//	cache-server -addr 127.0.0.1:7101 -capacity 10485760 -policy lru -shards 8
 package main
 
 import (
@@ -22,26 +24,32 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7101", "listen address")
 		capacity = flag.Int64("capacity", 10<<20, "cache capacity in bytes")
 		policy   = flag.String("policy", "lru", "eviction policy: lru|lfu|pinned")
+		shards   = flag.Int("shards", 8, "cache shards (rounded up to a power of two; 1 = single global lock)")
 	)
 	flag.Parse()
 
-	var p cache.Policy
+	var factory func() cache.Policy
 	switch *policy {
 	case "lru":
-		p = cache.NewLRU()
+		factory = func() cache.Policy { return cache.NewLRU() }
 	case "lfu":
-		p = cache.NewLFU()
+		factory = func() cache.Policy { return cache.NewLFU() }
 	case "pinned":
-		p = cache.NewPinned()
+		factory = func() cache.Policy { return cache.NewPinned() }
 	default:
 		fatalf("unknown policy %q", *policy)
 	}
+	if *shards < 1 {
+		fatalf("-shards must be at least 1")
+	}
 
-	srv, err := live.NewCacheServer(*addr, cache.New(*capacity, p))
+	store := cache.NewSharded(*capacity, *shards, factory)
+	srv, err := live.NewCacheServer(*addr, store)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("cache-server: policy=%s capacity=%d listening on %s\n", *policy, *capacity, srv.Addr())
+	fmt.Printf("cache-server: policy=%s capacity=%d shards=%d listening on %s\n",
+		*policy, *capacity, store.ShardCount(), srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -6,6 +6,14 @@
 // index), matching how the paper's prototype stores data in memcached.
 // Eviction is pluggable: LRU and LFU reproduce the baseline policies of §V,
 // and the Pinned policy gives Agar's cache manager full manual control.
+//
+// The store is internally sharded, the way memcached stripes its hash table
+// and LRU locks: entries hash to one of N power-of-two shards, each with
+// its own mutex, policy instance and byte budget, so concurrent chunk
+// operations on different shards never contend. New builds the single-shard
+// cache (exact global eviction order, the semantics the simulator and the
+// knapsack manager were written against); NewSharded fans the same engine
+// out for heavy client fan-in.
 package cache
 
 import (
@@ -13,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by the cache.
@@ -42,7 +51,8 @@ type entry struct {
 }
 
 // Policy decides which resident entry to evict. Implementations are not
-// safe for concurrent use; the Cache serialises all calls under its lock.
+// safe for concurrent use; each shard serialises all calls to its own
+// policy instance under the shard lock.
 type Policy interface {
 	// Name returns the policy's short name ("lru", "lfu", "pinned").
 	Name() string
@@ -64,12 +74,28 @@ type Stats struct {
 	Hits      int64 // chunk lookups that found the chunk
 	Sets      int64 // successful inserts (including overwrites)
 	Evictions int64 // entries evicted to make room
-	Rejected  int64 // inserts refused (full under a non-evicting policy)
+	// AdmissionRejects counts inserts dropped by the admission filter
+	// (chunks outside the active knapsack configuration).
+	AdmissionRejects int64
+	// FullRejects counts inserts refused because the cache was full and the
+	// policy declined to evict (Pinned under explicit management).
+	FullRejects int64
 }
 
-// Cache is a byte-bounded chunk store with pluggable eviction. It is safe
-// for concurrent use.
-type Cache struct {
+// Rejected returns the total refused inserts, both admission-filter drops
+// and policy refusals.
+func (s Stats) Rejected() int64 { return s.AdmissionRejects + s.FullRejects }
+
+// counters is the shard-local atomic form of Stats: shards bump counters
+// without coordinating, and Stats() folds them lock-free.
+type counters struct {
+	gets, hits, sets, evictions   atomic.Int64
+	admissionRejects, fullRejects atomic.Int64
+}
+
+// shard is one stripe of the cache: a private mutex, policy instance and
+// byte budget over a slice of the entry space.
+type shard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
@@ -77,69 +103,159 @@ type Cache struct {
 	entries  map[EntryID]*entry
 	byKey    map[string]map[int]*entry // object key -> chunk index -> entry
 	admit    func(EntryID) bool
-	stats    Stats
+	stats    counters
 }
 
-// New returns a cache bounded to capacity bytes under the given policy.
+// Cache is a byte-bounded chunk store with pluggable eviction. It is safe
+// for concurrent use. Entries stripe over power-of-two shards by
+// hash(EntryID); object-level operations (GetObject, Snapshot,
+// DeleteObject, IndicesOf) aggregate across shards.
+type Cache struct {
+	shards   []*shard
+	mask     uint64
+	capacity int64
+}
+
+// New returns a single-shard cache bounded to capacity bytes under the
+// given policy: one lock, one policy instance, exact global eviction order.
 func New(capacity int64, policy Policy) *Cache {
-	if capacity <= 0 {
-		panic("cache: capacity must be positive")
-	}
 	if policy == nil {
 		panic("cache: nil policy")
 	}
-	return &Cache{
-		capacity: capacity,
-		policy:   policy,
-		entries:  make(map[EntryID]*entry),
-		byKey:    make(map[string]map[int]*entry),
+	return NewSharded(capacity, 1, func() Policy { return policy })
+}
+
+// NewSharded returns a cache striped over the given number of shards, each
+// with its own lock, its own policy instance from newPolicy, and an equal
+// slice of the byte capacity. The shard count is rounded up to a power of
+// two and clamped so every shard keeps a positive budget. Per-shard
+// capacity means an insert can be refused when its shard is full even if
+// other shards have room — the same trade memcached's striped LRU makes.
+func NewSharded(capacity int64, shards int, newPolicy func() Policy) *Cache {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
 	}
+	if newPolicy == nil {
+		panic("cache: nil policy factory")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	for int64(n) > capacity { // keep every shard's budget positive
+		n >>= 1
+	}
+	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1), capacity: capacity}
+	base := capacity / int64(n)
+	extra := capacity % int64(n)
+	for i := range c.shards {
+		cap := base
+		if int64(i) < extra {
+			cap++
+		}
+		p := newPolicy()
+		if p == nil {
+			panic("cache: policy factory returned nil")
+		}
+		c.shards[i] = &shard{
+			capacity: cap,
+			policy:   p,
+			entries:  make(map[EntryID]*entry),
+			byKey:    make(map[string]map[int]*entry),
+		}
+	}
+	return c
+}
+
+// shardFor routes an id to its shard by FNV-1a over the key and index.
+func (c *Cache) shardFor(id EntryID) *shard {
+	if c.mask == 0 {
+		return c.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id.Key); i++ {
+		h ^= uint64(id.Key[i])
+		h *= prime64
+	}
+	h ^= uint64(uint32(id.Index))
+	h *= prime64
+	return c.shards[h&c.mask]
 }
 
 // SetAdmission installs an admission filter: inserts for ids the filter
-// rejects are dropped (counted in Stats.Rejected). A nil filter admits
-// everything.
+// rejects are dropped (counted in Stats.AdmissionRejects). A nil filter
+// admits everything. The filter must be safe for concurrent use; it is
+// installed on every shard.
 func (c *Cache) SetAdmission(f func(EntryID) bool) {
-	c.mu.Lock()
-	c.admit = f
-	c.mu.Unlock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.admit = f
+		s.mu.Unlock()
+	}
 }
 
-// Capacity returns the configured byte capacity.
+// Capacity returns the configured byte capacity (summed over shards).
 func (c *Cache) Capacity() int64 { return c.capacity }
 
-// Used returns the bytes currently resident.
+// ShardCount returns how many shards the cache stripes over.
+func (c *Cache) ShardCount() int { return len(c.shards) }
+
+// Used returns the bytes currently resident across all shards.
 func (c *Cache) Used() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
+	var total int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.used
+		s.mu.Unlock()
+	}
+	return total
 }
 
-// Len returns the number of resident chunks.
+// Len returns the number of resident chunks across all shards.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
 }
 
-// Stats returns a snapshot of the event counters.
+// Stats returns a snapshot of the event counters, folded across shards
+// without taking any shard lock.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var out Stats
+	for _, s := range c.shards {
+		out.Gets += s.stats.gets.Load()
+		out.Hits += s.stats.hits.Load()
+		out.Sets += s.stats.sets.Load()
+		out.Evictions += s.stats.evictions.Load()
+		out.AdmissionRejects += s.stats.admissionRejects.Load()
+		out.FullRejects += s.stats.fullRejects.Load()
+	}
+	return out
 }
 
 // Get returns a copy of the chunk's bytes, or ErrNotFound.
 func (c *Cache) Get(id EntryID) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Gets++
-	e, ok := c.entries[id]
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.gets.Add(1)
+	e, ok := s.entries[id]
 	if !ok {
 		return nil, ErrNotFound
 	}
-	c.stats.Hits++
-	c.policy.Accessed(e)
+	s.stats.hits.Add(1)
+	s.policy.Accessed(e)
 	out := make([]byte, len(e.data))
 	copy(out, e.data)
 	return out, nil
@@ -147,26 +263,30 @@ func (c *Cache) Get(id EntryID) ([]byte, error) {
 
 // Contains reports chunk residency without counting as an access.
 func (c *Cache) Contains(id EntryID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[id]
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[id]
 	return ok
 }
 
 // GetObject returns copies of every resident chunk of the object, keyed by
 // chunk index. Each returned chunk counts as one access. The map is empty
-// (never nil) when nothing is resident.
+// (never nil) when nothing is resident. Shards are visited in turn, so the
+// view is per-shard consistent, not a global atomic snapshot.
 func (c *Cache) GetObject(key string) map[int][]byte {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make(map[int][]byte)
-	for idx, e := range c.byKey[key] {
-		c.stats.Gets++
-		c.stats.Hits++
-		c.policy.Accessed(e)
-		buf := make([]byte, len(e.data))
-		copy(buf, e.data)
-		out[idx] = buf
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for idx, e := range s.byKey[key] {
+			s.stats.gets.Add(1)
+			s.stats.hits.Add(1)
+			s.policy.Accessed(e)
+			buf := make([]byte, len(e.data))
+			copy(buf, e.data)
+			out[idx] = buf
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -174,120 +294,131 @@ func (c *Cache) GetObject(key string) map[int][]byte {
 // IndicesOf returns the sorted chunk indices of the object that are
 // resident, without counting accesses.
 func (c *Cache) IndicesOf(key string) []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	chunks := c.byKey[key]
-	out := make([]int, 0, len(chunks))
-	for idx := range chunks {
-		out = append(out, idx)
+	var out []int
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for idx := range s.byKey[key] {
+			out = append(out, idx)
+		}
+		s.mu.Unlock()
 	}
 	sort.Ints(out)
 	return out
 }
 
-// Put inserts (or overwrites) a chunk, evicting under the policy until it
-// fits. The data is copied. It returns ErrTooLarge if the item alone
-// exceeds capacity, and ErrCacheFull if the policy refuses to evict.
+// Put inserts (or overwrites) a chunk, evicting within its shard under the
+// shard's policy until it fits. The data is copied. It returns ErrTooLarge
+// if the item alone exceeds the shard's capacity, and ErrCacheFull if the
+// policy refuses to evict.
 func (c *Cache) Put(id EntryID, data []byte) error {
+	s := c.shardFor(id)
 	size := int64(len(data))
-	if size > c.capacity {
+	if size > s.capacity {
 		return ErrTooLarge
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
-	if c.admit != nil && !c.admit(id) {
-		c.stats.Rejected++
+	if s.admit != nil && !s.admit(id) {
+		s.stats.admissionRejects.Add(1)
 		return nil
 	}
 
-	if old, ok := c.entries[id]; ok {
-		c.removeLocked(old)
+	if old, ok := s.entries[id]; ok {
+		s.removeLocked(old)
 	}
 
-	for c.used+size > c.capacity {
-		victim := c.policy.Victim()
+	for s.used+size > s.capacity {
+		victim := s.policy.Victim()
 		if victim == nil {
-			c.stats.Rejected++
+			s.stats.fullRejects.Add(1)
 			return ErrCacheFull
 		}
-		c.stats.Evictions++
-		c.removeLocked(victim)
+		s.stats.evictions.Add(1)
+		s.removeLocked(victim)
 	}
 
 	e := &entry{id: id, data: append([]byte(nil), data...)}
-	c.entries[id] = e
-	chunks := c.byKey[id.Key]
+	s.entries[id] = e
+	chunks := s.byKey[id.Key]
 	if chunks == nil {
 		chunks = make(map[int]*entry)
-		c.byKey[id.Key] = chunks
+		s.byKey[id.Key] = chunks
 	}
 	chunks[id.Index] = e
-	c.used += size
-	c.policy.Added(e)
-	c.stats.Sets++
+	s.used += size
+	s.policy.Added(e)
+	s.stats.sets.Add(1)
 	return nil
 }
 
 // Delete removes a chunk if resident and reports whether it was.
 func (c *Cache) Delete(id EntryID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[id]
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
 	if !ok {
 		return false
 	}
-	c.removeLocked(e)
+	s.removeLocked(e)
 	return true
 }
 
 // DeleteObject removes every resident chunk of the object and returns how
 // many were removed.
 func (c *Cache) DeleteObject(key string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	chunks := c.byKey[key]
-	n := len(chunks)
-	for _, e := range chunks {
-		c.removeLocked(e)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, e := range s.byKey[key] {
+			s.removeLocked(e)
+			n++
+		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
 // Clear empties the cache.
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range c.entries {
-		c.removeLocked(e)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, e := range s.entries {
+			s.removeLocked(e)
+		}
+		s.mu.Unlock()
 	}
 }
 
 // Snapshot returns, for every resident object, its sorted resident chunk
-// indices. This is the raw material of the paper's Figure 10.
+// indices. This is the raw material of the paper's Figure 10. The view is
+// per-shard consistent, not a global atomic snapshot.
 func (c *Cache) Snapshot() map[string][]int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string][]int, len(c.byKey))
-	for key, chunks := range c.byKey {
-		idxs := make([]int, 0, len(chunks))
-		for idx := range chunks {
-			idxs = append(idxs, idx)
+	out := make(map[string][]int)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, chunks := range s.byKey {
+			for idx := range chunks {
+				out[key] = append(out[key], idx)
+			}
 		}
+		s.mu.Unlock()
+	}
+	for _, idxs := range out {
 		sort.Ints(idxs)
-		out[key] = idxs
 	}
 	return out
 }
 
-func (c *Cache) removeLocked(e *entry) {
-	delete(c.entries, e.id)
-	if chunks := c.byKey[e.id.Key]; chunks != nil {
+func (s *shard) removeLocked(e *entry) {
+	delete(s.entries, e.id)
+	if chunks := s.byKey[e.id.Key]; chunks != nil {
 		delete(chunks, e.id.Index)
 		if len(chunks) == 0 {
-			delete(c.byKey, e.id.Key)
+			delete(s.byKey, e.id.Key)
 		}
 	}
-	c.used -= int64(len(e.data))
-	c.policy.Removed(e)
+	s.used -= int64(len(e.data))
+	s.policy.Removed(e)
 }

@@ -157,8 +157,8 @@ func TestPinnedRefusesEviction(t *testing.T) {
 	if err := c.Put(id("c", 0), make([]byte, 10)); err != ErrCacheFull {
 		t.Fatalf("err = %v, want ErrCacheFull", err)
 	}
-	if c.Stats().Rejected != 1 {
-		t.Fatalf("rejected = %d", c.Stats().Rejected)
+	if s := c.Stats(); s.FullRejects != 1 || s.AdmissionRejects != 0 || s.Rejected() != 1 {
+		t.Fatalf("rejects = %+v", s)
 	}
 	// Explicit delete makes room.
 	c.Delete(id("a", 0))
@@ -251,6 +251,9 @@ func TestAdmissionFilter(t *testing.T) {
 	}
 	if !c.Contains(id("ok", 0)) {
 		t.Fatal("allowed insert dropped")
+	}
+	if s := c.Stats(); s.AdmissionRejects != 1 || s.FullRejects != 0 {
+		t.Fatalf("rejects = %+v", s)
 	}
 }
 

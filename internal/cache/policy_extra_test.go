@@ -103,7 +103,8 @@ func TestExtraPoliciesCapacityInvariant(t *testing.T) {
 		func() Policy { return NewGDSF() },
 		func() Policy { return NewWLFU(128) },
 	} {
-		c := New(500, mk())
+		p := mk()
+		c := New(500, p)
 		r := rand.New(rand.NewSource(9))
 		for op := 0; op < 2000; op++ {
 			key := fmt.Sprintf("k%d", r.Intn(30))
@@ -111,7 +112,7 @@ func TestExtraPoliciesCapacityInvariant(t *testing.T) {
 			case 0:
 				err := c.Put(id(key, r.Intn(3)), make([]byte, 1+r.Intn(100)))
 				if err != nil && err != ErrTooLarge {
-					t.Fatalf("%s: %v", c.policy.Name(), err)
+					t.Fatalf("%s: %v", p.Name(), err)
 				}
 			case 1:
 				c.Get(id(key, r.Intn(3)))
@@ -119,7 +120,7 @@ func TestExtraPoliciesCapacityInvariant(t *testing.T) {
 				c.Delete(id(key, r.Intn(3)))
 			}
 			if c.Used() > c.Capacity() {
-				t.Fatalf("%s breached capacity", c.policy.Name())
+				t.Fatalf("%s breached capacity", p.Name())
 			}
 		}
 	}

@@ -1,0 +1,229 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestNewShardedRoundsAndClamps(t *testing.T) {
+	cases := []struct {
+		capacity int64
+		shards   int
+		want     int
+	}{
+		{1024, 1, 1},
+		{1024, 2, 2},
+		{1024, 3, 4}, // rounds up to a power of two
+		{1024, 8, 8},
+		{1024, 100, 128},
+		{4, 8, 4}, // clamped so every shard keeps a positive budget
+		{1, 16, 1},
+		{1024, 0, 1}, // non-positive counts fall back to one shard
+	}
+	for _, c := range cases {
+		got := NewSharded(c.capacity, c.shards, func() Policy { return NewLRU() })
+		if got.ShardCount() != c.want {
+			t.Errorf("NewSharded(%d, %d): %d shards, want %d", c.capacity, c.shards, got.ShardCount(), c.want)
+		}
+		if got.Capacity() != c.capacity {
+			t.Errorf("NewSharded(%d, %d): capacity %d", c.capacity, c.shards, got.Capacity())
+		}
+	}
+}
+
+func TestShardedCapacitySumsExactly(t *testing.T) {
+	// 1000 does not divide by 8: the remainder must be distributed, not lost.
+	c := NewSharded(1000, 8, func() Policy { return NewLRU() })
+	var sum int64
+	for _, s := range c.shards {
+		if s.capacity <= 0 {
+			t.Fatalf("shard with non-positive capacity %d", s.capacity)
+		}
+		sum += s.capacity
+	}
+	if sum != 1000 {
+		t.Fatalf("shard capacities sum to %d, want 1000", sum)
+	}
+}
+
+func TestShardedBasicOps(t *testing.T) {
+	c := NewSharded(1<<20, 8, func() Policy { return NewLRU() })
+	// Spread one object's chunks across shards and check object-level ops
+	// aggregate correctly.
+	for i := 0; i < 32; i++ {
+		mustPut(t, c, id("obj", i), 64)
+	}
+	mustPut(t, c, id("other", 0), 64)
+	if got := len(c.GetObject("obj")); got != 32 {
+		t.Fatalf("GetObject returned %d chunks", got)
+	}
+	idxs := c.IndicesOf("obj")
+	if len(idxs) != 32 {
+		t.Fatalf("IndicesOf returned %d", len(idxs))
+	}
+	for i := 1; i < len(idxs); i++ {
+		if idxs[i-1] >= idxs[i] {
+			t.Fatalf("IndicesOf not sorted: %v", idxs)
+		}
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || len(snap["obj"]) != 32 || len(snap["other"]) != 1 {
+		t.Fatalf("snapshot shape wrong: %d objects", len(snap))
+	}
+	if c.Len() != 33 || c.Used() != 33*64 {
+		t.Fatalf("len=%d used=%d", c.Len(), c.Used())
+	}
+	if n := c.DeleteObject("obj"); n != 32 {
+		t.Fatalf("DeleteObject removed %d", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len after delete = %d", c.Len())
+	}
+	c.Clear()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatal("Clear left residue")
+	}
+}
+
+func TestShardedDataIntegrity(t *testing.T) {
+	c := NewSharded(1<<20, 4, func() Policy { return NewLFU() })
+	want := make(map[EntryID][]byte)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		e := id(fmt.Sprintf("k%d", i%40), i%7)
+		data := make([]byte, 32+rng.Intn(64))
+		rng.Read(data)
+		if err := c.Put(e, data); err != nil {
+			t.Fatal(err)
+		}
+		want[e] = data
+	}
+	for e, data := range want {
+		got, err := c.Get(e)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", e, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("Get(%v): wrong bytes", e)
+		}
+	}
+}
+
+func TestShardedAdmissionAppliesOnEveryShard(t *testing.T) {
+	c := NewSharded(1<<20, 8, func() Policy { return NewLRU() })
+	c.SetAdmission(func(e EntryID) bool { return e.Key != "banned" })
+	for i := 0; i < 16; i++ {
+		if err := c.Put(id("banned", i), make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(id("ok", i), make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 16 {
+		t.Fatalf("len = %d, want 16 admitted chunks", c.Len())
+	}
+	if s := c.Stats(); s.AdmissionRejects != 16 {
+		t.Fatalf("admission rejects = %d", s.AdmissionRejects)
+	}
+}
+
+// TestShardedConcurrentStress is the -race workhorse: parallel Get, Put,
+// Delete, DeleteObject, GetObject, IndicesOf, Snapshot and Clear across
+// every shard, then invariant checks.
+func TestShardedConcurrentStress(t *testing.T) {
+	c := NewSharded(64<<10, 8, func() Policy { return NewLRU() })
+	var wg sync.WaitGroup
+	const workers = 16
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 400; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(24))
+				idx := rng.Intn(8)
+				switch rng.Intn(8) {
+				case 0, 1, 2:
+					c.Put(id(key, idx), make([]byte, 1+rng.Intn(256)))
+				case 3, 4:
+					c.Get(id(key, idx))
+				case 5:
+					c.Delete(id(key, idx))
+				case 6:
+					c.GetObject(key)
+					c.IndicesOf(key)
+				case 7:
+					if rng.Intn(50) == 0 {
+						c.Clear()
+					} else if rng.Intn(10) == 0 {
+						c.DeleteObject(key)
+					} else {
+						c.Snapshot()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > c.Capacity() || c.Used() < 0 {
+		t.Fatalf("capacity breached: used=%d capacity=%d", c.Used(), c.Capacity())
+	}
+	// Residual contents must be internally consistent.
+	var sum int64
+	for key, idxs := range c.Snapshot() {
+		for _, i := range idxs {
+			data, err := c.Get(id(key, i))
+			if err != nil {
+				t.Fatalf("snapshot entry %s#%d missing: %v", key, i, err)
+			}
+			sum += int64(len(data))
+		}
+	}
+	if sum != c.Used() {
+		t.Fatalf("sum of entries %d != used %d", sum, c.Used())
+	}
+}
+
+// benchCache drives the same parallel mixed workload against any shard
+// layout, so the sharded-vs-single-lock numbers pair exactly.
+func benchCache(b *testing.B, c *Cache) {
+	data := make([]byte, 1024)
+	keys := make([]EntryID, 4096)
+	for i := range keys {
+		keys[i] = id(fmt.Sprintf("k%d", i%512), i%8)
+	}
+	for _, e := range keys[:512] {
+		c.Put(e, data)
+	}
+	b.SetBytes(1024)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(b.N)))
+		i := 0
+		for pb.Next() {
+			e := keys[(i*7+rng.Intn(16))%len(keys)]
+			if i%4 == 0 {
+				c.Put(e, data)
+			} else {
+				c.Get(e)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkSingleLockParallel is the pre-refactor layout: every operation
+// behind one global mutex.
+func BenchmarkSingleLockParallel(b *testing.B) {
+	benchCache(b, New(64<<20, NewLRU()))
+}
+
+// BenchmarkShardedParallel is the refactored layout: the same workload over
+// 8 independently locked shards.
+func BenchmarkShardedParallel(b *testing.B) {
+	benchCache(b, NewSharded(64<<20, 8, func() Policy { return NewLRU() }))
+}

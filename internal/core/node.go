@@ -39,6 +39,11 @@ type NodeParams struct {
 	// table (default 1024).
 	ApproxMonitor  bool
 	MaxTrackedKeys int
+	// CacheShards overrides the node cache's shard count (rounded up to a
+	// power of two). Zero picks automatically from the slot count: small
+	// caches stay on one shard so the knapsack configuration is never
+	// perturbed by per-shard eviction, large caches stripe for fan-in.
+	CacheShards int
 }
 
 // Node is one region's Agar deployment (§III, Figure 3): the request
@@ -79,7 +84,12 @@ func NewNode(params NodeParams) *Node {
 	if params.ReconfigPeriod <= 0 {
 		params.ReconfigPeriod = 30 * time.Second
 	}
-	store := cache.New(maxInt64(params.CacheBytes, 1), cache.NewLRU())
+	shards := params.CacheShards
+	if shards <= 0 {
+		shards = defaultCacheShards(params.CacheBytes / params.ChunkBytes)
+	}
+	store := cache.NewSharded(maxInt64(params.CacheBytes, 1), shards,
+		func() cache.Policy { return cache.NewLRU() })
 	var monitor PopularitySource
 	if params.ApproxMonitor {
 		monitor = NewApproxMonitor(params.Alpha, params.MaxTrackedKeys)
@@ -114,6 +124,25 @@ func maxInt64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// defaultCacheShards picks the node cache's shard count from its slot
+// count. The knapsack manager plans contents that fill capacity exactly,
+// so any per-shard budget sees some hash imbalance: striping a cache of S
+// slots k ways churns on the order of sqrt(S) configured chunks per
+// reconfiguration (the overfull shards' excess), which self-heals — the
+// evicted chunks re-fill on their next read — but costs hit ratio.
+// Below 1024 slots the cache therefore stays on one shard (exact global
+// LRU, the semantics the paper's evaluation-scale runs assume); larger
+// caches stripe up to 16 ways with at least 512 slots per shard, keeping
+// the expected churn around one percent of contents in exchange for lock
+// striping under fan-in.
+func defaultCacheShards(slots int64) int {
+	n := 1
+	for slots/int64(n*2) >= 512 && n < 16 {
+		n *= 2
+	}
+	return n
 }
 
 // Monitor exposes the node's exact request monitor, or nil when the node

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/agardist/agar/internal/backend"
-	"github.com/agardist/agar/internal/cache"
 	"github.com/agardist/agar/internal/core"
 	"github.com/agardist/agar/internal/erasure"
 	"github.com/agardist/agar/internal/geo"
@@ -176,11 +175,14 @@ type Hinter interface {
 }
 
 // NetworkReader reads objects through the live deployment: it requests a
-// hint, fetches cached chunks from the cache server and the remaining
-// nearest chunks from the store servers — all chunk fetches run in
-// parallel goroutines, like the paper's thread-pooled YCSB client — then
-// decodes. Wide-area delays are injected client-side, scaled by
-// cfg.DelayScale.
+// hint, fetches all hinted chunks from the cache server in one batched
+// round trip, and the remaining nearest chunks from the store servers in
+// parallel goroutines — like the paper's thread-pooled YCSB client — then
+// decodes. A chunk fetch that dies mid-flight triggers degraded-read waves
+// over the remaining reachable regions, and hinted chunks that missed the
+// cache are written back through a bounded async population pool so the
+// read path never blocks on cache fills. Wide-area delays are injected
+// client-side, scaled by cfg.DelayScale.
 type NetworkReader struct {
 	cluster *Cluster
 	region  geo.RegionID
@@ -188,6 +190,7 @@ type NetworkReader struct {
 	cacheC  *RemoteCache
 	stores  map[geo.RegionID]*RemoteStore
 	sampler *netsim.Sampler
+	pop     *populator
 }
 
 // NewNetworkReader connects a reader to every server of the cluster.
@@ -210,18 +213,34 @@ func NewNetworkReader(c *Cluster, region geo.RegionID) (*NetworkReader, error) {
 	if c.cfg.Schedule != nil {
 		sampler.SetChaos(netsim.RealClock{}, c.cfg.Schedule)
 	}
+	cacheC := NewRemoteCache(c.CacheAddr())
 	return &NetworkReader{
 		cluster: c,
 		region:  region,
 		hinter:  hinter,
-		cacheC:  NewRemoteCache(c.CacheAddr()),
+		cacheC:  cacheC,
 		stores:  stores,
 		sampler: sampler,
+		pop:     newPopulator(cacheC, populateWorkers, populateQueue),
 	}, nil
 }
 
-// Close drops every connection.
+// populateWorkers and populateQueue bound the async cache population pool:
+// two writers are plenty for batched fills, and a 64-job queue absorbs read
+// bursts before fills start being shed.
+const (
+	populateWorkers = 2
+	populateQueue   = 64
+)
+
+// FlushPopulation blocks until every queued async cache fill has been
+// applied — deterministic sequencing for tests and benchmarks that read
+// their own writes.
+func (r *NetworkReader) FlushPopulation() { r.pop.flush() }
+
+// Close drains the population pool and drops every connection.
 func (r *NetworkReader) Close() {
+	r.pop.close()
 	if h, ok := r.hinter.(interface{ Close() }); ok {
 		h.Close()
 	}
@@ -282,35 +301,60 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 		fromCache bool
 		err       error
 	}
-	results := make(chan outcome, len(want))
+	// Buffered for the worst case: every wanted chunk misses the cache and
+	// retries against the backend.
+	results := make(chan outcome, 2*len(want))
 	var wg sync.WaitGroup
+	fetchStore := func(idx int) { // callers wg.Add before spawning
+		defer wg.Done()
+		if r.sampler.Unreachable(r.region, locs[idx]) {
+			results <- outcome{idx: idx, err: fmt.Errorf("live: region %v unreachable", locs[idx])}
+			return
+		}
+		r.delay(locs[idx])
+		data, err := r.stores[locs[idx]].Get(backend.ChunkID{Key: key, Index: idx})
+		results <- outcome{idx: idx, data: data, err: err}
+	}
+
+	// Hinted chunks travel in one batched cache round trip; the rest fan out
+	// to the store servers in parallel.
+	var cacheWant []int
 	for _, idx := range want {
+		if hinted[idx] {
+			cacheWant = append(cacheWant, idx)
+		} else {
+			wg.Add(1)
+			go fetchStore(idx)
+		}
+	}
+	if len(cacheWant) > 0 {
 		wg.Add(1)
-		go func(idx int) {
+		go func() {
 			defer wg.Done()
-			if hinted[idx] {
-				if data, err := r.cacheC.Get(cache.EntryID{Key: key, Index: idx}); err == nil {
+			found, err := r.cacheC.GetMulti(key, cacheWant)
+			if err != nil {
+				found = nil // treat a failed cache round trip as all-miss
+			}
+			for _, idx := range cacheWant {
+				if data, ok := found[idx]; ok {
 					results <- outcome{idx: idx, data: data, fromCache: true}
-					return
+					continue
 				}
 				// Hinted but missing: fall through to the backend.
+				wg.Add(1)
+				go fetchStore(idx)
 			}
-			if r.sampler.Unreachable(r.region, locs[idx]) {
-				results <- outcome{idx: idx, err: fmt.Errorf("live: region %v unreachable", locs[idx])}
-				return
-			}
-			r.delay(locs[idx])
-			data, err := r.stores[locs[idx]].Get(backend.ChunkID{Key: key, Index: idx})
-			results <- outcome{idx: idx, data: data, err: err}
-		}(idx)
+		}()
 	}
 	wg.Wait()
 	close(results)
 
 	chunks := make([][]byte, total)
+	tried := make(map[int]bool, len(want))
 	got, fromCache := 0, 0
-	var toCache []outcome
+	toCache := make(map[int][]byte)
 	for o := range results {
+		tried[o.idx] = true
 		if o.err != nil {
 			continue
 		}
@@ -319,7 +363,51 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 		if o.fromCache {
 			fromCache++
 		} else if hinted[o.idx] {
-			toCache = append(toCache, o)
+			toCache[o.idx] = o.data
+		}
+	}
+
+	// Degraded-read waves: a chunk fetch that died mid-flight (server gone,
+	// link cut after planning) is replaced by the nearest chunks not yet
+	// tried, wave after wave, until k chunks arrive or reachable candidates
+	// run out — the live twin of the simulator client's substitution waves.
+	for got < k {
+		var extra []int
+		for _, idx := range plan.Chunks {
+			if len(extra) == k-got {
+				break
+			}
+			if tried[idx] || r.sampler.Unreachable(r.region, locs[idx]) {
+				continue
+			}
+			extra = append(extra, idx)
+		}
+		if len(extra) == 0 {
+			break
+		}
+		wave := make(chan outcome, len(extra))
+		var wwg sync.WaitGroup
+		for _, idx := range extra {
+			tried[idx] = true
+			wwg.Add(1)
+			go func(idx int) {
+				defer wwg.Done()
+				r.delay(locs[idx])
+				data, err := r.stores[locs[idx]].Get(backend.ChunkID{Key: key, Index: idx})
+				wave <- outcome{idx: idx, data: data, err: err}
+			}(idx)
+		}
+		wwg.Wait()
+		close(wave)
+		for o := range wave {
+			if o.err != nil {
+				continue
+			}
+			chunks[o.idx] = o.data
+			got++
+			if hinted[o.idx] {
+				toCache[o.idx] = o.data
+			}
 		}
 	}
 	if got < k {
@@ -331,9 +419,8 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 	}
 	elapsed := time.Since(start)
 
-	// Populate hinted-but-missing chunks off the measured path.
-	for _, o := range toCache {
-		_ = r.cacheC.Put(cache.EntryID{Key: key, Index: o.idx}, o.data)
-	}
+	// Hand hinted-but-missed chunks to the async population pool: the fill
+	// happens off the read path, batched into one PutMulti per object.
+	r.pop.enqueue(key, toCache)
 	return data, elapsed, fromCache, nil
 }

@@ -208,6 +208,7 @@ func TestNetworkReaderEndToEnd(t *testing.T) {
 	if _, _, _, err := reader.Read("object-0"); err != nil {
 		t.Fatal(err) // fetches hinted chunks, populates cache
 	}
+	reader.FlushPopulation() // cache fills are async; wait before rereading
 	got, _, fromCache, err := reader.Read("object-0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,106 @@
+package live
+
+import "sync"
+
+// popJob is one pending cache fill: the hinted chunks of one object that a
+// read had to fetch from the backend.
+type popJob struct {
+	key    string
+	chunks map[int][]byte
+}
+
+// populator applies end-of-read cache fills on a bounded async worker pool,
+// so readers hand hinted-but-missed chunks off and return immediately
+// instead of blocking on cache round trips. The queue is bounded and
+// enqueue never blocks: when it is full the incoming fill is simply
+// dropped (the next read of that object re-hints and re-fetches it),
+// which is an acceptable failure mode for a best-effort cache warmer.
+type populator struct {
+	cache *RemoteCache
+	jobs  chan popJob
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+	dropped int64
+	closed  bool
+}
+
+// newPopulator starts workers goroutines draining a queue of the given
+// depth into the cache via batched PutMulti calls.
+func newPopulator(cache *RemoteCache, workers, queue int) *populator {
+	p := &populator{cache: cache, jobs: make(chan popJob, queue)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *populator) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		// Best effort: a failed fill just means the next read re-fetches.
+		_ = p.cache.PutMulti(job.key, job.chunks)
+		p.mu.Lock()
+		p.pending--
+		if p.pending == 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// enqueue hands a fill to the pool without blocking; it reports false when
+// the job was dropped (full queue or closed pool).
+func (p *populator) enqueue(key string, chunks map[int][]byte) bool {
+	if len(chunks) == 0 {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- popJob{key: key, chunks: chunks}:
+		p.pending++
+		return true
+	default:
+		p.dropped++
+		return false
+	}
+}
+
+// flush blocks until every queued fill has been applied — deterministic
+// teardown for tests and benchmarks.
+func (p *populator) flush() {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// droppedCount reports how many fills were shed under queue pressure.
+func (p *populator) droppedCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// close stops the workers after the queue drains. Safe to call twice;
+// enqueue after close drops the job.
+func (p *populator) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.jobs)
+	p.wg.Wait()
+}

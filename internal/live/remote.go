@@ -11,52 +11,103 @@ import (
 	"github.com/agardist/agar/internal/wire"
 )
 
-// conn is a mutex-guarded framed connection with lazy dialing, so one
-// remote endpoint serialises its request/response exchanges.
-type conn struct {
-	addr string
+// poolSize is how many concurrent framed connections a pool keeps per
+// endpoint. Four matches the paper's thread-pooled client: enough that
+// parallel chunk fetches to one server overlap instead of queueing behind a
+// single serialized exchange, small enough that a reader fleet does not
+// exhaust server file descriptors.
+const poolSize = 4
 
-	mu sync.Mutex
-	c  net.Conn
+// pool is a bounded lazy-dialing connection pool to one endpoint. Each call
+// borrows an idle connection (dialing a new one while under the bound), runs
+// one request/response exchange on it, and returns it; transport failures
+// discard the borrowed connection so a later call redials.
+type pool struct {
+	addr string
+	// tokens holds one slot per connection the pool may still create;
+	// idle holds connections ready for the next call.
+	tokens chan struct{}
+	idle   chan net.Conn
 }
 
-func (rc *conn) call(req wire.Message) (wire.Message, error) {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if rc.c == nil {
-		c, err := net.DialTimeout("tcp", rc.addr, 5*time.Second)
-		if err != nil {
-			return wire.Message{}, fmt.Errorf("live: dial %s: %w", rc.addr, err)
-		}
-		rc.c = c
+func newPool(addr string) *pool {
+	p := &pool{
+		addr:   addr,
+		tokens: make(chan struct{}, poolSize),
+		idle:   make(chan net.Conn, poolSize),
 	}
-	resp, err := wire.Call(rc.c, req)
+	for i := 0; i < poolSize; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// get borrows an idle connection, dialing a fresh one when the pool is
+// under its bound, and blocking for a returned connection at the bound.
+func (p *pool) get() (net.Conn, error) {
+	select {
+	case c := <-p.idle:
+		return c, nil
+	default:
+	}
+	select {
+	case c := <-p.idle:
+		return c, nil
+	case <-p.tokens:
+		c, err := net.DialTimeout("tcp", p.addr, 5*time.Second)
+		if err != nil {
+			p.tokens <- struct{}{}
+			return nil, fmt.Errorf("live: dial %s: %w", p.addr, err)
+		}
+		return c, nil
+	}
+}
+
+// put returns a healthy connection for reuse; discard drops a broken one
+// and frees its slot for a redial.
+func (p *pool) put(c net.Conn)     { p.idle <- c }
+func (p *pool) discard(c net.Conn) { c.Close(); p.tokens <- struct{}{} }
+
+func (p *pool) call(req wire.Message) (wire.Message, error) {
+	c, err := p.get()
+	if err != nil {
+		return wire.Message{}, err
+	}
+	resp, err := wire.Call(c, req)
 	if err != nil && resp.Header.Op != wire.OpError {
-		// Transport failure: drop the connection so the next call redials.
-		rc.c.Close()
-		rc.c = nil
+		// Transport failure: drop the connection so a later call redials.
+		p.discard(c)
+	} else {
+		p.put(c)
 	}
 	return resp, err
 }
 
-func (rc *conn) close() {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if rc.c != nil {
-		rc.c.Close()
-		rc.c = nil
+// close drops every idle connection. Borrowed connections are closed by
+// their callers' failure paths; a pool remains usable after close (new
+// calls simply redial), matching the old single-connection semantics.
+func (p *pool) close() {
+	for {
+		select {
+		case c := <-p.idle:
+			c.Close()
+			p.tokens <- struct{}{}
+		default:
+			return
+		}
 	}
 }
 
-// RemoteStore is the client adapter for a region's store server.
-type RemoteStore struct{ rc conn }
+// RemoteStore is the client adapter for a region's store server. Calls on
+// one adapter run concurrently over a small connection pool.
+type RemoteStore struct{ rc *pool }
 
 // NewRemoteStore returns an adapter for the store server at addr.
 func NewRemoteStore(addr string) *RemoteStore {
-	return &RemoteStore{rc: conn{addr: addr}}
+	return &RemoteStore{rc: newPool(addr)}
 }
 
-// Close drops the connection.
+// Close drops the pooled connections.
 func (s *RemoteStore) Close() { s.rc.close() }
 
 // Get fetches one chunk.
@@ -89,15 +140,16 @@ func (s *RemoteStore) Stats() (map[string]int64, error) {
 	return resp.Header.Stats, nil
 }
 
-// RemoteCache is the client adapter for a chunk cache server.
-type RemoteCache struct{ rc conn }
+// RemoteCache is the client adapter for a chunk cache server. Calls on one
+// adapter run concurrently over a small connection pool.
+type RemoteCache struct{ rc *pool }
 
 // NewRemoteCache returns an adapter for the cache server at addr.
 func NewRemoteCache(addr string) *RemoteCache {
-	return &RemoteCache{rc: conn{addr: addr}}
+	return &RemoteCache{rc: newPool(addr)}
 }
 
-// Close drops the connection.
+// Close drops the pooled connections.
 func (c *RemoteCache) Close() { c.rc.close() }
 
 // Get fetches one cached chunk.
@@ -117,6 +169,41 @@ func (c *RemoteCache) Put(id cache.EntryID, data []byte) error {
 	_, err := c.rc.call(wire.Message{
 		Header: wire.Header{Op: wire.OpPut, Key: id.Key, Index: id.Index},
 		Body:   data,
+	})
+	return err
+}
+
+// GetMulti fetches several chunks of one key in a single round trip and
+// returns whichever were resident, keyed by chunk index — the batched form
+// of Get. Missing chunks are simply absent from the result.
+func (c *RemoteCache) GetMulti(key string, indices []int) (map[int][]byte, error) {
+	if len(indices) == 0 {
+		return map[int][]byte{}, nil
+	}
+	if len(indices) > wire.MaxBatchChunks {
+		return nil, fmt.Errorf("live: mget of %d chunks exceeds batch limit %d", len(indices), wire.MaxBatchChunks)
+	}
+	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices}})
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+}
+
+// PutMulti inserts several chunks of one key in a single round trip — the
+// batched form of Put. Chunks the server's cache refuses (admission filter,
+// full shard) are skipped server-side without failing the batch.
+func (c *RemoteCache) PutMulti(key string, chunks map[int][]byte) error {
+	if len(chunks) == 0 {
+		return nil
+	}
+	indices, sizes, body, err := wire.PackBatch(chunks)
+	if err != nil {
+		return err
+	}
+	_, err = c.rc.call(wire.Message{
+		Header: wire.Header{Op: wire.OpMPut, Key: key, Indices: indices, Sizes: sizes},
+		Body:   body,
 	})
 	return err
 }
@@ -155,14 +242,14 @@ func (c *RemoteCache) Stats() (map[string]int64, error) {
 }
 
 // RemoteHinter asks an Agar node for caching hints over TCP.
-type RemoteHinter struct{ rc conn }
+type RemoteHinter struct{ rc *pool }
 
 // NewRemoteHinter returns an adapter for the hint server at addr.
 func NewRemoteHinter(addr string) *RemoteHinter {
-	return &RemoteHinter{rc: conn{addr: addr}}
+	return &RemoteHinter{rc: newPool(addr)}
 }
 
-// Close drops the connection.
+// Close drops the pooled connections.
 func (h *RemoteHinter) Close() { h.rc.close() }
 
 // Hint requests the caching hint for a key.

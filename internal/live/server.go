@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"github.com/agardist/agar/internal/backend"
@@ -159,6 +160,41 @@ func NewCacheServer(addr string, c *cache.Cache) (*Server, error) {
 				return wire.ErrorMessage(err)
 			}
 			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+		case wire.OpMGet:
+			if len(req.Header.Indices) > wire.MaxBatchChunks {
+				return wire.ErrorMessage(fmt.Errorf("cache: mget of %d chunks exceeds batch limit %d",
+					len(req.Header.Indices), wire.MaxBatchChunks))
+			}
+			found := make(map[int][]byte, len(req.Header.Indices))
+			for _, idx := range req.Header.Indices {
+				if data, err := c.Get(cache.EntryID{Key: req.Header.Key, Index: idx}); err == nil {
+					found[idx] = data
+				}
+			}
+			if len(found) == 0 {
+				return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+			}
+			indices, sizes, body, err := wire.PackBatch(found)
+			if err != nil {
+				return wire.ErrorMessage(err)
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Body: body}
+		case wire.OpMPut:
+			chunks, err := wire.UnpackBatch(req.Header.Indices, req.Header.Sizes, req.Body)
+			if err != nil {
+				return wire.ErrorMessage(err)
+			}
+			// Best-effort batch insert, like a memcached multi-set: chunks the
+			// cache refuses (admission filter, full shard) are skipped, and
+			// the response lists what actually landed.
+			stored := make([]int, 0, len(chunks))
+			for _, idx := range sortedIndices(chunks) {
+				cid := cache.EntryID{Key: req.Header.Key, Index: idx}
+				if err := c.Put(cid, chunks[idx]); err == nil && c.Contains(cid) {
+					stored = append(stored, idx)
+				}
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: stored}}
 		case wire.OpDelete:
 			c.Delete(id)
 			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
@@ -173,7 +209,9 @@ func NewCacheServer(addr string, c *cache.Cache) (*Server, error) {
 			st := c.Stats()
 			return wire.Message{Header: wire.Header{Op: wire.OpOK, Stats: map[string]int64{
 				"gets": st.Gets, "hits": st.Hits, "sets": st.Sets,
-				"evictions": st.Evictions, "used": c.Used(), "capacity": c.Capacity(),
+				"evictions": st.Evictions, "rejected": st.Rejected(),
+				"admission_rejects": st.AdmissionRejects, "full_rejects": st.FullRejects,
+				"used": c.Used(), "capacity": c.Capacity(), "shards": int64(c.ShardCount()),
 			}}}
 		default:
 			return wire.ErrorMessage(fmt.Errorf("cache: unknown op %q", req.Header.Op))
@@ -238,4 +276,15 @@ func (s *UDPHintServer) Close() {
 
 func isClosed(err error) bool {
 	return errors.Is(err, net.ErrClosed)
+}
+
+// sortedIndices returns a batch's chunk indices in ascending order so batch
+// handlers apply inserts deterministically.
+func sortedIndices(chunks map[int][]byte) []int {
+	out := make([]int, 0, len(chunks))
+	for idx := range chunks {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
 }

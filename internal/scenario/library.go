@@ -87,6 +87,18 @@ func Library() []Spec {
 			},
 		},
 		{
+			Name:        "cache-contention",
+			Description: "Twelve client threads from Dublin converge on one region's cache: a tight hot set that fits in cache entirely, so the run is bounded by the cache data plane rather than the WAN.",
+			Region:      "dublin",
+			Clients:     12,
+			Phases: []Phase{
+				{Name: "warm", Duration: 2 * time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.3}},
+				{Name: "hammer", Duration: 4 * time.Minute, Workload: Workload{Kind: WorkloadHotspot, HotLo: 0, HotHi: 24, HotFrac: 0.95},
+					Events: []Event{{Kind: EventFlashCrowd, At: 60 * time.Second, Duration: 2 * time.Minute, HotLo: 0, HotHi: 8, HotFrac: 0.6}}},
+				{Name: "cooldown", Duration: time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}},
+			},
+		},
+		{
 			Name:        "cache-crash",
 			Description: "The region's cache server restarts empty ten seconds into the second phase; the run shows each policy re-warming.",
 			Region:      "frankfurt",

@@ -13,7 +13,10 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"github.com/agardist/agar/internal/geo"
@@ -133,6 +136,38 @@ type Spec struct {
 	// Clients models concurrent client threads (default 2).
 	Clients int     `json:"clients,omitempty"`
 	Phases  []Phase `json:"phases"`
+}
+
+// LoadSpec parses one scenario spec from JSON and validates it. Unknown
+// fields are rejected so typos fail loudly. Durations use the
+// encoding/json representation of time.Duration (integer nanoseconds);
+// spec files are usually produced by marshalling a Spec — agar-suite
+// -dumpspec emits any library scenario in this form as a starting point.
+func LoadSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpecFile reads and validates a JSON scenario spec from a file.
+func LoadSpecFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	s, err := LoadSpec(f)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
 }
 
 // wildcardRegion resolves a link-endpoint name, with "*"/"" as the

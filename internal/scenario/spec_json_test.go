@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSpecJSONRoundTrip marshals a library scenario (one with events, a
+// mix workload and a non-default client count), loads it back through the
+// -spec file path, and re-runs it: the loaded spec must be structurally
+// identical and produce a complete report.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig, ok := Lookup("high-load")
+	if !ok {
+		t.Fatal("high-load scenario missing")
+	}
+	data, err := json.MarshalIndent(orig, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, loaded) {
+		t.Fatalf("round trip diverged:\norig:   %+v\nloaded: %+v", orig, loaded)
+	}
+
+	rep, err := Run(reduced(loaded), reducedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != orig.Name || len(rep.Phases) != len(orig.Phases) {
+		t.Fatalf("re-run report wrong shape: %s, %d phases", rep.Scenario, len(rep.Phases))
+	}
+}
+
+func TestLoadSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{"name": "x",`},
+		{"unknown field", `{"name": "x", "phasez": []}`},
+		{"fails validation", `{"name": "x", "phases": []}`},
+	}
+	for _, c := range cases {
+		if _, err := LoadSpec(strings.NewReader(c.body)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := LoadSpecFile("/nonexistent/spec.json"); err == nil {
+		t.Error("missing file: expected error")
+	}
+}
+
+func TestEveryLibrarySpecRoundTripsThroughJSON(t *testing.T) {
+	for _, s := range Library() {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(s); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		loaded, err := LoadSpec(&buf)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if !reflect.DeepEqual(s, loaded) {
+			t.Errorf("%s: round trip diverged", s.Name)
+		}
+	}
+}
+
+func TestCacheContentionScenarioInLibrary(t *testing.T) {
+	s, ok := Lookup("cache-contention")
+	if !ok {
+		t.Fatal("cache-contention scenario missing from library")
+	}
+	if s.Clients < 8 {
+		t.Fatalf("cache-contention models %d clients; the point is heavy fan-in", s.Clients)
+	}
+	rep, err := Run(reduced(s), reducedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != len(s.Phases) {
+		t.Fatalf("report has %d phases, want %d", len(rep.Phases), len(s.Phases))
+	}
+	// The hot set fits in every arm's cache: the caching arms must beat the
+	// backend-only arm on mean latency in the hammer phase.
+	var hammer *PhaseReport
+	for i := range rep.Phases {
+		if rep.Phases[i].Name == "hammer" {
+			hammer = &rep.Phases[i]
+		}
+	}
+	if hammer == nil {
+		t.Fatal("hammer phase missing from report")
+	}
+	var agar, backendMS float64
+	for _, a := range hammer.Arms {
+		switch strings.ToLower(a.Arm) {
+		case "agar":
+			agar = a.MeanMS
+		case "backend":
+			backendMS = a.MeanMS
+		}
+	}
+	if agar == 0 || backendMS == 0 {
+		t.Fatalf("arms missing from hammer phase: %+v", hammer.Arms)
+	}
+	if agar >= backendMS {
+		t.Errorf("agar mean %.1f ms not better than backend %.1f ms under contention", agar, backendMS)
+	}
+}

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	chunks := map[int][]byte{
+		7: []byte("seven"),
+		0: []byte("zero"),
+		3: {}, // empty chunk bodies are legal
+		9: []byte("nine-bytes"),
+	}
+	indices, sizes, body, err := PackBatch(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 7, 9}
+	for i := range want {
+		if indices[i] != want[i] {
+			t.Fatalf("indices = %v, want %v", indices, want)
+		}
+		if sizes[i] != len(chunks[want[i]]) {
+			t.Fatalf("sizes = %v", sizes)
+		}
+	}
+
+	// Travel through a real frame: encode, decode, unpack.
+	m := Message{Header: Header{Op: OpMPut, Key: "obj", Indices: indices, Sizes: sizes}, Body: body}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnpackBatch(got.Header.Indices, got.Header.Sizes, got.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(chunks) {
+		t.Fatalf("unpacked %d chunks", len(out))
+	}
+	for idx, data := range chunks {
+		if !bytes.Equal(out[idx], data) {
+			t.Fatalf("chunk %d = %q, want %q", idx, out[idx], data)
+		}
+	}
+
+	// Unpacked chunks must be copies, not views of the frame body.
+	if len(out[0]) > 0 {
+		got.Body[0] ^= 0xFF
+		if out[0][0] == got.Body[0] {
+			t.Fatal("UnpackBatch returned shared storage")
+		}
+	}
+}
+
+func TestPackBatchRejects(t *testing.T) {
+	if _, _, _, err := PackBatch(nil); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("empty batch: err = %v", err)
+	}
+	big := make(map[int][]byte, MaxBatchChunks+1)
+	for i := 0; i <= MaxBatchChunks; i++ {
+		big[i] = []byte{1}
+	}
+	if _, _, _, err := PackBatch(big); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("oversized batch: err = %v", err)
+	}
+}
+
+func TestUnpackBatchRejectsMalformedFraming(t *testing.T) {
+	oversizedIdx := make([]int, MaxBatchChunks+1)
+	oversizedSizes := make([]int, MaxBatchChunks+1)
+	for i := range oversizedIdx {
+		oversizedIdx[i] = i
+	}
+	cases := []struct {
+		name    string
+		indices []int
+		sizes   []int
+		body    []byte
+	}{
+		{"count mismatch", []int{1, 2}, []int{3}, []byte("abc")},
+		{"negative size", []int{1}, []int{-1}, nil},
+		{"truncated body", []int{1, 2}, []int{3, 3}, []byte("abcde")},
+		{"overflowing size", []int{1, 2}, []int{1, math.MaxInt}, []byte("ab")},
+		{"trailing bytes", []int{1}, []int{2}, []byte("abc")},
+		{"duplicate index", []int{4, 4}, []int{1, 1}, []byte("ab")},
+		{"oversized", oversizedIdx, oversizedSizes, nil},
+	}
+	for _, c := range cases {
+		if _, err := UnpackBatch(c.indices, c.sizes, c.body); !errors.Is(err, ErrBadBatch) {
+			t.Errorf("%s: err = %v, want ErrBadBatch", c.name, err)
+		}
+	}
+}
+
+func TestUnpackBatchEmptyIsEmptyMap(t *testing.T) {
+	out, err := UnpackBatch(nil, nil, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestBatchFrameStaysUnderMaxFrame(t *testing.T) {
+	// A full batch of 64 KiB chunks would blow MaxFrame; Encode must refuse
+	// rather than emit a frame peers will reject.
+	chunks := make(map[int][]byte, MaxBatchChunks)
+	for i := 0; i < MaxBatchChunks; i++ {
+		chunks[i] = make([]byte, 1<<16)
+	}
+	indices, sizes, body, err := PackBatch(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Encode(Message{Header: Header{Op: OpMPut, Key: "k", Indices: indices, Sizes: sizes}, Body: body})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func BenchmarkPackUnpackBatch(b *testing.B) {
+	chunks := make(map[int][]byte, 12)
+	for i := 0; i < 12; i++ {
+		chunks[i] = make([]byte, 4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		indices, sizes, body, err := PackBatch(chunks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := UnpackBatch(indices, sizes, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBatchHeaderSizesSurviveJSON(t *testing.T) {
+	// Sizes ride in the JSON header: make sure zero-size entries are kept
+	// (omitempty applies to the slice, not its elements).
+	m := Message{Header: Header{Op: OpMGet, Key: "k", Indices: []int{0, 1}, Sizes: []int{0, 5}}, Body: []byte("hello")}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.Header.Sizes) != fmt.Sprint(m.Header.Sizes) {
+		t.Fatalf("sizes = %v", got.Header.Sizes)
+	}
+}

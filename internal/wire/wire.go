@@ -22,15 +22,24 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 )
 
 // MaxFrame bounds a frame to guard against corrupt length prefixes.
 const MaxFrame = 16 << 20
 
+// MaxBatchChunks bounds how many chunk frames one batch message may carry.
+// Erasure-coded reads move at most k+m chunks per object, so the bound is
+// generous; it exists to reject corrupt or hostile batch headers before any
+// allocation is sized from them.
+const MaxBatchChunks = 256
+
 // Op codes carried in Header.Op.
 const (
 	OpGet      = "get"       // fetch one chunk
 	OpPut      = "put"       // store one chunk
+	OpMGet     = "mget"      // fetch many chunks of one key in one round trip
+	OpMPut     = "mput"      // store many chunks of one key in one round trip
 	OpDelete   = "delete"    // remove one chunk
 	OpDelObj   = "delobj"    // remove all chunks of an object
 	OpIndices  = "indices"   // list resident chunk indices for a key
@@ -50,8 +59,12 @@ type Header struct {
 	Key string `json:"key,omitempty"`
 	// Index is the chunk index, when relevant.
 	Index int `json:"index,omitempty"`
-	// Indices carries chunk index lists (hints, residency answers).
+	// Indices carries chunk index lists (hints, residency answers, batch
+	// chunk frames).
 	Indices []int `json:"indices,omitempty"`
+	// Sizes carries the per-chunk byte lengths of a batch message's body:
+	// Sizes[i] bytes of Body belong to chunk Indices[i], in order.
+	Sizes []int `json:"sizes,omitempty"`
 	// Error carries the error text for OpError responses.
 	Error string `json:"error,omitempty"`
 	// Stats carries free-form counters for OpStats responses.
@@ -73,6 +86,10 @@ var (
 	// ErrTruncated reports a stream that ended mid-frame: the peer closed
 	// or the connection dropped after a partial length prefix or body.
 	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrBadBatch reports a batch message whose chunk framing is
+	// inconsistent: mismatched index/size counts, negative sizes, a body
+	// that does not match the declared sizes, or too many chunks.
+	ErrBadBatch = errors.New("wire: malformed batch")
 )
 
 // Encode serialises the message into a frame.
@@ -194,4 +211,67 @@ func ReadDatagram(conn net.PacketConn, buf []byte) (Message, net.Addr, error) {
 // ErrorMessage builds an OpError response.
 func ErrorMessage(err error) Message {
 	return Message{Header: Header{Op: OpError, Error: err.Error()}}
+}
+
+// PackBatch lays a set of chunks out as one batch message payload: sorted
+// indices, matching per-chunk sizes, and the concatenated bodies. It
+// rejects batches over MaxBatchChunks and empty chunk maps.
+func PackBatch(chunks map[int][]byte) (indices []int, sizes []int, body []byte, err error) {
+	if len(chunks) == 0 {
+		return nil, nil, nil, fmt.Errorf("%w: empty batch", ErrBadBatch)
+	}
+	if len(chunks) > MaxBatchChunks {
+		return nil, nil, nil, fmt.Errorf("%w: %d chunks exceeds limit %d", ErrBadBatch, len(chunks), MaxBatchChunks)
+	}
+	indices = make([]int, 0, len(chunks))
+	total := 0
+	for idx, data := range chunks {
+		indices = append(indices, idx)
+		total += len(data)
+	}
+	sort.Ints(indices)
+	sizes = make([]int, len(indices))
+	body = make([]byte, 0, total)
+	for i, idx := range indices {
+		sizes[i] = len(chunks[idx])
+		body = append(body, chunks[idx]...)
+	}
+	return indices, sizes, body, nil
+}
+
+// UnpackBatch is PackBatch's inverse: it validates the chunk framing of a
+// batch message and splits the body back into per-index chunks. Every
+// returned chunk is a copy, so the caller may retain them after the frame
+// buffer is reused. Inconsistent framing — mismatched counts, negative
+// sizes, a body longer or shorter than the sizes declare, duplicate
+// indices, or over-limit batches — returns ErrBadBatch.
+func UnpackBatch(indices, sizes []int, body []byte) (map[int][]byte, error) {
+	if len(indices) != len(sizes) {
+		return nil, fmt.Errorf("%w: %d indices vs %d sizes", ErrBadBatch, len(indices), len(sizes))
+	}
+	if len(indices) > MaxBatchChunks {
+		return nil, fmt.Errorf("%w: %d chunks exceeds limit %d", ErrBadBatch, len(indices), MaxBatchChunks)
+	}
+	out := make(map[int][]byte, len(indices))
+	off := 0
+	for i, idx := range indices {
+		size := sizes[i]
+		if size < 0 {
+			return nil, fmt.Errorf("%w: negative size %d for chunk %d", ErrBadBatch, size, idx)
+		}
+		// size > len(body)-off, not off+size > len(body): the sum overflows
+		// for hostile sizes near MaxInt.
+		if size > len(body)-off {
+			return nil, fmt.Errorf("%w: body truncated at chunk %d (%d of %d bytes)", ErrBadBatch, idx, len(body), off+size)
+		}
+		if _, dup := out[idx]; dup {
+			return nil, fmt.Errorf("%w: duplicate chunk index %d", ErrBadBatch, idx)
+		}
+		out[idx] = append([]byte(nil), body[off:off+size]...)
+		off += size
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing body bytes", ErrBadBatch, len(body)-off)
+	}
+	return out, nil
 }
