@@ -4,13 +4,18 @@
 //
 // The node probes each region's chunk-read latency at start-up from the
 // calibrated latency model (in a real deployment the probes would hit the
-// actual store servers) and reconfigures its cache every period.
+// actual store servers) and reconfigures its cache every period. With
+// -peers, the node joins the cooperative cache mesh (§VI): it mirrors the
+// residency digests peer cache servers push to its cache port, values
+// peer-covered chunks in its knapsack, and advertises its own residency
+// back every -digest-period.
 //
 // Usage:
 //
 //	agar-node -region frankfurt -cache-mb 10 -period 30s \
 //	          -hint-addr 127.0.0.1:7201 -cache-addr 127.0.0.1:7202 \
-//	          -udp-hint-addr 127.0.0.1:7203
+//	          -udp-hint-addr 127.0.0.1:7203 \
+//	          -peers dublin=10.0.0.7:7202@25ms
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/core"
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/live"
@@ -38,10 +44,16 @@ func main() {
 		m         = flag.Int("m", 3, "parity chunks per object")
 		objBytes  = flag.Int64("object-bytes", 1<<20, "object size for slot accounting")
 		solver    = flag.String("solver", "populate", "configuration solver: populate|exact|greedy")
+		peers     = flag.String("peers", "", "cooperative peer cache servers: region=host:port@latency[,...]")
+		digest    = flag.Duration("digest-period", time.Second, "how often residency digests push to peers")
 	)
 	flag.Parse()
 
 	r, err := geo.ParseRegion(*region)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	peerSpecs, err := live.ParsePeers(*peers)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -80,9 +92,25 @@ func main() {
 	if err != nil {
 		fatalf("hint server: %v", err)
 	}
-	cacheSrv, err := live.NewCacheServer(*cacheAddr, node.Cache())
+	// The cache server always speaks the mesh protocol: peers configured
+	// on the remote side can push digests here even before this node lists
+	// them in its own -peers.
+	table := coop.NewTable()
+	cacheSrv, err := live.NewCacheServerCoop(*cacheAddr, node.Cache(), table)
 	if err != nil {
 		fatalf("cache server: %v", err)
+	}
+	var adv *coop.Advertiser
+	var peerConns []*live.RemoteCache
+	if len(peerSpecs) > 0 {
+		adv = coop.NewAdvertiser(r.String(), node.Cache(), *digest)
+		for _, p := range peerSpecs {
+			node.AddPeer(p.Region, table.Mirror(p.Region.String()), p.Latency)
+			rc := live.NewRemoteCache(p.Addr)
+			peerConns = append(peerConns, rc)
+			adv.AddTarget(p.Region.String(), rc)
+		}
+		adv.Start()
 	}
 	var udpSrv *live.UDPHintServer
 	if *udpAddr != "" {
@@ -99,11 +127,20 @@ func main() {
 		fmt.Printf(" and %s (udp)", udpSrv.Addr())
 	}
 	fmt.Printf("; cache on %s\n", cacheSrv.Addr())
+	for _, p := range peerSpecs {
+		fmt.Printf("agar-node: peering with %s at %s (%v)\n", p.Region, p.Addr, p.Latency)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("agar-node: shutting down")
+	if adv != nil {
+		adv.Stop()
+	}
+	for _, rc := range peerConns {
+		rc.Close()
+	}
 	node.Stop()
 	hintSrv.Close()
 	cacheSrv.Close()

@@ -181,6 +181,15 @@ func run() int {
 			suite.LiveSmokes = append(suite.LiveSmokes, lr)
 			fmt.Fprintf(&md, "\nLive smoke (`%s`, phase %s): %d reads, mean %.1f ms, p95 %.1f ms, %d cache chunk hits, %d errors\n",
 				lr.Scenario, lr.Phase, lr.Latency.Count, lr.Latency.MeanMS, lr.Latency.P95MS, lr.CacheChunks, lr.Errors)
+			if lr.PeerRegion != "" {
+				fmt.Fprintf(&md, "\nCoop mesh (peer `%s`): %d peer chunks, peer server %d hits / %d misses, digest age %d ms",
+					lr.PeerRegion, lr.PeerChunks, lr.PeerHits, lr.PeerMisses, lr.DigestAgeMS)
+				if lr.PeerReads != nil && lr.PeerReads.Count > 0 && lr.WANReads != nil && lr.WANReads.Count > 0 {
+					fmt.Fprintf(&md, "; peer-assisted reads mean %.1f ms vs WAN reads %.1f ms",
+						lr.PeerReads.MeanMS, lr.WANReads.MeanMS)
+				}
+				md.WriteString("\n")
+			}
 			if lr.Errors > 0 {
 				failed++
 			}

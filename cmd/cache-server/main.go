@@ -1,11 +1,16 @@
 // Command cache-server runs a standalone chunk cache over TCP with a
 // memcached-like get/set/delete surface (single-chunk and batched mget/mput
-// round trips), a pluggable eviction policy, and a sharded store for
-// concurrent client fan-in.
+// round trips), a pluggable eviction policy, a sharded store for concurrent
+// client fan-in, and an optional cooperative-cache mesh: with -peers set,
+// the server periodically advertises its residency digest to peer cache
+// servers and mirrors the digests it receives, reporting peer_hits,
+// peer_misses and digest_age_ms through its stats op.
 //
 // Usage:
 //
 //	cache-server -addr 127.0.0.1:7101 -capacity 10485760 -policy lru -shards 8
+//	cache-server -addr 10.0.0.5:7101 -region frankfurt \
+//	             -peers dublin=10.0.0.7:7101@25ms -digest-period 1s
 package main
 
 import (
@@ -14,8 +19,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/live"
 )
 
@@ -25,6 +32,9 @@ func main() {
 		capacity = flag.Int64("capacity", 10<<20, "cache capacity in bytes")
 		policy   = flag.String("policy", "lru", "eviction policy: lru|lfu|pinned")
 		shards   = flag.Int("shards", 8, "cache shards (rounded up to a power of two; 1 = single global lock)")
+		region   = flag.String("region", "", "this cache's region name (required with -peers)")
+		peers    = flag.String("peers", "", "cooperative peers: region=host:port@latency[,...]")
+		digest   = flag.Duration("digest-period", time.Second, "how often residency digests push to peers")
 	)
 	flag.Parse()
 
@@ -42,19 +52,46 @@ func main() {
 	if *shards < 1 {
 		fatalf("-shards must be at least 1")
 	}
+	peerSpecs, err := live.ParsePeers(*peers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(peerSpecs) > 0 && *region == "" {
+		fatalf("-peers needs -region so digests carry this cache's identity")
+	}
 
 	store := cache.NewSharded(*capacity, *shards, factory)
-	srv, err := live.NewCacheServer(*addr, store)
+	table := coop.NewTable()
+	srv, err := live.NewCacheServerCoop(*addr, store, table)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("cache-server: policy=%s capacity=%d shards=%d listening on %s\n",
 		*policy, *capacity, store.ShardCount(), srv.Addr())
 
+	var adv *coop.Advertiser
+	var peerConns []*live.RemoteCache
+	if len(peerSpecs) > 0 {
+		adv = coop.NewAdvertiser(*region, store, *digest)
+		for _, p := range peerSpecs {
+			rc := live.NewRemoteCache(p.Addr)
+			peerConns = append(peerConns, rc)
+			adv.AddTarget(p.Region.String(), rc)
+			fmt.Printf("cache-server: peering with %s at %s (%v)\n", p.Region, p.Addr, p.Latency)
+		}
+		adv.Start()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("cache-server: shutting down")
+	if adv != nil {
+		adv.Stop()
+	}
+	for _, rc := range peerConns {
+		rc.Close()
+	}
 	srv.Close()
 }
 

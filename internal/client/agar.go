@@ -8,6 +8,14 @@ import (
 	"github.com/agardist/agar/internal/geo"
 )
 
+// chunkGetter is the byte-access side of a peer cache, beyond the
+// core.ChunkResidency view the knapsack accounting uses. Local simulated
+// peer caches satisfy it; remote digest mirrors do not (live readers fetch
+// peer bytes over the wire instead).
+type chunkGetter interface {
+	Get(id cache.EntryID) ([]byte, error)
+}
+
 // AgarReader reads through an Agar node (§III): every read first asks the
 // node's request monitor for a hint, serves hinted chunks from the region's
 // cache, fetches the remainder of the k nearest chunks from the backend,
@@ -96,7 +104,15 @@ func (r *AgarReader) Read(key string) ([]byte, Result, error) {
 	var peerLat time.Duration
 	for _, idx := range fromPeers {
 		p := hint.PeerChunks[idx]
-		data, err := p.Store.Get(cache.EntryID{Key: key, Index: idx})
+		// Residency-only peers (live digest mirrors) expose no byte access;
+		// in the simulator every real peer cache is a chunkGetter. A peer
+		// without one counts as a miss and the chunk detours to the backend.
+		getter, ok := p.Store.(chunkGetter)
+		if !ok {
+			want = append(want, idx)
+			continue
+		}
+		data, err := getter.Get(cache.EntryID{Key: key, Index: idx})
 		lat := p.Latency
 		if r.env.Sampler != nil {
 			lat = r.env.Sampler.Fixed(lat)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/geo"
 )
 
@@ -76,6 +77,55 @@ func TestCooperativeCaching(t *testing.T) {
 	uncovered := len(cfg.ChunksFor("object-00001")) + len(cfg.ChunksFor("object-00002"))
 	if covered >= uncovered {
 		t.Errorf("peer-covered object got %d local slots, uncovered objects got %d",
+			covered, uncovered)
+	}
+}
+
+// TestDigestMirrorPlugsIntoKnapsack registers a remote digest mirror — the
+// live mesh's residency view, which exposes no byte access — as a peer and
+// checks both halves of the contract: the knapsack devalues mirror-covered
+// chunks when spending local slots, and the read path treats the
+// residency-only peer as a miss, detouring to the backend without error.
+func TestDigestMirrorPlugsIntoKnapsack(t *testing.T) {
+	env, objects := testEnv(t, 3)
+	fra := newAgarNode(env, geo.Frankfurt, 18)
+
+	// Dublin's live cache advertises every chunk of object-00000.
+	mirror := coop.NewMirror("dublin")
+	all := make([]int, 12)
+	for i := range all {
+		all[i] = i
+	}
+	mirror.Apply(1, map[string][]int{"object-00000": all})
+	fra.AddPeer(geo.Dublin, mirror, 40*time.Millisecond)
+
+	reader := NewAgarReader(env, geo.Frankfurt, fra)
+	data, res, err := reader.Read("object-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, objects["object-00000"]) {
+		t.Fatal("mirror-peered read returned wrong data")
+	}
+	// The mirror has no byte access, so nothing is actually served by the
+	// peer — every mirror-routed chunk must detour to the backend.
+	if res.PeerChunks != 0 {
+		t.Fatalf("residency-only mirror served %d chunks", res.PeerChunks)
+	}
+
+	// Under slot contention the mirror-covered object must lose local slots
+	// to uncovered, equally hot objects — same accounting as a local peer.
+	for i := 0; i < 60; i++ {
+		reader.Read("object-00000")
+		reader.Read("object-00001")
+		reader.Read("object-00002")
+	}
+	fra.ForceReconfigure()
+	cfg := fra.Manager().Active()
+	covered := len(cfg.ChunksFor("object-00000"))
+	uncovered := len(cfg.ChunksFor("object-00001")) + len(cfg.ChunksFor("object-00002"))
+	if covered >= uncovered {
+		t.Errorf("mirror-covered object got %d local slots, uncovered objects got %d",
 			covered, uncovered)
 	}
 }

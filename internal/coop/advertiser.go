@@ -1,0 +1,139 @@
+package coop
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshotter is the residency source an advertiser digests — satisfied by
+// *cache.Cache.
+type Snapshotter interface {
+	Snapshot() map[string][]int
+}
+
+// Target delivers digest frames to one peer. The live layer implements it
+// on its pooled cache-server client; tests inject fakes.
+type Target interface {
+	SendDigest(Digest) error
+}
+
+// Advertiser periodically digests a local cache's residency and pushes it
+// to every registered peer — the broadcast half of the paper's cooperative
+// protocol. Pushes are best-effort: a peer that misses a digest serves a
+// slightly staler mirror until the next period, which the read path
+// already tolerates.
+type Advertiser struct {
+	source Snapshotter
+	region string
+	period time.Duration
+
+	mu      sync.Mutex
+	targets map[string]Target
+	seq     int64
+
+	pushes   atomic.Int64
+	failures atomic.Int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewAdvertiser builds an advertiser for the region's cache. Period
+// defaults to one second when zero.
+//
+// The digest sequence is seeded from the wall clock, not zero: receivers
+// drop lower sequences as stale, so a restarted advertiser (whose counter
+// would otherwise reset to 1) must outrank every digest its previous
+// incarnation sent. Nanosecond seeds dwarf any realistic push count, so
+// the new incarnation's first frame replaces the peers' mirrors at once.
+func NewAdvertiser(region string, source Snapshotter, period time.Duration) *Advertiser {
+	if period <= 0 {
+		period = time.Second
+	}
+	return &Advertiser{
+		source:  source,
+		region:  region,
+		period:  period,
+		seq:     time.Now().UnixNano(),
+		targets: make(map[string]Target),
+		stopCh:  make(chan struct{}),
+	}
+}
+
+// AddTarget registers (or replaces) the peer to push digests to, keyed by
+// its region name.
+func (a *Advertiser) AddTarget(region string, t Target) {
+	a.mu.Lock()
+	a.targets[region] = t
+	a.mu.Unlock()
+}
+
+// Advertise takes one residency snapshot and pushes it to every target
+// now, synchronously — the deterministic hook tests and smoke runs use
+// between reads. It returns the number of targets that failed.
+func (a *Advertiser) Advertise() int {
+	a.mu.Lock()
+	a.seq++
+	seq := a.seq
+	targets := make([]Target, 0, len(a.targets))
+	for _, t := range a.targets {
+		targets = append(targets, t)
+	}
+	a.mu.Unlock()
+	if len(targets) == 0 {
+		return 0
+	}
+	frames := Paginate(a.region, seq, a.source.Snapshot())
+	failed := 0
+	for _, t := range targets {
+		ok := true
+		for _, d := range frames {
+			if err := t.SendDigest(d); err != nil {
+				ok = false
+				a.failures.Add(1)
+				break // the peer keeps its previous coherent snapshot
+			}
+		}
+		if ok {
+			a.pushes.Add(1)
+		} else {
+			failed++
+		}
+	}
+	return failed
+}
+
+// Start launches the periodic push loop. Idempotent; pair with Stop.
+func (a *Advertiser) Start() {
+	a.startOnce.Do(func() {
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			ticker := time.NewTicker(a.period)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					a.Advertise()
+				case <-a.stopCh:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the push loop and waits for it to exit. Safe without a
+// prior Start and safe to call twice.
+func (a *Advertiser) Stop() {
+	a.stopOnce.Do(func() { close(a.stopCh) })
+	a.wg.Wait()
+}
+
+// Stats reports cumulative successful per-target pushes and failed ones.
+func (a *Advertiser) Stats() (pushes, failures int64) {
+	return a.pushes.Load(), a.failures.Load()
+}

@@ -1,0 +1,73 @@
+// Package coop implements the live cooperative cache mesh — the deployed
+// twin of the simulator's §VI peers. Nearby regions read chunks out of each
+// other's caches at peer latency instead of crossing the WAN; the first-step
+// protocol the paper sketches (peers periodically broadcast their contents
+// so each node can revalue its caching options) becomes a concrete digest
+// exchange here:
+//
+//   - An Advertiser periodically snapshots the local cache's residency and
+//     pushes it to every peer as one or more digest frames (paginated so a
+//     large cache never overflows a frame header), each tagged with the
+//     advertiser's region and a monotonic sequence number.
+//   - A Mirror is the receiving side's view of one peer's residency: digest
+//     frames with a higher sequence replace it, frames sharing the current
+//     sequence merge into it (the pagination case), and lower sequences are
+//     dropped as stale. A Mirror satisfies core.ChunkResidency, so remote
+//     digests plug into the cache manager's knapsack accounting exactly
+//     like a local simulated peer cache.
+//   - A Table collects the mirrors of every peer a node hears from, plus
+//     the peer-read counters a cache server reports through OpStats.
+//
+// Mirrors are advisory by construction: a peer may evict a chunk between
+// digests, so every peer read must tolerate a miss and fall back to the
+// backend path. The package is transport-free — the live layer injects the
+// wire protocol through the Target interface.
+package coop
+
+import "sort"
+
+// MaxDigestKeys bounds how many keys one digest frame carries. Frame
+// headers are JSON in a u16-length field, so pagination keeps even large
+// caches well under the limit; 128 keys of indices is ~4 KB of header.
+const MaxDigestKeys = 128
+
+// Digest is one residency advertisement frame: the chunk indices resident
+// for each key in the advertiser's cache, or one page of them.
+type Digest struct {
+	// Region is the advertiser's region name.
+	Region string
+	// Seq orders digests from one advertiser; every page of one snapshot
+	// shares the snapshot's Seq.
+	Seq int64
+	// Groups maps object keys to their resident chunk indices.
+	Groups map[string][]int
+}
+
+// Paginate splits a residency snapshot into digest frames of at most
+// MaxDigestKeys keys each, all sharing seq. Keys are emitted in sorted
+// order so frames are deterministic. An empty snapshot still produces one
+// empty frame — receivers must observe the new sequence to drop their
+// stale view.
+func Paginate(region string, seq int64, snapshot map[string][]int) []Digest {
+	keys := make([]string, 0, len(snapshot))
+	for k := range snapshot {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return []Digest{{Region: region, Seq: seq, Groups: map[string][]int{}}}
+	}
+	var out []Digest
+	for start := 0; start < len(keys); start += MaxDigestKeys {
+		end := start + MaxDigestKeys
+		if end > len(keys) {
+			end = len(keys)
+		}
+		groups := make(map[string][]int, end-start)
+		for _, k := range keys[start:end] {
+			groups[k] = snapshot[k]
+		}
+		out = append(out, Digest{Region: region, Seq: seq, Groups: groups})
+	}
+	return out
+}

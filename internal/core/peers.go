@@ -8,6 +8,19 @@ import (
 	"github.com/agardist/agar/internal/geo"
 )
 
+// ChunkResidency is the narrow view of a peer cache the cooperative
+// accounting needs: which chunks of an object the peer holds. Both local
+// caches (*cache.Cache, the simulator's peers) and remote digest mirrors
+// (coop.Mirror, fed by the live digest protocol) satisfy it, so the cache
+// manager values peer-covered chunks the same way regardless of whether
+// the peer is in-process or across a WAN link.
+type ChunkResidency interface {
+	// IndicesOf returns the peer's resident chunk indices for a key.
+	IndicesOf(key string) []int
+	// Contains reports single-chunk residency without counting an access.
+	Contains(id cache.EntryID) bool
+}
+
 // PeerInfo describes a nearby Agar cache this node cooperates with (§VI):
 // clients of this region can read chunks out of the peer's cache at
 // Latency, typically far below the chunks' home-region cost. The first-step
@@ -17,15 +30,16 @@ import (
 type PeerInfo struct {
 	// Region is the peer's region.
 	Region geo.RegionID
-	// Store is the peer's chunk cache.
-	Store *cache.Cache
+	// Store is the peer cache's residency view: the cache itself for local
+	// simulated peers, a digest mirror for live remote ones.
+	Store ChunkResidency
 	// Latency is the chunk-read latency from local clients to the peer's
 	// cache.
 	Latency time.Duration
 }
 
 // AddPeer registers a cooperative peer cache with the node.
-func (n *Node) AddPeer(region geo.RegionID, store *cache.Cache, latency time.Duration) {
+func (n *Node) AddPeer(region geo.RegionID, store ChunkResidency, latency time.Duration) {
 	n.manager.addPeer(PeerInfo{Region: region, Store: store, Latency: latency})
 }
 

@@ -2,10 +2,13 @@ package live
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/agardist/agar/internal/backend"
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/core"
 	"github.com/agardist/agar/internal/erasure"
 	"github.com/agardist/agar/internal/geo"
@@ -36,6 +39,10 @@ type ClusterConfig struct {
 	Schedule *netsim.Schedule
 	// UseUDPHints selects the UDP hint channel instead of TCP.
 	UseUDPHints bool
+	// DigestPeriod is how often the cooperative-mesh advertiser pushes
+	// residency digests to peered clusters (default 1s; only runs once
+	// Peer has been called).
+	DigestPeriod time.Duration
 }
 
 // Cluster is a running localhost deployment: one store server per region,
@@ -52,7 +59,25 @@ type Cluster struct {
 	hintSrv   *Server
 	udpSrv    *UDPHintServer
 
+	// Cooperative mesh state: the table mirrors peers' digests, the
+	// advertiser pushes this cluster's own residency out.
+	table   *coop.Table
+	adv     *coop.Advertiser
+	peerMu  sync.Mutex
+	peers   []PeerLink
+	peerRCs []*RemoteCache
+
 	closeOnce sync.Once
+}
+
+// PeerLink is one cooperative peer this cluster reads from: its region,
+// its cache server's address, the client-to-peer chunk latency, and the
+// local mirror of its advertised residency.
+type PeerLink struct {
+	Region  geo.RegionID
+	Addr    string
+	Latency time.Duration
+	Mirror  *coop.Mirror
 }
 
 // StartCluster boots every role on ephemeral localhost ports.
@@ -110,7 +135,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		return cfg.Matrix.Get(cfg.ClientRegion, r)
 	}, 1)
 
-	if c.cacheSrv, err = NewCacheServer("127.0.0.1:0", c.node.Cache()); err != nil {
+	c.table = coop.NewTable()
+	c.adv = coop.NewAdvertiser(cfg.ClientRegion.String(), c.node.Cache(), cfg.DigestPeriod)
+	if c.cacheSrv, err = NewCacheServerCoop("127.0.0.1:0", c.node.Cache(), c.table); err != nil {
 		return fail(err)
 	}
 	if c.hintSrv, err = NewHintServer("127.0.0.1:0", c.node); err != nil {
@@ -148,9 +175,53 @@ func (c *Cluster) UDPHintAddr() string {
 	return c.udpSrv.Addr()
 }
 
+// Peer joins this cluster to a cooperative peer: the peer's digests
+// (arriving at this cluster's cache server) maintain a residency mirror
+// that plugs into the node's knapsack accounting, this cluster's own
+// digests start flowing to the peer's cache server, and readers created
+// after the call consult the mirror to fetch covered chunks from the peer
+// at peer latency before falling back to WAN store fetches. Call it on
+// both clusters for a symmetric mesh.
+func (c *Cluster) Peer(region geo.RegionID, cacheAddr string, latency time.Duration) {
+	mirror := c.table.Mirror(region.String())
+	c.node.AddPeer(region, mirror, latency)
+	rc := NewRemoteCache(cacheAddr)
+	c.adv.AddTarget(region.String(), rc)
+	c.peerMu.Lock()
+	c.peers = append(c.peers, PeerLink{Region: region, Addr: cacheAddr, Latency: latency, Mirror: mirror})
+	c.peerRCs = append(c.peerRCs, rc)
+	c.peerMu.Unlock()
+	c.adv.Start() // idempotent: the first peer starts the push loop
+}
+
+// Peers returns the cluster's cooperative peer links.
+func (c *Cluster) Peers() []PeerLink {
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	out := make([]PeerLink, len(c.peers))
+	copy(out, c.peers)
+	return out
+}
+
+// PushDigests advertises this cluster's residency to every peer now,
+// synchronously, and reports how many peers failed — the deterministic
+// alternative to waiting out a DigestPeriod in tests and smoke runs.
+func (c *Cluster) PushDigests() int { return c.adv.Advertise() }
+
+// CoopTable exposes the cluster's mirror table (for stats and tests).
+func (c *Cluster) CoopTable() *coop.Table { return c.table }
+
 // Close shuts every server down and stops the node.
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
+		if c.adv != nil {
+			c.adv.Stop()
+		}
+		c.peerMu.Lock()
+		for _, rc := range c.peerRCs {
+			rc.Close()
+		}
+		c.peerMu.Unlock()
 		if c.node != nil {
 			c.node.Stop()
 		}
@@ -176,24 +247,40 @@ type Hinter interface {
 
 // NetworkReader reads objects through the live deployment: it requests a
 // hint, fetches all hinted chunks from the cache server in one batched
-// round trip, and the remaining nearest chunks from the store servers in
-// parallel goroutines — like the paper's thread-pooled YCSB client — then
-// decodes. A chunk fetch that dies mid-flight triggers degraded-read waves
-// over the remaining reachable regions, and hinted chunks that missed the
-// cache are written back through a bounded async population pool so the
-// read path never blocks on cache fills. Wide-area delays are injected
-// client-side, scaled by cfg.DelayScale.
+// round trip, reads chunks the cooperative mesh advertises out of peer
+// caches at peer latency, and fetches the remaining nearest chunks from
+// the store servers in parallel goroutines — like the paper's
+// thread-pooled YCSB client — then decodes. A chunk fetch that dies
+// mid-flight triggers degraded-read waves over the remaining reachable
+// regions, a peer chunk evicted since its last digest falls through to the
+// same store path, and hinted chunks that missed the cache are written
+// back through a bounded async population pool so the read path never
+// blocks on cache fills. Wide-area delays are injected client-side, scaled
+// by cfg.DelayScale.
 type NetworkReader struct {
 	cluster *Cluster
 	region  geo.RegionID
 	hinter  Hinter
 	cacheC  *RemoteCache
 	stores  map[geo.RegionID]*RemoteStore
+	peers   []readerPeer
 	sampler *netsim.Sampler
 	pop     *populator
 }
 
-// NewNetworkReader connects a reader to every server of the cluster.
+// readerPeer is one cooperative peer as seen from a reader: the mirror the
+// mesh maintains plus a batched client to the peer's cache server, tagged
+// with this reader's region so the peer accounts the traffic.
+type readerPeer struct {
+	region  geo.RegionID
+	latency time.Duration
+	mirror  *coop.Mirror
+	cache   *RemoteCache
+}
+
+// NewNetworkReader connects a reader to every server of the cluster,
+// including the cache servers of peers joined (via Cluster.Peer) before
+// the reader was created.
 func NewNetworkReader(c *Cluster, region geo.RegionID) (*NetworkReader, error) {
 	var hinter Hinter
 	if c.cfg.UseUDPHints {
@@ -214,12 +301,22 @@ func NewNetworkReader(c *Cluster, region geo.RegionID) (*NetworkReader, error) {
 		sampler.SetChaos(netsim.RealClock{}, c.cfg.Schedule)
 	}
 	cacheC := NewRemoteCache(c.CacheAddr())
+	var peers []readerPeer
+	for _, link := range c.Peers() {
+		peers = append(peers, readerPeer{
+			region:  link.Region,
+			latency: link.Latency,
+			mirror:  link.Mirror,
+			cache:   NewPeerRemoteCache(link.Addr, region.String()),
+		})
+	}
 	return &NetworkReader{
 		cluster: c,
 		region:  region,
 		hinter:  hinter,
 		cacheC:  cacheC,
 		stores:  stores,
+		peers:   peers,
 		sampler: sampler,
 		pop:     newPopulator(cacheC, populateWorkers, populateQueue),
 	}, nil
@@ -245,6 +342,9 @@ func (r *NetworkReader) Close() {
 		h.Close()
 	}
 	r.cacheC.Close()
+	for _, p := range r.peers {
+		p.cache.Close()
+	}
 	for _, s := range r.stores {
 		s.Close()
 	}
@@ -256,20 +356,45 @@ func (r *NetworkReader) delay(to geo.RegionID) {
 		return
 	}
 	lat := r.sampler.Chunk(r.region, to)
+	r.delayDur(lat)
+}
+
+// delayDur sleeps for a fixed latency, scaled like every injected delay.
+func (r *NetworkReader) delayDur(lat time.Duration) {
+	if r.cluster.cfg.DelayScale <= 0 {
+		return
+	}
 	time.Sleep(time.Duration(float64(lat) * r.cluster.cfg.DelayScale))
+}
+
+// ReadInfo is the accounting of one live read.
+type ReadInfo struct {
+	// Latency is the wall-clock end-to-end read time.
+	Latency time.Duration
+	// CacheChunks counts chunks served by the local region's cache.
+	CacheChunks int
+	// PeerChunks counts chunks served by cooperative peer caches.
+	PeerChunks int
 }
 
 // Read fetches and decodes one object over the network and returns its
 // bytes, the wall-clock latency, and the number of chunks served from the
-// cache.
+// local cache. ReadDetailed additionally reports peer-served chunks.
 func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
+	data, info, err := r.ReadDetailed(key)
+	return data, info.Latency, info.CacheChunks, err
+}
+
+// ReadDetailed fetches and decodes one object over the network and returns
+// its bytes plus the read's full accounting.
+func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 	start := time.Now()
 	k := r.cluster.codec.K()
 	total := r.cluster.codec.Total()
 
 	hintChunks, err := r.hinter.Hint(key)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("live: hint %q: %w", key, err)
+		return nil, ReadInfo{}, fmt.Errorf("live: hint %q: %w", key, err)
 	}
 
 	plan := geo.PlanFetch(r.cluster.cfg.Matrix, r.cluster.cluster.Placement(), key, total, r.region)
@@ -279,14 +404,66 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 		hinted[idx] = true
 	}
 
-	// Choose the k chunks to fetch: hinted first, then nearest others —
+	// Route chunks through the cooperative mesh: a chunk not hinted locally
+	// whose cheapest reachable peer advertises it (and beats its
+	// home-region latency) is read from that peer instead of the WAN. The
+	// mirror is advisory — a stale entry just means the peer read misses
+	// and the chunk detours to the store path below.
+	peerRoute := make(map[int]*readerPeer)
+	if len(r.peers) > 0 {
+		for i, idx := range plan.Chunks {
+			if hinted[idx] {
+				continue
+			}
+			for pi := range r.peers {
+				p := &r.peers[pi]
+				if int64(p.latency) >= plan.Latency[i] {
+					continue
+				}
+				if r.sampler.Unreachable(r.region, p.region) {
+					continue
+				}
+				if !p.mirror.Contains(cache.EntryID{Key: key, Index: idx}) {
+					continue
+				}
+				if cur, ok := peerRoute[idx]; !ok || p.latency < cur.latency {
+					peerRoute[idx] = p
+				}
+			}
+		}
+	}
+
+	// Choose the k chunks to fetch: hinted first, then cheapest others by
+	// effective latency (peer-covered chunks count at peer latency) —
 	// steering around regions the chaos schedule has severed.
+	type cand struct {
+		idx int
+		lat int64
+	}
+	cands := make([]cand, 0, len(plan.Chunks))
+	for i, idx := range plan.Chunks {
+		lat := plan.Latency[i]
+		if p, ok := peerRoute[idx]; ok && int64(p.latency) < lat {
+			lat = int64(p.latency)
+		}
+		cands = append(cands, cand{idx: idx, lat: lat})
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].lat != cands[b].lat {
+			return cands[a].lat < cands[b].lat
+		}
+		return cands[a].idx < cands[b].idx
+	})
 	want := append([]int(nil), hintChunks...)
-	for _, idx := range plan.Chunks {
+	for _, cn := range cands {
 		if len(want) == k {
 			break
 		}
-		if hinted[idx] || r.sampler.Unreachable(r.region, locs[idx]) {
+		idx := cn.idx
+		if hinted[idx] {
+			continue
+		}
+		if peerRoute[idx] == nil && r.sampler.Unreachable(r.region, locs[idx]) {
 			continue
 		}
 		want = append(want, idx)
@@ -299,10 +476,11 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 		idx       int
 		data      []byte
 		fromCache bool
+		fromPeer  bool
 		err       error
 	}
-	// Buffered for the worst case: every wanted chunk misses the cache and
-	// retries against the backend.
+	// Buffered for the worst case: every wanted chunk misses the cache (or
+	// its peer) and retries against the backend.
 	results := make(chan outcome, 2*len(want))
 	var wg sync.WaitGroup
 	fetchStore := func(idx int) { // callers wg.Add before spawning
@@ -316,13 +494,19 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 		results <- outcome{idx: idx, data: data, err: err}
 	}
 
-	// Hinted chunks travel in one batched cache round trip; the rest fan out
-	// to the store servers in parallel.
+	// Hinted chunks travel in one batched cache round trip, peer-covered
+	// chunks in one batched round trip per peer, and the rest fan out to
+	// the store servers in parallel.
 	var cacheWant []int
+	peerWant := make(map[*readerPeer][]int)
 	for _, idx := range want {
-		if hinted[idx] {
+		switch {
+		case hinted[idx]:
 			cacheWant = append(cacheWant, idx)
-		} else {
+		case peerRoute[idx] != nil:
+			p := peerRoute[idx]
+			peerWant[p] = append(peerWant[p], idx)
+		default:
 			wg.Add(1)
 			go fetchStore(idx)
 		}
@@ -346,12 +530,33 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 			}
 		}()
 	}
+	for p, idxs := range peerWant {
+		wg.Add(1)
+		go func(p *readerPeer, idxs []int) {
+			defer wg.Done()
+			r.delayDur(p.latency)
+			found, err := p.cache.GetMulti(key, idxs)
+			if err != nil {
+				found = nil // a dead peer is an all-miss, never an error
+			}
+			for _, idx := range idxs {
+				if data, ok := found[idx]; ok {
+					results <- outcome{idx: idx, data: data, fromPeer: true}
+					continue
+				}
+				// Stale digest: the peer evicted the chunk since its last
+				// advertisement. Detour to the WAN store path.
+				wg.Add(1)
+				go fetchStore(idx)
+			}
+		}(p, idxs)
+	}
 	wg.Wait()
 	close(results)
 
 	chunks := make([][]byte, total)
 	tried := make(map[int]bool, len(want))
-	got, fromCache := 0, 0
+	got, fromCache, fromPeers := 0, 0, 0
 	toCache := make(map[int][]byte)
 	for o := range results {
 		tried[o.idx] = true
@@ -360,9 +565,12 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 		}
 		chunks[o.idx] = o.data
 		got++
-		if o.fromCache {
+		switch {
+		case o.fromCache:
 			fromCache++
-		} else if hinted[o.idx] {
+		case o.fromPeer:
+			fromPeers++
+		case hinted[o.idx]:
 			toCache[o.idx] = o.data
 		}
 	}
@@ -410,17 +618,20 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 			}
 		}
 	}
+	info := ReadInfo{CacheChunks: fromCache, PeerChunks: fromPeers}
 	if got < k {
-		return nil, time.Since(start), fromCache, fmt.Errorf("live: only %d of %d chunks for %q", got, k, key)
+		info.Latency = time.Since(start)
+		return nil, info, fmt.Errorf("live: only %d of %d chunks for %q", got, k, key)
 	}
 	data, err := r.cluster.codec.Decode(chunks)
 	if err != nil {
-		return nil, time.Since(start), fromCache, err
+		info.Latency = time.Since(start)
+		return nil, info, err
 	}
-	elapsed := time.Since(start)
+	info.Latency = time.Since(start)
 
 	// Hand hinted-but-missed chunks to the async population pool: the fill
 	// happens off the read path, batched into one PutMulti per object.
 	r.pop.enqueue(key, toCache)
-	return data, elapsed, fromCache, nil
+	return data, info, nil
 }

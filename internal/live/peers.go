@@ -1,0 +1,62 @@
+package live
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+)
+
+// PeerSpec is one cooperative peer parsed from a -peers flag.
+type PeerSpec struct {
+	// Region is the peer's region.
+	Region geo.RegionID
+	// Addr is the peer cache server's address.
+	Addr string
+	// Latency is the client-to-peer chunk-read latency.
+	Latency time.Duration
+}
+
+// ParsePeers parses a -peers flag of the form
+//
+//	region=host:port@latency[,region=host:port@latency...]
+//
+// e.g. "dublin=10.0.0.7:7102@25ms,n-virginia=10.0.1.9:7102@90ms". Empty
+// input returns no peers.
+func ParsePeers(s string) ([]PeerSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []PeerSpec
+	seen := make(map[geo.RegionID]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("live: peer %q: want region=host:port@latency", part)
+		}
+		region, err := geo.ParseRegion(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("live: peer %q: %w", part, err)
+		}
+		addr, latStr, ok := strings.Cut(rest, "@")
+		if !ok || strings.TrimSpace(addr) == "" {
+			return nil, fmt.Errorf("live: peer %q: want region=host:port@latency", part)
+		}
+		lat, err := time.ParseDuration(strings.TrimSpace(latStr))
+		if err != nil {
+			return nil, fmt.Errorf("live: peer %q: bad latency: %w", part, err)
+		}
+		if lat <= 0 {
+			return nil, fmt.Errorf("live: peer %q: latency must be positive", part)
+		}
+		if seen[region] {
+			return nil, fmt.Errorf("live: peer region %s listed twice", region)
+		}
+		seen[region] = true
+		out = append(out, PeerSpec{Region: region, Addr: strings.TrimSpace(addr), Latency: lat})
+	}
+	return out, nil
+}

@@ -9,6 +9,12 @@ type popJob struct {
 	chunks map[int][]byte
 }
 
+// chunkSink is where the populator writes batched fills — the narrow slice
+// of *RemoteCache it needs, injectable for tests.
+type chunkSink interface {
+	PutMulti(key string, chunks map[int][]byte) error
+}
+
 // populator applies end-of-read cache fills on a bounded async worker pool,
 // so readers hand hinted-but-missed chunks off and return immediately
 // instead of blocking on cache round trips. The queue is bounded and
@@ -16,7 +22,7 @@ type popJob struct {
 // dropped (the next read of that object re-hints and re-fetches it),
 // which is an acceptable failure mode for a best-effort cache warmer.
 type populator struct {
-	cache *RemoteCache
+	cache chunkSink
 	jobs  chan popJob
 	wg    sync.WaitGroup
 
@@ -29,7 +35,7 @@ type populator struct {
 
 // newPopulator starts workers goroutines draining a queue of the given
 // depth into the cache via batched PutMulti calls.
-func newPopulator(cache *RemoteCache, workers, queue int) *populator {
+func newPopulator(cache chunkSink, workers, queue int) *populator {
 	p := &populator{cache: cache, jobs: make(chan popJob, queue)}
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < workers; i++ {

@@ -8,6 +8,7 @@ import (
 
 	"github.com/agardist/agar/internal/backend"
 	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/wire"
 )
 
@@ -142,11 +143,23 @@ func (s *RemoteStore) Stats() (map[string]int64, error) {
 
 // RemoteCache is the client adapter for a chunk cache server. Calls on one
 // adapter run concurrently over a small connection pool.
-type RemoteCache struct{ rc *pool }
+type RemoteCache struct {
+	rc *pool
+	// origin, when set, names the calling client's region on batched reads,
+	// so a peer cache server can account cooperative traffic separately
+	// from its own region's clients.
+	origin string
+}
 
 // NewRemoteCache returns an adapter for the cache server at addr.
 func NewRemoteCache(addr string) *RemoteCache {
 	return &RemoteCache{rc: newPool(addr)}
+}
+
+// NewPeerRemoteCache returns an adapter for a cooperative peer's cache
+// server that identifies its reads as coming from the origin region.
+func NewPeerRemoteCache(addr, origin string) *RemoteCache {
+	return &RemoteCache{rc: newPool(addr), origin: origin}
 }
 
 // Close drops the pooled connections.
@@ -183,11 +196,30 @@ func (c *RemoteCache) GetMulti(key string, indices []int) (map[int][]byte, error
 	if len(indices) > wire.MaxBatchChunks {
 		return nil, fmt.Errorf("live: mget of %d chunks exceeds batch limit %d", len(indices), wire.MaxBatchChunks)
 	}
-	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices}})
+	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices, Region: c.origin}})
 	if err != nil {
 		return nil, err
 	}
 	return wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+}
+
+// SendDigest pushes one cooperative residency digest frame to the cache
+// server and waits for its acknowledgement — the live transport behind
+// coop.Advertiser.
+func (c *RemoteCache) SendDigest(d coop.Digest) error {
+	resp, err := c.rc.call(wire.Message{
+		Header: wire.Header{Op: wire.OpDigest, Region: d.Region, Seq: d.Seq, Groups: d.Groups},
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Header.Op != wire.OpDigestAck {
+		return fmt.Errorf("live: digest got %q, want ack", resp.Header.Op)
+	}
+	if resp.Header.Seq != d.Seq {
+		return fmt.Errorf("live: digest ack seq %d, want %d", resp.Header.Seq, d.Seq)
+	}
+	return nil
 }
 
 // PutMulti inserts several chunks of one key in a single round trip — the
@@ -259,6 +291,27 @@ func (h *RemoteHinter) Hint(key string) ([]int, error) {
 		return nil, err
 	}
 	return resp.Header.Indices, nil
+}
+
+// HintMulti resolves the caching hints for several keys in one round trip —
+// the batched form of Hint, for readers that know their next keys (prefetch
+// pipelines, scan workloads). Every requested key appears in the result.
+func (h *RemoteHinter) HintMulti(keys []string) (map[string][]int, error) {
+	if len(keys) == 0 {
+		return map[string][]int{}, nil
+	}
+	if len(keys) > wire.MaxBatchChunks {
+		return nil, fmt.Errorf("live: mhint of %d keys exceeds batch limit %d", len(keys), wire.MaxBatchChunks)
+	}
+	resp, err := h.rc.call(wire.Message{Header: wire.Header{Op: wire.OpMHint, Keys: keys}})
+	if err != nil {
+		return nil, err
+	}
+	out := resp.Header.Groups
+	if out == nil {
+		out = map[string][]int{}
+	}
+	return out, nil
 }
 
 // UDPHinter asks for hints over UDP, like the paper's prototype.

@@ -15,9 +15,11 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/agardist/agar/internal/backend"
 	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/core"
 	"github.com/agardist/agar/internal/wire"
 )
@@ -143,7 +145,22 @@ func NewStoreServer(addr string, store *backend.Store) (*Server, error) {
 
 // NewCacheServer serves a chunk cache with memcached-like semantics.
 func NewCacheServer(addr string, c *cache.Cache) (*Server, error) {
-	return newServer(addr, func(req wire.Message) wire.Message {
+	return newServer(addr, cacheHandler(c, nil))
+}
+
+// NewCacheServerCoop serves a chunk cache that also speaks the cooperative
+// mesh protocol: incoming OpDigest frames maintain the table's per-peer
+// residency mirrors, batched reads tagged with a foreign region are
+// accounted as peer traffic, and OpStats reports peer_hits, peer_misses,
+// digests and digest_age_ms alongside the cache counters.
+func NewCacheServerCoop(addr string, c *cache.Cache, table *coop.Table) (*Server, error) {
+	return newServer(addr, cacheHandler(c, table))
+}
+
+// cacheHandler builds the cache server's request handler; table is nil for
+// non-cooperative deployments, which reject digest frames.
+func cacheHandler(c *cache.Cache, table *coop.Table) handler {
+	return func(req wire.Message) wire.Message {
 		id := cache.EntryID{Key: req.Header.Key, Index: req.Header.Index}
 		switch req.Header.Op {
 		case wire.OpGet:
@@ -170,6 +187,11 @@ func NewCacheServer(addr string, c *cache.Cache) (*Server, error) {
 				if data, err := c.Get(cache.EntryID{Key: req.Header.Key, Index: idx}); err == nil {
 					found[idx] = data
 				}
+			}
+			if table != nil && req.Header.Region != "" {
+				// A foreign-region client reading through the coop mesh:
+				// account the served and advertised-but-gone chunks.
+				table.RecordPeerRead(len(found), len(req.Header.Indices)-len(found))
 			}
 			if len(found) == 0 {
 				return wire.Message{Header: wire.Header{Op: wire.OpOK}}
@@ -205,28 +227,69 @@ func NewCacheServer(addr string, c *cache.Cache) (*Server, error) {
 			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: c.IndicesOf(req.Header.Key)}}
 		case wire.OpSnapshot:
 			return wire.Message{Header: wire.Header{Op: wire.OpOK, Groups: c.Snapshot()}}
+		case wire.OpDigest:
+			if table == nil {
+				return wire.ErrorMessage(fmt.Errorf("cache: digest from %q but cooperative mesh is disabled", req.Header.Region))
+			}
+			if req.Header.Region == "" {
+				return wire.ErrorMessage(fmt.Errorf("cache: digest without a region"))
+			}
+			// Stale frames are dropped but still acked: the advertiser moved
+			// on, and the mirror keeps its newer view either way.
+			table.Apply(coop.Digest{Region: req.Header.Region, Seq: req.Header.Seq, Groups: req.Header.Groups})
+			return wire.Message{Header: wire.Header{Op: wire.OpDigestAck, Seq: req.Header.Seq}}
 		case wire.OpStats:
 			st := c.Stats()
-			return wire.Message{Header: wire.Header{Op: wire.OpOK, Stats: map[string]int64{
+			stats := map[string]int64{
 				"gets": st.Gets, "hits": st.Hits, "sets": st.Sets,
 				"evictions": st.Evictions, "rejected": st.Rejected(),
 				"admission_rejects": st.AdmissionRejects, "full_rejects": st.FullRejects,
 				"used": c.Used(), "capacity": c.Capacity(), "shards": int64(c.ShardCount()),
-			}}}
+			}
+			if table != nil {
+				hits, misses := table.PeerReads()
+				applied, stale := table.Applied()
+				stats["peer_hits"], stats["peer_misses"] = hits, misses
+				stats["digests"], stats["digests_stale"] = applied, stale
+				if age, ok := table.StalestAge(); ok {
+					stats["digest_age_ms"] = int64(age / time.Millisecond)
+				}
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Stats: stats}}
 		default:
 			return wire.ErrorMessage(fmt.Errorf("cache: unknown op %q", req.Header.Op))
 		}
-	})
+	}
 }
 
-// NewHintServer serves an Agar node's request-monitor interface over TCP.
+// NewHintServer serves an Agar node's request-monitor interface over TCP:
+// single-key OpHint and the batched OpMHint, which resolves several keys'
+// hints in one frame (each key still records one monitored access). The
+// UDP channel stays single-key — one hint per datagram, like the paper's.
 func NewHintServer(addr string, node *core.Node) (*Server, error) {
 	return newServer(addr, func(req wire.Message) wire.Message {
-		if req.Header.Op != wire.OpHint {
+		switch req.Header.Op {
+		case wire.OpHint:
+			hint := node.HandleRead(req.Header.Key)
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Key: hint.Key, Indices: hint.CacheChunks}}
+		case wire.OpMHint:
+			if len(req.Header.Keys) > wire.MaxBatchChunks {
+				return wire.ErrorMessage(fmt.Errorf("hint: mhint of %d keys exceeds batch limit %d",
+					len(req.Header.Keys), wire.MaxBatchChunks))
+			}
+			groups := make(map[string][]int, len(req.Header.Keys))
+			for _, key := range req.Header.Keys {
+				hint := node.HandleRead(key)
+				chunks := hint.CacheChunks
+				if chunks == nil {
+					chunks = []int{} // present-but-empty: the key was resolved
+				}
+				groups[key] = chunks
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Groups: groups}}
+		default:
 			return wire.ErrorMessage(fmt.Errorf("hint: unknown op %q", req.Header.Op))
 		}
-		hint := node.HandleRead(req.Header.Key)
-		return wire.Message{Header: wire.Header{Op: wire.OpOK, Key: hint.Key, Indices: hint.CacheChunks}}
 	})
 }
 

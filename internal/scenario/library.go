@@ -99,6 +99,17 @@ func Library() []Spec {
 			},
 		},
 		{
+			Name:        "coop-peering",
+			Description: "Frankfurt and Dublin peer their caches (§VI): both regions hammer a shared hot set, so Frankfurt reads Dublin-resident chunks at peer latency instead of crossing the WAN and spends its own slots on uncovered chunks.",
+			Region:      "frankfurt",
+			PeerRegions: []string{"dublin"},
+			Phases: []Phase{
+				{Name: "warm", Duration: 2 * time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.2}},
+				{Name: "shared-hot", Duration: 4 * time.Minute, Workload: Workload{Kind: WorkloadHotspot, HotLo: 0, HotHi: 40, HotFrac: 0.85}},
+				{Name: "drift", Duration: 2 * time.Minute, Workload: Workload{Kind: WorkloadHotspot, HotLo: 120, HotHi: 160, HotFrac: 0.85}},
+			},
+		},
+		{
 			Name:        "cache-crash",
 			Description: "The region's cache server restarts empty ten seconds into the second phase; the run shows each policy re-warming.",
 			Region:      "frankfurt",

@@ -6,6 +6,7 @@ import (
 
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/live"
+	"github.com/agardist/agar/internal/netsim"
 	"github.com/agardist/agar/internal/stats"
 	"github.com/agardist/agar/internal/workload"
 )
@@ -60,6 +61,19 @@ type LiveResult struct {
 	Latency     stats.DurationSummary `json:"latency"`
 	CacheChunks int                   `json:"cache_chunks"`
 	Errors      int                   `json:"errors"`
+
+	// Cooperative-mesh accounting, populated for peered scenarios: chunks
+	// this run's reads pulled from peer caches, the peer cache server's
+	// own hit/miss counters, the local mirror staleness at the end of the
+	// run, and paired latency summaries of peer-assisted reads against
+	// reads that crossed the WAN.
+	PeerRegion  string                 `json:"peer_region,omitempty"`
+	PeerChunks  int                    `json:"peer_chunks,omitempty"`
+	PeerHits    int64                  `json:"peer_hits,omitempty"`
+	PeerMisses  int64                  `json:"peer_misses,omitempty"`
+	DigestAgeMS int64                  `json:"digest_age_ms,omitempty"`
+	PeerReads   *stats.DurationSummary `json:"peer_reads,omitempty"`
+	WANReads    *stats.DurationSummary `json:"wan_reads,omitempty"`
 }
 
 // RunLiveSmoke replays the scenario's first phase against the localhost
@@ -88,17 +102,21 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 	sched.SetEpoch(time.Now().Add(24 * time.Hour))
 
 	chunkBytes := int64(opts.ObjectBytes/opts.K + 1)
-	cluster, err := live.StartCluster(live.ClusterConfig{
-		Regions:        geo.DefaultRegions(),
-		K:              opts.K,
-		M:              opts.M,
-		ClientRegion:   region,
-		CacheBytes:     30 * chunkBytes,
-		ChunkBytes:     chunkBytes,
-		ReconfigPeriod: 200 * time.Millisecond,
-		DelayScale:     opts.DelayScale,
-		Schedule:       sched,
-	})
+	boot := func(clientRegion geo.RegionID, sched *netsim.Schedule) (*live.Cluster, error) {
+		return live.StartCluster(live.ClusterConfig{
+			Regions:        geo.DefaultRegions(),
+			K:              opts.K,
+			M:              opts.M,
+			ClientRegion:   clientRegion,
+			CacheBytes:     30 * chunkBytes,
+			ChunkBytes:     chunkBytes,
+			ReconfigPeriod: 200 * time.Millisecond,
+			DelayScale:     opts.DelayScale,
+			Schedule:       sched,
+			DigestPeriod:   100 * time.Millisecond,
+		})
+	}
+	cluster, err := boot(region, sched)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q live: %w", spec.Name, err)
 	}
@@ -108,10 +126,61 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 	for i := range payload {
 		payload[i] = byte(i * 17)
 	}
-	for i := 0; i < opts.Objects; i++ {
-		if err := cluster.Backend().PutObject(workload.KeyName(i), payload); err != nil {
-			return nil, fmt.Errorf("scenario %q live: load: %w", spec.Name, err)
+	load := func(c *live.Cluster) error {
+		for i := 0; i < opts.Objects; i++ {
+			if err := c.Backend().PutObject(workload.KeyName(i), payload); err != nil {
+				return fmt.Errorf("scenario %q live: load: %w", spec.Name, err)
+			}
 		}
+		return nil
+	}
+	if err := load(cluster); err != nil {
+		return nil, err
+	}
+
+	res := &LiveResult{Scenario: spec.Name, Phase: phase.Name}
+
+	// Peered scenarios boot a second live cluster in the first peer region,
+	// join the two into a symmetric mesh, and warm the peer on the same
+	// phase workload so its cache holds the shared hot set before
+	// measurement — the live twin of the simulated runner's peer warm.
+	var peer *live.Cluster
+	if len(spec.PeerRegions) > 0 {
+		peerRegion, _ := geo.ParseRegion(spec.PeerRegions[0])
+		peer, err = boot(peerRegion, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q live peer: %w", spec.Name, err)
+		}
+		defer peer.Close()
+		if err := load(peer); err != nil {
+			return nil, err
+		}
+		matrix := geo.DefaultMatrix()
+		cluster.Peer(peerRegion, peer.CacheAddr(), matrix.Get(region, peerRegion))
+		peer.Peer(region, cluster.CacheAddr(), matrix.Get(peerRegion, region))
+		res.PeerRegion = peerRegion.String()
+
+		// The peer serves no clients of its own during the smoke, so freeze
+		// its wall-clock reconfiguration loop: a periodic tick mid-warm
+		// would drain the popularity window (EndPeriod) out from under the
+		// explicit ForceReconfigure below, leaving an empty configuration —
+		// and an empty digest. The warm sequence drives reconfiguration
+		// itself; the advertiser keeps digesting the static warm cache.
+		peer.Node().Stop()
+		peerReader, err := live.NewNetworkReader(peer, peerRegion)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q live peer: %w", spec.Name, err)
+		}
+		peerGen := phase.Workload.generator(opts.Objects, opts.Seed+501)
+		for i := 0; i < opts.Ops/2; i++ {
+			if i == opts.Ops/4 {
+				peer.Node().ForceReconfigure()
+			}
+			peerReader.Read(workload.KeyName(peerGen.Next()))
+		}
+		peerReader.FlushPopulation()
+		peerReader.Close()
+		peer.PushDigests()
 	}
 
 	reader, err := live.NewNetworkReader(cluster, region)
@@ -121,8 +190,9 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 	defer reader.Close()
 
 	gen := phase.Workload.generator(opts.Objects, opts.Seed)
-	res := &LiveResult{Scenario: spec.Name, Phase: phase.Name}
 	lat := stats.NewLatencySummary(opts.Ops)
+	peerLat := stats.NewLatencySummary(opts.Ops)
+	wanLat := stats.NewLatencySummary(opts.Ops)
 	warmup := opts.Ops / 3
 	for i := 0; i < warmup+opts.Ops; i++ {
 		if i == warmup {
@@ -130,7 +200,7 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 			sched.SetEpoch(time.Now())
 		}
 		key := workload.KeyName(gen.Next())
-		_, elapsed, fromCache, err := reader.Read(key)
+		_, info, err := reader.ReadDetailed(key)
 		if i < warmup {
 			continue
 		}
@@ -138,10 +208,33 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 			res.Errors++
 			continue
 		}
-		lat.Add(elapsed)
-		res.CacheChunks += fromCache
+		lat.Add(info.Latency)
+		res.CacheChunks += info.CacheChunks
+		res.PeerChunks += info.PeerChunks
+		if info.PeerChunks > 0 {
+			peerLat.Add(info.Latency)
+		} else if info.CacheChunks == 0 {
+			wanLat.Add(info.Latency)
+		}
 	}
 	res.Latency = lat.Summarize()
+
+	if peer != nil {
+		s := peerLat.Summarize()
+		res.PeerReads = &s
+		w := wanLat.Summarize()
+		res.WANReads = &w
+		peerCache := live.NewRemoteCache(peer.CacheAddr())
+		stats, err := peerCache.Stats()
+		peerCache.Close()
+		if err == nil {
+			res.PeerHits = stats["peer_hits"]
+			res.PeerMisses = stats["peer_misses"]
+		}
+		if age, ok := cluster.CoopTable().StalestAge(); ok {
+			res.DigestAgeMS = int64(age / time.Millisecond)
+		}
+	}
 	return res, nil
 }
 

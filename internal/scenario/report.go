@@ -29,6 +29,9 @@ type ArmPhase struct {
 	PartialHits int     `json:"partial_hits"`
 	Misses      int     `json:"misses"`
 	Reconfigs   int     `json:"reconfigs"`
+	// PeerChunks totals chunks served by cooperative peer caches (only
+	// nonzero for the agar arm of peered scenarios).
+	PeerChunks int `json:"peer_chunks,omitempty"`
 }
 
 // PhaseReport is one phase across every arm.
@@ -67,6 +70,7 @@ type Report struct {
 	Scenario    string        `json:"scenario"`
 	Description string        `json:"description,omitempty"`
 	Region      string        `json:"region"`
+	PeerRegions []string      `json:"peer_regions,omitempty"`
 	Seed        int64         `json:"seed"`
 	Arms        []string      `json:"arms"`
 	Phases      []PhaseReport `json:"phases"`
@@ -82,6 +86,7 @@ func buildReport(spec Spec, region string, arms []experiments.Strategy, perArm [
 		Scenario:    spec.Name,
 		Description: spec.Description,
 		Region:      region,
+		PeerRegions: spec.PeerRegions,
 		Seed:        opts.Seed,
 	}
 	for _, a := range arms {
@@ -111,6 +116,7 @@ func buildReport(spec Spec, region string, arms []experiments.Strategy, perArm [
 				PartialHits: r.PartialHits,
 				Misses:      r.Misses,
 				Reconfigs:   r.Reconfigs,
+				PeerChunks:  r.PeerChunks,
 			})
 		}
 		rep.Phases = append(rep.Phases, pr)
@@ -183,8 +189,16 @@ func (r *Report) Markdown() string {
 	if r.Description != "" {
 		fmt.Fprintf(&b, "%s\n\n", r.Description)
 	}
-	fmt.Fprintf(&b, "region `%s` · seed %d · arms: %s\n", r.Region, r.Seed, strings.Join(r.Arms, ", "))
+	fmt.Fprintf(&b, "region `%s`", r.Region)
+	if len(r.PeerRegions) > 0 {
+		fmt.Fprintf(&b, " · peers: %s", strings.Join(r.PeerRegions, ", "))
+	}
+	fmt.Fprintf(&b, " · seed %d · arms: %s\n", r.Seed, strings.Join(r.Arms, ", "))
 
+	// Peered scenarios get a peer-chunk column — driven by the spec, not
+	// the results, so a mesh serving zero chunks shows a suspicious 0
+	// instead of silently dropping the column.
+	peered := len(r.PeerRegions) > 0
 	for _, p := range r.Phases {
 		fmt.Fprintf(&b, "\n### Phase %s (%.0fs", p.Name, p.DurationS)
 		fmt.Fprintf(&b, ", %s", p.Workload.Kind)
@@ -192,6 +206,15 @@ func (r *Report) Markdown() string {
 			fmt.Fprintf(&b, ", %s@%s", e.Kind, e.At.Round(time.Second))
 		}
 		b.WriteString(")\n\n")
+		if peered {
+			b.WriteString("| arm | ops | mean | p50 | p95 | p99 | hit ratio | peer chunks | errors |\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+			for _, a := range p.Arms {
+				fmt.Fprintf(&b, "| %s | %d | %.0f ms | %.0f ms | %.0f ms | %.0f ms | %.3f | %d | %d |\n",
+					a.Arm, a.Ops, a.MeanMS, a.P50MS, a.P95MS, a.P99MS, a.HitRatio, a.PeerChunks, a.Errors)
+			}
+			continue
+		}
 		b.WriteString("| arm | ops | mean | p50 | p95 | p99 | hit ratio | errors |\n")
 		b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
 		for _, a := range p.Arms {

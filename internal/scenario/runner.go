@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/client"
 	"github.com/agardist/agar/internal/core"
 	"github.com/agardist/agar/internal/experiments"
 	"github.com/agardist/agar/internal/geo"
@@ -277,6 +278,55 @@ func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.
 		return nil, err
 	}
 
+	// Cooperative peers (§VI): each peer region runs its own Agar node on
+	// the phase workloads, peered symmetrically with the measured node, so
+	// the measured region's knapsack devalues peer-covered chunks and its
+	// reader pulls them at peer latency instead of crossing the WAN. Only
+	// the agar arm has a node to peer; other arms run unpeered and the
+	// report's paired deltas show what the mesh buys.
+	type coopPeer struct {
+		region geo.RegionID
+		reader client.Reader
+		node   *core.Node
+	}
+	var peers []coopPeer
+	if node != nil {
+		for i, name := range spec.PeerRegions {
+			pr, _ := geo.ParseRegion(name)
+			peerReader, peerNode, err := d.NewReader(arm, env, pr, cacheMB, opts.Seed+7001+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("peer %s: %w", name, err)
+			}
+			node.AddPeer(pr, peerNode.Cache(), d.Matrix.Get(region, pr))
+			peerNode.AddPeer(region, node.Cache(), d.Matrix.Get(pr, region))
+			peers = append(peers, coopPeer{region: pr, reader: peerReader, node: peerNode})
+		}
+	}
+	// warmPeers drives each peer's own clients on the phase workload —
+	// popularity, reconfiguration, then cache-filling reads — so the peer
+	// holds the hot set the way an independently serving region would.
+	// Peer reads never touch the measured virtual clock.
+	warmPeers := func(phaseIdx int, w Workload) {
+		if len(peers) == 0 {
+			return
+		}
+		ops := opts.WarmupOps
+		if ops <= 0 {
+			ops = 300
+		}
+		n := spec.objects()
+		for j, p := range peers {
+			gen := w.generator(n, opts.Seed+int64(phaseIdx)*811+int64(j)*53+19)
+			for o := 0; o < ops; o++ {
+				p.reader.Read(workload.KeyName(gen.Next()))
+			}
+			p.node.ForceReconfigure()
+			for o := 0; o < ops/3; o++ {
+				p.reader.Read(workload.KeyName(gen.Next()))
+			}
+		}
+	}
+
 	// Warm caches and popularity statistics on the opening workload with
 	// chaos inactive, exactly like the paper's warm-up reads.
 	n := spec.objects()
@@ -306,6 +356,7 @@ func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.
 	results := make([]ycsb.Result, 0, len(spec.Phases))
 	var elapsed time.Duration
 	for i, p := range spec.Phases {
+		warmPeers(i, p.Workload)
 		// Deadlines anchor to the epoch, exactly like the compiled event
 		// windows: a phase whose last operation overshoots its boundary
 		// starts the next phase late, but the overshoot never accumulates

@@ -331,6 +331,93 @@ func TestLiveSmoke(t *testing.T) {
 	}
 }
 
+// TestCoopPeeringServesPeerChunks runs the coop-peering scenario on the
+// simulator: the agar arm must serve chunks out of the peered Dublin
+// node's cache during the shared-hot phase, and only the agar arm peers.
+func TestCoopPeeringServesPeerChunks(t *testing.T) {
+	spec, ok := Lookup("coop-peering")
+	if !ok {
+		t.Fatal("coop-peering missing from the library")
+	}
+	if len(spec.PeerRegions) == 0 {
+		t.Fatal("coop-peering declares no peers")
+	}
+	rep, err := Run(reduced(spec), reducedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agar := armPhase(t, rep, "shared-hot", "Agar")
+	if agar.PeerChunks == 0 {
+		t.Fatalf("agar arm served no peer chunks in the shared-hot phase: %+v", agar)
+	}
+	if agar.Errors > 0 {
+		t.Fatalf("peered reads errored %d times", agar.Errors)
+	}
+	backend := armPhase(t, rep, "shared-hot", "Backend")
+	if backend.PeerChunks != 0 {
+		t.Fatalf("cache-less backend arm reported %d peer chunks", backend.PeerChunks)
+	}
+	if agar.MeanMS >= backend.MeanMS {
+		t.Fatalf("peered agar mean %.0f ms not below backend %.0f ms", agar.MeanMS, backend.MeanMS)
+	}
+	if !strings.Contains(rep.Markdown(), "peer chunks") {
+		t.Error("peered markdown lacks the peer-chunk column")
+	}
+}
+
+func TestSpecValidationRejectsBadPeers(t *testing.T) {
+	base := Phase{Name: "p", Duration: time.Minute, Workload: Workload{Kind: WorkloadZipfian}}
+	for _, tc := range []struct {
+		name  string
+		peers []string
+		reg   string
+	}{
+		{"unknown peer", []string{"atlantis"}, "frankfurt"},
+		{"peer equals client", []string{"frankfurt"}, "frankfurt"},
+		{"peer equals default client", []string{"frankfurt"}, ""},
+		{"duplicate peer", []string{"dublin", "dublin"}, "frankfurt"},
+	} {
+		spec := Spec{Name: "x", Region: tc.reg, PeerRegions: tc.peers, Phases: []Phase{base}}
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: spec validated", tc.name)
+		}
+	}
+	good := Spec{Name: "x", Region: "frankfurt", PeerRegions: []string{"dublin", "n-virginia"}, Phases: []Phase{base}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid peered spec rejected: %v", err)
+	}
+}
+
+// TestLiveSmokePeered boots the two-cluster peered smoke: Frankfurt must
+// pull chunks from Dublin's cache server (which accounts them as peer
+// hits), and peer-assisted reads must beat reads that crossed the WAN.
+func TestLiveSmokePeered(t *testing.T) {
+	spec, _ := Lookup("coop-peering")
+	res, err := RunLiveSmoke(spec, LiveOptions{Ops: 60, Objects: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("peered smoke saw %d errors", res.Errors)
+	}
+	if res.PeerRegion != "dublin" {
+		t.Fatalf("peer region %q", res.PeerRegion)
+	}
+	if res.PeerChunks == 0 {
+		t.Fatal("no chunks served from the peer cache")
+	}
+	if res.PeerHits == 0 {
+		t.Fatal("peer cache server reported no peer hits")
+	}
+	if res.PeerReads == nil || res.PeerReads.Count == 0 {
+		t.Fatal("no peer-assisted reads summarised")
+	}
+	if res.WANReads != nil && res.WANReads.Count > 0 && res.PeerReads.MeanMS >= res.WANReads.MeanMS {
+		t.Fatalf("peer-assisted reads (%.2f ms) not below WAN reads (%.2f ms)",
+			res.PeerReads.MeanMS, res.WANReads.MeanMS)
+	}
+}
+
 // TestLiveSmokeUnderOutage replays the region-failover scenario's shape
 // with the outage pulled into the first phase: reads must detour, not fail.
 func TestLiveSmokeUnderOutage(t *testing.T) {

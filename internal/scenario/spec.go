@@ -126,6 +126,12 @@ type Spec struct {
 	Description string `json:"description"`
 	// Region is the client region (default frankfurt).
 	Region string `json:"region,omitempty"`
+	// PeerRegions lists regions whose caches cooperate with the client
+	// region (§VI): each runs its own Agar node on the same workload, the
+	// nodes peer symmetrically, and the measured region reads peer-covered
+	// chunks at peer latency instead of crossing the WAN. Only the agar arm
+	// has a node to peer; other arms ignore the mesh.
+	PeerRegions []string `json:"peer_regions,omitempty"`
 	// Objects sizes the working set (default 300, the paper's).
 	Objects int `json:"objects,omitempty"`
 	// CacheMB sizes every arm's cache in paper megabytes (default 10).
@@ -229,6 +235,23 @@ func (s Spec) Validate() error {
 		if _, err := geo.ParseRegion(s.Region); err != nil {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
+	}
+	client := s.Region
+	if client == "" {
+		client = geo.Frankfurt.String()
+	}
+	seenPeer := make(map[string]bool, len(s.PeerRegions))
+	for _, p := range s.PeerRegions {
+		if _, err := geo.ParseRegion(p); err != nil {
+			return fmt.Errorf("scenario %q: peer: %w", s.Name, err)
+		}
+		if p == client {
+			return fmt.Errorf("scenario %q: peer region %q is the client region", s.Name, p)
+		}
+		if seenPeer[p] {
+			return fmt.Errorf("scenario %q: duplicate peer region %q", s.Name, p)
+		}
+		seenPeer[p] = true
 	}
 	n := s.objects()
 	seen := make(map[string]bool, len(s.Phases))

@@ -36,19 +36,22 @@ const MaxBatchChunks = 256
 
 // Op codes carried in Header.Op.
 const (
-	OpGet      = "get"       // fetch one chunk
-	OpPut      = "put"       // store one chunk
-	OpMGet     = "mget"      // fetch many chunks of one key in one round trip
-	OpMPut     = "mput"      // store many chunks of one key in one round trip
-	OpDelete   = "delete"    // remove one chunk
-	OpDelObj   = "delobj"    // remove all chunks of an object
-	OpIndices  = "indices"   // list resident chunk indices for a key
-	OpHint     = "hint"      // request a caching hint (Agar monitor)
-	OpStats    = "stats"     // fetch server statistics
-	OpSnapshot = "snapshot"  // fetch cache contents summary
-	OpOK       = "ok"        // success response
-	OpError    = "error"     // failure response
-	OpNotFound = "not-found" // missing chunk response
+	OpGet       = "get"        // fetch one chunk
+	OpPut       = "put"        // store one chunk
+	OpMGet      = "mget"       // fetch many chunks of one key in one round trip
+	OpMPut      = "mput"       // store many chunks of one key in one round trip
+	OpDelete    = "delete"     // remove one chunk
+	OpDelObj    = "delobj"     // remove all chunks of an object
+	OpIndices   = "indices"    // list resident chunk indices for a key
+	OpHint      = "hint"       // request a caching hint (Agar monitor)
+	OpMHint     = "mhint"      // request caching hints for many keys at once
+	OpDigest    = "digest"     // advertise a cache's residency to a peer
+	OpDigestAck = "digest-ack" // acknowledge a digest frame (echoes Seq)
+	OpStats     = "stats"      // fetch server statistics
+	OpSnapshot  = "snapshot"   // fetch cache contents summary
+	OpOK        = "ok"         // success response
+	OpError     = "error"      // failure response
+	OpNotFound  = "not-found"  // missing chunk response
 )
 
 // Header is the JSON-encoded frame header.
@@ -59,9 +62,19 @@ type Header struct {
 	Key string `json:"key,omitempty"`
 	// Index is the chunk index, when relevant.
 	Index int `json:"index,omitempty"`
+	// Keys carries object key lists (batched hint requests).
+	Keys []string `json:"keys,omitempty"`
 	// Indices carries chunk index lists (hints, residency answers, batch
 	// chunk frames).
 	Indices []int `json:"indices,omitempty"`
+	// Region names the sending node's region on cooperative-cache frames:
+	// the advertiser on OpDigest, the reading client on peer OpMGet calls
+	// (so the serving cache can account peer traffic separately).
+	Region string `json:"region,omitempty"`
+	// Seq orders digest frames from one advertiser: a receiver replaces its
+	// mirror on a higher Seq, merges frames sharing the current Seq (large
+	// digests paginate), and drops lower ones as stale.
+	Seq int64 `json:"seq,omitempty"`
 	// Sizes carries the per-chunk byte lengths of a batch message's body:
 	// Sizes[i] bytes of Body belong to chunk Indices[i], in order.
 	Sizes []int `json:"sizes,omitempty"`

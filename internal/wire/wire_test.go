@@ -17,6 +17,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Header: Header{Op: OpError, Error: "boom"}},
 		{Header: Header{Op: OpStats, Stats: map[string]int64{"hits": 42}}},
 		{Header: Header{Op: OpSnapshot, Groups: map[string][]int{"a": {1, 2}}}},
+		{Header: Header{Op: OpMHint, Keys: []string{"a", "b", "c"}}},
+		{Header: Header{Op: OpDigest, Region: "dublin", Seq: 7, Groups: map[string][]int{"k": {0, 5}}}},
+		{Header: Header{Op: OpDigestAck, Seq: 7}},
 	}
 	for _, m := range msgs {
 		buf, err := Encode(m)
@@ -36,6 +39,12 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		}
 		if len(m.Header.Indices) > 0 && len(got.Header.Indices) != len(m.Header.Indices) {
 			t.Fatal("indices lost")
+		}
+		if len(m.Header.Keys) > 0 && len(got.Header.Keys) != len(m.Header.Keys) {
+			t.Fatal("keys lost")
+		}
+		if got.Header.Region != m.Header.Region || got.Header.Seq != m.Header.Seq {
+			t.Fatalf("coop fields mismatch: %+v vs %+v", got.Header, m.Header)
 		}
 	}
 }

@@ -64,6 +64,9 @@ type Result struct {
 	Min, Max time.Duration
 	// FullHits, PartialHits and Misses classify the measured reads.
 	FullHits, PartialHits, Misses int
+	// PeerChunks totals the chunks served by cooperative peer caches
+	// across the measured reads (§VI).
+	PeerChunks int
 	// Errors counts failed reads (excluded from latency stats).
 	Errors int
 	// Reconfigs counts Agar reconfigurations during the measured phase.
@@ -133,6 +136,7 @@ func Run(cfg RunConfig) (Result, error) {
 			continue
 		}
 		lat.Add(r.Latency)
+		res.PeerChunks += r.PeerChunks
 		switch {
 		case r.FullHit:
 			res.FullHits++
@@ -179,6 +183,7 @@ func Average(results []Result) Result {
 		out.FullHits += r.FullHits
 		out.PartialHits += r.PartialHits
 		out.Misses += r.Misses
+		out.PeerChunks += r.PeerChunks
 		out.Errors += r.Errors
 		out.Reconfigs += r.Reconfigs
 	}
