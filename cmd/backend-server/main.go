@@ -1,9 +1,14 @@
 // Command backend-server runs one region's chunk store over TCP — the
-// stand-in for the paper's per-region S3 bucket.
+// stand-in for the paper's per-region S3 bucket. Chunk persistence is
+// pluggable: the default in-memory bucket, an on-disk object layout that
+// survives restarts, or a remote S3-style blob gateway (blob-server) the
+// region proxies to.
 //
 // Usage:
 //
 //	backend-server -region frankfurt -addr 127.0.0.1:7001
+//	backend-server -region frankfurt -store disk -dir /var/lib/agar/frankfurt
+//	backend-server -region frankfurt -store remote -blob-addr 127.0.0.1:7201
 package main
 
 import (
@@ -16,12 +21,16 @@ import (
 	"github.com/agardist/agar/internal/backend"
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/live"
+	"github.com/agardist/agar/internal/store"
 )
 
 func main() {
 	var (
-		region = flag.String("region", "frankfurt", "region this store serves")
-		addr   = flag.String("addr", "127.0.0.1:7001", "listen address")
+		region   = flag.String("region", "frankfurt", "region this store serves")
+		addr     = flag.String("addr", "127.0.0.1:7001", "listen address")
+		kind     = flag.String("store", "mem", "chunk persistence: mem|disk|remote")
+		dir      = flag.String("dir", "", "disk store root directory (required with -store disk)")
+		blobAddr = flag.String("blob-addr", "", "blob gateway address (required with -store remote)")
 	)
 	flag.Parse()
 
@@ -29,18 +38,23 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	store := backend.NewStore(r)
-	srv, err := live.NewStoreServer(*addr, store)
+	blob, err := store.Open(store.Config{Kind: *kind, Dir: *dir, Addr: *blobAddr})
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("backend-server: region=%s listening on %s\n", r, srv.Addr())
+	st := backend.NewStoreOn(r, blob)
+	srv, err := live.NewStoreServer(*addr, st)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("backend-server: region=%s store=%s listening on %s\n", r, *kind, srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("backend-server: shutting down")
 	srv.Close()
+	blob.Close()
 }
 
 func fatalf(format string, args ...any) {

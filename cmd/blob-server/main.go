@@ -1,0 +1,78 @@
+// Command blob-server runs the S3-style blob gateway: chunk objects in
+// named buckets over GET/PUT/DELETE/LIST at /v1/<bucket>/<key>/<chunk>.
+// It is the live stand-in for a real object store — the remote blob-store
+// adapter points at it, and its chaos flags emulate a slow or flaky
+// storage tier for end-to-end experiments.
+//
+// Usage:
+//
+//	blob-server -addr 127.0.0.1:7201                     # in-memory buckets
+//	blob-server -addr 127.0.0.1:7201 -store disk -dir /var/lib/agar-blobs
+//	blob-server -addr 127.0.0.1:7201 -latency 40ms -error-rate 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/agardist/agar/internal/store"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7201", "listen address")
+		kind    = flag.String("store", "mem", "bucket persistence: mem|disk")
+		dir     = flag.String("dir", "", "disk store root directory (required with -store disk)")
+		latency = flag.Duration("latency", 0, "injected per-request service latency")
+		errRate = flag.Float64("error-rate", 0, "injected per-request failure probability in [0,1]")
+		seed    = flag.Int64("seed", 1, "seed for the deterministic failure stream")
+	)
+	flag.Parse()
+
+	if *kind == store.KindRemote {
+		fatalf("-store remote is the client adapter; a gateway persists with mem or disk")
+	}
+	if *errRate < 0 || *errRate > 1 {
+		fatalf("-error-rate %v outside [0,1]", *errRate)
+	}
+	bs, err := store.Open(store.Config{
+		Kind: *kind, Dir: *dir,
+		Latency: *latency, ErrRate: *errRate, Seed: *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv := &http.Server{Handler: store.NewGateway(bs)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatalf("%v", err)
+		}
+	}()
+	fmt.Printf("blob-server: store=%s listening on %s", *kind, ln.Addr())
+	if *latency > 0 || *errRate > 0 {
+		fmt.Printf(" (chaos: latency=%v error-rate=%g)", *latency, *errRate)
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("blob-server: shutting down")
+	srv.Close()
+	bs.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "blob-server: "+format+"\n", args...)
+	os.Exit(1)
+}

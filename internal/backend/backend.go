@@ -1,21 +1,25 @@
 // Package backend implements the persistent chunk store that stands in for
 // the paper's per-region Amazon S3 buckets.
 //
-// A Store is one region's bucket: a durable (for the process lifetime),
-// concurrency-safe map from (object key, chunk index) to chunk bytes. A
-// Cluster groups one Store per region and knows how to spread an object's
-// erasure-coded chunks across them under a placement policy, exactly like
-// the deployment in the paper's Figure 1.
+// A Store is one region's bucket view: a durable, concurrency-safe mapping
+// from (object key, chunk index) to chunk bytes, with region-level failure
+// injection. Since PR 4 the actual persistence is pluggable: every Store
+// delegates to a store.BlobStore adapter (in-memory by default — the exact
+// original semantics — or the disk / remote-gateway adapters), using the
+// region name as its bucket. A Cluster groups one Store per region and
+// knows how to spread an object's erasure-coded chunks across them under a
+// placement policy, exactly like the deployment in the paper's Figure 1.
 package backend
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/agardist/agar/internal/erasure"
 	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/store"
 )
 
 // Errors returned by the store.
@@ -30,97 +34,127 @@ type ChunkID struct {
 	Index int
 }
 
+// blobID converts to the blob layer's chunk address.
+func (id ChunkID) blobID() store.ChunkID { return store.ChunkID{Key: id.Key, Index: id.Index} }
+
 // Store is a single region's chunk bucket. It is safe for concurrent use.
-// The zero value is not usable; construct with NewStore.
+// The zero value is not usable; construct with NewStore or NewStoreOn.
 type Store struct {
-	mu     sync.RWMutex
 	region geo.RegionID
-	chunks map[ChunkID][]byte
-	down   bool
+	bucket string
+	blob   store.BlobStore
+
+	mu   sync.RWMutex
+	down bool
 }
 
-// NewStore returns an empty bucket for the region.
+// NewStore returns an empty in-memory bucket for the region — the default
+// adapter, with the semantics the backend always had.
 func NewStore(region geo.RegionID) *Store {
-	return &Store{region: region, chunks: make(map[ChunkID][]byte)}
+	return NewStoreOn(region, store.NewMem())
+}
+
+// NewStoreOn returns the region's bucket view over an explicit blob-store
+// adapter, using the region name as the bucket. Several regions may share
+// one adapter (one disk root, one gateway): their buckets stay disjoint.
+func NewStoreOn(region geo.RegionID, blob store.BlobStore) *Store {
+	return &Store{region: region, bucket: region.String(), blob: blob}
 }
 
 // Region returns the region this bucket lives in.
 func (s *Store) Region() geo.RegionID { return s.region }
 
+// Blob exposes the underlying adapter (for tests and tools).
+func (s *Store) Blob() store.BlobStore { return s.blob }
+
+// isDown reports the injected-failure flag.
+func (s *Store) isDown() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.down
+}
+
 // Put stores a copy of the chunk bytes.
 func (s *Store) Put(id ChunkID, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.down {
+	if s.isDown() {
 		return ErrDown
 	}
-	s.chunks[id] = append([]byte(nil), data...)
-	return nil
+	return s.blob.PutChunk(context.Background(), s.bucket, id.blobID(), data)
 }
 
 // Get returns a copy of the chunk bytes, ErrNotFound when absent, or
 // ErrDown while the region is failed.
 func (s *Store) Get(id ChunkID) ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.down {
+	if s.isDown() {
 		return nil, ErrDown
 	}
-	data, ok := s.chunks[id]
-	if !ok {
+	data, err := s.blob.GetChunk(context.Background(), s.bucket, id.blobID())
+	if errors.Is(err, store.ErrNotFound) {
 		return nil, ErrNotFound
 	}
-	return append([]byte(nil), data...), nil
+	return data, err
 }
 
-// Delete removes a chunk and reports whether it was present.
+// GetMulti fetches several chunks of one key in a single adapter round trip
+// and returns whichever exist, keyed by index — the batched form of Get
+// that keeps a remote blob tier to one HTTP exchange.
+func (s *Store) GetMulti(key string, indices []int) (map[int][]byte, error) {
+	if s.isDown() {
+		return nil, ErrDown
+	}
+	return s.blob.GetChunks(context.Background(), s.bucket, key, indices)
+}
+
+// Delete removes a chunk and reports whether it was present. Deletes are
+// an operator action, not a data-path read, so the down flag does not gate
+// them — matching the original in-memory semantics. An adapter failure
+// reads as "absent"; callers that must distinguish (the live store
+// server's delete op) use DeleteChecked.
 func (s *Store) Delete(id ChunkID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.chunks[id]; !ok {
-		return false
-	}
-	delete(s.chunks, id)
-	return true
+	ok, _ := s.DeleteChecked(id)
+	return ok
 }
 
-// Len returns the number of stored chunks.
+// DeleteChecked removes a chunk, reporting both whether it was present and
+// any adapter error — so a remote tier's transient failure is not silently
+// mistaken for a no-op that leaves an orphan chunk behind.
+func (s *Store) DeleteChecked(id ChunkID) (bool, error) {
+	return s.blob.DeleteChunk(context.Background(), s.bucket, id.blobID())
+}
+
+// Len returns the number of stored chunks (0 when the adapter errors; use
+// StatsChecked to distinguish).
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.chunks)
+	st, _ := s.StatsChecked()
+	return int(st.Chunks)
 }
 
-// Bytes returns the total stored bytes.
+// Bytes returns the total stored bytes (0 when the adapter errors; use
+// StatsChecked to distinguish).
 func (s *Store) Bytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var n int64
-	for _, c := range s.chunks {
-		n += int64(len(c))
-	}
-	return n
+	st, _ := s.StatsChecked()
+	return st.Bytes
+}
+
+// StatsChecked returns the bucket's chunk/byte accounting or the adapter
+// error, so a gateway blip is not reported as an empty region.
+func (s *Store) StatsChecked() (store.Stats, error) {
+	return s.blob.Stats(context.Background(), s.bucket)
 }
 
 // Keys returns the sorted distinct object keys with at least one chunk here.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen := make(map[string]bool)
-	for id := range s.chunks {
-		seen[id.Key] = true
+	keys, err := s.blob.List(context.Background(), s.bucket)
+	if err != nil {
+		return nil
 	}
-	out := make([]string, 0, len(seen))
-	for k := range seen {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return keys
 }
 
 // SetDown marks the region failed (true) or healthy (false). While down,
 // every Get and Put fails with ErrDown — the failure-injection hook for
-// degraded-read tests.
+// degraded-read tests. The flag lives above the blob adapter, so a "down"
+// region's durable chunks survive for its recovery.
 func (s *Store) SetDown(down bool) {
 	s.mu.Lock()
 	s.down = down
@@ -128,11 +162,7 @@ func (s *Store) SetDown(down bool) {
 }
 
 // Down reports whether the region is failed.
-func (s *Store) Down() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.down
-}
+func (s *Store) Down() bool { return s.isDown() }
 
 // Cluster is the multi-region backend: one Store per region plus the codec
 // and placement that map objects onto chunks onto regions.
@@ -143,14 +173,21 @@ type Cluster struct {
 	regions   []geo.RegionID
 }
 
-// NewCluster builds a cluster with one empty store per region.
+// NewCluster builds a cluster with one empty in-memory store per region.
 func NewCluster(regions []geo.RegionID, codec *erasure.Codec, placement geo.Placement) *Cluster {
+	return NewClusterOn(regions, codec, placement, store.NewMem())
+}
+
+// NewClusterOn builds a cluster whose regions persist chunks in the given
+// blob store, one bucket per region — the seam that swaps the whole backend
+// tier between in-memory, on-disk and remote-gateway deployments.
+func NewClusterOn(regions []geo.RegionID, codec *erasure.Codec, placement geo.Placement, blob store.BlobStore) *Cluster {
 	if len(regions) == 0 {
 		panic("backend: cluster needs at least one region")
 	}
 	stores := make(map[geo.RegionID]*Store, len(regions))
 	for _, r := range regions {
-		stores[r] = NewStore(r)
+		stores[r] = NewStoreOn(r, blob)
 	}
 	cp := make([]geo.RegionID, len(regions))
 	copy(cp, regions)

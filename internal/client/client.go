@@ -43,14 +43,47 @@ type Env struct {
 	// MonitorLatency is the request-monitor round trip an Agar read pays
 	// before fetching (the paper measured ~0.5 ms).
 	MonitorLatency time.Duration
+	// ChunkBytes is the modelled (paper-scale) chunk size that bandwidth
+	// caps on the sampler charge transfer time for; zero keeps chunk
+	// latency size-independent, bit-exact with unsized sampling.
+	ChunkBytes int
+	// StoreLatency and StoreErrRate model the blob-store tier behind every
+	// backend region (see store.Tier): extra per-chunk service time over
+	// the matrix baseline, and a transient per-chunk failure probability.
+	// A failed fetch costs its full latency and triggers the degraded-read
+	// substitution waves without blacklisting the region. Both zero — the
+	// "mem" tier — leave the model exactly as it was.
+	StoreLatency time.Duration
+	StoreErrRate float64
 }
 
-// chunkLatency samples the modelled latency of reading one chunk.
+// chunkLatency samples the modelled latency of reading one chunk from a
+// backend region, including the blob-store tier's service time and any
+// bandwidth-capped transfer cost.
 func (e *Env) chunkLatency(from, to geo.RegionID) time.Duration {
-	if e.Sampler != nil {
-		return e.Sampler.Chunk(from, to)
+	var lat time.Duration
+	switch {
+	case e.Sampler != nil && e.ChunkBytes > 0:
+		lat = e.Sampler.ChunkSized(from, to, e.ChunkBytes)
+	case e.Sampler != nil:
+		lat = e.Sampler.Chunk(from, to)
+	default:
+		lat = e.Matrix.Get(from, to)
 	}
-	return e.Matrix.Get(from, to)
+	if e.StoreLatency > 0 {
+		if e.Sampler != nil {
+			lat += e.Sampler.Fixed(e.StoreLatency)
+		} else {
+			lat += e.StoreLatency
+		}
+	}
+	return lat
+}
+
+// storeFault draws one transient blob-tier failure (never for the zero
+// rate, which also never touches the sampler's jitter stream).
+func (e *Env) storeFault() bool {
+	return e.StoreErrRate > 0 && e.Sampler != nil && e.Sampler.Flip(e.StoreErrRate)
 }
 
 func (e *Env) cacheLatency() time.Duration {
@@ -141,6 +174,16 @@ func fetchBackend(env *Env, region geo.RegionID, key string, want []int, have ma
 			if env.Sampler != nil && env.Sampler.Unreachable(region, locs[idx]) {
 				failed++
 				failedRegions[locs[idx]] = true
+				continue
+			}
+			// A transient blob-tier fault (flaky remote store) also costs the
+			// full latency, but neither blacklists the region nor burns the
+			// chunk: the next substitution wave may retry the very same
+			// chunk, the way real clients retry a 500 from object storage.
+			// waveLimit still bounds the whole read.
+			if env.storeFault() {
+				failed++
+				delete(tried, idx)
 				continue
 			}
 			data, err := env.Cluster.Store(locs[idx]).Get(backend.ChunkID{Key: key, Index: idx})

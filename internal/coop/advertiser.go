@@ -13,27 +13,47 @@ type Snapshotter interface {
 }
 
 // Target delivers digest frames to one peer. The live layer implements it
-// on its pooled cache-server client; tests inject fakes.
+// on its pooled cache-server client; tests inject fakes. A nil error means
+// the peer acknowledged the frame at its sequence — the signal the
+// advertiser's delta optimisation keys on.
 type Target interface {
 	SendDigest(Digest) error
 }
 
+// target is one peer plus the advertiser's view of how current it is.
+type target struct {
+	t Target
+	// acked is the last sequence the peer acknowledged in full; 0 when the
+	// peer has never acked (or failed mid-push), forcing a full digest.
+	acked int64
+}
+
 // Advertiser periodically digests a local cache's residency and pushes it
 // to every registered peer — the broadcast half of the paper's cooperative
-// protocol. Pushes are best-effort: a peer that misses a digest serves a
-// slightly staler mirror until the next period, which the read path
-// already tolerates.
+// protocol. A peer whose last ack is exactly one period behind receives a
+// digest delta (only the residency changes since the previous snapshot);
+// any other peer — new, failed, or lagging — receives the full digest.
+// Pushes are best-effort: a peer that misses a digest serves a slightly
+// staler mirror until the next period, which the read path already
+// tolerates.
 type Advertiser struct {
 	source Snapshotter
 	region string
 	period time.Duration
 
+	// pushMu serialises whole Advertise calls; mu guards the fields below.
+	pushMu  sync.Mutex
 	mu      sync.Mutex
-	targets map[string]Target
+	targets map[string]*target
 	seq     int64
+	// prev is the previous Advertise's snapshot (the seq-1 state deltas
+	// are computed against); nil before the first push.
+	prev    map[string][]int
+	prevSeq int64
 
-	pushes   atomic.Int64
-	failures atomic.Int64
+	pushes      atomic.Int64
+	deltaPushes atomic.Int64
+	failures    atomic.Int64
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -58,52 +78,101 @@ func NewAdvertiser(region string, source Snapshotter, period time.Duration) *Adv
 		region:  region,
 		period:  period,
 		seq:     time.Now().UnixNano(),
-		targets: make(map[string]Target),
+		targets: make(map[string]*target),
 		stopCh:  make(chan struct{}),
 	}
 }
 
 // AddTarget registers (or replaces) the peer to push digests to, keyed by
-// its region name.
+// its region name. A (re)registered peer starts unacked, so its first push
+// is always a full digest.
 func (a *Advertiser) AddTarget(region string, t Target) {
 	a.mu.Lock()
-	a.targets[region] = t
+	a.targets[region] = &target{t: t}
 	a.mu.Unlock()
 }
 
 // Advertise takes one residency snapshot and pushes it to every target
 // now, synchronously — the deterministic hook tests and smoke runs use
-// between reads. It returns the number of targets that failed.
+// between reads. Targets acked through the previous snapshot get a delta;
+// the rest get the full digest. It returns the number of targets that
+// failed.
 func (a *Advertiser) Advertise() int {
+	// One advertise at a time: the delta bookkeeping (prev snapshot, acked
+	// sequences) assumes pushes do not interleave. The ticker loop and
+	// manual PushDigests calls may race otherwise.
+	a.pushMu.Lock()
+	defer a.pushMu.Unlock()
+
 	a.mu.Lock()
 	a.seq++
 	seq := a.seq
-	targets := make([]Target, 0, len(a.targets))
+	prev, prevSeq := a.prev, a.prevSeq
+	targets := make([]*target, 0, len(a.targets))
 	for _, t := range a.targets {
 		targets = append(targets, t)
 	}
 	a.mu.Unlock()
+
+	snap := a.source.Snapshot()
 	if len(targets) == 0 {
+		a.setPrev(snap, seq)
 		return 0
 	}
-	frames := Paginate(a.region, seq, a.source.Snapshot())
+	full := Paginate(a.region, seq, snap)
+	// Deltas are worth computing only against the immediately preceding
+	// snapshot: a peer acked further back would need a change set this
+	// advertiser no longer holds.
+	var delta []Digest
+	if prev != nil && prevSeq == seq-1 {
+		delta = PaginateDelta(a.region, seq, prevSeq, Diff(prev, snap))
+	}
+
 	failed := 0
-	for _, t := range targets {
+	for _, ts := range targets {
+		frames := full
+		usedDelta := false
+		if delta != nil && a.ackedSeq(ts) == seq-1 {
+			frames, usedDelta = delta, true
+		}
 		ok := true
 		for _, d := range frames {
-			if err := t.SendDigest(d); err != nil {
+			if err := ts.t.SendDigest(d); err != nil {
 				ok = false
 				a.failures.Add(1)
 				break // the peer keeps its previous coherent snapshot
 			}
 		}
+		a.mu.Lock()
+		if ok {
+			ts.acked = seq
+		} else {
+			ts.acked = 0 // unknown peer state: next push goes out in full
+		}
+		a.mu.Unlock()
 		if ok {
 			a.pushes.Add(1)
+			if usedDelta {
+				a.deltaPushes.Add(1)
+			}
 		} else {
 			failed++
 		}
 	}
+	a.setPrev(snap, seq)
 	return failed
+}
+
+func (a *Advertiser) ackedSeq(ts *target) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return ts.acked
+}
+
+func (a *Advertiser) setPrev(snap map[string][]int, seq int64) {
+	a.mu.Lock()
+	a.prev, a.prevSeq = snap, seq
+	a.mu.Unlock()
 }
 
 // Start launches the periodic push loop. Idempotent; pair with Stop.
@@ -137,3 +206,6 @@ func (a *Advertiser) Stop() {
 func (a *Advertiser) Stats() (pushes, failures int64) {
 	return a.pushes.Load(), a.failures.Load()
 }
+
+// DeltaPushes reports how many successful pushes travelled as deltas.
+func (a *Advertiser) DeltaPushes() int64 { return a.deltaPushes.Load() }

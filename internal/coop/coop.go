@@ -32,15 +32,74 @@ import "sort"
 const MaxDigestKeys = 128
 
 // Digest is one residency advertisement frame: the chunk indices resident
-// for each key in the advertiser's cache, or one page of them.
+// for each key in the advertiser's cache, or one page of them — or, when
+// Delta is set, only the residency changes since a previous snapshot.
 type Digest struct {
 	// Region is the advertiser's region name.
 	Region string
 	// Seq orders digests from one advertiser; every page of one snapshot
 	// shares the snapshot's Seq.
 	Seq int64
-	// Groups maps object keys to their resident chunk indices.
+	// Groups maps object keys to their resident chunk indices. In a delta
+	// frame, only changed keys appear, and an empty (non-nil) index list
+	// means the key left the cache entirely.
 	Groups map[string][]int
+	// Delta marks this frame as a delta over snapshot Base rather than a
+	// full replacement. A mirror applies it only when it sits exactly at
+	// Base; anything else rejects the frame, and the advertiser falls back
+	// to a full digest on the next push.
+	Delta bool
+	// Base is the sequence the delta's changes are relative to.
+	Base int64
+}
+
+// Diff computes the residency changes from prev to cur as a delta group
+// set: keys whose index set changed map to their new indices, and keys that
+// vanished map to an empty slice. Index order is ignored; unchanged keys
+// are absent. An empty diff means the snapshots agree.
+func Diff(prev, cur map[string][]int) map[string][]int {
+	out := make(map[string][]int)
+	for key, idxs := range cur {
+		if !sameIndexSet(prev[key], idxs) {
+			out[key] = append([]int(nil), idxs...)
+		}
+	}
+	for key := range prev {
+		if _, ok := cur[key]; !ok {
+			out[key] = []int{}
+		}
+	}
+	return out
+}
+
+// sameIndexSet reports whether two index lists hold the same set.
+func sameIndexSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		if !seen[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// PaginateDelta splits a delta group set into delta frames of at most
+// MaxDigestKeys keys, all sharing seq and base. An empty change set still
+// produces one empty delta frame: the mirror must observe the new sequence
+// (and refresh its age) even when nothing moved.
+func PaginateDelta(region string, seq, base int64, changes map[string][]int) []Digest {
+	full := Paginate(region, seq, changes)
+	for i := range full {
+		full[i].Delta = true
+		full[i].Base = base
+	}
+	return full
 }
 
 // Paginate splits a residency snapshot into digest frames of at most

@@ -63,6 +63,42 @@ func (m *Mirror) Apply(seq int64, groups map[string][]int) bool {
 	return true
 }
 
+// ApplyDelta folds one delta frame in: groups list only changed keys, an
+// empty index list deleting the key. The delta applies only when the
+// mirror sits exactly at base (advancing it to seq) or is already at seq
+// (a later page of the same delta snapshot); any other state — including a
+// mirror that never received a full digest — rejects the frame, and the
+// advertiser's ack check falls it back to a full digest. It reports
+// whether the frame was applied.
+func (m *Mirror) ApplyDelta(seq, base int64, groups map[string][]int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case m.applied == 0:
+		return false // nothing to delta against
+	case m.seq == seq:
+		// later page of this delta snapshot: merge below
+	case m.seq == base && seq > base:
+		m.seq = seq
+	default:
+		return false
+	}
+	for key, idxs := range groups {
+		if len(idxs) == 0 {
+			delete(m.groups, key)
+			continue
+		}
+		set := make(map[int]bool, len(idxs))
+		for _, idx := range idxs {
+			set[idx] = true
+		}
+		m.groups[key] = set
+	}
+	m.updated = m.now()
+	m.applied++
+	return true
+}
+
 // IndicesOf returns the peer's advertised resident chunk indices for a
 // key, sorted. It implements core.ChunkResidency.
 func (m *Mirror) IndicesOf(key string) []int {

@@ -18,6 +18,7 @@ type Table struct {
 	peerHits   atomic.Int64
 	peerMisses atomic.Int64
 	digests    atomic.Int64
+	deltas     atomic.Int64
 	stale      atomic.Int64
 }
 
@@ -51,10 +52,20 @@ func (t *Table) Regions() []string {
 	return out
 }
 
-// Apply routes one digest frame to its region's mirror and reports whether
-// it was applied (false means it was stale).
+// Apply routes one digest frame — full or delta — to its region's mirror
+// and reports whether it was applied (false means it was stale, or a delta
+// whose base the mirror has moved past).
 func (t *Table) Apply(d Digest) bool {
-	ok := t.Mirror(d.Region).Apply(d.Seq, d.Groups)
+	m := t.Mirror(d.Region)
+	var ok bool
+	if d.Delta {
+		ok = m.ApplyDelta(d.Seq, d.Base, d.Groups)
+		if ok {
+			t.deltas.Add(1)
+		}
+	} else {
+		ok = m.Apply(d.Seq, d.Groups)
+	}
 	if ok {
 		t.digests.Add(1)
 	} else {
@@ -81,6 +92,9 @@ func (t *Table) PeerReads() (hits, misses int64) {
 func (t *Table) Applied() (applied, stale int64) {
 	return t.digests.Load(), t.stale.Load()
 }
+
+// Deltas returns how many of the applied frames were digest deltas.
+func (t *Table) Deltas() int64 { return t.deltas.Load() }
 
 // StalestAge returns the age of the least recently refreshed mirror, and
 // false when no mirror has ever received a digest.

@@ -139,6 +139,13 @@ func (d *Deployment) ChunkBytes() int64 {
 	return int64(d.Cluster.Codec().ChunkSize(d.Params.ObjectBytes))
 }
 
+// PaperChunkBytes returns the chunk size the paper's latency model assumes
+// (1 MB objects over k data chunks) — the size bandwidth-capped store
+// tiers charge transfer time for, consistent with the modelled latencies.
+func (d *Deployment) PaperChunkBytes() int {
+	return d.Params.PaperObjectBytes / d.Params.K
+}
+
 // SlotsForMB converts a paper-scale cache size in megabytes into chunk
 // slots: slots = MB / (paperObject/k). The paper's 10 MB cache "fits ten
 // full objects", i.e. 90 chunks.

@@ -13,6 +13,7 @@ import (
 	"github.com/agardist/agar/internal/erasure"
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/netsim"
+	"github.com/agardist/agar/internal/store"
 )
 
 // ClusterConfig sizes a localhost deployment of the full system.
@@ -43,6 +44,11 @@ type ClusterConfig struct {
 	// residency digests to peered clusters (default 1s; only runs once
 	// Peer has been called).
 	DigestPeriod time.Duration
+	// Store selects the blob-store backend chunk persistence delegates to:
+	// in-memory (default), an on-disk object layout, or a remote S3-style
+	// gateway (cmd/blob-server), optionally chaos-wrapped. The cluster owns
+	// the opened adapter and closes it with Close.
+	Store store.Config
 }
 
 // Cluster is a running localhost deployment: one store server per region,
@@ -52,6 +58,7 @@ type Cluster struct {
 	cfg     ClusterConfig
 	codec   *erasure.Codec
 	cluster *backend.Cluster
+	blob    store.BlobStore
 	node    *core.Node
 
 	storeSrvs map[geo.RegionID]*Server
@@ -99,12 +106,17 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	placement := geo.NewRoundRobin(cfg.Regions, false)
-	cluster := backend.NewCluster(cfg.Regions, codec, placement)
+	blob, err := store.Open(cfg.Store)
+	if err != nil {
+		return nil, fmt.Errorf("live: open blob store: %w", err)
+	}
+	cluster := backend.NewClusterOn(cfg.Regions, codec, placement, blob)
 
 	c := &Cluster{
 		cfg:       cfg,
 		codec:     codec,
 		cluster:   cluster,
+		blob:      blob,
 		storeSrvs: make(map[geo.RegionID]*Server),
 	}
 	fail := func(err error) (*Cluster, error) {
@@ -157,6 +169,9 @@ func (c *Cluster) Node() *core.Node { return c.node }
 
 // Backend exposes the in-process cluster for loading data.
 func (c *Cluster) Backend() *backend.Cluster { return c.cluster }
+
+// Blob exposes the blob-store adapter the backend persists chunks in.
+func (c *Cluster) Blob() store.BlobStore { return c.blob }
 
 // StoreAddr returns a region's store server address.
 func (c *Cluster) StoreAddr(r geo.RegionID) string { return c.storeSrvs[r].Addr() }
@@ -211,6 +226,9 @@ func (c *Cluster) PushDigests() int { return c.adv.Advertise() }
 // CoopTable exposes the cluster's mirror table (for stats and tests).
 func (c *Cluster) CoopTable() *coop.Table { return c.table }
 
+// Advertiser exposes the cluster's digest advertiser (for stats and tests).
+func (c *Cluster) Advertiser() *coop.Advertiser { return c.adv }
+
 // Close shuts every server down and stops the node.
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
@@ -236,6 +254,9 @@ func (c *Cluster) Close() {
 		}
 		if c.udpSrv != nil {
 			c.udpSrv.Close()
+		}
+		if c.blob != nil {
+			c.blob.Close()
 		}
 	})
 }
@@ -495,10 +516,12 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 	}
 
 	// Hinted chunks travel in one batched cache round trip, peer-covered
-	// chunks in one batched round trip per peer, and the rest fan out to
-	// the store servers in parallel.
+	// chunks in one batched round trip per peer, and the rest in one
+	// batched round trip per store region — so a region whose store proxies
+	// a remote blob gateway costs one upstream exchange, not one per chunk.
 	var cacheWant []int
 	peerWant := make(map[*readerPeer][]int)
+	storeWant := make(map[geo.RegionID][]int)
 	for _, idx := range want {
 		switch {
 		case hinted[idx]:
@@ -507,9 +530,33 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			p := peerRoute[idx]
 			peerWant[p] = append(peerWant[p], idx)
 		default:
-			wg.Add(1)
-			go fetchStore(idx)
+			storeWant[locs[idx]] = append(storeWant[locs[idx]], idx)
 		}
+	}
+	for region, idxs := range storeWant {
+		wg.Add(1)
+		go func(region geo.RegionID, idxs []int) {
+			defer wg.Done()
+			if r.sampler.Unreachable(r.region, region) {
+				for _, idx := range idxs {
+					results <- outcome{idx: idx, err: fmt.Errorf("live: region %v unreachable", region)}
+				}
+				return
+			}
+			r.delay(region)
+			found, err := r.stores[region].GetMulti(key, idxs)
+			for _, idx := range idxs {
+				data, ok := found[idx]
+				if err != nil || !ok {
+					// Failed exchange or chunk gone: the degraded-read waves
+					// below substitute other chunks, exactly as a failed
+					// single fetch would.
+					results <- outcome{idx: idx, err: fmt.Errorf("live: chunk %d of %q missing in %v", idx, key, region)}
+					continue
+				}
+				results <- outcome{idx: idx, data: data}
+			}
+		}(region, idxs)
 	}
 	if len(cacheWant) > 0 {
 		wg.Add(1)

@@ -238,32 +238,4 @@ func TestHintMultiBatchesRoundTrips(t *testing.T) {
 	}
 }
 
-func TestParsePeers(t *testing.T) {
-	got, err := ParsePeers(" dublin=10.0.0.7:7102@25ms , tokyo=10.1.0.2:7102@210ms ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []PeerSpec{
-		{Region: geo.Dublin, Addr: "10.0.0.7:7102", Latency: 25 * time.Millisecond},
-		{Region: geo.Tokyo, Addr: "10.1.0.2:7102", Latency: 210 * time.Millisecond},
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("ParsePeers = %+v", got)
-	}
-	if specs, err := ParsePeers(""); err != nil || specs != nil {
-		t.Fatalf("empty flag: %v %v", specs, err)
-	}
-	for _, bad := range []string{
-		"dublin",                        // no addr
-		"atlantis=1.2.3.4:1@5ms",        // unknown region
-		"dublin=1.2.3.4:1",              // no latency
-		"dublin=@5ms",                   // empty addr
-		"dublin=1.2.3.4:1@zero",         // bad duration
-		"dublin=1.2.3.4:1@-5ms",         // negative latency
-		"dublin=a:1@5ms,dublin=b:1@5ms", // duplicate region
-	} {
-		if _, err := ParsePeers(bad); err == nil {
-			t.Errorf("ParsePeers(%q) accepted", bad)
-		}
-	}
-}
+// ParsePeers is covered by the table-driven tests in peers_test.go.

@@ -8,6 +8,20 @@ import (
 	"github.com/agardist/agar/internal/geo"
 )
 
+// DuplicatePeerError reports a -peers flag that names one region more than
+// once. Duplicate entries are rejected rather than merged: two addresses
+// for one region is almost always a copy-paste error, and silently keeping
+// either one would misroute that region's digests and peer reads.
+type DuplicatePeerError struct {
+	// Region is the region listed more than once.
+	Region geo.RegionID
+}
+
+// Error implements error.
+func (e *DuplicatePeerError) Error() string {
+	return fmt.Sprintf("live: peer region %s listed twice", e.Region)
+}
+
 // PeerSpec is one cooperative peer parsed from a -peers flag.
 type PeerSpec struct {
 	// Region is the peer's region.
@@ -53,7 +67,7 @@ func ParsePeers(s string) ([]PeerSpec, error) {
 			return nil, fmt.Errorf("live: peer %q: latency must be positive", part)
 		}
 		if seen[region] {
-			return nil, fmt.Errorf("live: peer region %s listed twice", region)
+			return nil, &DuplicatePeerError{Region: region}
 		}
 		seen[region] = true
 		out = append(out, PeerSpec{Region: region, Addr: strings.TrimSpace(addr), Latency: lat})

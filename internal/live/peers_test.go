@@ -1,0 +1,83 @@
+package live
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+)
+
+func TestParsePeersAcceptsWellFormedLists(t *testing.T) {
+	got, err := ParsePeers(" dublin=10.0.0.7:7102@25ms , tokyo=10.1.0.2:7102@210ms ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PeerSpec{
+		{Region: geo.Dublin, Addr: "10.0.0.7:7102", Latency: 25 * time.Millisecond},
+		{Region: geo.Tokyo, Addr: "10.1.0.2:7102", Latency: 210 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParsePeers = %+v", got)
+	}
+	if specs, err := ParsePeers(""); err != nil || specs != nil {
+		t.Fatalf("empty flag: %v %v", specs, err)
+	}
+	if specs, err := ParsePeers("   "); err != nil || specs != nil {
+		t.Fatalf("blank flag: %v %v", specs, err)
+	}
+}
+
+func TestParsePeersRejectsMalformedEntries(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string // substring of the error
+	}{
+		{"bare region", "dublin", "want region=host:port@latency"},
+		{"empty entry", "dublin=a:1@5ms,,tokyo=b:1@5ms", "want region=host:port@latency"},
+		{"unknown region", "atlantis=1.2.3.4:1@5ms", "unknown region"},
+		{"missing latency", "dublin=1.2.3.4:1", "want region=host:port@latency"},
+		{"empty addr", "dublin=@5ms", "want region=host:port@latency"},
+		{"blank addr", "dublin=   @5ms", "want region=host:port@latency"},
+		{"bad duration", "dublin=1.2.3.4:1@zero", "bad latency"},
+		{"bare number duration", "dublin=1.2.3.4:1@25", "bad latency"},
+		{"negative latency", "dublin=1.2.3.4:1@-5ms", "latency must be positive"},
+		{"zero latency", "dublin=1.2.3.4:1@0s", "latency must be positive"},
+		{"second entry bad", "dublin=1.2.3.4:1@5ms,tokyo=x", "want region=host:port@latency"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			specs, err := ParsePeers(c.input)
+			if err == nil {
+				t.Fatalf("ParsePeers(%q) accepted: %+v", c.input, specs)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("ParsePeers(%q) error %q lacks %q", c.input, err, c.want)
+			}
+			var dup *DuplicatePeerError
+			if errors.As(err, &dup) {
+				t.Fatalf("ParsePeers(%q) misreported a duplicate: %v", c.input, err)
+			}
+		})
+	}
+}
+
+func TestParsePeersRejectsDuplicateRegionsWithTypedError(t *testing.T) {
+	_, err := ParsePeers("dublin=a:1@5ms,tokyo=b:1@9ms,dublin=c:1@5ms")
+	if err == nil {
+		t.Fatal("duplicate region accepted")
+	}
+	var dup *DuplicatePeerError
+	if !errors.As(err, &dup) {
+		t.Fatalf("duplicate error is %T (%v), want *DuplicatePeerError", err, err)
+	}
+	if dup.Region != geo.Dublin {
+		t.Fatalf("duplicate region = %v, want dublin", dup.Region)
+	}
+	if !strings.Contains(err.Error(), "listed twice") {
+		t.Fatalf("error text %q", err)
+	}
+}

@@ -123,6 +123,23 @@ func (s *RemoteStore) Get(id backend.ChunkID) ([]byte, error) {
 	return resp.Body, nil
 }
 
+// GetMulti fetches several chunks of one key in a single round trip and
+// returns whichever the region holds, keyed by chunk index — the batched
+// form of Get, mirroring the cache protocol's mget.
+func (s *RemoteStore) GetMulti(key string, indices []int) (map[int][]byte, error) {
+	if len(indices) == 0 {
+		return map[int][]byte{}, nil
+	}
+	if len(indices) > wire.MaxBatchChunks {
+		return nil, fmt.Errorf("live: mget of %d chunks exceeds batch limit %d", len(indices), wire.MaxBatchChunks)
+	}
+	resp, err := s.rc.call(wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices}})
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+}
+
 // Put stores one chunk.
 func (s *RemoteStore) Put(id backend.ChunkID, data []byte) error {
 	_, err := s.rc.call(wire.Message{
@@ -203,12 +220,16 @@ func (c *RemoteCache) GetMulti(key string, indices []int) (map[int][]byte, error
 	return wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
 }
 
-// SendDigest pushes one cooperative residency digest frame to the cache
-// server and waits for its acknowledgement — the live transport behind
-// coop.Advertiser.
+// SendDigest pushes one cooperative residency digest frame — full or delta
+// — to the cache server and waits for its acknowledgement; the live
+// transport behind coop.Advertiser. The ack echoes the mirror's resulting
+// sequence, so a rejected delta (the peer's mirror was not at the delta's
+// base) or a stale full frame surfaces as an error and the advertiser
+// falls back to a full digest on its next push.
 func (c *RemoteCache) SendDigest(d coop.Digest) error {
 	resp, err := c.rc.call(wire.Message{
-		Header: wire.Header{Op: wire.OpDigest, Region: d.Region, Seq: d.Seq, Groups: d.Groups},
+		Header: wire.Header{Op: wire.OpDigest, Region: d.Region, Seq: d.Seq, Groups: d.Groups,
+			Delta: d.Delta, Base: d.Base},
 	})
 	if err != nil {
 		return err

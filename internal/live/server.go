@@ -129,13 +129,39 @@ func NewStoreServer(addr string, store *backend.Store) (*Server, error) {
 				return wire.ErrorMessage(err)
 			}
 			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+		case wire.OpMGet:
+			// Batched store read: one frame however many chunks of the key
+			// this region holds — and, when the store is backed by a remote
+			// blob gateway, one upstream round trip instead of N.
+			if len(req.Header.Indices) > wire.MaxBatchChunks {
+				return wire.ErrorMessage(fmt.Errorf("store: mget of %d chunks exceeds batch limit %d",
+					len(req.Header.Indices), wire.MaxBatchChunks))
+			}
+			found, err := store.GetMulti(req.Header.Key, req.Header.Indices)
+			if err != nil {
+				return wire.ErrorMessage(err)
+			}
+			if len(found) == 0 {
+				return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+			}
+			indices, sizes, body, err := wire.PackBatch(found)
+			if err != nil {
+				return wire.ErrorMessage(err)
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Body: body}
 		case wire.OpDelete:
-			store.Delete(id)
+			if _, err := store.DeleteChecked(id); err != nil {
+				return wire.ErrorMessage(err)
+			}
 			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 		case wire.OpStats:
+			st, err := store.StatsChecked()
+			if err != nil {
+				return wire.ErrorMessage(err)
+			}
 			return wire.Message{Header: wire.Header{
 				Op:    wire.OpOK,
-				Stats: map[string]int64{"chunks": int64(store.Len()), "bytes": store.Bytes()},
+				Stats: map[string]int64{"chunks": st.Chunks, "bytes": st.Bytes},
 			}}
 		default:
 			return wire.ErrorMessage(fmt.Errorf("store: unknown op %q", req.Header.Op))
@@ -234,10 +260,15 @@ func cacheHandler(c *cache.Cache, table *coop.Table) handler {
 			if req.Header.Region == "" {
 				return wire.ErrorMessage(fmt.Errorf("cache: digest without a region"))
 			}
-			// Stale frames are dropped but still acked: the advertiser moved
-			// on, and the mirror keeps its newer view either way.
-			table.Apply(coop.Digest{Region: req.Header.Region, Seq: req.Header.Seq, Groups: req.Header.Groups})
-			return wire.Message{Header: wire.Header{Op: wire.OpDigestAck, Seq: req.Header.Seq}}
+			// The ack carries the mirror's sequence after the apply: for an
+			// accepted frame that equals the frame's Seq; for a stale frame
+			// or a rejected delta it does not, which tells the advertiser to
+			// resend in full.
+			table.Apply(coop.Digest{Region: req.Header.Region, Seq: req.Header.Seq,
+				Groups: req.Header.Groups, Delta: req.Header.Delta, Base: req.Header.Base})
+			return wire.Message{Header: wire.Header{
+				Op: wire.OpDigestAck, Seq: table.Mirror(req.Header.Region).Seq(),
+			}}
 		case wire.OpStats:
 			st := c.Stats()
 			stats := map[string]int64{
@@ -251,6 +282,7 @@ func cacheHandler(c *cache.Cache, table *coop.Table) handler {
 				applied, stale := table.Applied()
 				stats["peer_hits"], stats["peer_misses"] = hits, misses
 				stats["digests"], stats["digests_stale"] = applied, stale
+				stats["digest_deltas"] = table.Deltas()
 				if age, ok := table.StalestAge(); ok {
 					stats["digest_age_ms"] = int64(age / time.Millisecond)
 				}

@@ -84,6 +84,27 @@ type Sampler struct {
 	// links report as unreachable.
 	clock    Clock
 	schedule *Schedule
+
+	// Bandwidth caps: per-link bytes/second ceilings that make large chunk
+	// transfers see size-dependent latency through ChunkSized.
+	caps []linkCap
+}
+
+// linkCap caps one link's (or, with AnyRegion wildcards, a set of links')
+// transfer rate.
+type linkCap struct {
+	from, to geo.RegionID
+	bps      int64
+}
+
+func (c linkCap) matches(from, to geo.RegionID) bool {
+	if c.from != AnyRegion && c.from != from {
+		return false
+	}
+	if c.to != AnyRegion && c.to != to {
+		return false
+	}
+	return true
 }
 
 // NewSampler returns a sampler over the matrix with the given jitter
@@ -123,6 +144,61 @@ func (s *Sampler) Chunk(from, to geo.RegionID) time.Duration {
 		base = sched.LatencyAt(clock.Now(), from, to, base)
 	}
 	return s.perturb(base)
+}
+
+// CapBandwidth installs a bytes/second ceiling on the (from, to) link;
+// AnyRegion on either side matches every region. Overlapping caps compose
+// by taking the tightest. A nonpositive rate panics — an uncapped link is
+// expressed by installing no cap.
+func (s *Sampler) CapBandwidth(from, to geo.RegionID, bps int64) {
+	if bps <= 0 {
+		panic(fmt.Sprintf("netsim: bandwidth cap %d must be positive", bps))
+	}
+	s.mu.Lock()
+	s.caps = append(s.caps, linkCap{from: from, to: to, bps: bps})
+	s.mu.Unlock()
+}
+
+// Bandwidth returns the tightest cap matching the link, or 0 if uncapped.
+func (s *Sampler) Bandwidth(from, to geo.RegionID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best int64
+	for _, c := range s.caps {
+		if c.matches(from, to) && (best == 0 || c.bps < best) {
+			best = c.bps
+		}
+	}
+	return best
+}
+
+// ChunkSized returns the chunk-read latency for a transfer of the given
+// size: the jittered Chunk latency plus the deterministic transfer time the
+// link's bandwidth cap implies. With no cap installed it equals Chunk
+// exactly — same value, same jitter draw — so unsized callers and sized
+// callers on uncapped links agree bit for bit.
+func (s *Sampler) ChunkSized(from, to geo.RegionID, bytes int) time.Duration {
+	lat := s.Chunk(from, to)
+	if bytes <= 0 {
+		return lat
+	}
+	if bps := s.Bandwidth(from, to); bps > 0 {
+		lat += time.Duration(float64(bytes) / float64(bps) * float64(time.Second))
+	}
+	return lat
+}
+
+// Flip draws a deterministic Bernoulli sample: true with probability p.
+// Nonpositive p never draws from (or advances) the jitter stream, so
+// callers guarding on p == 0 keep bit-exact replay compatibility.
+func (s *Sampler) Flip(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	u := s.rng.Float64()
+	s.mu.Unlock()
+	return u < p
 }
 
 // Unreachable reports whether the (from, to) link is currently severed by

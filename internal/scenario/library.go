@@ -110,6 +110,21 @@ func Library() []Spec {
 			},
 		},
 		{
+			Name: "backend-tier",
+			Description: "The same Frankfurt workload swept across blob-store tiers: the in-memory baseline " +
+				"against a slow, bandwidth-capped, occasionally failing remote tier — with a mid-run Dublin " +
+				"outage forcing degraded reads through the slow tier. Measures how far the cache absorbs " +
+				"backend latency (arms are labelled Arm@tier).",
+			Region:     "frankfurt",
+			StoreTiers: []string{"mem", "remote-slow"},
+			Phases: []Phase{
+				{Name: "warm", Duration: 2 * time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}},
+				{Name: "steady", Duration: 3 * time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}},
+				{Name: "outage", Duration: 2 * time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1},
+					Events: []Event{{Kind: EventRegionOutage, Region: "dublin"}}},
+			},
+		},
+		{
 			Name:        "cache-crash",
 			Description: "The region's cache server restarts empty ten seconds into the second phase; the run shows each policy re-warming.",
 			Region:      "frankfurt",

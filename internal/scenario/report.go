@@ -6,7 +6,6 @@ import (
 	"strings"
 	"time"
 
-	"github.com/agardist/agar/internal/experiments"
 	"github.com/agardist/agar/internal/stats"
 	"github.com/agardist/agar/internal/ycsb"
 )
@@ -66,31 +65,37 @@ type Delta struct {
 
 // Report is the machine-readable outcome of one scenario run.
 type Report struct {
-	Schema      string        `json:"schema"`
-	Scenario    string        `json:"scenario"`
-	Description string        `json:"description,omitempty"`
-	Region      string        `json:"region"`
-	PeerRegions []string      `json:"peer_regions,omitempty"`
-	Seed        int64         `json:"seed"`
-	Arms        []string      `json:"arms"`
-	Phases      []PhaseReport `json:"phases"`
-	Totals      []ArmTotal    `json:"totals"`
-	Deltas      []Delta       `json:"deltas,omitempty"`
-	ElapsedMS   float64       `json:"elapsed_ms"`
+	Schema      string   `json:"schema"`
+	Scenario    string   `json:"scenario"`
+	Description string   `json:"description,omitempty"`
+	Region      string   `json:"region"`
+	PeerRegions []string `json:"peer_regions,omitempty"`
+	// BackendStore and StoreTiers echo the spec's blob-store tier
+	// selection; tier-swept runs carry "Arm@tier" labels in Arms.
+	BackendStore string        `json:"backend_store,omitempty"`
+	StoreTiers   []string      `json:"store_tiers,omitempty"`
+	Seed         int64         `json:"seed"`
+	Arms         []string      `json:"arms"`
+	Phases       []PhaseReport `json:"phases"`
+	Totals       []ArmTotal    `json:"totals"`
+	Deltas       []Delta       `json:"deltas,omitempty"`
+	ElapsedMS    float64       `json:"elapsed_ms"`
 }
 
-// buildReport folds per-arm per-phase results into the report layout.
-func buildReport(spec Spec, region string, arms []experiments.Strategy, perArm [][]ycsb.Result, opts Options) *Report {
+// buildReport folds per-arm-run per-phase results into the report layout.
+// labels name the arm runs ("Agar", or "Agar@remote-slow" in a tier
+// sweep); agarIdx is the delta baseline run, -1 when no Agar arm ran.
+func buildReport(spec Spec, region string, labels []string, agarIdx int, perArm [][]ycsb.Result, opts Options) *Report {
 	rep := &Report{
-		Schema:      ReportSchema,
-		Scenario:    spec.Name,
-		Description: spec.Description,
-		Region:      region,
-		PeerRegions: spec.PeerRegions,
-		Seed:        opts.Seed,
-	}
-	for _, a := range arms {
-		rep.Arms = append(rep.Arms, a.Name())
+		Schema:       ReportSchema,
+		Scenario:     spec.Name,
+		Description:  spec.Description,
+		Region:       region,
+		PeerRegions:  spec.PeerRegions,
+		BackendStore: spec.BackendStore,
+		StoreTiers:   spec.StoreTiers,
+		Seed:         opts.Seed,
+		Arms:         labels,
 	}
 
 	for pi, p := range spec.Phases {
@@ -100,10 +105,10 @@ func buildReport(spec Spec, region string, arms []experiments.Strategy, perArm [
 			Workload:  p.Workload,
 			Events:    p.Events,
 		}
-		for ai := range arms {
+		for ai := range labels {
 			r := perArm[ai][pi]
 			pr.Arms = append(pr.Arms, ArmPhase{
-				Arm:         arms[ai].Name(),
+				Arm:         labels[ai],
 				Ops:         r.Operations,
 				Errors:      r.Errors,
 				MeanMS:      stats.MS(r.Mean),
@@ -125,8 +130,8 @@ func buildReport(spec Spec, region string, arms []experiments.Strategy, perArm [
 	// Totals: means weighted by the reads that produced latency samples
 	// (errored reads carry no latency), summed hit classes over all
 	// requests, worst-phase p99.
-	for ai := range arms {
-		t := ArmTotal{Arm: arms[ai].Name()}
+	for ai := range labels {
+		t := ArmTotal{Arm: labels[ai]}
 		var weighted float64
 		hits, measured := 0, 0
 		for _, r := range perArm[ai] {
@@ -149,23 +154,18 @@ func buildReport(spec Spec, region string, arms []experiments.Strategy, perArm [
 		rep.Totals = append(rep.Totals, t)
 	}
 
-	// Paired deltas: Agar against every other arm, per phase.
-	agarIdx := -1
-	for ai := range arms {
-		if arms[ai].Kind == experiments.StratAgar {
-			agarIdx = ai
-			break
-		}
-	}
+	// Paired deltas: the baseline Agar run (first tier) against every other
+	// arm run, per phase — in a tier sweep this includes Agar on the other
+	// tiers, which is exactly the "what does the slow tier cost" number.
 	if agarIdx >= 0 {
 		for pi, p := range spec.Phases {
 			agarMS := stats.MS(perArm[agarIdx][pi].Mean)
-			for ai := range arms {
+			for ai := range labels {
 				if ai == agarIdx {
 					continue
 				}
 				armMS := stats.MS(perArm[ai][pi].Mean)
-				d := Delta{Phase: p.Name, Arm: arms[ai].Name(), AgarMS: agarMS, ArmMS: armMS}
+				d := Delta{Phase: p.Name, Arm: labels[ai], AgarMS: agarMS, ArmMS: armMS}
 				if armMS > 0 {
 					d.DeltaPct = (agarMS - armMS) / armMS * 100
 				}
@@ -192,6 +192,12 @@ func (r *Report) Markdown() string {
 	fmt.Fprintf(&b, "region `%s`", r.Region)
 	if len(r.PeerRegions) > 0 {
 		fmt.Fprintf(&b, " · peers: %s", strings.Join(r.PeerRegions, ", "))
+	}
+	if r.BackendStore != "" {
+		fmt.Fprintf(&b, " · store tier: %s", r.BackendStore)
+	}
+	if len(r.StoreTiers) > 0 {
+		fmt.Fprintf(&b, " · store tiers: %s", strings.Join(r.StoreTiers, ", "))
 	}
 	fmt.Fprintf(&b, " · seed %d · arms: %s\n", r.Seed, strings.Join(r.Arms, ", "))
 

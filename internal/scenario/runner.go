@@ -11,6 +11,7 @@ import (
 	"github.com/agardist/agar/internal/experiments"
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/netsim"
+	"github.com/agardist/agar/internal/store"
 	"github.com/agardist/agar/internal/workload"
 	"github.com/agardist/agar/internal/ycsb"
 )
@@ -248,22 +249,50 @@ func Run(spec Spec, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
 
+	// Cross the cache-policy arms with the spec's blob-store tiers: a plain
+	// scenario runs each arm once on its (implicit) tier, a tier sweep runs
+	// every arm once per tier under "Arm@tier" labels so mem and the slow
+	// or flaky remote tiers pair phase by phase.
+	tiers, sweep := spec.storeTiers()
+	type armRun struct {
+		strat experiments.Strategy
+		tier  store.Tier
+		label string
+	}
+	var runs []armRun
+	for _, arm := range arms {
+		for _, tier := range tiers {
+			label := arm.Name()
+			if sweep {
+				label += "@" + tier.Name
+			}
+			runs = append(runs, armRun{strat: arm, tier: tier, label: label})
+		}
+	}
+
 	start := time.Now()
-	perArm := make([][]ycsb.Result, len(arms))
-	for i, arm := range arms {
-		results, err := runArm(d, spec, opts, arm, region)
+	labels := make([]string, len(runs))
+	agarIdx := -1
+	perArm := make([][]ycsb.Result, len(runs))
+	for i, ar := range runs {
+		labels[i] = ar.label
+		if agarIdx < 0 && ar.strat.Kind == experiments.StratAgar {
+			agarIdx = i
+		}
+		results, err := runArm(d, spec, opts, ar.strat, region, ar.tier)
 		if err != nil {
-			return nil, fmt.Errorf("scenario %q arm %s: %w", spec.Name, arm.Name(), err)
+			return nil, fmt.Errorf("scenario %q arm %s: %w", spec.Name, ar.label, err)
 		}
 		perArm[i] = results
 	}
-	rep := buildReport(spec, region.String(), arms, perArm, opts)
+	rep := buildReport(spec, region.String(), labels, agarIdx, perArm, opts)
 	rep.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return rep, nil
 }
 
-// runArm plays the whole scenario timeline through one policy arm.
-func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.Strategy, region geo.RegionID) ([]ycsb.Result, error) {
+// runArm plays the whole scenario timeline through one policy arm reading
+// over one blob-store tier.
+func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.Strategy, region geo.RegionID, tier store.Tier) ([]ycsb.Result, error) {
 	cacheMB := spec.CacheMB
 	if cacheMB <= 0 {
 		cacheMB = 10
@@ -273,6 +302,19 @@ func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.
 	clock := netsim.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
 	sampler := netsim.NewSampler(d.Matrix, d.Params.Jitter, opts.Seed)
 	env := d.Env(sampler)
+	// Lower the tier's modelled envelope onto this run: per-chunk service
+	// time and transient faults on every backend fetch, and a bandwidth
+	// ceiling that charges paper-scale chunk transfers on every link. The
+	// mem baseline configures nothing, so its runs (and their jitter
+	// streams) stay bit-exact with pre-tier scenarios.
+	if !tier.Baseline() {
+		env.StoreLatency = tier.Latency
+		env.StoreErrRate = tier.ErrRate
+		if tier.BandwidthBps > 0 {
+			env.ChunkBytes = d.PaperChunkBytes()
+			sampler.CapBandwidth(netsim.AnyRegion, netsim.AnyRegion, tier.BandwidthBps)
+		}
+	}
 	reader, node, err := d.NewReader(arm, env, region, cacheMB, opts.Seed)
 	if err != nil {
 		return nil, err

@@ -21,6 +21,7 @@ import (
 
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/netsim"
+	"github.com/agardist/agar/internal/store"
 )
 
 // WorkloadKind names a key-popularity distribution.
@@ -140,8 +141,17 @@ type Spec struct {
 	// arms (default 3).
 	CacheChunks int `json:"cache_chunks,omitempty"`
 	// Clients models concurrent client threads (default 2).
-	Clients int     `json:"clients,omitempty"`
-	Phases  []Phase `json:"phases"`
+	Clients int `json:"clients,omitempty"`
+	// BackendStore names the blob-store tier every arm's backend fetches
+	// pay for ("mem" — the default — models the paper's deployment exactly;
+	// see store.TierNames for the rest). Mutually exclusive with
+	// StoreTiers.
+	BackendStore string `json:"backend_store,omitempty"`
+	// StoreTiers sweeps the scenario across blob-store tiers: every arm
+	// runs once per tier, reported as "Arm@tier", so the paired deltas show
+	// how far caching absorbs a slower or flakier storage layer.
+	StoreTiers []string `json:"store_tiers,omitempty"`
+	Phases     []Phase  `json:"phases"`
 }
 
 // LoadSpec parses one scenario spec from JSON and validates it. Unknown
@@ -215,6 +225,22 @@ func (s Spec) Scale(f float64) Spec {
 	return out
 }
 
+// storeTiers resolves a validated spec's tier sweep: the explicit
+// StoreTiers list, or the single BackendStore tier (defaulting to the mem
+// baseline). The second result reports whether the spec names tiers
+// explicitly enough that arm labels should carry them.
+func (s Spec) storeTiers() ([]store.Tier, bool) {
+	if len(s.StoreTiers) == 0 {
+		t, _ := store.ParseTier(s.BackendStore)
+		return []store.Tier{t}, false
+	}
+	out := make([]store.Tier, len(s.StoreTiers))
+	for i, name := range s.StoreTiers {
+		out[i], _ = store.ParseTier(name)
+	}
+	return out, true
+}
+
 // objects returns the working-set size with the default applied.
 func (s Spec) objects() int {
 	if s.Objects > 0 {
@@ -252,6 +278,22 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q: duplicate peer region %q", s.Name, p)
 		}
 		seenPeer[p] = true
+	}
+	if s.BackendStore != "" && len(s.StoreTiers) > 0 {
+		return fmt.Errorf("scenario %q: backend_store and store_tiers are mutually exclusive", s.Name)
+	}
+	if _, err := store.ParseTier(s.BackendStore); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	seenTier := make(map[string]bool, len(s.StoreTiers))
+	for _, tier := range s.StoreTiers {
+		if _, err := store.ParseTier(tier); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if seenTier[tier] {
+			return fmt.Errorf("scenario %q: duplicate store tier %q", s.Name, tier)
+		}
+		seenTier[tier] = true
 	}
 	n := s.objects()
 	seen := make(map[string]bool, len(s.Phases))

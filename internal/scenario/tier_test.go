@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func tierPhase() []Phase {
+	return []Phase{{Name: "p", Duration: time.Minute, Workload: Workload{Kind: WorkloadZipfian}}}
+}
+
+func TestSpecValidationRejectsBadTiers(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		spec Spec
+	}{
+		{"unknown backend store", Spec{Name: "x", BackendStore: "glacier", Phases: tierPhase()}},
+		{"unknown tier", Spec{Name: "x", StoreTiers: []string{"mem", "glacier"}, Phases: tierPhase()}},
+		{"dup tier", Spec{Name: "x", StoreTiers: []string{"mem", "mem"}, Phases: tierPhase()}},
+		{"both tier fields", Spec{Name: "x", BackendStore: "disk", StoreTiers: []string{"mem"}, Phases: tierPhase()}},
+	} {
+		if err := c.spec.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+	ok := Spec{Name: "x", StoreTiers: []string{"mem", "remote-slow"}, Phases: tierPhase()}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("tier sweep rejected: %v", err)
+	}
+	single := Spec{Name: "x", BackendStore: "disk", Phases: tierPhase()}
+	if err := single.Validate(); err != nil {
+		t.Errorf("backend_store rejected: %v", err)
+	}
+}
+
+// TestBackendTierSweepPairsTiers runs the backend-tier library scenario at
+// reduced scale: every arm must appear once per tier under Arm@tier labels,
+// the slow remote tier must be measurably slower than mem for the cache-
+// less Backend arm, and Agar must absorb part of that cost.
+func TestBackendTierSweepPairsTiers(t *testing.T) {
+	spec, ok := Lookup("backend-tier")
+	if !ok {
+		t.Fatal("backend-tier scenario missing")
+	}
+	rep, err := Run(reduced(spec), reducedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.StoreTiers) != 2 {
+		t.Fatalf("report tiers = %v", rep.StoreTiers)
+	}
+	// 4 default arms x 2 tiers.
+	if len(rep.Arms) != 8 {
+		t.Fatalf("report arms = %v", rep.Arms)
+	}
+	for _, arm := range rep.Arms {
+		if !strings.Contains(arm, "@mem") && !strings.Contains(arm, "@remote-slow") {
+			t.Fatalf("arm %q lacks a tier label", arm)
+		}
+	}
+
+	memBackend := armPhase(t, rep, "steady", "Backend@mem")
+	slowBackend := armPhase(t, rep, "steady", "Backend@remote-slow")
+	if slowBackend.MeanMS <= memBackend.MeanMS {
+		t.Fatalf("remote-slow backend mean %.0f ms not above mem %.0f ms",
+			slowBackend.MeanMS, memBackend.MeanMS)
+	}
+	memAgar := armPhase(t, rep, "steady", "Agar@mem")
+	slowAgar := armPhase(t, rep, "steady", "Agar@remote-slow")
+	slowTax := slowBackend.MeanMS - memBackend.MeanMS
+	agarTax := slowAgar.MeanMS - memAgar.MeanMS
+	if agarTax >= slowTax {
+		t.Fatalf("cache absorbed none of the tier cost: agar +%.0f ms vs backend +%.0f ms", agarTax, slowTax)
+	}
+
+	// The paired deltas include Agar-on-mem against Agar-on-the-slow-tier.
+	foundCross := false
+	for _, d := range rep.Deltas {
+		if d.Arm == "Agar@remote-slow" {
+			foundCross = true
+		}
+	}
+	if !foundCross {
+		t.Fatal("deltas lack the Agar@mem vs Agar@remote-slow pairing")
+	}
+}
+
+// TestBackendStoreSingleTierKeepsPlainLabels pins a whole scenario onto one
+// non-default tier: labels stay plain, the report echoes the tier, and the
+// added service latency shows up against the same spec on mem.
+func TestBackendStoreSingleTierKeepsPlainLabels(t *testing.T) {
+	spec := Spec{
+		Name:    "tier-pinned",
+		Region:  "frankfurt",
+		Objects: 60,
+		Phases: []Phase{{Name: "steady", Duration: 30 * time.Second,
+			Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}}},
+	}
+	opts := reducedOpts()
+	memRep, err := Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.BackendStore = "remote"
+	tierRep, err := Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tierRep.BackendStore != "remote" {
+		t.Fatalf("report backend_store = %q", tierRep.BackendStore)
+	}
+	for _, arm := range tierRep.Arms {
+		if strings.Contains(arm, "@") {
+			t.Fatalf("single-tier run grew a tier label: %q", arm)
+		}
+	}
+	memBackend := armPhase(t, memRep, "steady", "Backend")
+	tierBackend := armPhase(t, tierRep, "steady", "Backend")
+	if tierBackend.MeanMS <= memBackend.MeanMS {
+		t.Fatalf("remote tier mean %.0f ms not above mem %.0f ms", tierBackend.MeanMS, memBackend.MeanMS)
+	}
+}

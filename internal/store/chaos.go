@@ -1,0 +1,125 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChaosConfig parameterises fault injection on a blob store.
+type ChaosConfig struct {
+	// Latency is slept before every operation — the tier's service time.
+	Latency time.Duration
+	// ErrRate is the probability in [0, 1] that an operation fails with
+	// ErrInjected instead of running.
+	ErrRate float64
+	// Seed makes the failure stream deterministic (0 picks seed 1).
+	Seed int64
+}
+
+// Chaos wraps a BlobStore with configurable per-request latency and error
+// injection — how cmd/blob-server emulates a slow or flaky storage tier and
+// how tests exercise the degraded paths of everything stacked above.
+type Chaos struct {
+	inner BlobStore
+	cfg   ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	injected int64
+}
+
+// WithChaos wraps the store in a fault injector.
+func WithChaos(inner BlobStore, cfg ChaosConfig) *Chaos {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Chaos{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Injected reports how many operations have been failed so far.
+func (c *Chaos) Injected() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// before applies the configured delay and rolls for an injected failure.
+func (c *Chaos) before(op string) error {
+	if c.cfg.Latency > 0 {
+		time.Sleep(c.cfg.Latency)
+	}
+	if c.cfg.ErrRate <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() < c.cfg.ErrRate {
+		c.injected++
+		return fmt.Errorf("%w: %s", ErrInjected, op)
+	}
+	return nil
+}
+
+// PutChunk implements BlobStore.
+func (c *Chaos) PutChunk(ctx context.Context, bucket string, id ChunkID, data []byte) error {
+	if err := c.before("put"); err != nil {
+		return err
+	}
+	return c.inner.PutChunk(ctx, bucket, id, data)
+}
+
+// GetChunk implements BlobStore.
+func (c *Chaos) GetChunk(ctx context.Context, bucket string, id ChunkID) ([]byte, error) {
+	if err := c.before("get"); err != nil {
+		return nil, err
+	}
+	return c.inner.GetChunk(ctx, bucket, id)
+}
+
+// GetChunks implements BlobStore.
+func (c *Chaos) GetChunks(ctx context.Context, bucket, key string, indices []int) (map[int][]byte, error) {
+	if err := c.before("mget"); err != nil {
+		return nil, err
+	}
+	return c.inner.GetChunks(ctx, bucket, key, indices)
+}
+
+// DeleteChunk implements BlobStore.
+func (c *Chaos) DeleteChunk(ctx context.Context, bucket string, id ChunkID) (bool, error) {
+	if err := c.before("delete"); err != nil {
+		return false, err
+	}
+	return c.inner.DeleteChunk(ctx, bucket, id)
+}
+
+// DeleteObject implements BlobStore.
+func (c *Chaos) DeleteObject(ctx context.Context, bucket, key string) (int, error) {
+	if err := c.before("delobj"); err != nil {
+		return 0, err
+	}
+	return c.inner.DeleteObject(ctx, bucket, key)
+}
+
+// List implements BlobStore.
+func (c *Chaos) List(ctx context.Context, bucket string) ([]string, error) {
+	if err := c.before("list"); err != nil {
+		return nil, err
+	}
+	return c.inner.List(ctx, bucket)
+}
+
+// Stats implements BlobStore.
+func (c *Chaos) Stats(ctx context.Context, bucket string) (Stats, error) {
+	if err := c.before("stats"); err != nil {
+		return Stats{}, err
+	}
+	return c.inner.Stats(ctx, bucket)
+}
+
+// Close implements BlobStore; it never injects.
+func (c *Chaos) Close() error { return c.inner.Close() }

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestDiskReopenAfterRestart writes through one Disk instance, reopens the
+// same root as a fresh process would, and checks the rescan restored every
+// completed write — contents, listing and accounting.
+func TestDiskReopenAfterRestart(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+
+	d1, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := map[ChunkID][]byte{
+		{Key: "obj-a", Index: 0}: []byte("alpha"),
+		{Key: "obj-a", Index: 7}: []byte("seventh"),
+		{Key: "obj/b", Index: 1}: []byte("slash key"),
+	}
+	for id, data := range payloads {
+		if err := d1.PutChunk(ctx, "frankfurt", id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d1.PutChunk(ctx, "dublin", ChunkID{Key: "other", Index: 0}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	d2, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for id, want := range payloads {
+		got, err := d2.GetChunk(ctx, "frankfurt", id)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("after reopen, %v = %q, %v (want %q)", id, got, err, want)
+		}
+	}
+	keys, err := d2.List(ctx, "frankfurt")
+	if err != nil || !reflect.DeepEqual(keys, []string{"obj-a", "obj/b"}) {
+		t.Fatalf("after reopen, list = %v, %v", keys, err)
+	}
+	st, err := d2.Stats(ctx, "frankfurt")
+	if err != nil || st.Chunks != 3 || st.Bytes != int64(len("alpha")+len("seventh")+len("slash key")) {
+		t.Fatalf("after reopen, stats = %+v, %v", st, err)
+	}
+	if st, _ := d2.Stats(ctx, "dublin"); st.Chunks != 1 {
+		t.Fatalf("after reopen, dublin stats = %+v", st)
+	}
+}
+
+// TestDiskRescanSweepsTornWrites plants a stray temp file (a write the
+// crash interrupted) next to a completed chunk: reopen must delete it and
+// index only the completed write.
+func TestDiskRescanSweepsTornWrites(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+	d1, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.PutChunk(ctx, "fra", ChunkID{Key: "obj", Index: 0}, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(d1.keyDir("fra", "obj"), ".99.tmp")
+	if err := os.WriteFile(torn, []byte("half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	d2, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn write survived rescan: %v", err)
+	}
+	if st, _ := d2.Stats(ctx, "fra"); st.Chunks != 1 || st.Bytes != 4 {
+		t.Fatalf("stats after sweep = %+v", st)
+	}
+	if got, err := d2.GetChunk(ctx, "fra", ChunkID{Key: "obj", Index: 0}); err != nil || !bytes.Equal(got, []byte("good")) {
+		t.Fatalf("completed write lost: %q, %v", got, err)
+	}
+}
+
+// TestDiskHostileNames rejects path-hostile buckets and contains hostile
+// keys inside their bucket directory.
+func TestDiskHostileNames(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+	d, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for _, bucket := range []string{"", "a/b", `a\b`, "..", "."} {
+		if err := d.PutChunk(ctx, bucket, ChunkID{Key: "k"}, []byte("x")); err == nil {
+			t.Errorf("bucket %q accepted", bucket)
+		}
+	}
+	// A traversal-shaped key stays inside the bucket.
+	evil := ChunkID{Key: "../../escape", Index: 0}
+	if err := d.PutChunk(ctx, "fra", evil, []byte("contained")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "escape")); !os.IsNotExist(err) {
+		t.Fatal("key escaped its bucket")
+	}
+	if got, err := d.GetChunk(ctx, "fra", evil); err != nil || !bytes.Equal(got, []byte("contained")) {
+		t.Fatalf("hostile key round trip: %q, %v", got, err)
+	}
+	// Bare dot-segment keys (url.PathEscape leaves them unescaped) must be
+	// contained too: "." would resolve to the bucket dir and ".." to the
+	// store root — a DeleteObject there would wipe everything.
+	if err := d.PutChunk(ctx, "fra", ChunkID{Key: "anchor", Index: 0}, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	for _, dot := range []string{".", ".."} {
+		id := ChunkID{Key: dot, Index: 0}
+		if err := d.PutChunk(ctx, "fra", id, []byte("dotted")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(filepath.Join(root, "0")); !os.IsNotExist(err) {
+			t.Fatalf("key %q escaped to the store root", dot)
+		}
+		if got, err := d.GetChunk(ctx, "fra", id); err != nil || !bytes.Equal(got, []byte("dotted")) {
+			t.Fatalf("key %q round trip: %q, %v", dot, got, err)
+		}
+		if n, err := d.DeleteObject(ctx, "fra", dot); err != nil || n != 1 {
+			t.Fatalf("delete key %q: %d, %v", dot, n, err)
+		}
+	}
+	// The other keys survived the dotted deletes.
+	if got, err := d.GetChunk(ctx, "fra", ChunkID{Key: "anchor", Index: 0}); err != nil || !bytes.Equal(got, []byte("keep")) {
+		t.Fatalf("dotted delete destroyed sibling keys: %q, %v", got, err)
+	}
+	// And they survive a reopen (rescan decodes the dot encoding).
+	if err := d.PutChunk(ctx, "fra", ChunkID{Key: ".", Index: 1}, []byte("dot")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d2, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got, err := d2.GetChunk(ctx, "fra", ChunkID{Key: ".", Index: 1}); err != nil || !bytes.Equal(got, []byte("dot")) {
+		t.Fatalf("dotted key lost on reopen: %q, %v", got, err)
+	}
+	if err := d.PutChunk(ctx, "fra", ChunkID{Key: "k", Index: -1}, nil); err == nil {
+		t.Error("negative chunk index accepted")
+	}
+	if _, err := d.GetChunk(ctx, "fra", ChunkID{Key: "k", Index: 3}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent chunk: %v", err)
+	}
+}

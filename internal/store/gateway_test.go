@@ -1,0 +1,138 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestGatewayRoundTrip drives the Remote adapter against a gateway over a
+// disk store — the full blob-server round trip CI gates: put, get, batch,
+// list, stats, delete, all over real HTTP and a real filesystem layout.
+func TestGatewayRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewGateway(disk))
+	defer srv.Close()
+	remote := NewRemote(srv.URL)
+	defer remote.Close()
+
+	chunk := bytes.Repeat([]byte("agar"), 1024)
+	for idx := 0; idx < 6; idx++ {
+		if err := remote.PutChunk(ctx, "frankfurt", ChunkID{Key: "obj-1", Index: idx}, chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := remote.GetChunk(ctx, "frankfurt", ChunkID{Key: "obj-1", Index: 3})
+	if err != nil || !bytes.Equal(got, chunk) {
+		t.Fatalf("get: %d bytes, %v", len(got), err)
+	}
+	if _, err := remote.GetChunk(ctx, "frankfurt", ChunkID{Key: "obj-1", Index: 99}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent chunk: %v", err)
+	}
+
+	found, err := remote.GetChunks(ctx, "frankfurt", "obj-1", []int{0, 2, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 2 || !bytes.Equal(found[0], chunk) || !bytes.Equal(found[2], chunk) {
+		t.Fatalf("batch keys = %v", keysOf(found))
+	}
+
+	keys, err := remote.List(ctx, "frankfurt")
+	if err != nil || !reflect.DeepEqual(keys, []string{"obj-1"}) {
+		t.Fatalf("list = %v, %v", keys, err)
+	}
+	st, err := remote.Stats(ctx, "frankfurt")
+	if err != nil || st.Chunks != 6 || st.Bytes != int64(6*len(chunk)) {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+
+	if ok, err := remote.DeleteChunk(ctx, "frankfurt", ChunkID{Key: "obj-1", Index: 0}); err != nil || !ok {
+		t.Fatalf("delete chunk: %v %v", ok, err)
+	}
+	if n, err := remote.DeleteObject(ctx, "frankfurt", "obj-1"); err != nil || n != 5 {
+		t.Fatalf("delete object: %d %v", n, err)
+	}
+	if st, _ := remote.Stats(ctx, "frankfurt"); st.Chunks != 0 {
+		t.Fatalf("stats after delete = %+v", st)
+	}
+}
+
+// TestGatewayChaosSurfacesInjectedFaults wraps the gateway's store in a
+// chaos injector and checks the failure crosses the HTTP boundary as an
+// error (not a silent miss), while latency injection delays the call.
+func TestGatewayChaosSurfacesInjectedFaults(t *testing.T) {
+	ctx := context.Background()
+	srv := httptest.NewServer(NewGateway(WithChaos(NewMem(), ChaosConfig{ErrRate: 1})))
+	defer srv.Close()
+	remote := NewRemote(srv.URL)
+	defer remote.Close()
+
+	err := remote.PutChunk(ctx, "fra", ChunkID{Key: "k"}, []byte("x"))
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("injected fault surfaced as %v", err)
+	}
+
+	lat := 30 * time.Millisecond
+	slow := httptest.NewServer(NewGateway(WithChaos(NewMem(), ChaosConfig{Latency: lat})))
+	defer slow.Close()
+	slowRemote := NewRemote(slow.URL)
+	defer slowRemote.Close()
+	start := time.Now()
+	if err := slowRemote.PutChunk(ctx, "fra", ChunkID{Key: "k"}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("latency injection: call took %v, want >= %v", elapsed, lat)
+	}
+}
+
+// TestGatewayRejectsBadRequests covers the HTTP edge cases the adapters
+// never generate but curl can.
+func TestGatewayRejectsBadRequests(t *testing.T) {
+	srv := httptest.NewServer(NewGateway(NewMem()))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		method, path string
+		status       int
+	}{
+		{http.MethodGet, "/v1/fra/key/notanumber", http.StatusBadRequest},
+		{http.MethodGet, "/v1/fra/key/-1", http.StatusBadRequest},
+		{http.MethodGet, "/v1/fra/key", http.StatusBadRequest},           // no ?indices=
+		{http.MethodGet, "/v1/fra/key?indices=a", http.StatusBadRequest}, // bad index list
+		{http.MethodGet, "/v1/fra/key/0", http.StatusNotFound},           // absent chunk
+		{http.MethodPost, "/v1/fra/key/0", http.StatusMethodNotAllowed},  // no POST
+		{http.MethodGet, "/nope", http.StatusNotFound},                   // unknown route
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+func keysOf(m map[int][]byte) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Mem is the in-process blob store: the exact semantics the backend's
+// original hard-coded map had — copy-on-put, copy-on-get, concurrency-safe
+// — generalised to named buckets. It is the default adapter everywhere.
+type Mem struct {
+	mu      sync.RWMutex
+	buckets map[string]map[ChunkID][]byte
+}
+
+// NewMem returns an empty in-memory blob store.
+func NewMem() *Mem {
+	return &Mem{buckets: make(map[string]map[ChunkID][]byte)}
+}
+
+// PutChunk implements BlobStore.
+func (m *Mem) PutChunk(_ context.Context, bucket string, id ChunkID, data []byte) error {
+	if err := validBucket(bucket); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.buckets[bucket]
+	if b == nil {
+		b = make(map[ChunkID][]byte)
+		m.buckets[bucket] = b
+	}
+	b[id] = append([]byte(nil), data...)
+	return nil
+}
+
+// GetChunk implements BlobStore.
+func (m *Mem) GetChunk(_ context.Context, bucket string, id ChunkID) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.buckets[bucket][id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// GetChunks implements BlobStore.
+func (m *Mem) GetChunks(_ context.Context, bucket, key string, indices []int) (map[int][]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[int][]byte, len(indices))
+	b := m.buckets[bucket]
+	for _, idx := range indices {
+		if data, ok := b[ChunkID{Key: key, Index: idx}]; ok {
+			out[idx] = append([]byte(nil), data...)
+		}
+	}
+	return out, nil
+}
+
+// DeleteChunk implements BlobStore.
+func (m *Mem) DeleteChunk(_ context.Context, bucket string, id ChunkID) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.buckets[bucket]
+	if _, ok := b[id]; !ok {
+		return false, nil
+	}
+	delete(b, id)
+	return true, nil
+}
+
+// DeleteObject implements BlobStore.
+func (m *Mem) DeleteObject(_ context.Context, bucket, key string) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for id := range m.buckets[bucket] {
+		if id.Key == key {
+			delete(m.buckets[bucket], id)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// List implements BlobStore.
+func (m *Mem) List(_ context.Context, bucket string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	seen := make(map[string]bool)
+	for id := range m.buckets[bucket] {
+		seen[id.Key] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats implements BlobStore.
+func (m *Mem) Stats(_ context.Context, bucket string) (Stats, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var st Stats
+	for _, data := range m.buckets[bucket] {
+		st.Chunks++
+		st.Bytes += int64(len(data))
+	}
+	return st, nil
+}
+
+// Close implements BlobStore (no-op).
+func (m *Mem) Close() error { return nil }

@@ -1,0 +1,193 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/agardist/agar/internal/wire"
+)
+
+// decodeJSON decodes one JSON document from r into out.
+func decodeJSON(r io.Reader, out any) error {
+	if err := json.NewDecoder(r).Decode(out); err != nil {
+		return fmt.Errorf("store: remote: decode response: %w", err)
+	}
+	return nil
+}
+
+// Remote is the client adapter for an S3-style blob gateway (cmd/blob-server
+// or any store.NewGateway deployment). Every call is one HTTP round trip;
+// chunk payloads travel as raw bodies, batch fetches reuse the TCP
+// protocol's index/size framing in headers.
+type Remote struct {
+	base   string
+	client *http.Client
+}
+
+// NewRemote returns an adapter for the gateway at addr ("host:port" or a
+// full URL).
+func NewRemote(addr string) *Remote {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &Remote{
+		base:   base,
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// chunkURL builds /v1/<bucket>/<escaped key>/<chunk>.
+func (r *Remote) chunkURL(bucket string, id ChunkID) string {
+	return fmt.Sprintf("%s/v1/%s/%s/%d", r.base, bucket, url.PathEscape(id.Key), id.Index)
+}
+
+func (r *Remote) keyURL(bucket, key string) string {
+	return fmt.Sprintf("%s/v1/%s/%s", r.base, bucket, url.PathEscape(key))
+}
+
+// do runs one request and returns the response on 2xx; other statuses are
+// drained into an error (404 -> ErrNotFound).
+func (r *Remote) do(ctx context.Context, method, rawURL string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rawURL, rd)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote: %w", err)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote %s: %w", method, err)
+	}
+	if resp.StatusCode/100 == 2 {
+		return resp, nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNotFound
+	}
+	return nil, fmt.Errorf("store: remote %s %s: %s (%s)",
+		method, rawURL, resp.Status, strings.TrimSpace(string(msg)))
+}
+
+// doJSON runs a request and decodes a JSON response into out.
+func (r *Remote) doJSON(ctx context.Context, method, rawURL string, out any) error {
+	resp, err := r.do(ctx, method, rawURL, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeJSON(resp.Body, out)
+}
+
+// PutChunk implements BlobStore.
+func (r *Remote) PutChunk(ctx context.Context, bucket string, id ChunkID, data []byte) error {
+	resp, err := r.do(ctx, http.MethodPut, r.chunkURL(bucket, id), data)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// GetChunk implements BlobStore.
+func (r *Remote) GetChunk(ctx context.Context, bucket string, id ChunkID) ([]byte, error) {
+	resp, err := r.do(ctx, http.MethodGet, r.chunkURL(bucket, id), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote get: %w", err)
+	}
+	return data, nil
+}
+
+// GetChunks implements BlobStore: one round trip, however many indices.
+func (r *Remote) GetChunks(ctx context.Context, bucket, key string, indices []int) (map[int][]byte, error) {
+	if len(indices) == 0 {
+		return map[int][]byte{}, nil
+	}
+	u := fmt.Sprintf("%s?indices=%s", r.keyURL(bucket, key), joinInts(indices))
+	resp, err := r.do(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	idxs, err := splitInts(resp.Header.Get(HeaderBatchIndices))
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := splitInts(resp.Header.Get(HeaderBatchSizes))
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote batch: %w", err)
+	}
+	if len(idxs) == 0 && len(body) == 0 {
+		return map[int][]byte{}, nil
+	}
+	return wire.UnpackBatch(idxs, sizes, body)
+}
+
+// DeleteChunk implements BlobStore.
+func (r *Remote) DeleteChunk(ctx context.Context, bucket string, id ChunkID) (bool, error) {
+	var out struct {
+		Deleted bool `json:"deleted"`
+	}
+	if err := r.doJSON(ctx, http.MethodDelete, r.chunkURL(bucket, id), &out); err != nil {
+		return false, err
+	}
+	return out.Deleted, nil
+}
+
+// DeleteObject implements BlobStore.
+func (r *Remote) DeleteObject(ctx context.Context, bucket, key string) (int, error) {
+	var out struct {
+		Deleted int `json:"deleted"`
+	}
+	if err := r.doJSON(ctx, http.MethodDelete, r.keyURL(bucket, key), &out); err != nil {
+		return 0, err
+	}
+	return out.Deleted, nil
+}
+
+// List implements BlobStore.
+func (r *Remote) List(ctx context.Context, bucket string) ([]string, error) {
+	var out struct {
+		Keys []string `json:"keys"`
+	}
+	if err := r.doJSON(ctx, http.MethodGet, fmt.Sprintf("%s/v1/%s", r.base, bucket), &out); err != nil {
+		return nil, err
+	}
+	return out.Keys, nil
+}
+
+// Stats implements BlobStore.
+func (r *Remote) Stats(ctx context.Context, bucket string) (Stats, error) {
+	var st Stats
+	if err := r.doJSON(ctx, http.MethodGet, fmt.Sprintf("%s/v1/%s?stats=1", r.base, bucket), &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// Close implements BlobStore.
+func (r *Remote) Close() error {
+	r.client.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package store is the pluggable blob-store tier: the S3-style object
+// layer that persists erasure-coded chunks underneath the backend's
+// per-region buckets.
+//
+// A BlobStore holds named buckets (one per region in the usual deployment)
+// of chunk objects addressed by (object key, chunk index). Three adapters
+// implement it:
+//
+//   - Mem: the in-process map the simulator always used — exact current
+//     semantics, zero dependencies, the default everywhere.
+//   - Disk: a filesystem object layout with atomic chunk writes (temp file
+//     then rename) and a crash-safe rescan on open, so a restarted store
+//     serves exactly the chunks whose writes completed.
+//   - Remote: an HTTP client for the S3-style gateway that cmd/blob-server
+//     exposes (GET/PUT/DELETE/LIST over /v1/<bucket>/<key>/<chunk>).
+//
+// The Gateway handler serves any BlobStore over that HTTP surface, and the
+// Chaos wrapper injects per-request latency and failures on any adapter —
+// the live counterpart of the simulator's modelled store Tiers.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Errors returned by blob stores.
+var (
+	// ErrNotFound reports a chunk absent from its bucket.
+	ErrNotFound = errors.New("store: chunk not found")
+	// ErrInjected reports a fault injected by a Chaos wrapper.
+	ErrInjected = errors.New("store: injected fault")
+)
+
+// ChunkID addresses one chunk object inside a bucket.
+type ChunkID struct {
+	// Key is the object key the chunk belongs to.
+	Key string
+	// Index is the chunk's erasure-code position.
+	Index int
+}
+
+// Stats summarises one bucket.
+type Stats struct {
+	// Chunks is the number of chunk objects stored.
+	Chunks int64 `json:"chunks"`
+	// Bytes is the total payload bytes stored.
+	Bytes int64 `json:"bytes"`
+}
+
+// BlobStore is the pluggable chunk persistence layer. Implementations are
+// safe for concurrent use; every returned chunk is a copy the caller owns.
+// Buckets spring into existence on first write, like S3 prefixes.
+type BlobStore interface {
+	// PutChunk stores (a copy of) the chunk bytes.
+	PutChunk(ctx context.Context, bucket string, id ChunkID, data []byte) error
+	// GetChunk returns a copy of the chunk bytes, or ErrNotFound.
+	GetChunk(ctx context.Context, bucket string, id ChunkID) ([]byte, error)
+	// GetChunks fetches several chunks of one key at once and returns
+	// whichever exist, keyed by chunk index; absent chunks are simply
+	// missing from the result.
+	GetChunks(ctx context.Context, bucket, key string, indices []int) (map[int][]byte, error)
+	// DeleteChunk removes one chunk and reports whether it was present.
+	DeleteChunk(ctx context.Context, bucket string, id ChunkID) (bool, error)
+	// DeleteObject removes every chunk of a key and returns how many were
+	// deleted.
+	DeleteObject(ctx context.Context, bucket, key string) (int, error)
+	// List returns the bucket's distinct object keys, sorted.
+	List(ctx context.Context, bucket string) ([]string, error)
+	// Stats summarises the bucket.
+	Stats(ctx context.Context, bucket string) (Stats, error)
+	// Close releases the adapter's resources. The mem adapter's Close is a
+	// no-op; disk flushes nothing further (writes are already durable);
+	// remote drops idle connections.
+	Close() error
+}
+
+// Kind names of the built-in adapters.
+const (
+	KindMem    = "mem"
+	KindDisk   = "disk"
+	KindRemote = "remote"
+)
+
+// Config selects and parameterises a blob-store adapter — the single knob
+// cmds and live clusters thread through (-store mem|disk|remote).
+type Config struct {
+	// Kind picks the adapter: "mem" (default when empty), "disk", "remote".
+	Kind string `json:"kind,omitempty"`
+	// Dir is the disk adapter's root directory.
+	Dir string `json:"dir,omitempty"`
+	// Addr is the remote adapter's gateway address (host:port or URL).
+	Addr string `json:"addr,omitempty"`
+	// Latency and ErrRate wrap the opened adapter in a Chaos injector when
+	// either is nonzero — per-request service delay and transient failure
+	// probability. Latency encodes as integer nanoseconds in JSON, like the
+	// scenario specs.
+	Latency time.Duration `json:"latency,omitempty"`
+	ErrRate float64       `json:"err_rate,omitempty"`
+	// Seed drives the chaos injector's deterministic failure stream.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Open builds the configured adapter, applying the chaos wrapper when the
+// config injects latency or failures.
+func Open(cfg Config) (BlobStore, error) {
+	var (
+		bs  BlobStore
+		err error
+	)
+	switch cfg.Kind {
+	case "", KindMem:
+		bs = NewMem()
+	case KindDisk:
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("store: disk adapter needs a root directory")
+		}
+		bs, err = NewDisk(cfg.Dir)
+	case KindRemote:
+		if cfg.Addr == "" {
+			return nil, fmt.Errorf("store: remote adapter needs a gateway address")
+		}
+		bs = NewRemote(cfg.Addr)
+	default:
+		return nil, fmt.Errorf("store: unknown adapter kind %q (want %s|%s|%s)",
+			cfg.Kind, KindMem, KindDisk, KindRemote)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Latency > 0 || cfg.ErrRate > 0 {
+		bs = WithChaos(bs, ChaosConfig{Latency: cfg.Latency, ErrRate: cfg.ErrRate, Seed: cfg.Seed})
+	}
+	return bs, nil
+}
+
+// validNames rejects path-hostile bucket names so the disk layout and HTTP
+// routes stay unambiguous. Object keys are escaped instead (they may hold
+// arbitrary bytes); buckets are deployment-chosen identifiers.
+func validBucket(bucket string) error {
+	if bucket == "" {
+		return fmt.Errorf("store: empty bucket name")
+	}
+	if strings.ContainsAny(bucket, "/\\") || bucket == "." || bucket == ".." {
+		return fmt.Errorf("store: invalid bucket name %q", bucket)
+	}
+	return nil
+}

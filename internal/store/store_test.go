@@ -1,0 +1,249 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// adapters enumerates every BlobStore implementation under one shared
+// conformance suite. The remote adapter runs against a real HTTP gateway
+// (httptest server over a mem store), so the suite covers the full
+// client/gateway round trip too.
+func adapters(t *testing.T) map[string]func(t *testing.T) BlobStore {
+	return map[string]func(t *testing.T) BlobStore{
+		"mem": func(t *testing.T) BlobStore { return NewMem() },
+		"disk": func(t *testing.T) BlobStore {
+			d, err := NewDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"remote": func(t *testing.T) BlobStore {
+			srv := httptest.NewServer(NewGateway(NewMem()))
+			t.Cleanup(srv.Close)
+			return NewRemote(srv.URL)
+		},
+	}
+}
+
+// TestConformance runs every adapter through the same behavioural contract.
+func TestConformance(t *testing.T) {
+	for name, open := range adapters(t) {
+		t.Run(name, func(t *testing.T) {
+			runConformance(t, open(t))
+		})
+	}
+}
+
+func runConformance(t *testing.T, bs BlobStore) {
+	t.Helper()
+	ctx := context.Background()
+	defer bs.Close()
+
+	id := ChunkID{Key: "obj/one:weird key", Index: 2}
+
+	// Absent chunk: ErrNotFound; absent bucket: empty list and zero stats.
+	if _, err := bs.GetChunk(ctx, "fra", id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get absent: %v", err)
+	}
+	if keys, err := bs.List(ctx, "fra"); err != nil || len(keys) != 0 {
+		t.Fatalf("list empty bucket: %v %v", keys, err)
+	}
+	if st, err := bs.Stats(ctx, "fra"); err != nil || st != (Stats{}) {
+		t.Fatalf("stats empty bucket: %+v %v", st, err)
+	}
+
+	// Put/get round trip with copy semantics on both sides.
+	data := []byte("chunk-payload")
+	if err := bs.PutChunk(ctx, "fra", id, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	got, err := bs.GetChunk(ctx, "fra", id)
+	if err != nil || !bytes.Equal(got, []byte("chunk-payload")) {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	got[0] = 'Y'
+	if again, _ := bs.GetChunk(ctx, "fra", id); !bytes.Equal(again, []byte("chunk-payload")) {
+		t.Fatal("store shares chunk storage with callers")
+	}
+
+	// Overwrite replaces, and buckets are isolated.
+	if err := bs.PutChunk(ctx, "fra", id, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := bs.GetChunk(ctx, "fra", id); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("overwrite: got %q", got)
+	}
+	if _, err := bs.GetChunk(ctx, "dub", id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("bucket isolation: %v", err)
+	}
+
+	// Batch fetch returns exactly the present subset.
+	for _, idx := range []int{0, 5} {
+		if err := bs.PutChunk(ctx, "fra", ChunkID{Key: "batch", Index: idx}, []byte{byte(idx)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	found, err := bs.GetChunks(ctx, "fra", "batch", []int{0, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]byte{0: {0}, 5: {5}}
+	if !reflect.DeepEqual(found, want) {
+		t.Fatalf("batch = %v, want %v", found, want)
+	}
+	if none, err := bs.GetChunks(ctx, "fra", "nothing", []int{1, 2}); err != nil || len(none) != 0 {
+		t.Fatalf("batch of absent key: %v %v", none, err)
+	}
+
+	// List is sorted distinct keys; stats count chunks and bytes.
+	keys, err := bs.List(ctx, "fra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"batch", "obj/one:weird key"}) {
+		t.Fatalf("list = %v", keys)
+	}
+	st, err := bs.Stats(ctx, "fra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chunks != 3 || st.Bytes != int64(len("v2"))+2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// DeleteChunk reports presence exactly once.
+	if ok, err := bs.DeleteChunk(ctx, "fra", id); err != nil || !ok {
+		t.Fatalf("delete present: %v %v", ok, err)
+	}
+	if ok, err := bs.DeleteChunk(ctx, "fra", id); err != nil || ok {
+		t.Fatalf("delete absent: %v %v", ok, err)
+	}
+	if _, err := bs.GetChunk(ctx, "fra", id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get deleted: %v", err)
+	}
+
+	// DeleteObject removes every chunk of the key and reports the count.
+	if n, err := bs.DeleteObject(ctx, "fra", "batch"); err != nil || n != 2 {
+		t.Fatalf("delete object: %d %v", n, err)
+	}
+	if n, err := bs.DeleteObject(ctx, "fra", "batch"); err != nil || n != 0 {
+		t.Fatalf("delete absent object: %d %v", n, err)
+	}
+	if keys, _ := bs.List(ctx, "fra"); len(keys) != 0 {
+		t.Fatalf("bucket not empty after deletes: %v", keys)
+	}
+
+	// Concurrent writers and readers on one bucket.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				cid := ChunkID{Key: fmt.Sprintf("par-%d", g), Index: i}
+				if err := bs.PutChunk(ctx, "fra", cid, []byte{byte(g), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := bs.GetChunk(ctx, "fra", cid); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st, _ := bs.Stats(ctx, "fra"); st.Chunks != 160 {
+		t.Fatalf("after concurrent writes: %+v", st)
+	}
+}
+
+func TestOpenConfig(t *testing.T) {
+	if bs, err := Open(Config{}); err != nil {
+		t.Fatal(err)
+	} else if _, ok := bs.(*Mem); !ok {
+		t.Fatalf("default adapter = %T, want *Mem", bs)
+	}
+	if bs, err := Open(Config{Kind: KindDisk, Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	} else if _, ok := bs.(*Disk); !ok {
+		t.Fatalf("disk adapter = %T", bs)
+	}
+	if bs, err := Open(Config{Kind: KindRemote, Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	} else if _, ok := bs.(*Remote); !ok {
+		t.Fatalf("remote adapter = %T", bs)
+	}
+	if bs, err := Open(Config{Kind: KindMem, ErrRate: 1}); err != nil {
+		t.Fatal(err)
+	} else if _, ok := bs.(*Chaos); !ok {
+		t.Fatalf("chaos-wrapped adapter = %T", bs)
+	}
+	for _, bad := range []Config{
+		{Kind: "s3"},
+		{Kind: KindDisk},
+		{Kind: KindRemote},
+	} {
+		if _, err := Open(bad); err == nil {
+			t.Errorf("Open(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	if tier, err := ParseTier(""); err != nil || tier.Name != KindMem || !tier.Baseline() {
+		t.Fatalf("empty tier = %+v, %v", tier, err)
+	}
+	for _, name := range TierNames() {
+		tier, err := ParseTier(name)
+		if err != nil || tier.Name != name {
+			t.Fatalf("ParseTier(%q) = %+v, %v", name, tier, err)
+		}
+	}
+	slow, _ := ParseTier("remote-slow")
+	if slow.Baseline() || slow.BandwidthBps == 0 || slow.ErrRate == 0 {
+		t.Fatalf("remote-slow envelope too tame: %+v", slow)
+	}
+	if _, err := ParseTier("glacier"); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+}
+
+func TestChaosInjection(t *testing.T) {
+	ctx := context.Background()
+	always := WithChaos(NewMem(), ChaosConfig{ErrRate: 1})
+	if err := always.PutChunk(ctx, "b", ChunkID{Key: "k"}, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if always.Injected() != 1 {
+		t.Fatalf("injected = %d", always.Injected())
+	}
+
+	never := WithChaos(NewMem(), ChaosConfig{ErrRate: 0})
+	if err := never.PutChunk(ctx, "b", ChunkID{Key: "k"}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := never.GetChunk(ctx, "b", ChunkID{Key: "k"}); err != nil || !bytes.Equal(got, []byte("x")) {
+		t.Fatalf("passthrough get = %q, %v", got, err)
+	}
+
+	// Deterministic: two injectors with the same seed fail the same ops.
+	a := WithChaos(NewMem(), ChaosConfig{ErrRate: 0.5, Seed: 42})
+	b := WithChaos(NewMem(), ChaosConfig{ErrRate: 0.5, Seed: 42})
+	for i := 0; i < 50; i++ {
+		ea := a.PutChunk(ctx, "b", ChunkID{Key: "k", Index: i}, nil)
+		eb := b.PutChunk(ctx, "b", ChunkID{Key: "k", Index: i}, nil)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("op %d: seeds diverge (%v vs %v)", i, ea, eb)
+		}
+	}
+}

@@ -75,6 +75,15 @@ type Header struct {
 	// mirror on a higher Seq, merges frames sharing the current Seq (large
 	// digests paginate), and drops lower ones as stale.
 	Seq int64 `json:"seq,omitempty"`
+	// Delta marks an OpDigest frame as a delta over snapshot Base: Groups
+	// lists only the keys whose residency changed since the advertiser's
+	// Base snapshot, an empty index list meaning the key is gone. A
+	// receiver applies it only when its mirror sits exactly at Base; the
+	// digest ack always echoes the mirror's resulting sequence, so an
+	// advertiser that outran its peer sees the mismatch and falls back to a
+	// full digest.
+	Delta bool  `json:"delta,omitempty"`
+	Base  int64 `json:"base,omitempty"`
 	// Sizes carries the per-chunk byte lengths of a batch message's body:
 	// Sizes[i] bytes of Body belong to chunk Indices[i], in order.
 	Sizes []int `json:"sizes,omitempty"`
