@@ -53,6 +53,7 @@ func run() int {
 		scale    = flag.Float64("scale", 1, "time-scale factor applied to every phase (0 < scale <= 1)")
 		objects  = flag.Int("objects", 0, "override the working-set size (0 = scenario default)")
 		live     = flag.Bool("live", false, "additionally smoke each scenario's first phase on the localhost cluster")
+		liveOps  = flag.Int("liveops", 120, "measured reads per live phase (smoke) and per dispatch round")
 		quiet    = flag.Bool("q", false, "suppress per-scenario markdown on stdout")
 	)
 	flag.Parse()
@@ -172,7 +173,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "agar-suite: %s done in %v\n", spec.Name, time.Since(start).Round(time.Millisecond))
 
 		if *live {
-			lr, err := scenario.RunLiveSmoke(runSpec, scenario.LiveOptions{Seed: *seed})
+			lr, err := scenario.RunLiveSmoke(runSpec, scenario.LiveOptions{Seed: *seed, Ops: *liveOps})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "agar-suite: scenario %s live smoke: %v\n", spec.Name, err)
 				failed++
@@ -192,6 +193,22 @@ func run() int {
 			}
 			if lr.Errors > 0 {
 				failed++
+			}
+
+			// Scenarios that declare a dispatch-mode pair additionally
+			// replay every phase live once per mode, pairing throughput.
+			if len(runSpec.DispatchModes) > 0 {
+				dr, err := scenario.RunLiveDispatch(runSpec, scenario.LiveOptions{Seed: *seed, Ops: *liveOps})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "agar-suite: scenario %s live dispatch: %v\n", spec.Name, err)
+					failed++
+					continue
+				}
+				suite.LiveDispatch = append(suite.LiveDispatch, dr)
+				md.WriteString("\n" + dr.Markdown())
+				if !*quiet {
+					fmt.Println(dr.Markdown())
+				}
 			}
 		}
 	}
@@ -224,9 +241,10 @@ func run() int {
 
 // suiteReport is the top-level BENCH_scenario.json document.
 type suiteReport struct {
-	Schema     string                 `json:"schema"`
-	Generated  string                 `json:"generated"`
-	Seed       int64                  `json:"seed"`
-	Scenarios  []*scenario.Report     `json:"scenarios"`
-	LiveSmokes []*scenario.LiveResult `json:"live_smokes,omitempty"`
+	Schema       string                         `json:"schema"`
+	Generated    string                         `json:"generated"`
+	Seed         int64                          `json:"seed"`
+	Scenarios    []*scenario.Report             `json:"scenarios"`
+	LiveSmokes   []*scenario.LiveResult         `json:"live_smokes,omitempty"`
+	LiveDispatch []*scenario.LiveDispatchReport `json:"live_dispatch,omitempty"`
 }

@@ -9,6 +9,7 @@
 //	backend-server -region frankfurt -addr 127.0.0.1:7001
 //	backend-server -region frankfurt -store disk -dir /var/lib/agar/frankfurt
 //	backend-server -region frankfurt -store remote -blob-addr 127.0.0.1:7201
+//	backend-server -region frankfurt -dispatch conn   # per-connection baseline
 package main
 
 import (
@@ -31,10 +32,15 @@ func main() {
 		kind     = flag.String("store", "mem", "chunk persistence: mem|disk|remote")
 		dir      = flag.String("dir", "", "disk store root directory (required with -store disk)")
 		blobAddr = flag.String("blob-addr", "", "blob gateway address (required with -store remote)")
+		dispatch = flag.String("dispatch", "shard", "request dispatch: shard (striped worker pools) | conn (per-connection loops)")
 	)
 	flag.Parse()
 
 	r, err := geo.ParseRegion(*region)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mode, err := live.ParseDispatch(*dispatch)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -43,11 +49,11 @@ func main() {
 		fatalf("%v", err)
 	}
 	st := backend.NewStoreOn(r, blob)
-	srv, err := live.NewStoreServer(*addr, st)
+	srv, err := live.NewStoreServerDispatch(*addr, st, mode)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("backend-server: region=%s store=%s listening on %s\n", r, *kind, srv.Addr())
+	fmt.Printf("backend-server: region=%s store=%s dispatch=%s listening on %s\n", r, *kind, mode, srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -6,9 +6,15 @@
 // servers and mirrors the digests it receives, reporting peer_hits,
 // peer_misses and digest_age_ms through its stats op.
 //
+// Requests dispatch shard-aware by default: connection goroutines decode
+// frames and enqueue ops onto per-shard worker pools (batched frames split
+// per shard and re-merge in order), with -dispatch conn selecting the
+// per-connection serialized baseline for paired benchmarks.
+//
 // Usage:
 //
 //	cache-server -addr 127.0.0.1:7101 -capacity 10485760 -policy lru -shards 8
+//	cache-server -addr 127.0.0.1:7101 -dispatch conn   # per-connection baseline
 //	cache-server -addr 10.0.0.5:7101 -region frankfurt \
 //	             -peers dublin=10.0.0.7:7101@25ms -digest-period 1s
 package main
@@ -32,6 +38,7 @@ func main() {
 		capacity = flag.Int64("capacity", 10<<20, "cache capacity in bytes")
 		policy   = flag.String("policy", "lru", "eviction policy: lru|lfu|pinned")
 		shards   = flag.Int("shards", 8, "cache shards (rounded up to a power of two; 1 = single global lock)")
+		dispatch = flag.String("dispatch", "shard", "request dispatch: shard (per-shard worker pools) | conn (per-connection loops)")
 		region   = flag.String("region", "", "this cache's region name (required with -peers)")
 		peers    = flag.String("peers", "", "cooperative peers: region=host:port@latency[,...]")
 		digest   = flag.Duration("digest-period", time.Second, "how often residency digests push to peers")
@@ -60,14 +67,19 @@ func main() {
 		fatalf("-peers needs -region so digests carry this cache's identity")
 	}
 
-	store := cache.NewSharded(*capacity, *shards, factory)
-	table := coop.NewTable()
-	srv, err := live.NewCacheServerCoop(*addr, store, table)
+	mode, err := live.ParseDispatch(*dispatch)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("cache-server: policy=%s capacity=%d shards=%d listening on %s\n",
-		*policy, *capacity, store.ShardCount(), srv.Addr())
+
+	store := cache.NewSharded(*capacity, *shards, factory)
+	table := coop.NewTable()
+	srv, err := live.NewCacheServerDispatch(*addr, store, table, mode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("cache-server: policy=%s capacity=%d shards=%d dispatch=%s listening on %s\n",
+		*policy, *capacity, store.ShardCount(), mode, srv.Addr())
 
 	var adv *coop.Advertiser
 	var peerConns []*live.RemoteCache

@@ -1,0 +1,183 @@
+package agar_test
+
+// Docs-consistency suite: these tests are the enforcement half of the
+// documentation (docs/ARCHITECTURE.md, docs/WIRE.md, package godoc). CI
+// runs them as a named step; they also run with the ordinary test suite,
+// so documentation drift fails tier-1 verification.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// packageDirs returns every internal/* and cmd/* directory containing Go
+// files, plus the repository root.
+func packageDirs(t *testing.T) []string {
+	t.Helper()
+	dirs := []string{"."}
+	for _, root := range []string{"internal", "cmd", "examples"} {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatalf("read %s: %v", root, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				dirs = append(dirs, filepath.Join(root, e.Name()))
+			}
+		}
+	}
+	return dirs
+}
+
+// TestDocsPackageComments fails if any package — the root, every
+// internal/* package, every cmd/* main, every example — lacks a godoc
+// package comment. The comment is the package's statement of what it
+// models from the paper and its key entry points; a new package without
+// one fails here, not in review.
+func TestDocsPackageComments(t *testing.T) {
+	for _, dir := range packageDirs(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package comment", name, dir)
+			}
+		}
+	}
+}
+
+// markdownFiles are the documents the link check walks.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "SCENARIOS.md", "ROADMAP.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, docs...)
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsMarkdownLinks checks every relative markdown link in README.md,
+// docs/*.md, SCENARIOS.md and ROADMAP.md resolves to a file that exists
+// (anchors are stripped; external URLs are skipped).
+func TestDocsMarkdownLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // same-document anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%s)", file, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestDocsWireReference fails when docs/WIRE.md drifts from the protocol:
+// every Op* opcode constant and every Header field declared in
+// internal/wire/wire.go must be mentioned in the reference, as must the
+// batch and frame limit constants.
+func TestDocsWireReference(t *testing.T) {
+	doc, err := os.ReadFile("docs/WIRE.md")
+	if err != nil {
+		t.Fatalf("read docs/WIRE.md: %v", err)
+	}
+	text := string(doc)
+
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/wire/wire.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	require := func(name, kind string) {
+		if !strings.Contains(text, name) {
+			missing = append(missing, fmt.Sprintf("%s %s", kind, name))
+		}
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		switch gd.Tok {
+		case token.CONST:
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, n := range vs.Names {
+					if strings.HasPrefix(n.Name, "Op") || strings.HasPrefix(n.Name, "Max") {
+						require(n.Name, "constant")
+					}
+				}
+			}
+		case token.TYPE:
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if ts.Name.Name != "Header" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, n := range field.Names {
+						require(n.Name, "Header field")
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("docs/WIRE.md missing: %s", strings.Join(missing, ", "))
+	}
+}
+
+// TestDocsSuiteExists pins the documentation map's anchors: the files the
+// README links as the documentation entry points must exist and be
+// non-trivial.
+func TestDocsSuiteExists(t *testing.T) {
+	for _, file := range []string{"docs/ARCHITECTURE.md", "docs/WIRE.md", "SCENARIOS.md", "README.md"} {
+		info, err := os.Stat(file)
+		if err != nil {
+			t.Fatalf("%s missing: %v", file, err)
+		}
+		if info.Size() < 1024 {
+			t.Errorf("%s suspiciously small (%d bytes)", file, info.Size())
+		}
+	}
+}

@@ -112,7 +112,6 @@ type shard struct {
 // DeleteObject, IndicesOf) aggregate across shards.
 type Cache struct {
 	shards   []*shard
-	mask     uint64
 	capacity int64
 }
 
@@ -148,7 +147,7 @@ func NewSharded(capacity int64, shards int, newPolicy func() Policy) *Cache {
 	for int64(n) > capacity { // keep every shard's budget positive
 		n >>= 1
 	}
-	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1), capacity: capacity}
+	c := &Cache{shards: make([]*shard, n), capacity: capacity}
 	base := capacity / int64(n)
 	extra := capacity % int64(n)
 	for i := range c.shards {
@@ -170,10 +169,15 @@ func NewSharded(capacity int64, shards int, newPolicy func() Policy) *Cache {
 	return c
 }
 
-// shardFor routes an id to its shard by FNV-1a over the key and index.
-func (c *Cache) shardFor(id EntryID) *shard {
-	if c.mask == 0 {
-		return c.shards[0]
+// StripeIndex returns the shard an id stripes to in a power-of-two stripe
+// space of the given size: FNV-1a over the key bytes and chunk index, masked
+// to shards-1. It is the single routing function shared by the cache's
+// internal sharding and the live server's shard-aware dispatch, so a
+// dispatched op always lands on the worker that owns the op's shard lock.
+// shards must be a power of two; shards <= 1 always returns 0.
+func StripeIndex(id EntryID, shards int) int {
+	if shards <= 1 {
+		return 0
 	}
 	const (
 		offset64 = 14695981039346656037
@@ -186,7 +190,18 @@ func (c *Cache) shardFor(id EntryID) *shard {
 	}
 	h ^= uint64(uint32(id.Index))
 	h *= prime64
-	return c.shards[h&c.mask]
+	return int(h & uint64(shards-1))
+}
+
+// ShardIndex returns the index of the shard the id lives on in this cache —
+// StripeIndex over the cache's own shard count.
+func (c *Cache) ShardIndex(id EntryID) int {
+	return StripeIndex(id, len(c.shards))
+}
+
+// shardFor routes an id to its shard.
+func (c *Cache) shardFor(id EntryID) *shard {
+	return c.shards[StripeIndex(id, len(c.shards))]
 }
 
 // SetAdmission installs an admission filter: inserts for ids the filter

@@ -49,6 +49,11 @@ type ClusterConfig struct {
 	// gateway (cmd/blob-server), optionally chaos-wrapped. The cluster owns
 	// the opened adapter and closes it with Close.
 	Store store.Config
+	// Dispatch selects how the cache and store servers schedule decoded
+	// frames: per-shard worker pools (DispatchShard, the default) or the
+	// per-connection serialized loops kept as the paired baseline
+	// (DispatchConn).
+	Dispatch Dispatch
 }
 
 // Cluster is a running localhost deployment: one store server per region,
@@ -125,7 +130,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	for _, r := range cfg.Regions {
-		srv, err := NewStoreServer("127.0.0.1:0", cluster.Store(r))
+		srv, err := NewStoreServerDispatch("127.0.0.1:0", cluster.Store(r), cfg.Dispatch)
 		if err != nil {
 			return fail(err)
 		}
@@ -149,7 +154,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	c.table = coop.NewTable()
 	c.adv = coop.NewAdvertiser(cfg.ClientRegion.String(), c.node.Cache(), cfg.DigestPeriod)
-	if c.cacheSrv, err = NewCacheServerCoop("127.0.0.1:0", c.node.Cache(), c.table); err != nil {
+	if c.cacheSrv, err = NewCacheServerDispatch("127.0.0.1:0", c.node.Cache(), c.table, cfg.Dispatch); err != nil {
 		return fail(err)
 	}
 	if c.hintSrv, err = NewHintServer("127.0.0.1:0", c.node); err != nil {
@@ -178,6 +183,11 @@ func (c *Cluster) StoreAddr(r geo.RegionID) string { return c.storeSrvs[r].Addr(
 
 // CacheAddr returns the client region's cache server address.
 func (c *Cluster) CacheAddr() string { return c.cacheSrv.Addr() }
+
+// CacheQueueDepth samples the cache server's shard-dispatch queue depth
+// (always 0 under conn dispatch) — the dispatch_queue_depth gauge, readable
+// in-process for benchmarks that poll it mid-run.
+func (c *Cluster) CacheQueueDepth() int64 { return c.cacheSrv.QueueDepth() }
 
 // HintAddr returns the TCP hint server address.
 func (c *Cluster) HintAddr() string { return c.hintSrv.Addr() }
@@ -355,6 +365,15 @@ const (
 // applied — deterministic sequencing for tests and benchmarks that read
 // their own writes.
 func (r *NetworkReader) FlushPopulation() { r.pop.flush() }
+
+// PopulationBackPressure reports the async cache-fill pool's load: fills
+// queued but not yet applied, and fills shed because the queue was full.
+// Sustained depth near the queue bound (or a climbing drop count) means
+// reads outpace the cache server's fill path — the client-side signal that
+// pairs with the server's dispatch_queue_depth gauge.
+func (r *NetworkReader) PopulationBackPressure() (depth int, dropped int64) {
+	return r.pop.depth(), r.pop.droppedCount()
+}
 
 // Close drains the population pool and drops every connection.
 func (r *NetworkReader) Close() {

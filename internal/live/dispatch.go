@@ -1,0 +1,221 @@
+package live
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/agardist/agar/internal/wire"
+)
+
+// Dispatch selects how a framed-TCP server schedules decoded request frames
+// onto the state they touch.
+//
+// DispatchConn is the classic memcached-style loop: each connection's
+// goroutine decodes, executes and answers its own frames serially, and
+// concurrency exists only across connections. DispatchShard decouples
+// transport from execution: connection goroutines only decode frames and
+// enqueue ops onto per-shard worker queues (one worker per cache shard,
+// routed by the same power-of-two stripe hash the cache itself uses), so
+// two connections hitting different shards never serialize behind one
+// another, and a batched mget/mput is split per shard, executed by the
+// shard workers in parallel, and re-merged in ascending chunk order for the
+// reply. Replies always leave a connection in request order, so the wire
+// contract is identical in both modes.
+type Dispatch string
+
+// Dispatch modes. The zero value resolves to DispatchShard.
+const (
+	// DispatchShard enqueues ops onto per-shard worker pools (default).
+	DispatchShard Dispatch = "shard"
+	// DispatchConn serializes each connection's ops on its own goroutine —
+	// the pre-dispatch baseline, kept for paired benchmarks.
+	DispatchConn Dispatch = "conn"
+)
+
+// ParseDispatch resolves a -dispatch flag value; "" means DispatchShard.
+func ParseDispatch(s string) (Dispatch, error) {
+	switch Dispatch(s) {
+	case "", DispatchShard:
+		return DispatchShard, nil
+	case DispatchConn:
+		return DispatchConn, nil
+	}
+	return "", fmt.Errorf("live: unknown dispatch mode %q (want conn|shard)", s)
+}
+
+// String renders the mode with the default applied.
+func (d Dispatch) String() string {
+	if d == "" {
+		return string(DispatchShard)
+	}
+	return string(d)
+}
+
+// part is one per-shard fragment of a split batch frame.
+type part struct {
+	shard int
+	req   wire.Message
+}
+
+// mergeFunc folds the per-part responses of a split batch (indexed like the
+// parts slice) back into the single reply the client sees.
+type mergeFunc func(resps []wire.Message) wire.Message
+
+// router tells a shard-dispatching server how ops map onto shards. The
+// routing must agree with the storage layer's own striping — the cache
+// server routes with cache.StripeIndex, the function the cache's shard
+// locks hash with — so the worker that dequeues an op is the only worker
+// touching that op's shard.
+type router interface {
+	// shards returns the worker-pool width (one worker per shard).
+	shards() int
+	// route returns the shard of an op that lands entirely on one shard
+	// (including batches whose chunks all stripe to it). ok=false marks
+	// either a control op (stats, digests, snapshots, object-level ops) or
+	// a batch that needs splitting.
+	route(h wire.Header) (shard int, ok bool)
+	// splittable reports whether the op is a batch kind split may fan out —
+	// a cheap header-only check; whether a particular frame actually splits
+	// is split's decision.
+	splittable(h wire.Header) bool
+	// split breaks a multi-shard batch frame into per-shard parts and
+	// returns the merge that reassembles the reply. ok=false hands the
+	// frame to route/control handling — including malformed batches, which
+	// fall through so the ordinary handler can produce its usual error.
+	split(m wire.Message) (parts []part, merge mergeFunc, ok bool)
+}
+
+// dispatchQueueDepth bounds each shard worker's queue. A full queue blocks
+// the enqueueing connection goroutine — back-pressure on the socket, the
+// same way a busy single-threaded memcached applies it — rather than
+// growing without bound.
+const dispatchQueueDepth = 128
+
+// dispatcher owns one worker goroutine per shard, each draining its own
+// bounded queue. Ops for one shard execute in enqueue order on that shard's
+// worker; ops for different shards execute concurrently.
+type dispatcher struct {
+	handle handler
+	rt     router
+	queues []chan func()
+	wg     sync.WaitGroup
+	// gauge tracks tasks enqueued but not yet finished — the
+	// dispatch_queue_depth gauge OpStats reports. Shared with the handler,
+	// which only reads it.
+	gauge    *atomic.Int64
+	stopOnce sync.Once
+	// parallel records whether the runtime has cores to run shard workers
+	// on. Without them, fanning a fast-path batch out over workers costs
+	// scheduler hops and buys nothing, so dispatchSync stays inline.
+	parallel bool
+}
+
+// newDispatcher starts the per-shard workers.
+func newDispatcher(h handler, rt router, gauge *atomic.Int64) *dispatcher {
+	n := rt.shards()
+	if n < 1 {
+		n = 1
+	}
+	d := &dispatcher{handle: h, rt: rt, gauge: gauge, queues: make([]chan func(), n),
+		parallel: runtime.GOMAXPROCS(0) > 1}
+	for i := range d.queues {
+		d.queues[i] = make(chan func(), dispatchQueueDepth)
+		d.wg.Add(1)
+		go d.worker(d.queues[i])
+	}
+	return d
+}
+
+func (d *dispatcher) worker(q chan func()) {
+	defer d.wg.Done()
+	for task := range q {
+		task()
+		d.gauge.Add(-1)
+	}
+}
+
+func (d *dispatcher) enqueue(shard int, task func()) {
+	d.gauge.Add(1)
+	d.queues[shard] <- task
+}
+
+// dispatchSync executes one request on the caller's goroutine and returns
+// its response — the fast path for a connection with nothing in flight,
+// where queueing through a shard worker would only add scheduler hops.
+// With cores to run workers on, multi-shard batches still fan out so
+// their parts execute on different shards in parallel; on a single-core
+// runtime (or for everything else) the op runs inline — the shard locks
+// below the handler keep that exactly as safe as conn dispatch.
+func (d *dispatcher) dispatchSync(req wire.Message) wire.Message {
+	if d.parallel && d.rt.splittable(req.Header) {
+		if parts, merge, ok := d.rt.split(req); ok {
+			reply := make(chan wire.Message, 1)
+			d.fanOut(parts, merge, reply)
+			return <-reply
+		}
+	}
+	return d.handle(req)
+}
+
+// dispatch schedules one decoded request and arranges for exactly one
+// response on reply (buffered, so workers never block sending it).
+func (d *dispatcher) dispatch(req wire.Message, reply chan<- wire.Message) {
+	shard, routed := d.rt.route(req.Header)
+	d.dispatchWith(req, reply, shard, routed)
+}
+
+// dispatchWith is dispatch with the route decision already made — the
+// serve loop classifies each frame exactly once (route is per-chunk key
+// hashing for batches, worth not repeating) and threads the result here.
+// Ops the router declines entirely run synchronously on the caller's
+// goroutine — the serve loop only sends control ops here after draining
+// the connection, so execution order matches conn dispatch (a splittable
+// frame that turns out malformed also lands here, but it touches no state
+// and just produces its error reply).
+func (d *dispatcher) dispatchWith(req wire.Message, reply chan<- wire.Message, shard int, routed bool) {
+	if routed {
+		d.enqueue(shard, func() { reply <- d.handle(req) })
+		return
+	}
+	if parts, merge, ok := d.rt.split(req); ok {
+		d.fanOut(parts, merge, reply)
+		return
+	}
+	reply <- d.handle(req)
+}
+
+// fanOut runs a split batch's parts on their shard workers and has the last
+// part to finish merge the fragments into the reply. The atomic countdown
+// orders every fragment write before the merge that reads them.
+func (d *dispatcher) fanOut(parts []part, merge mergeFunc, reply chan<- wire.Message) {
+	resps := make([]wire.Message, len(parts))
+	var remaining atomic.Int32
+	remaining.Store(int32(len(parts)))
+	for i, p := range parts {
+		i, p := i, p
+		d.enqueue(p.shard, func() {
+			resps[i] = d.handle(p.req)
+			if remaining.Add(-1) == 0 {
+				reply <- merge(resps)
+			}
+		})
+	}
+}
+
+// stop closes the shard queues and waits for the workers to drain them.
+// Callers must first ensure no goroutine will enqueue again (the server
+// waits out its connection goroutines before stopping the dispatcher).
+func (d *dispatcher) stop() {
+	d.stopOnce.Do(func() {
+		for _, q := range d.queues {
+			close(q)
+		}
+	})
+	d.wg.Wait()
+}
+
+// QueueDepth returns the tasks currently enqueued or executing across every
+// shard queue — the dispatch_queue_depth gauge.
+func (d *dispatcher) QueueDepth() int64 { return d.gauge.Load() }

@@ -1,0 +1,641 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/agardist/agar/internal/backend"
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/wire"
+)
+
+func TestParseDispatch(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Dispatch
+		err  bool
+	}{
+		{"", DispatchShard, false},
+		{"shard", DispatchShard, false},
+		{"conn", DispatchConn, false},
+		{"both", "", true},
+		{"SHARD", "", true},
+	} {
+		got, err := ParseDispatch(tc.in)
+		if (err != nil) != tc.err {
+			t.Fatalf("ParseDispatch(%q) err = %v, want err %v", tc.in, err, tc.err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseDispatch(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// testRouter routes OpGet by Header.Index so tests pick shards directly;
+// everything else is a control op.
+type testRouter struct{ n int }
+
+func (r testRouter) shards() int { return r.n }
+func (r testRouter) route(h wire.Header) (int, bool) {
+	if h.Op == wire.OpGet {
+		return h.Index % r.n, true
+	}
+	return 0, false
+}
+func (r testRouter) splittable(wire.Header) bool                  { return false }
+func (r testRouter) split(wire.Message) ([]part, mergeFunc, bool) { return nil, nil, false }
+
+// TestDispatcherPerShardConcurrency proves ops on different shards execute
+// concurrently: two handlers must be inside the dispatcher at the same
+// instant before either is released.
+func TestDispatcherPerShardConcurrency(t *testing.T) {
+	arrived := make(chan int, 2)
+	release := make(chan struct{})
+	h := func(req wire.Message) wire.Message {
+		arrived <- req.Header.Index
+		<-release
+		return wire.Message{Header: wire.Header{Op: wire.OpOK, Index: req.Header.Index}}
+	}
+	d := newDispatcher(h, testRouter{n: 2}, new(atomic.Int64))
+	defer d.stop()
+
+	replies := [2]chan wire.Message{make(chan wire.Message, 1), make(chan wire.Message, 1)}
+	for shard := 0; shard < 2; shard++ {
+		d.dispatch(wire.Message{Header: wire.Header{Op: wire.OpGet, Index: shard}}, replies[shard])
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-arrived:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 2 shard handlers running concurrently", i)
+		}
+	}
+	if depth := d.QueueDepth(); depth != 2 {
+		t.Fatalf("queue depth %d with two ops in flight, want 2", depth)
+	}
+	close(release)
+	for shard := 0; shard < 2; shard++ {
+		resp := <-replies[shard]
+		if resp.Header.Op != wire.OpOK || resp.Header.Index != shard {
+			t.Fatalf("shard %d reply = %+v", shard, resp.Header)
+		}
+	}
+}
+
+// TestDispatcherSameShardSerializes proves the flip side: two ops on one
+// shard never run concurrently — the second waits for the first.
+func TestDispatcherSameShardSerializes(t *testing.T) {
+	var inside atomic.Int32
+	var maxInside atomic.Int32
+	h := func(req wire.Message) wire.Message {
+		n := inside.Add(1)
+		for {
+			cur := maxInside.Load()
+			if n <= cur || maxInside.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inside.Add(-1)
+		return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+	}
+	d := newDispatcher(h, testRouter{n: 4}, new(atomic.Int64))
+	defer d.stop()
+
+	const ops = 16
+	replies := make([]chan wire.Message, ops)
+	for i := range replies {
+		replies[i] = make(chan wire.Message, 1)
+		d.dispatch(wire.Message{Header: wire.Header{Op: wire.OpGet, Index: 4}}, replies[i]) // all shard 0
+	}
+	for _, r := range replies {
+		<-r
+	}
+	if got := maxInside.Load(); got != 1 {
+		t.Fatalf("%d handlers ran concurrently on one shard, want 1", got)
+	}
+}
+
+// TestShardDispatchFanIn hammers one shard-dispatching cache server from
+// many connections across every shard, asserting the data plane stays
+// correct, the OpStats counters stay consistent, and the queue-depth gauge
+// drains to zero once the fan-in stops.
+func TestShardDispatchFanIn(t *testing.T) {
+	const (
+		shards  = 8
+		clients = 16
+		keys    = 4
+		indices = 64 // covers every shard many times over
+	)
+	c := cache.NewSharded(1<<22, shards, func() cache.Policy { return cache.NewLRU() })
+	srv, err := NewCacheServerDispatch("127.0.0.1:0", c, nil, DispatchShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Every shard must see traffic for "across all shards" to mean anything.
+	seen := make(map[int]bool)
+	for k := 0; k < keys; k++ {
+		for i := 0; i < indices; i++ {
+			seen[c.ShardIndex(cache.EntryID{Key: fmt.Sprintf("key-%d", k), Index: i})] = true
+		}
+	}
+	if len(seen) != shards {
+		t.Fatalf("test keys cover %d of %d shards", len(seen), shards)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			remote := NewRemoteCache(srv.Addr())
+			defer remote.Close()
+			rng := rand.New(rand.NewSource(int64(cl)))
+			for op := 0; op < 120; op++ {
+				key := fmt.Sprintf("key-%d", rng.Intn(keys))
+				switch op % 3 {
+				case 0: // single put then read-back
+					idx := rng.Intn(indices)
+					want := []byte(fmt.Sprintf("%s#%d", key, idx))
+					if err := remote.Put(cache.EntryID{Key: key, Index: idx}, want); err != nil {
+						errs <- err
+						return
+					}
+					got, err := remote.Get(cache.EntryID{Key: key, Index: idx})
+					if err != nil {
+						errs <- fmt.Errorf("get %s#%d: %w", key, idx, err)
+						return
+					}
+					if !bytes.Equal(got, want) {
+						errs <- fmt.Errorf("get %s#%d = %q, want %q", key, idx, got, want)
+						return
+					}
+				case 1: // batched put across shards
+					chunks := make(map[int][]byte)
+					for i := 0; i < 12; i++ {
+						idx := rng.Intn(indices)
+						chunks[idx] = []byte(fmt.Sprintf("%s#%d", key, idx))
+					}
+					if err := remote.PutMulti(key, chunks); err != nil {
+						errs <- err
+						return
+					}
+				case 2: // batched read across shards: every hit must be right
+					idxs := make([]int, 0, 16)
+					for i := 0; i < 16; i++ {
+						idxs = append(idxs, rng.Intn(indices))
+					}
+					found, err := remote.GetMulti(key, idxs)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for idx, data := range found {
+						if want := fmt.Sprintf("%s#%d", key, idx); string(data) != want {
+							errs <- fmt.Errorf("mget %s#%d = %q, want %q", key, idx, data, want)
+							return
+						}
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	remote := NewRemoteCache(srv.Addr())
+	defer remote.Close()
+	stats, err := remote.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["shards"] != shards {
+		t.Fatalf("stats shards = %d, want %d", stats["shards"], shards)
+	}
+	if stats["gets"] <= 0 || stats["sets"] <= 0 {
+		t.Fatalf("stats show no traffic: %v", stats)
+	}
+	if stats["hits"] > stats["gets"] {
+		t.Fatalf("hits %d exceed gets %d", stats["hits"], stats["gets"])
+	}
+	if _, ok := stats["dispatch_queue_depth"]; !ok {
+		t.Fatalf("stats missing dispatch_queue_depth: %v", stats)
+	}
+	if depth := stats["dispatch_queue_depth"]; depth != 0 {
+		t.Fatalf("dispatch_queue_depth = %d after quiesce, want 0", depth)
+	}
+}
+
+// TestSplitBatchReplyOrdering checks a split mget's reply arrives re-merged
+// in ascending chunk order with the exact framing an unsplit reply uses.
+func TestSplitBatchReplyOrdering(t *testing.T) {
+	c := cache.NewSharded(1<<22, 8, func() cache.Policy { return cache.NewLRU() })
+	srv, err := NewCacheServerDispatch("127.0.0.1:0", c, nil, DispatchShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote := NewRemoteCache(srv.Addr())
+	defer remote.Close()
+
+	want := make(map[int][]byte)
+	for i := 0; i < 32; i++ {
+		want[i] = []byte(fmt.Sprintf("chunk-%02d", i))
+	}
+	if err := remote.PutMulti("obj", want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw connection: inspect the reply frame itself, not the client's view.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	idxs := []int{31, 7, 0, 19, 4, 25, 12, 1, 30, 9} // deliberately shuffled
+	resp, err := wire.Call(conn, wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: "obj", Indices: idxs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Op != wire.OpOK {
+		t.Fatalf("mget reply op %q", resp.Header.Op)
+	}
+	if len(resp.Header.Indices) != len(idxs) {
+		t.Fatalf("mget returned %d chunks, want %d", len(resp.Header.Indices), len(idxs))
+	}
+	for i := 1; i < len(resp.Header.Indices); i++ {
+		if resp.Header.Indices[i-1] >= resp.Header.Indices[i] {
+			t.Fatalf("reply indices not ascending: %v", resp.Header.Indices)
+		}
+	}
+	got, err := wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range idxs {
+		if !bytes.Equal(got[idx], want[idx]) {
+			t.Fatalf("chunk %d = %q, want %q", idx, got[idx], want[idx])
+		}
+	}
+}
+
+// TestConnShardByteParity replays one scripted op sequence against a conn-
+// dispatch and a shard-dispatch server over the same cache shape and
+// requires every reply frame to match byte for byte — single-shard and
+// sharded.
+func TestConnShardByteParity(t *testing.T) {
+	script := []wire.Message{
+		{Header: wire.Header{Op: wire.OpPut, Key: "a", Index: 0}, Body: []byte("zero")},
+		{Header: wire.Header{Op: wire.OpPut, Key: "a", Index: 5}, Body: []byte("five")},
+		{Header: wire.Header{Op: wire.OpGet, Key: "a", Index: 0}},
+		{Header: wire.Header{Op: wire.OpGet, Key: "a", Index: 9}}, // miss
+		{Header: wire.Header{Op: wire.OpMGet, Key: "a", Indices: []int{5, 0, 9}}},
+		{Header: wire.Header{Op: wire.OpIndices, Key: "a"}},
+		{Header: wire.Header{Op: wire.OpDelete, Key: "a", Index: 5}},
+		{Header: wire.Header{Op: wire.OpMGet, Key: "a", Indices: []int{5}}}, // now empty
+		{Header: wire.Header{Op: wire.OpSnapshot}},
+		{Header: wire.Header{Op: wire.OpStats}},
+	}
+	// An mput built once so both servers see identical frames.
+	mputIdx, mputSizes, mputBody, err := wire.PackBatch(map[int][]byte{2: []byte("two"), 11: []byte("eleven")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script = append(script,
+		wire.Message{Header: wire.Header{Op: wire.OpMPut, Key: "b", Indices: mputIdx, Sizes: mputSizes}, Body: mputBody},
+		wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: "b", Indices: []int{11, 2}}},
+	)
+
+	for _, shards := range []int{1, 8} {
+		replies := make(map[Dispatch][][]byte)
+		for _, mode := range []Dispatch{DispatchConn, DispatchShard} {
+			c := cache.NewSharded(1<<20, shards, func() cache.Policy { return cache.NewLRU() })
+			srv, err := NewCacheServerDispatch("127.0.0.1:0", c, nil, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, req := range script {
+				if err := wire.Write(conn, req); err != nil {
+					t.Fatal(err)
+				}
+				resp, err := wire.Read(conn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw, err := wire.Encode(resp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replies[mode] = append(replies[mode], raw)
+			}
+			conn.Close()
+			srv.Close()
+		}
+		if len(replies[DispatchConn]) != len(replies[DispatchShard]) {
+			t.Fatalf("shards=%d: reply counts differ", shards)
+		}
+		for i := range replies[DispatchConn] {
+			if !bytes.Equal(replies[DispatchConn][i], replies[DispatchShard][i]) {
+				t.Fatalf("shards=%d op %d (%s): conn reply %q != shard reply %q",
+					shards, i, script[i].Header.Op, replies[DispatchConn][i], replies[DispatchShard][i])
+			}
+		}
+	}
+}
+
+// TestDispatchPipelineOrder pipelines requests on one connection whose ops
+// land on differently loaded shards and requires replies in request order:
+// a fast op behind a slow one must wait its turn, while a second connection
+// hitting the fast shard overtakes both.
+func TestDispatchPipelineOrder(t *testing.T) {
+	slow := make(chan struct{})
+	h := func(req wire.Message) wire.Message {
+		if req.Header.Index%2 == 0 { // shard 0 ops stall until released
+			<-slow
+		}
+		return wire.Message{Header: wire.Header{Op: wire.OpOK, Index: req.Header.Index}}
+	}
+	srv, err := newShardServer("127.0.0.1:0", h, testRouter{n: 2}, new(atomic.Int64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	connA, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close()
+	// Pipeline on A: slow shard-0 op first, fast shard-1 op second.
+	if err := wire.Write(connA, wire.Message{Header: wire.Header{Op: wire.OpGet, Index: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Write(connA, wire.Message{Header: wire.Header{Op: wire.OpGet, Index: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// B's fast-shard op must complete while A's slow op still blocks its
+	// pipeline — two connections on different shards never serialize.
+	connB, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connB.Close()
+	resp, err := wire.Call(connB, wire.Message{Header: wire.Header{Op: wire.OpGet, Index: 3}})
+	if err != nil || resp.Header.Index != 3 {
+		t.Fatalf("conn B overtake: %+v, %v", resp.Header, err)
+	}
+
+	close(slow)
+	for _, wantIdx := range []int{0, 1} {
+		resp, err := wire.Read(connA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.Index != wantIdx {
+			t.Fatalf("pipelined reply out of order: got index %d, want %d", resp.Header.Index, wantIdx)
+		}
+	}
+}
+
+// TestControlOpOrdersAfterPipelinedOps pipelines shard ops and then a
+// control op (delobj) on one connection: the control op must execute after
+// every earlier op, exactly as a conn-dispatch loop orders them — not just
+// reply in order.
+func TestControlOpOrdersAfterPipelinedOps(t *testing.T) {
+	c := cache.NewSharded(1<<22, 8, func() cache.Policy { return cache.NewLRU() })
+	srv, err := NewCacheServerDispatch("127.0.0.1:0", c, nil, DispatchShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for round := 0; round < 20; round++ {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const puts = 16
+		// One buffered burst so the server sees pipelined frames: puts
+		// across every shard, then the object-level delete, then the
+		// residency probe.
+		var burst []byte
+		for i := 0; i < puts; i++ {
+			frame, err := wire.Encode(wire.Message{
+				Header: wire.Header{Op: wire.OpPut, Key: "obj", Index: i}, Body: []byte("data")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			burst = append(burst, frame...)
+		}
+		for _, h := range []wire.Header{{Op: wire.OpDelObj, Key: "obj"}, {Op: wire.OpIndices, Key: "obj"}} {
+			frame, err := wire.Encode(wire.Message{Header: h})
+			if err != nil {
+				t.Fatal(err)
+			}
+			burst = append(burst, frame...)
+		}
+		if _, err := conn.Write(burst); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < puts+1; i++ {
+			resp, err := wire.Read(conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Header.Op != wire.OpOK {
+				t.Fatalf("reply %d: %+v", i, resp.Header)
+			}
+		}
+		resp, err := wire.Read(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Header.Indices) != 0 {
+			t.Fatalf("round %d: delobj ran before %d pipelined puts finished: residency %v",
+				round, len(resp.Header.Indices), resp.Header.Indices)
+		}
+		conn.Close()
+	}
+}
+
+// TestStorePipelinedReadYourWrites pipelines a put and a batched mget of
+// the same key on one store-server connection: the mget must observe the
+// put (both route to the same worker, in order).
+func TestStorePipelinedReadYourWrites(t *testing.T) {
+	st := backend.NewStore(geo.Frankfurt)
+	srv, err := NewStoreServerDispatch("127.0.0.1:0", st, DispatchShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for round := 0; round < 20; round++ {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := fmt.Sprintf("obj-%d", round)
+		var burst []byte
+		put, err := wire.Encode(wire.Message{
+			Header: wire.Header{Op: wire.OpPut, Key: key, Index: 5}, Body: []byte("five")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mget, err := wire.Encode(wire.Message{
+			Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: []int{5}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		burst = append(append(burst, put...), mget...)
+		if _, err := conn.Write(burst); err != nil {
+			t.Fatal(err)
+		}
+		if resp, err := wire.Read(conn); err != nil || resp.Header.Op != wire.OpOK {
+			t.Fatalf("put reply: %+v, %v", resp.Header, err)
+		}
+		resp, err := wire.Read(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[5], []byte("five")) {
+			t.Fatalf("round %d: pipelined mget missed the put: %v", round, got)
+		}
+		conn.Close()
+	}
+}
+
+// benchDispatchGet measures the serial request/response rhythm every pooled
+// client adapter produces — the adaptive fast path under shard dispatch.
+func benchDispatchGet(b *testing.B, mode Dispatch) {
+	c := cache.NewSharded(1<<24, 8, func() cache.Policy { return cache.NewLRU() })
+	srv, err := NewCacheServerDispatch("127.0.0.1:0", c, nil, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 64; i++ {
+		c.Put(cache.EntryID{Key: "k", Index: i}, make([]byte, 1024))
+	}
+	rc := NewRemoteCache(srv.Addr())
+	defer rc.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.Get(cache.EntryID{Key: "k", Index: i % 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDispatchConnGet(b *testing.B)  { benchDispatchGet(b, DispatchConn) }
+func BenchmarkDispatchShardGet(b *testing.B) { benchDispatchGet(b, DispatchShard) }
+
+// benchDispatchPipelined keeps a 16-frame window in flight on one raw
+// connection — the client shape that drives the queued path, where shard
+// dispatch overlaps ops across shard workers while conn dispatch serializes
+// them. The paired regression probe for multi-core environments.
+func benchDispatchPipelined(b *testing.B, mode Dispatch) {
+	c := cache.NewSharded(1<<24, 8, func() cache.Policy { return cache.NewLRU() })
+	srv, err := NewCacheServerDispatch("127.0.0.1:0", c, nil, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 64; i++ {
+		c.Put(cache.EntryID{Key: "k", Index: i}, make([]byte, 1024))
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	const window = 16
+	b.ResetTimer()
+	inFlight := 0
+	for i := 0; i < b.N; i++ {
+		if err := wire.Write(conn, wire.Message{Header: wire.Header{Op: wire.OpGet, Key: "k", Index: i % 64}}); err != nil {
+			b.Fatal(err)
+		}
+		inFlight++
+		if inFlight == window {
+			if _, err := wire.Read(conn); err != nil {
+				b.Fatal(err)
+			}
+			inFlight--
+		}
+	}
+	for ; inFlight > 0; inFlight-- {
+		if _, err := wire.Read(conn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDispatchConnPipelined(b *testing.B)  { benchDispatchPipelined(b, DispatchConn) }
+func BenchmarkDispatchShardPipelined(b *testing.B) { benchDispatchPipelined(b, DispatchShard) }
+
+// TestDispatchCleanDrain closes a shard server with ops still in flight and
+// requires Close to return with every queue drained.
+func TestDispatchCleanDrain(t *testing.T) {
+	c := cache.NewSharded(1<<22, 8, func() cache.Policy { return cache.NewLRU() })
+	srv, err := NewCacheServerDispatch("127.0.0.1:0", c, nil, DispatchShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Blast pipelined frames from several raw connections and never read a
+	// reply, so the server is mid-flight everywhere when Close lands.
+	var conns []net.Conn
+	for i := 0; i < 8; i++ {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, conn)
+		for op := 0; op < 32; op++ {
+			msg := wire.Message{Header: wire.Header{Op: wire.OpPut, Key: fmt.Sprintf("k%d", i), Index: op},
+				Body: []byte("data")}
+			if err := wire.Write(conn, msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain within 10s")
+	}
+	if depth := srv.QueueDepth(); depth != 0 {
+		t.Fatalf("queue depth %d after Close, want 0", depth)
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+}

@@ -97,6 +97,14 @@ func (p *populator) droppedCount() int64 {
 	return p.dropped
 }
 
+// depth reports the fills enqueued but not yet applied — the client-side
+// twin of the server's dispatch_queue_depth gauge.
+func (p *populator) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
 // close stops the workers after the queue drains. Safe to call twice;
 // enqueue after close drops the job.
 func (p *populator) close() {

@@ -3,6 +3,14 @@
 // hint service (TCP and UDP). It also provides the matching remote client
 // adapters and a network read path with genuinely parallel chunk fetches.
 //
+// Cache and store servers dispatch shard-aware by default: connection
+// goroutines only decode frames and enqueue ops onto per-shard worker
+// pools routed by the cache's own stripe hash (cache.StripeIndex), so
+// connections hitting different shards never serialize and batched
+// mget/mput frames split per shard, run in parallel, and re-merge in
+// ascending chunk order for the reply. See Dispatch for the modes and the
+// per-connection baseline kept for paired benchmarks.
+//
 // The experiment harness measures on the in-process simulator; this package
 // exists so the system can actually be deployed — integration tests and the
 // live-cluster example run every role on localhost with scaled wide-area
@@ -10,11 +18,13 @@
 package live
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/agardist/agar/internal/backend"
@@ -24,13 +34,19 @@ import (
 	"github.com/agardist/agar/internal/wire"
 )
 
-// handler processes one request message into one response message.
+// handler processes one request message into one response message. Handlers
+// must be safe for concurrent use: connection goroutines (conn dispatch) and
+// shard workers (shard dispatch) both invoke them in parallel.
 type handler func(wire.Message) wire.Message
 
-// Server is a generic framed-TCP request/response server.
+// Server is a generic framed-TCP request/response server. Under conn
+// dispatch each connection's goroutine executes its own frames serially;
+// under shard dispatch (see Dispatch) connections decode and enqueue onto
+// the server's per-shard worker pools.
 type Server struct {
 	ln     net.Listener
 	handle handler
+	disp   *dispatcher // nil => conn dispatch
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -38,13 +54,28 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// newServer starts serving on addr ("127.0.0.1:0" for an ephemeral port).
+// newServer starts serving on addr ("127.0.0.1:0" for an ephemeral port)
+// with per-connection dispatch.
 func newServer(addr string, h handler) (*Server, error) {
+	return newServerDispatch(addr, h, nil)
+}
+
+// newShardServer starts a shard-dispatching server: rt routes ops onto
+// per-shard workers and gauge (shared with the handler for OpStats) tracks
+// the queue depth.
+func newShardServer(addr string, h handler, rt router, gauge *atomic.Int64) (*Server, error) {
+	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge))
+}
+
+func newServerDispatch(addr string, h handler, disp *dispatcher) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if disp != nil {
+			disp.stop()
+		}
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, handle: h, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handle: h, disp: disp, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -53,13 +84,27 @@ func newServer(addr string, h handler) (*Server, error) {
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener, closes active connections, and waits for all
-// connection goroutines to exit.
+// QueueDepth reports the shard-dispatch queue depth (always 0 under conn
+// dispatch) — the same gauge OpStats exposes as dispatch_queue_depth.
+func (s *Server) QueueDepth() int64 {
+	if s.disp == nil {
+		return 0
+	}
+	return s.disp.QueueDepth()
+}
+
+// Close stops the listener, closes active connections, waits for all
+// connection goroutines to exit, and — under shard dispatch — drains and
+// stops the shard workers, so every accepted op has been answered or
+// discarded with its connection by the time Close returns.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		if s.disp != nil {
+			s.disp.stop()
+		}
 		return
 	}
 	s.closed = true
@@ -69,6 +114,11 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// All connection goroutines have exited, so nothing can enqueue: the
+	// workers drain what is queued and stop.
+	if s.disp != nil {
+		s.disp.stop()
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -87,9 +137,18 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.serveConn(conn)
+		if s.disp != nil {
+			go s.serveConnShard(conn)
+		} else {
+			go s.serveConn(conn)
+		}
 	}
 }
+
+// connReadBuffer sizes the per-connection read buffer both dispatch modes
+// frame out of; it also lets the shard loop see whether the client has
+// already pipelined another frame.
+const connReadBuffer = 32 << 10
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
@@ -99,8 +158,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	br := bufio.NewReaderSize(conn, connReadBuffer)
 	for {
-		req, err := wire.Read(conn)
+		req, err := wire.Read(br)
 		if err != nil {
 			return
 		}
@@ -110,9 +170,182 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// NewStoreServer serves one region's backend store.
+// pipelineDepth bounds how many decoded-but-unanswered frames one
+// connection may have in flight under shard dispatch. The reader goroutine
+// blocks when the window is full — back-pressure on the socket, never
+// unbounded memory.
+const pipelineDepth = 64
+
+// connWindow tracks one connection's dispatched-but-unwritten replies.
+// The reader increments before queueing, the writer decrements after
+// writing (or discarding) each reply — so an idle window means every
+// earlier op has executed AND its reply has left, and the reader may both
+// write to the socket itself and run ops that must order after everything
+// (control ops).
+type connWindow struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func newConnWindow() *connWindow {
+	w := &connWindow{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *connWindow) inc() {
+	w.mu.Lock()
+	w.n++
+	w.mu.Unlock()
+}
+
+func (w *connWindow) dec() {
+	w.mu.Lock()
+	w.n--
+	if w.n == 0 {
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+func (w *connWindow) idle() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n == 0
+}
+
+func (w *connWindow) waitIdle() {
+	w.mu.Lock()
+	for w.n > 0 {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// serveConnShard is the shard-dispatch connection loop: the reader decodes
+// frames and dispatches them, queueing one reply slot per frame in arrival
+// order; the writer answers slots strictly in that order, so responses
+// leave the connection exactly as a serialized loop would order them even
+// while the ops themselves execute on different shard workers.
+//
+// The loop is adaptive: a frame arriving with nothing in flight and no
+// further frame already buffered — the request/response rhythm every
+// pooled client adapter produces — executes on the reader goroutine itself
+// (multi-shard batches still fanning out over the shard workers), skipping
+// the queue-and-writer hops that only pay off when the client actually
+// pipelines. Only genuinely pipelined frames take the queued path, where
+// different shards' ops overlap while replies stay in request order.
+//
+// Pipelined control ops (stats, snapshots, object-level ops, digests)
+// first drain the connection's window: every op this connection dispatched
+// earlier has executed before the control op runs, so execution order —
+// not just reply order — matches conn dispatch. Ops from other connections
+// still overlap; control handlers read concurrently-safe state.
+func (s *Server) serveConnShard(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, connReadBuffer)
+	pending := make(chan chan wire.Message, pipelineDepth)
+	window := newConnWindow()
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		broken := false
+		for reply := range pending {
+			resp := <-reply
+			if !broken && wire.Write(conn, resp) != nil {
+				broken = true // keep draining so in-flight ops are accounted
+			}
+			window.dec()
+		}
+	}()
+	for {
+		req, err := wire.Read(br)
+		if err != nil {
+			break
+		}
+		if window.idle() && br.Buffered() == 0 {
+			if wire.Write(conn, s.disp.dispatchSync(req)) != nil {
+				break
+			}
+			continue
+		}
+		// Classify once: route is per-chunk key hashing for batches.
+		shard, routed := s.disp.rt.route(req.Header)
+		if !routed && !s.disp.rt.splittable(req.Header) {
+			// Control op (stats, snapshot, object-level, digest): order it
+			// after everything this connection has in flight, then run it
+			// inline; the writer is idle once the window drains, so the
+			// reader writes the reply itself.
+			window.waitIdle()
+			if wire.Write(conn, s.disp.dispatchSync(req)) != nil {
+				break
+			}
+			continue
+		}
+		reply := make(chan wire.Message, 1)
+		window.inc()
+		pending <- reply
+		s.disp.dispatchWith(req, reply, shard, routed)
+	}
+	close(pending)
+	wwg.Wait()
+}
+
+// NewStoreServer serves one region's backend store under shard dispatch.
 func NewStoreServer(addr string, store *backend.Store) (*Server, error) {
-	return newServer(addr, func(req wire.Message) wire.Message {
+	return NewStoreServerDispatch(addr, store, DispatchShard)
+}
+
+// NewStoreServerDispatch serves one region's backend store under the given
+// dispatch mode.
+func NewStoreServerDispatch(addr string, store *backend.Store, d Dispatch) (*Server, error) {
+	gauge := new(atomic.Int64)
+	h := storeHandler(store, gauge)
+	if d == DispatchConn {
+		return newServer(addr, h)
+	}
+	return newShardServer(addr, h, storeRouter{}, gauge)
+}
+
+// storeDispatchShards stripes a store server's dispatch queues. The backend
+// store has no lock stripes of its own, so the width matches the cache
+// default and routing reuses the cache's stripe hash.
+const storeDispatchShards = 8
+
+// storeRouter routes store ops onto dispatch workers — by key alone, so a
+// pipelined put and a batched mget of the same key always land on the same
+// worker in order (per-connection read-your-writes, as conn dispatch
+// gives). Batched mgets are never split: when the store proxies a remote
+// blob gateway, one mget is one upstream round trip, and splitting per
+// shard would turn it back into many.
+type storeRouter struct{}
+
+func (storeRouter) shards() int { return storeDispatchShards }
+
+func (storeRouter) route(h wire.Header) (int, bool) {
+	switch h.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpMGet:
+		return cache.StripeIndex(cache.EntryID{Key: h.Key}, storeDispatchShards), true
+	}
+	return 0, false
+}
+
+func (storeRouter) splittable(wire.Header) bool { return false }
+
+func (storeRouter) split(wire.Message) ([]part, mergeFunc, bool) { return nil, nil, false }
+
+// storeHandler builds the store server's request handler; gauge is the
+// dispatch queue depth OpStats reports.
+func storeHandler(store *backend.Store, gauge *atomic.Int64) handler {
+	return func(req wire.Message) wire.Message {
 		id := backend.ChunkID{Key: req.Header.Key, Index: req.Header.Index}
 		switch req.Header.Op {
 		case wire.OpGet:
@@ -160,32 +393,200 @@ func NewStoreServer(addr string, store *backend.Store) (*Server, error) {
 				return wire.ErrorMessage(err)
 			}
 			return wire.Message{Header: wire.Header{
-				Op:    wire.OpOK,
-				Stats: map[string]int64{"chunks": st.Chunks, "bytes": st.Bytes},
+				Op: wire.OpOK,
+				Stats: map[string]int64{"chunks": st.Chunks, "bytes": st.Bytes,
+					"dispatch_queue_depth": gauge.Load()},
 			}}
 		default:
 			return wire.ErrorMessage(fmt.Errorf("store: unknown op %q", req.Header.Op))
 		}
-	})
+	}
 }
 
-// NewCacheServer serves a chunk cache with memcached-like semantics.
+// NewCacheServer serves a chunk cache with memcached-like semantics under
+// shard dispatch.
 func NewCacheServer(addr string, c *cache.Cache) (*Server, error) {
-	return newServer(addr, cacheHandler(c, nil))
+	return NewCacheServerDispatch(addr, c, nil, DispatchShard)
 }
 
 // NewCacheServerCoop serves a chunk cache that also speaks the cooperative
 // mesh protocol: incoming OpDigest frames maintain the table's per-peer
 // residency mirrors, batched reads tagged with a foreign region are
 // accounted as peer traffic, and OpStats reports peer_hits, peer_misses,
-// digests and digest_age_ms alongside the cache counters.
+// digests and digest_age_ms alongside the cache counters. Dispatch is
+// shard-aware by default.
 func NewCacheServerCoop(addr string, c *cache.Cache, table *coop.Table) (*Server, error) {
-	return newServer(addr, cacheHandler(c, table))
+	return NewCacheServerDispatch(addr, c, table, DispatchShard)
+}
+
+// NewCacheServerDispatch serves a chunk cache (cooperative when table is
+// non-nil) under the given dispatch mode. Shard dispatch routes every op
+// with the same stripe hash the cache's own shard locks use, so the worker
+// executing an op is the only worker touching that shard; batched
+// mget/mput frames are split per shard, executed in parallel, and
+// re-merged in ascending chunk order. Both modes answer every op
+// byte-identically.
+func NewCacheServerDispatch(addr string, c *cache.Cache, table *coop.Table, d Dispatch) (*Server, error) {
+	gauge := new(atomic.Int64)
+	h := cacheHandler(c, table, gauge)
+	if d == DispatchConn {
+		return newServer(addr, h)
+	}
+	return newShardServer(addr, h, cacheRouter{c: c}, gauge)
+}
+
+// cacheRouter routes cache ops onto the cache's own shards.
+type cacheRouter struct{ c *cache.Cache }
+
+func (r cacheRouter) shards() int { return r.c.ShardCount() }
+
+// batchShards computes a batch's shard spread from the header alone — no
+// body unpacking — returning the single shard when every chunk stripes to
+// one (the whole frame then routes like a single-shard op).
+func (r cacheRouter) batchShards(key string, indices []int) (shard int, single bool) {
+	shard = -1
+	for _, idx := range indices {
+		s := r.c.ShardIndex(cache.EntryID{Key: key, Index: idx})
+		if shard == -1 {
+			shard = s
+		} else if s != shard {
+			return 0, false
+		}
+	}
+	return shard, shard >= 0
+}
+
+func (r cacheRouter) route(h wire.Header) (int, bool) {
+	switch h.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDelete:
+		return r.c.ShardIndex(cache.EntryID{Key: h.Key, Index: h.Index}), true
+	case wire.OpMGet, wire.OpMPut:
+		// A batch whose chunks all stripe to one shard runs whole on that
+		// shard's worker — no split, no re-merge, and strict ordering with
+		// the shard's single-chunk ops.
+		if len(h.Indices) == 0 || len(h.Indices) > wire.MaxBatchChunks {
+			return 0, false
+		}
+		if s, single := r.batchShards(h.Key, h.Indices); single {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func (r cacheRouter) splittable(h wire.Header) bool {
+	return h.Op == wire.OpMGet || h.Op == wire.OpMPut
+}
+
+// split fans multi-shard batch frames out one part per shard. Single-shard
+// batches return ok=false — they run whole, inline on the fast path or on
+// their shard's worker via route — as do malformed batches (over-limit,
+// inconsistent framing), which fall through to the ordinary handler for
+// its usual error reply without touching state. The spread check reads
+// only the header, so no body is unpacked for frames that will not split.
+func (r cacheRouter) split(m wire.Message) ([]part, mergeFunc, bool) {
+	if len(m.Header.Indices) == 0 || len(m.Header.Indices) > wire.MaxBatchChunks {
+		return nil, nil, false
+	}
+	if _, single := r.batchShards(m.Header.Key, m.Header.Indices); single {
+		return nil, nil, false
+	}
+	switch m.Header.Op {
+	case wire.OpMGet:
+		byShard := make(map[int][]int)
+		for _, idx := range m.Header.Indices {
+			s := r.c.ShardIndex(cache.EntryID{Key: m.Header.Key, Index: idx})
+			byShard[s] = append(byShard[s], idx)
+		}
+		parts := make([]part, 0, len(byShard))
+		for s, idxs := range byShard {
+			h := m.Header
+			h.Indices = idxs
+			parts = append(parts, part{shard: s, req: wire.Message{Header: h}})
+		}
+		return parts, mergeMGet, true
+	case wire.OpMPut:
+		chunks, err := wire.UnpackBatch(m.Header.Indices, m.Header.Sizes, m.Body)
+		if err != nil || len(chunks) == 0 {
+			return nil, nil, false
+		}
+		byShard := make(map[int]map[int][]byte)
+		for idx, data := range chunks {
+			s := r.c.ShardIndex(cache.EntryID{Key: m.Header.Key, Index: idx})
+			if byShard[s] == nil {
+				byShard[s] = make(map[int][]byte)
+			}
+			byShard[s][idx] = data
+		}
+		parts := make([]part, 0, len(byShard))
+		for s, sub := range byShard {
+			indices, sizes, body, err := wire.PackBatch(sub)
+			if err != nil {
+				return nil, nil, false
+			}
+			parts = append(parts, part{shard: s, req: wire.Message{
+				Header: wire.Header{Op: wire.OpMPut, Key: m.Header.Key, Indices: indices, Sizes: sizes},
+				Body:   body,
+			}})
+		}
+		return parts, mergeMPut, true
+	}
+	return nil, nil, false
+}
+
+// mergeMGet reassembles a split mget's reply: union the per-shard found
+// chunks and re-pack, restoring the global ascending-index ordering — the
+// byte-identical reply an unsplit mget produces.
+func mergeMGet(resps []wire.Message) wire.Message {
+	found := make([]map[int][]byte, 0, len(resps))
+	for _, resp := range resps {
+		if resp.Header.Op == wire.OpError {
+			return resp
+		}
+		if len(resp.Header.Indices) == 0 {
+			continue
+		}
+		chunks, err := wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+		if err != nil {
+			return wire.ErrorMessage(err)
+		}
+		found = append(found, chunks)
+	}
+	merged, err := wire.MergeBatch(found...)
+	if err != nil {
+		return wire.ErrorMessage(err)
+	}
+	if len(merged) == 0 {
+		return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+	}
+	indices, sizes, body, err := wire.PackBatch(merged)
+	if err != nil {
+		return wire.ErrorMessage(err)
+	}
+	return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Body: body}
+}
+
+// mergeMPut reassembles a split mput's reply: the ascending union of the
+// chunk indices each shard actually stored.
+func mergeMPut(resps []wire.Message) wire.Message {
+	stored := make([][]int, 0, len(resps))
+	for _, resp := range resps {
+		if resp.Header.Op == wire.OpError {
+			return resp
+		}
+		stored = append(stored, resp.Header.Indices)
+	}
+	merged, err := wire.MergeIndices(stored...)
+	if err != nil {
+		return wire.ErrorMessage(err)
+	}
+	return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: merged}}
 }
 
 // cacheHandler builds the cache server's request handler; table is nil for
-// non-cooperative deployments, which reject digest frames.
-func cacheHandler(c *cache.Cache, table *coop.Table) handler {
+// non-cooperative deployments, which reject digest frames; gauge is the
+// dispatch queue depth OpStats reports.
+func cacheHandler(c *cache.Cache, table *coop.Table, gauge *atomic.Int64) handler {
 	return func(req wire.Message) wire.Message {
 		id := cache.EntryID{Key: req.Header.Key, Index: req.Header.Index}
 		switch req.Header.Op {
@@ -276,6 +677,7 @@ func cacheHandler(c *cache.Cache, table *coop.Table) handler {
 				"evictions": st.Evictions, "rejected": st.Rejected(),
 				"admission_rejects": st.AdmissionRejects, "full_rejects": st.FullRejects,
 				"used": c.Used(), "capacity": c.Capacity(), "shards": int64(c.ShardCount()),
+				"dispatch_queue_depth": gauge.Load(),
 			}
 			if table != nil {
 				hits, misses := table.PeerReads()

@@ -122,15 +122,9 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 	}
 	defer cluster.Close()
 
-	payload := make([]byte, opts.ObjectBytes)
-	for i := range payload {
-		payload[i] = byte(i * 17)
-	}
 	load := func(c *live.Cluster) error {
-		for i := 0; i < opts.Objects; i++ {
-			if err := c.Backend().PutObject(workload.KeyName(i), payload); err != nil {
-				return fmt.Errorf("scenario %q live: load: %w", spec.Name, err)
-			}
+		if err := loadWorkingSet(c, opts); err != nil {
+			return fmt.Errorf("scenario %q live: %w", spec.Name, err)
 		}
 		return nil
 	}
@@ -236,6 +230,22 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// loadWorkingSet fills the smoke working set — opts.Objects objects of the
+// same deterministic payload — into the cluster's backend. Shared by every
+// live runner so their deployments load identically.
+func loadWorkingSet(c *live.Cluster, opts LiveOptions) error {
+	payload := make([]byte, opts.ObjectBytes)
+	for i := range payload {
+		payload[i] = byte(i * 17)
+	}
+	for i := 0; i < opts.Objects; i++ {
+		if err := c.Backend().PutObject(workload.KeyName(i), payload); err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+	}
+	return nil
 }
 
 // rescalePhase maps the phase's hot key ranges from an n-object working

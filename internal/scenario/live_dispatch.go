@@ -1,0 +1,360 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/live"
+	"github.com/agardist/agar/internal/stats"
+	"github.com/agardist/agar/internal/workload"
+)
+
+// DispatchPhase is one dispatch arm's metrics over one phase of the live
+// pair: wall-clock throughput and read latency under the phase workload.
+type DispatchPhase struct {
+	Phase string `json:"phase"`
+	// Reads counts successful reads; Errors are reported separately and
+	// never count toward Throughput.
+	Reads      int                   `json:"reads"`
+	Errors     int                   `json:"errors"`
+	ElapsedMS  float64               `json:"elapsed_ms"`
+	Throughput float64               `json:"throughput_rps"` // reads per wall-clock second
+	Latency    stats.DurationSummary `json:"latency"`
+}
+
+// DispatchArm is one dispatch mode's full live run.
+type DispatchArm struct {
+	Dispatch string `json:"dispatch"`
+	// MaxQueueDepth is the deepest dispatch_queue_depth sampled during the
+	// run (always 0 for the conn arm, which has no shard queues).
+	MaxQueueDepth int64           `json:"max_queue_depth"`
+	Phases        []DispatchPhase `json:"phases"`
+}
+
+// DispatchDelta pairs one phase's throughput across the two dispatch modes:
+// positive percentages mean shard dispatch moved more reads per second.
+type DispatchDelta struct {
+	Phase    string  `json:"phase"`
+	ConnRPS  float64 `json:"conn_rps"`
+	ShardRPS float64 `json:"shard_rps"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// LiveDispatchReport is the outcome of a live dispatch-mode pair run.
+type LiveDispatchReport struct {
+	Scenario string          `json:"scenario"`
+	Clients  int             `json:"clients"`
+	Arms     []DispatchArm   `json:"arms"`
+	Deltas   []DispatchDelta `json:"deltas,omitempty"`
+}
+
+// dispatchRounds is how many interleaved measurement rounds each phase
+// runs per arm. Arms alternate within every round and the round's starting
+// arm alternates too (even count, so each arm leads equally often): machine
+// noise — scheduler drift, GC pauses, frequency shifts — lands on both
+// arms instead of biasing whichever ran first or last.
+const dispatchRounds = 4
+
+// dispatchArmState is one booted dispatch arm: its cluster and the
+// per-client readers (one connection-pool set per client — the fan-in the
+// dispatch layer exists to absorb).
+type dispatchArmState struct {
+	mode    live.Dispatch
+	cluster *live.Cluster
+	readers []*live.NetworkReader
+	arm     *DispatchArm
+}
+
+func (s *dispatchArmState) close() {
+	for _, r := range s.readers {
+		if r != nil {
+			r.Close()
+		}
+	}
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+}
+
+// RunLiveDispatch replays every phase of the scenario against localhost
+// clusters, one per dispatch mode in spec.DispatchModes: real sockets, the
+// spec's client fan-in (each client goroutine on its own connection pool),
+// and the phase workloads with hot ranges rescaled onto the smoke-sized
+// working set. Chaos events stay off — the pair isolates the server's
+// dispatch layer, so the only variable between arms is how decoded frames
+// are scheduled. Both clusters boot and warm up front, and each phase's
+// measurement rounds interleave arm by arm over identical seeded key
+// streams, so per-phase throughput and latency pair mode against mode.
+func RunLiveDispatch(spec Spec, opts LiveOptions) (*LiveDispatchReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(spec.DispatchModes) == 0 {
+		return nil, fmt.Errorf("scenario %q: no dispatch modes to pair", spec.Name)
+	}
+	opts = opts.withDefaults()
+	region := geo.Frankfurt
+	if spec.Region != "" {
+		region, _ = geo.ParseRegion(spec.Region)
+	}
+	clients := spec.Clients
+	if clients < 1 {
+		clients = 2
+	}
+
+	arms := make([]*dispatchArmState, 0, len(spec.DispatchModes))
+	defer func() {
+		for _, a := range arms {
+			a.close()
+		}
+	}()
+	for _, mode := range spec.DispatchModes {
+		d, _ := live.ParseDispatch(mode)
+		a, err := bootDispatchArm(spec, opts, region, clients, d)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q live dispatch %s: %w", spec.Name, d, err)
+		}
+		arms = append(arms, a)
+	}
+
+	rep := &LiveDispatchReport{Scenario: spec.Name, Clients: clients}
+	for pi, phase := range spec.Phases {
+		p := rescalePhase(phase, spec.objects(), opts.Objects)
+		per := opts.Ops / clients
+		if per < 1 {
+			per = 1
+		}
+		type phaseAccum struct {
+			lats    []time.Duration
+			errs    int
+			reads   int
+			elapsed time.Duration
+		}
+		accum := make([]phaseAccum, len(arms))
+		for round := 0; round < dispatchRounds; round++ {
+			for i := range arms {
+				ai := i
+				if round%2 == 1 { // odd rounds run the arms in reverse
+					ai = len(arms) - 1 - i
+				}
+				reads, errs, lats, elapsed := runDispatchRound(arms[ai], p, opts, pi, round, clients, per)
+				acc := &accum[ai]
+				acc.reads += reads
+				acc.errs += errs
+				acc.lats = append(acc.lats, lats...)
+				acc.elapsed += elapsed
+			}
+		}
+		for ai, a := range arms {
+			acc := &accum[ai]
+			lat := stats.NewLatencySummary(len(acc.lats))
+			for _, l := range acc.lats {
+				lat.Add(l)
+			}
+			dp := DispatchPhase{
+				Phase:     p.Name,
+				Reads:     acc.reads,
+				Errors:    acc.errs,
+				ElapsedMS: float64(acc.elapsed) / float64(time.Millisecond),
+				Latency:   lat.Summarize(),
+			}
+			if acc.elapsed > 0 {
+				dp.Throughput = float64(acc.reads) / acc.elapsed.Seconds()
+			}
+			a.arm.Phases = append(a.arm.Phases, dp)
+		}
+	}
+	for _, a := range arms {
+		rep.Arms = append(rep.Arms, *a.arm)
+	}
+
+	// Pair shard against conn per phase when both arms ran.
+	var conn, shard *DispatchArm
+	for i := range rep.Arms {
+		switch rep.Arms[i].Dispatch {
+		case string(live.DispatchConn):
+			conn = &rep.Arms[i]
+		case string(live.DispatchShard):
+			shard = &rep.Arms[i]
+		}
+	}
+	if conn != nil && shard != nil {
+		for i := range conn.Phases {
+			if i >= len(shard.Phases) {
+				break
+			}
+			delta := DispatchDelta{
+				Phase:    conn.Phases[i].Phase,
+				ConnRPS:  conn.Phases[i].Throughput,
+				ShardRPS: shard.Phases[i].Throughput,
+			}
+			if delta.ConnRPS > 0 {
+				delta.DeltaPct = (delta.ShardRPS - delta.ConnRPS) / delta.ConnRPS * 100
+			}
+			rep.Deltas = append(rep.Deltas, delta)
+		}
+	}
+	return rep, nil
+}
+
+// bootDispatchArm starts one arm's cluster, loads the working set, connects
+// the per-client readers, and warms cache and popularity on the first
+// phase's workload with one forced reconfiguration — the same warm sequence
+// for every arm, so the knapsack configuration the hints serve is frozen
+// and identical before any measurement round runs.
+func bootDispatchArm(spec Spec, opts LiveOptions, region geo.RegionID, clients int, d live.Dispatch) (*dispatchArmState, error) {
+	chunkBytes := int64(opts.ObjectBytes/opts.K + 1)
+	cluster, err := live.StartCluster(live.ClusterConfig{
+		Regions:      geo.DefaultRegions(),
+		K:            opts.K,
+		M:            opts.M,
+		ClientRegion: region,
+		CacheBytes:   30 * chunkBytes,
+		ChunkBytes:   chunkBytes,
+		// The warm loop forces the one reconfiguration the pair needs; a
+		// long period keeps knapsack solves from landing mid-round and
+		// skewing one arm's wall clock.
+		ReconfigPeriod: time.Hour,
+		DelayScale:     opts.DelayScale,
+		Dispatch:       d,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &dispatchArmState{mode: d, cluster: cluster, arm: &DispatchArm{Dispatch: d.String()}}
+
+	if err := loadWorkingSet(cluster, opts); err != nil {
+		a.close()
+		return nil, err
+	}
+	a.readers = make([]*live.NetworkReader, clients)
+	for i := range a.readers {
+		if a.readers[i], err = live.NewNetworkReader(cluster, region); err != nil {
+			a.close()
+			return nil, err
+		}
+	}
+
+	warm := rescalePhase(spec.Phases[0], spec.objects(), opts.Objects)
+	warmGen := warm.Workload.generator(opts.Objects, opts.Seed+101)
+	for i := 0; i < opts.Ops/2; i++ {
+		if i == opts.Ops/4 {
+			cluster.Node().ForceReconfigure()
+		}
+		a.readers[0].Read(workload.KeyName(warmGen.Next()))
+	}
+	a.readers[0].FlushPopulation()
+	return a, nil
+}
+
+// runDispatchRound plays one measurement round of one phase on one arm:
+// every client goroutine reads its own seeded key stream through its own
+// reader. The dispatch queue depth is sampled while the round runs.
+func runDispatchRound(a *dispatchArmState, p Phase, opts LiveOptions, pi, round, clients, per int) (reads, errs int, lats []time.Duration, elapsed time.Duration) {
+	stopSample := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-tick.C:
+				if depth := a.cluster.CacheQueueDepth(); depth > a.arm.MaxQueueDepth {
+					a.arm.MaxQueueDepth = depth
+				}
+			}
+		}
+	}()
+
+	type clientResult struct {
+		lats []time.Duration
+		errs int
+	}
+	results := make([]clientResult, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			gen := p.Workload.generator(opts.Objects,
+				opts.Seed+int64(pi)*1009+int64(round)*211+int64(cl)*59+7)
+			res := &results[cl]
+			res.lats = make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				key := workload.KeyName(gen.Next())
+				_, info, err := a.readers[cl].ReadDetailed(key)
+				if err != nil {
+					res.errs++
+					continue
+				}
+				res.lats = append(res.lats, info.Latency)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	close(stopSample)
+	sampleWG.Wait()
+
+	// Drain this arm's async cache fills outside the timed window so they
+	// never bleed CPU into the other arm's next round.
+	for _, r := range a.readers {
+		r.FlushPopulation()
+	}
+
+	for _, res := range results {
+		lats = append(lats, res.lats...)
+		reads += len(res.lats) // successful reads only: errors never inflate throughput
+		errs += res.errs
+	}
+	return reads, errs, lats, elapsed
+}
+
+// Markdown renders the pair as a per-phase throughput table.
+func (r *LiveDispatchReport) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Live dispatch pair (`%s`, %d clients)\n\n", r.Scenario, r.Clients)
+	b.WriteString("| phase |")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, " %s reads/s | %s mean |", a.Dispatch, a.Dispatch)
+	}
+	if len(r.Deltas) > 0 {
+		b.WriteString(" shard vs conn |")
+	}
+	b.WriteString("\n|---|")
+	for range r.Arms {
+		b.WriteString("---:|---:|")
+	}
+	if len(r.Deltas) > 0 {
+		b.WriteString("---:|")
+	}
+	b.WriteString("\n")
+	for pi := range r.Arms[0].Phases {
+		fmt.Fprintf(&b, "| %s |", r.Arms[0].Phases[pi].Phase)
+		for _, a := range r.Arms {
+			if pi < len(a.Phases) {
+				fmt.Fprintf(&b, " %.0f | %.1f ms |", a.Phases[pi].Throughput, a.Phases[pi].Latency.MeanMS)
+			} else {
+				b.WriteString(" — | — |")
+			}
+		}
+		if pi < len(r.Deltas) {
+			fmt.Fprintf(&b, " %+.1f%% |", r.Deltas[pi].DeltaPct)
+		}
+		b.WriteString("\n")
+	}
+	for _, a := range r.Arms {
+		if a.Dispatch == "shard" {
+			fmt.Fprintf(&b, "\nmax dispatch_queue_depth sampled on the shard arm: %d\n", a.MaxQueueDepth)
+		}
+	}
+	return b.String()
+}

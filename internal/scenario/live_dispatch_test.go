@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func dispatchPairSpec() Spec {
+	return Spec{
+		Name:          "dispatch-pair-test",
+		Region:        "dublin",
+		Clients:       4,
+		DispatchModes: []string{"conn", "shard"},
+		Phases: []Phase{
+			{Name: "only", Duration: time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.2}},
+		},
+	}
+}
+
+func TestDispatchModesValidation(t *testing.T) {
+	s := dispatchPairSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid pair rejected: %v", err)
+	}
+	s.DispatchModes = []string{"conn", "conn"}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate dispatch mode") {
+		t.Fatalf("duplicate mode accepted: %v", err)
+	}
+	s.DispatchModes = []string{"threads"}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "unknown dispatch mode") {
+		t.Fatalf("unknown mode accepted: %v", err)
+	}
+	s.DispatchModes = []string{""}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "empty dispatch mode") {
+		t.Fatalf("empty mode accepted: %v", err)
+	}
+}
+
+func TestCacheContentionDeclaresDispatchPair(t *testing.T) {
+	spec, ok := Lookup("cache-contention")
+	if !ok {
+		t.Fatal("cache-contention missing from library")
+	}
+	if len(spec.DispatchModes) != 2 {
+		t.Fatalf("cache-contention dispatch modes = %v, want a conn/shard pair", spec.DispatchModes)
+	}
+}
+
+// TestRunLiveDispatchPair smokes the live dispatch pair end to end: both
+// arms boot, every phase reports both modes with reads flowing and no
+// errors, and the markdown renders the paired table.
+func TestRunLiveDispatchPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live dispatch pair boots two clusters")
+	}
+	rep, err := RunLiveDispatch(dispatchPairSpec(), LiveOptions{Ops: 48, Objects: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Arms) != 2 {
+		t.Fatalf("got %d arms, want 2", len(rep.Arms))
+	}
+	for _, arm := range rep.Arms {
+		if len(arm.Phases) != 1 {
+			t.Fatalf("arm %s ran %d phases, want 1", arm.Dispatch, len(arm.Phases))
+		}
+		p := arm.Phases[0]
+		if p.Reads == 0 || p.Throughput <= 0 {
+			t.Fatalf("arm %s phase %q shows no traffic: %+v", arm.Dispatch, p.Phase, p)
+		}
+		if p.Errors > 0 {
+			t.Fatalf("arm %s phase %q had %d errors", arm.Dispatch, p.Phase, p.Errors)
+		}
+	}
+	if len(rep.Deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(rep.Deltas))
+	}
+	if rep.Deltas[0].ConnRPS <= 0 || rep.Deltas[0].ShardRPS <= 0 {
+		t.Fatalf("delta missing throughput: %+v", rep.Deltas[0])
+	}
+	md := rep.Markdown()
+	for _, want := range []string{"Live dispatch pair", "conn reads/s", "shard reads/s", "shard vs conn"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/live"
 	"github.com/agardist/agar/internal/netsim"
 	"github.com/agardist/agar/internal/store"
 )
@@ -151,7 +152,14 @@ type Spec struct {
 	// runs once per tier, reported as "Arm@tier", so the paired deltas show
 	// how far caching absorbs a slower or flakier storage layer.
 	StoreTiers []string `json:"store_tiers,omitempty"`
-	Phases     []Phase  `json:"phases"`
+	// DispatchModes pairs the scenario's live run across server dispatch
+	// modes ("conn", "shard"): the live dispatch runner replays every phase
+	// once per mode over the localhost cluster with Clients concurrent
+	// connections, so the report pairs per-phase throughput mode against
+	// mode. The in-process simulator has no socket layer, so simulated runs
+	// ignore this field.
+	DispatchModes []string `json:"dispatch_modes,omitempty"`
+	Phases        []Phase  `json:"phases"`
 }
 
 // LoadSpec parses one scenario spec from JSON and validates it. Unknown
@@ -294,6 +302,20 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q: duplicate store tier %q", s.Name, tier)
 		}
 		seenTier[tier] = true
+	}
+	seenDispatch := make(map[live.Dispatch]bool, len(s.DispatchModes))
+	for _, mode := range s.DispatchModes {
+		if mode == "" {
+			return fmt.Errorf("scenario %q: empty dispatch mode", s.Name)
+		}
+		d, err := live.ParseDispatch(mode)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if seenDispatch[d] {
+			return fmt.Errorf("scenario %q: duplicate dispatch mode %q", s.Name, mode)
+		}
+		seenDispatch[d] = true
 	}
 	n := s.objects()
 	seen := make(map[string]bool, len(s.Phases))

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMergeBatchRestoresOrdering(t *testing.T) {
+	// Fragments arrive in arbitrary (completion) order; merge + repack must
+	// equal packing the union directly.
+	a := map[int][]byte{7: []byte("seven"), 1: []byte("one")}
+	b := map[int][]byte{4: []byte("four")}
+	c := map[int][]byte{0: []byte("zero"), 9: []byte("nine")}
+	merged, err := MergeBatch(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIdx, gotSizes, gotBody, err := PackBatch(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := map[int][]byte{0: []byte("zero"), 1: []byte("one"), 4: []byte("four"),
+		7: []byte("seven"), 9: []byte("nine")}
+	wantIdx, wantSizes, wantBody, err := PackBatch(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIdx) != len(wantIdx) || !bytes.Equal(gotBody, wantBody) {
+		t.Fatalf("merged pack differs: idx %v vs %v, body %q vs %q", gotIdx, wantIdx, gotBody, wantBody)
+	}
+	for i := range wantIdx {
+		if gotIdx[i] != wantIdx[i] || gotSizes[i] != wantSizes[i] {
+			t.Fatalf("slot %d: got (%d,%d), want (%d,%d)", i, gotIdx[i], gotSizes[i], wantIdx[i], wantSizes[i])
+		}
+	}
+}
+
+func TestMergeBatchRejectsDuplicates(t *testing.T) {
+	_, err := MergeBatch(map[int][]byte{3: []byte("x")}, map[int][]byte{3: []byte("y")})
+	if !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("duplicate chunk merged: err = %v", err)
+	}
+}
+
+func TestMergeBatchEmpty(t *testing.T) {
+	merged, err := MergeBatch()
+	if err != nil || len(merged) != 0 {
+		t.Fatalf("empty merge: %v, %v", merged, err)
+	}
+	merged, err = MergeBatch(map[int][]byte{}, nil)
+	if err != nil || len(merged) != 0 {
+		t.Fatalf("merge of empties: %v, %v", merged, err)
+	}
+}
+
+func TestMergeIndices(t *testing.T) {
+	got, err := MergeIndices([]int{9, 2}, nil, []int{5}, []int{0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+	if _, err := MergeIndices([]int{1}, []int{1}); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("duplicate index merged: err = %v", err)
+	}
+}

@@ -261,6 +261,50 @@ func PackBatch(chunks map[int][]byte) (indices []int, sizes []int, body []byte, 
 	return indices, sizes, body, nil
 }
 
+// MergeBatch unions per-shard batch fragments back into one chunk map — the
+// reply-merging half of a split batch. A server that fans a batch frame out
+// over shard workers gets one fragment per shard back in completion order;
+// merging into a map and re-packing with PackBatch restores the global
+// ascending-index reply ordering, so a split batch's reply is byte-identical
+// to the unsplit one. A chunk index appearing in two fragments means the
+// split was wrong (two shards claimed one chunk) and returns ErrBadBatch.
+func MergeBatch(parts ...map[int][]byte) (map[int][]byte, error) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(map[int][]byte, total)
+	for _, p := range parts {
+		for idx, data := range p {
+			if _, dup := out[idx]; dup {
+				return nil, fmt.Errorf("%w: chunk %d in two batch fragments", ErrBadBatch, idx)
+			}
+			out[idx] = data
+		}
+	}
+	return out, nil
+}
+
+// MergeIndices unions per-shard index lists into one ascending list — the
+// reply-merging half of a split mput, whose reply lists the chunk indices
+// that landed. Duplicates across fragments return ErrBadBatch, like
+// MergeBatch.
+func MergeIndices(parts ...[]int) ([]int, error) {
+	seen := make(map[int]bool)
+	var out []int
+	for _, p := range parts {
+		for _, idx := range p {
+			if seen[idx] {
+				return nil, fmt.Errorf("%w: index %d in two batch fragments", ErrBadBatch, idx)
+			}
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
 // UnpackBatch is PackBatch's inverse: it validates the chunk framing of a
 // batch message and splits the body back into per-index chunks. Every
 // returned chunk is a copy, so the caller may retain them after the frame
