@@ -54,6 +54,7 @@ func run() int {
 		objects  = flag.Int("objects", 0, "override the working-set size (0 = scenario default)")
 		live     = flag.Bool("live", false, "additionally smoke each scenario's first phase on the localhost cluster")
 		liveOps  = flag.Int("liveops", 120, "measured reads per live phase (smoke) and per dispatch round")
+		trace    = flag.Int("trace", 3, "slowest read traces dumped per live phase (0 disables)")
 		quiet    = flag.Bool("q", false, "suppress per-scenario markdown on stdout")
 	)
 	flag.Parse()
@@ -173,7 +174,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "agar-suite: %s done in %v\n", spec.Name, time.Since(start).Round(time.Millisecond))
 
 		if *live {
-			lr, err := scenario.RunLiveSmoke(runSpec, scenario.LiveOptions{Seed: *seed, Ops: *liveOps})
+			traces := *trace
+			if traces == 0 {
+				traces = -1 // flag 0 means "no traces", not "use the default"
+			}
+			lr, err := scenario.RunLiveSmoke(runSpec, scenario.LiveOptions{Seed: *seed, Ops: *liveOps, Traces: traces})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "agar-suite: scenario %s live smoke: %v\n", spec.Name, err)
 				failed++
@@ -191,6 +196,7 @@ func run() int {
 				}
 				md.WriteString("\n")
 			}
+			md.WriteString(lr.MetricsMarkdown())
 			if lr.Errors > 0 {
 				failed++
 			}

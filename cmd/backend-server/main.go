@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,6 +24,7 @@ import (
 	"github.com/agardist/agar/internal/backend"
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/live"
+	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/store"
 )
 
@@ -33,6 +36,7 @@ func main() {
 		dir      = flag.String("dir", "", "disk store root directory (required with -store disk)")
 		blobAddr = flag.String("blob-addr", "", "blob gateway address (required with -store remote)")
 		dispatch = flag.String("dispatch", "shard", "request dispatch: shard (striped worker pools) | conn (per-connection loops)")
+		metricsA = flag.String("metrics-addr", "", "serve Prometheus-format /metrics on this address (off when empty)")
 	)
 	flag.Parse()
 
@@ -48,19 +52,45 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	reg := metrics.NewRegistry()
+	blob = store.WithMetrics(blob, reg, *kind)
 	st := backend.NewStoreOn(r, blob)
-	srv, err := live.NewStoreServerDispatch(*addr, st, mode)
+	srv, err := live.NewStoreServerOpts(*addr, st, live.ServerOptions{
+		Dispatch: mode, Registry: reg, Region: r.String(),
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("backend-server: region=%s store=%s dispatch=%s listening on %s\n", r, *kind, mode, srv.Addr())
+	metricsSrv := serveMetrics(*metricsA, reg)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("backend-server: shutting down")
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	srv.Close()
 	blob.Close()
+}
+
+// serveMetrics mounts the registry at /metrics when addr is set; returns
+// nil (metrics disabled) when it is empty.
+func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("metrics listen %s: %v", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("backend-server: metrics on http://%s/metrics\n", ln.Addr())
+	return srv
 }
 
 func fatalf(format string, args ...any) {

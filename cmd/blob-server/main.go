@@ -20,17 +20,19 @@ import (
 	"os/signal"
 	"syscall"
 
+	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7201", "listen address")
-		kind    = flag.String("store", "mem", "bucket persistence: mem|disk")
-		dir     = flag.String("dir", "", "disk store root directory (required with -store disk)")
-		latency = flag.Duration("latency", 0, "injected per-request service latency")
-		errRate = flag.Float64("error-rate", 0, "injected per-request failure probability in [0,1]")
-		seed    = flag.Int64("seed", 1, "seed for the deterministic failure stream")
+		addr     = flag.String("addr", "127.0.0.1:7201", "listen address")
+		kind     = flag.String("store", "mem", "bucket persistence: mem|disk")
+		dir      = flag.String("dir", "", "disk store root directory (required with -store disk)")
+		latency  = flag.Duration("latency", 0, "injected per-request service latency")
+		errRate  = flag.Float64("error-rate", 0, "injected per-request failure probability in [0,1]")
+		seed     = flag.Int64("seed", 1, "seed for the deterministic failure stream")
+		metricsA = flag.String("metrics-addr", "", "serve Prometheus-format /metrics on this address (off when empty)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,9 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	reg := metrics.NewRegistry()
+	bs = store.WithMetrics(bs, reg, *kind)
+	metricsSrv := serveMetrics(*metricsA, reg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -68,8 +73,29 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("blob-server: shutting down")
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	srv.Close()
 	bs.Close()
+}
+
+// serveMetrics mounts the registry at /metrics when addr is set; returns
+// nil (metrics disabled) when it is empty.
+func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("metrics listen %s: %v", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("blob-server: metrics on http://%s/metrics\n", ln.Addr())
+	return srv
 }
 
 func fatalf(format string, args ...any) {

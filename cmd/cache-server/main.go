@@ -22,6 +22,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +32,7 @@ import (
 	"github.com/agardist/agar/internal/cache"
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/live"
+	"github.com/agardist/agar/internal/metrics"
 )
 
 func main() {
@@ -42,6 +45,7 @@ func main() {
 		region   = flag.String("region", "", "this cache's region name (required with -peers)")
 		peers    = flag.String("peers", "", "cooperative peers: region=host:port@latency[,...]")
 		digest   = flag.Duration("digest-period", time.Second, "how often residency digests push to peers")
+		metricsA = flag.String("metrics-addr", "", "serve Prometheus-format /metrics on this address (off when empty)")
 	)
 	flag.Parse()
 
@@ -74,12 +78,16 @@ func main() {
 
 	store := cache.NewSharded(*capacity, *shards, factory)
 	table := coop.NewTable()
-	srv, err := live.NewCacheServerDispatch(*addr, store, table, mode)
+	reg := metrics.NewRegistry()
+	srv, err := live.NewCacheServerOpts(*addr, store, table, live.ServerOptions{
+		Dispatch: mode, Registry: reg, Region: *region,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("cache-server: policy=%s capacity=%d shards=%d dispatch=%s listening on %s\n",
 		*policy, *capacity, store.ShardCount(), mode, srv.Addr())
+	metricsSrv := serveMetrics(*metricsA, reg)
 
 	var adv *coop.Advertiser
 	var peerConns []*live.RemoteCache
@@ -104,7 +112,28 @@ func main() {
 	for _, rc := range peerConns {
 		rc.Close()
 	}
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	srv.Close()
+}
+
+// serveMetrics mounts the registry at /metrics when addr is set; returns
+// nil (metrics disabled) when it is empty.
+func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("metrics listen %s: %v", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("cache-server: metrics on http://%s/metrics\n", ln.Addr())
+	return srv
 }
 
 func fatalf(format string, args ...any) {

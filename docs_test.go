@@ -167,11 +167,60 @@ func TestDocsWireReference(t *testing.T) {
 	}
 }
 
+// TestDocsMetricsReference fails when docs/METRICS.md drifts from the
+// metric catalog: every Name* constant declared in
+// internal/metrics/names.go must have its metric name documented in the
+// reference — the METRICS.md twin of the WIRE.md opcode gate.
+func TestDocsMetricsReference(t *testing.T) {
+	doc, err := os.ReadFile("docs/METRICS.md")
+	if err != nil {
+		t.Fatalf("read docs/METRICS.md: %v", err)
+	}
+	text := string(doc)
+
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/metrics/names.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	checked := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, n := range vs.Names {
+				if !strings.HasPrefix(n.Name, "Name") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				name := strings.Trim(lit.Value, `"`)
+				checked++
+				if !strings.Contains(text, "`"+name+"`") {
+					missing = append(missing, name)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no Name* constants found in internal/metrics/names.go")
+	}
+	if len(missing) > 0 {
+		t.Errorf("docs/METRICS.md missing: %s", strings.Join(missing, ", "))
+	}
+}
+
 // TestDocsSuiteExists pins the documentation map's anchors: the files the
 // README links as the documentation entry points must exist and be
 // non-trivial.
 func TestDocsSuiteExists(t *testing.T) {
-	for _, file := range []string{"docs/ARCHITECTURE.md", "docs/WIRE.md", "SCENARIOS.md", "README.md"} {
+	for _, file := range []string{"docs/ARCHITECTURE.md", "docs/METRICS.md", "docs/WIRE.md", "SCENARIOS.md", "README.md"} {
 		info, err := os.Stat(file)
 		if err != nil {
 			t.Fatalf("%s missing: %v", file, err)

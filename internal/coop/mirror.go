@@ -34,6 +34,18 @@ func NewMirror(region string) *Mirror {
 // Region returns the peer region this mirror tracks.
 func (m *Mirror) Region() string { return m.region }
 
+// SetClock replaces the clock Age measures against (default time.Now).
+// Simulated deployments inject their virtual clock here so digest ages —
+// and the digest_age_ms stat derived from them — advance with simulated
+// time and stay deterministic across runs.
+func (m *Mirror) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now != nil {
+		m.now = now
+	}
+}
+
 // Apply folds one digest frame in. A frame with a higher sequence replaces
 // the whole view (the first page of a new snapshot); frames sharing the
 // current sequence merge (later pages); lower sequences are rejected as

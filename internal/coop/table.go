@@ -14,6 +14,7 @@ import (
 type Table struct {
 	mu      sync.Mutex
 	mirrors map[string]*Mirror
+	now     func() time.Time // nil => each mirror's default (time.Now)
 
 	peerHits   atomic.Int64
 	peerMisses atomic.Int64
@@ -35,9 +36,22 @@ func (t *Table) Mirror(region string) *Mirror {
 	m := t.mirrors[region]
 	if m == nil {
 		m = NewMirror(region)
+		m.SetClock(t.now)
 		t.mirrors[region] = m
 	}
 	return m
+}
+
+// SetClock replaces the clock every mirror — existing and future — measures
+// digest ages against (default time.Now). Simulated deployments inject
+// their virtual clock so digest_age_ms stays deterministic.
+func (t *Table) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	for _, m := range t.mirrors {
+		m.SetClock(now)
+	}
 }
 
 // Regions lists the peer regions the table tracks, sorted.

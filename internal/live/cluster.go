@@ -2,6 +2,8 @@ package live
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"github.com/agardist/agar/internal/core"
 	"github.com/agardist/agar/internal/erasure"
 	"github.com/agardist/agar/internal/geo"
+	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/netsim"
 	"github.com/agardist/agar/internal/store"
 )
@@ -54,6 +57,15 @@ type ClusterConfig struct {
 	// per-connection serialized loops kept as the paired baseline
 	// (DispatchConn).
 	Dispatch Dispatch
+	// MetricsAddr, when non-empty, serves the cluster's shared metrics
+	// registry over HTTP at /metrics (Prometheus text format) — every
+	// server's families plus the client read path's, in one scrape.
+	// "127.0.0.1:0" picks an ephemeral port (see MetricsAddr()).
+	MetricsAddr string
+	// Clock, when set, replaces the wall clock for derived staleness
+	// measurements (coop digest ages) so harnesses on virtual time get
+	// deterministic digest_age_ms values.
+	Clock netsim.Clock
 }
 
 // Cluster is a running localhost deployment: one store server per region,
@@ -78,6 +90,19 @@ type Cluster struct {
 	peerMu  sync.Mutex
 	peers   []PeerLink
 	peerRCs []*RemoteCache
+
+	// Observability: every server and every reader of this cluster reports
+	// into one registry; the optional HTTP endpoint serves it at /metrics.
+	reg        *metrics.Registry
+	metricsLn  net.Listener
+	metricsSrv *http.Server
+
+	// Client-side population backpressure, aggregated across this cluster's
+	// readers: live pools are summed at gather time, and a closed reader's
+	// dropped count folds into the base so the counter never goes backward.
+	popMu       sync.Mutex
+	populators  []*populator
+	popDroppedC int64
 
 	closeOnce sync.Once
 }
@@ -115,6 +140,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: open blob store: %w", err)
 	}
+	reg := metrics.NewRegistry()
+	kind := cfg.Store.Kind
+	if kind == "" {
+		kind = store.KindMem
+	}
+	blob = store.WithMetrics(blob, reg, kind)
 	cluster := backend.NewClusterOn(cfg.Regions, codec, placement, blob)
 
 	c := &Cluster{
@@ -123,6 +154,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		cluster:   cluster,
 		blob:      blob,
 		storeSrvs: make(map[geo.RegionID]*Server),
+		reg:       reg,
 	}
 	fail := func(err error) (*Cluster, error) {
 		c.Close()
@@ -130,7 +162,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	for _, r := range cfg.Regions {
-		srv, err := NewStoreServerDispatch("127.0.0.1:0", cluster.Store(r), cfg.Dispatch)
+		srv, err := NewStoreServerOpts("127.0.0.1:0", cluster.Store(r), ServerOptions{
+			Dispatch: cfg.Dispatch, Registry: c.reg, Region: r.String(),
+		})
 		if err != nil {
 			return fail(err)
 		}
@@ -153,8 +187,13 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}, 1)
 
 	c.table = coop.NewTable()
+	if cfg.Clock != nil {
+		c.table.SetClock(cfg.Clock.Now)
+	}
 	c.adv = coop.NewAdvertiser(cfg.ClientRegion.String(), c.node.Cache(), cfg.DigestPeriod)
-	if c.cacheSrv, err = NewCacheServerDispatch("127.0.0.1:0", c.node.Cache(), c.table, cfg.Dispatch); err != nil {
+	if c.cacheSrv, err = NewCacheServerOpts("127.0.0.1:0", c.node.Cache(), c.table, ServerOptions{
+		Dispatch: cfg.Dispatch, Registry: c.reg, Region: cfg.ClientRegion.String(),
+	}); err != nil {
 		return fail(err)
 	}
 	if c.hintSrv, err = NewHintServer("127.0.0.1:0", c.node); err != nil {
@@ -165,8 +204,80 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			return fail(err)
 		}
 	}
+	c.reg.NewGaugeFunc(metrics.NamePopulationQueueDepth,
+		"Async cache fills queued but not yet applied, summed over this cluster's live readers.",
+		func() float64 { return float64(c.populationDepth()) })
+	c.reg.NewCounterFunc(metrics.NamePopulationDropped,
+		"Async cache fills shed because a reader's population queue was full.",
+		func() float64 { return float64(c.populationDropped()) })
+	if cfg.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			return fail(fmt.Errorf("live: metrics listen %s: %w", cfg.MetricsAddr, err))
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", c.reg.Handler())
+		c.metricsLn = ln
+		c.metricsSrv = &http.Server{Handler: mux}
+		go func() { _ = c.metricsSrv.Serve(ln) }()
+	}
 	c.node.Start()
 	return c, nil
+}
+
+// Registry exposes the cluster's shared metrics registry — every server's
+// families plus the client read path's. Scrape it over HTTP by setting
+// ClusterConfig.MetricsAddr, or read it in-process here.
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// MetricsAddr returns the bound /metrics address ("" when disabled).
+func (c *Cluster) MetricsAddr() string {
+	if c.metricsLn == nil {
+		return ""
+	}
+	return c.metricsLn.Addr().String()
+}
+
+// addPopulator registers a reader's population pool with the cluster-wide
+// backpressure metrics.
+func (c *Cluster) addPopulator(p *populator) {
+	c.popMu.Lock()
+	c.populators = append(c.populators, p)
+	c.popMu.Unlock()
+}
+
+// removePopulator folds a closing reader's dropped count into the base (so
+// the cluster-wide counter stays monotonic) and stops summing its depth.
+func (c *Cluster) removePopulator(p *populator) {
+	c.popMu.Lock()
+	for i, q := range c.populators {
+		if q == p {
+			c.populators = append(c.populators[:i], c.populators[i+1:]...)
+			c.popDroppedC += p.droppedCount()
+			break
+		}
+	}
+	c.popMu.Unlock()
+}
+
+func (c *Cluster) populationDepth() int {
+	c.popMu.Lock()
+	defer c.popMu.Unlock()
+	depth := 0
+	for _, p := range c.populators {
+		depth += p.depth()
+	}
+	return depth
+}
+
+func (c *Cluster) populationDropped() int64 {
+	c.popMu.Lock()
+	defer c.popMu.Unlock()
+	dropped := c.popDroppedC
+	for _, p := range c.populators {
+		dropped += p.droppedCount()
+	}
+	return dropped
 }
 
 // Node exposes the Agar node (for forcing reconfigurations in tests).
@@ -265,6 +376,9 @@ func (c *Cluster) Close() {
 		if c.udpSrv != nil {
 			c.udpSrv.Close()
 		}
+		if c.metricsSrv != nil {
+			c.metricsSrv.Close()
+		}
 		if c.blob != nil {
 			c.blob.Close()
 		}
@@ -301,13 +415,20 @@ type NetworkReader struct {
 
 // readerPeer is one cooperative peer as seen from a reader: the mirror the
 // mesh maintains plus a batched client to the peer's cache server, tagged
-// with this reader's region so the peer accounts the traffic.
+// with this reader's region so the peer accounts the traffic. rtt records
+// each batched peer exchange's observed round trip (injected delay
+// included) — the measured replacement-in-waiting for the static latency.
 type readerPeer struct {
 	region  geo.RegionID
 	latency time.Duration
 	mirror  *coop.Mirror
 	cache   *RemoteCache
+	rtt     *metrics.Histogram
 }
+
+// peerRTTBuckets cover observed peer round trips in milliseconds: 0.25 ms
+// (loopback) through ~2 s (an unscaled WAN worst case).
+var peerRTTBuckets = metrics.ExponentialBuckets(0.25, 2, 14)
 
 // NewNetworkReader connects a reader to every server of the cluster,
 // including the cache servers of peers joined (via Cluster.Peer) before
@@ -332,6 +453,9 @@ func NewNetworkReader(c *Cluster, region geo.RegionID) (*NetworkReader, error) {
 		sampler.SetChaos(netsim.RealClock{}, c.cfg.Schedule)
 	}
 	cacheC := NewRemoteCache(c.CacheAddr())
+	rttVec := c.reg.NewHistogramVec(metrics.NameCoopPeerRTTMS,
+		"Observed round trip of one batched peer-cache exchange in milliseconds, injected WAN delay included.",
+		peerRTTBuckets, "peer")
 	var peers []readerPeer
 	for _, link := range c.Peers() {
 		peers = append(peers, readerPeer{
@@ -339,9 +463,10 @@ func NewNetworkReader(c *Cluster, region geo.RegionID) (*NetworkReader, error) {
 			latency: link.Latency,
 			mirror:  link.Mirror,
 			cache:   NewPeerRemoteCache(link.Addr, region.String()),
+			rtt:     rttVec.With(link.Region.String()),
 		})
 	}
-	return &NetworkReader{
+	r := &NetworkReader{
 		cluster: c,
 		region:  region,
 		hinter:  hinter,
@@ -350,7 +475,9 @@ func NewNetworkReader(c *Cluster, region geo.RegionID) (*NetworkReader, error) {
 		peers:   peers,
 		sampler: sampler,
 		pop:     newPopulator(cacheC, populateWorkers, populateQueue),
-	}, nil
+	}
+	c.addPopulator(r.pop)
+	return r, nil
 }
 
 // populateWorkers and populateQueue bound the async cache population pool:
@@ -377,6 +504,7 @@ func (r *NetworkReader) PopulationBackPressure() (depth int, dropped int64) {
 
 // Close drains the population pool and drops every connection.
 func (r *NetworkReader) Close() {
+	r.cluster.removePopulator(r.pop)
 	r.pop.close()
 	if h, ok := r.hinter.(interface{ Close() }); ok {
 		h.Close()
@@ -415,6 +543,10 @@ type ReadInfo struct {
 	CacheChunks int
 	// PeerChunks counts chunks served by cooperative peer caches.
 	PeerChunks int
+	// Trace is the read's span breakdown: every network exchange (hint,
+	// batched cache/peer/store round trips, degraded waves, store faults)
+	// with offsets, durations, chunk and byte counts.
+	Trace *ReadTrace
 }
 
 // Read fetches and decodes one object over the network and returns its
@@ -429,12 +561,15 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 // its bytes plus the read's full accounting.
 func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 	start := time.Now()
+	tc := newTraceCollector(start)
 	k := r.cluster.codec.K()
 	total := r.cluster.codec.Total()
 
+	hintT0 := time.Now()
 	hintChunks, err := r.hinter.Hint(key)
+	tc.span("hint", hintT0, 0, 0, err)
 	if err != nil {
-		return nil, ReadInfo{}, fmt.Errorf("live: hint %q: %w", key, err)
+		return nil, ReadInfo{Trace: tc.finish(key)}, fmt.Errorf("live: hint %q: %w", key, err)
 	}
 
 	plan := geo.PlanFetch(r.cluster.cfg.Matrix, r.cluster.cluster.Placement(), key, total, r.region)
@@ -525,12 +660,20 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 	var wg sync.WaitGroup
 	fetchStore := func(idx int) { // callers wg.Add before spawning
 		defer wg.Done()
+		t0 := time.Now()
 		if r.sampler.Unreachable(r.region, locs[idx]) {
-			results <- outcome{idx: idx, err: fmt.Errorf("live: region %v unreachable", locs[idx])}
+			err := fmt.Errorf("live: region %v unreachable", locs[idx])
+			tc.span("store-get:"+locs[idx].String(), t0, 0, 0, err)
+			results <- outcome{idx: idx, err: err}
 			return
 		}
 		r.delay(locs[idx])
 		data, err := r.stores[locs[idx]].Get(backend.ChunkID{Key: key, Index: idx})
+		got := 0
+		if err == nil {
+			got = 1
+		}
+		tc.span("store-get:"+locs[idx].String(), t0, got, len(data), err)
 		results <- outcome{idx: idx, data: data, err: err}
 	}
 
@@ -556,14 +699,22 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 		wg.Add(1)
 		go func(region geo.RegionID, idxs []int) {
 			defer wg.Done()
+			t0 := time.Now()
 			if r.sampler.Unreachable(r.region, region) {
+				err := fmt.Errorf("live: region %v unreachable", region)
+				tc.span("store-mget:"+region.String(), t0, 0, 0, err)
 				for _, idx := range idxs {
-					results <- outcome{idx: idx, err: fmt.Errorf("live: region %v unreachable", region)}
+					results <- outcome{idx: idx, err: err}
 				}
 				return
 			}
 			r.delay(region)
 			found, err := r.stores[region].GetMulti(key, idxs)
+			bytes := 0
+			for _, data := range found {
+				bytes += len(data)
+			}
+			tc.span("store-mget:"+region.String(), t0, len(found), bytes, err)
 			for _, idx := range idxs {
 				data, ok := found[idx]
 				if err != nil || !ok {
@@ -581,10 +732,16 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			t0 := time.Now()
 			found, err := r.cacheC.GetMulti(key, cacheWant)
 			if err != nil {
 				found = nil // treat a failed cache round trip as all-miss
 			}
+			bytes := 0
+			for _, data := range found {
+				bytes += len(data)
+			}
+			tc.span("cache-mget", t0, len(found), bytes, err)
 			for _, idx := range cacheWant {
 				if data, ok := found[idx]; ok {
 					results <- outcome{idx: idx, data: data, fromCache: true}
@@ -600,11 +757,21 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 		wg.Add(1)
 		go func(p *readerPeer, idxs []int) {
 			defer wg.Done()
+			t0 := time.Now()
 			r.delayDur(p.latency)
 			found, err := p.cache.GetMulti(key, idxs)
+			rtt := time.Since(t0)
+			if p.rtt != nil {
+				p.rtt.Observe(float64(rtt) / float64(time.Millisecond))
+			}
 			if err != nil {
 				found = nil // a dead peer is an all-miss, never an error
 			}
+			bytes := 0
+			for _, data := range found {
+				bytes += len(data)
+			}
+			tc.span("peer-mget:"+p.region.String(), t0, len(found), bytes, err)
 			for _, idx := range idxs {
 				if data, ok := found[idx]; ok {
 					results <- outcome{idx: idx, data: data, fromPeer: true}
@@ -666,8 +833,14 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			wwg.Add(1)
 			go func(idx int) {
 				defer wwg.Done()
+				t0 := time.Now()
 				r.delay(locs[idx])
 				data, err := r.stores[locs[idx]].Get(backend.ChunkID{Key: key, Index: idx})
+				got := 0
+				if err == nil {
+					got = 1
+				}
+				tc.span("degraded-get:"+locs[idx].String(), t0, got, len(data), err)
 				wave <- outcome{idx: idx, data: data, err: err}
 			}(idx)
 		}
@@ -687,14 +860,19 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 	info := ReadInfo{CacheChunks: fromCache, PeerChunks: fromPeers}
 	if got < k {
 		info.Latency = time.Since(start)
+		info.Trace = tc.finish(key)
 		return nil, info, fmt.Errorf("live: only %d of %d chunks for %q", got, k, key)
 	}
+	decT0 := time.Now()
 	data, err := r.cluster.codec.Decode(chunks)
+	tc.span("decode", decT0, 0, len(data), err)
 	if err != nil {
 		info.Latency = time.Since(start)
+		info.Trace = tc.finish(key)
 		return nil, info, err
 	}
 	info.Latency = time.Since(start)
+	info.Trace = tc.finish(key)
 
 	// Hand hinted-but-missed chunks to the async population pool: the fill
 	// happens off the read path, batched into one PutMulti per object.

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/agardist/agar/internal/wire"
 )
@@ -106,6 +107,10 @@ type dispatcher struct {
 	// which only reads it.
 	gauge    *atomic.Int64
 	stopOnce sync.Once
+	// sm, when non-nil, splits every op's wall time into queue wait
+	// (enqueue to worker pickup) and execution. Nil — the uninstrumented
+	// baseline — keeps time.Now off the hot path entirely.
+	sm *serverMetrics
 	// parallel records whether the runtime has cores to run shard workers
 	// on. Without them, fanning a fast-path batch out over workers costs
 	// scheduler hops and buys nothing, so dispatchSync stays inline.
@@ -113,12 +118,12 @@ type dispatcher struct {
 }
 
 // newDispatcher starts the per-shard workers.
-func newDispatcher(h handler, rt router, gauge *atomic.Int64) *dispatcher {
+func newDispatcher(h handler, rt router, gauge *atomic.Int64, sm *serverMetrics) *dispatcher {
 	n := rt.shards()
 	if n < 1 {
 		n = 1
 	}
-	d := &dispatcher{handle: h, rt: rt, gauge: gauge, queues: make([]chan func(), n),
+	d := &dispatcher{handle: h, rt: rt, gauge: gauge, sm: sm, queues: make([]chan func(), n),
 		parallel: runtime.GOMAXPROCS(0) > 1}
 	for i := range d.queues {
 		d.queues[i] = make(chan func(), dispatchQueueDepth)
@@ -151,10 +156,18 @@ func (d *dispatcher) enqueue(shard int, task func()) {
 func (d *dispatcher) dispatchSync(req wire.Message) wire.Message {
 	if d.parallel && d.rt.splittable(req.Header) {
 		if parts, merge, ok := d.rt.split(req); ok {
+			// Fanned-out parts time themselves (queue wait included); no
+			// outer observation, so a split batch is never double counted.
 			reply := make(chan wire.Message, 1)
 			d.fanOut(parts, merge, reply)
 			return <-reply
 		}
+	}
+	if d.sm != nil {
+		start := time.Now()
+		resp := d.handle(req)
+		d.sm.observe(req.Header.Op, 0, time.Since(start))
+		return resp
 	}
 	return d.handle(req)
 }
@@ -176,6 +189,16 @@ func (d *dispatcher) dispatch(req wire.Message, reply chan<- wire.Message) {
 // and just produces its error reply).
 func (d *dispatcher) dispatchWith(req wire.Message, reply chan<- wire.Message, shard int, routed bool) {
 	if routed {
+		if d.sm != nil {
+			t0 := time.Now()
+			d.enqueue(shard, func() {
+				start := time.Now()
+				resp := d.handle(req)
+				d.sm.observe(req.Header.Op, start.Sub(t0), time.Since(start))
+				reply <- resp
+			})
+			return
+		}
 		d.enqueue(shard, func() { reply <- d.handle(req) })
 		return
 	}
@@ -183,20 +206,39 @@ func (d *dispatcher) dispatchWith(req wire.Message, reply chan<- wire.Message, s
 		d.fanOut(parts, merge, reply)
 		return
 	}
+	if d.sm != nil {
+		start := time.Now()
+		resp := d.handle(req)
+		d.sm.observe(req.Header.Op, 0, time.Since(start))
+		reply <- resp
+		return
+	}
 	reply <- d.handle(req)
 }
 
 // fanOut runs a split batch's parts on their shard workers and has the last
 // part to finish merge the fragments into the reply. The atomic countdown
-// orders every fragment write before the merge that reads them.
+// orders every fragment write before the merge that reads them. Each part
+// observes its own queue wait and execution under the batch's opcode — a
+// split mget shows up as one histogram observation per shard part.
 func (d *dispatcher) fanOut(parts []part, merge mergeFunc, reply chan<- wire.Message) {
 	resps := make([]wire.Message, len(parts))
 	var remaining atomic.Int32
 	remaining.Store(int32(len(parts)))
+	var t0 time.Time
+	if d.sm != nil {
+		t0 = time.Now()
+	}
 	for i, p := range parts {
 		i, p := i, p
 		d.enqueue(p.shard, func() {
-			resps[i] = d.handle(p.req)
+			if d.sm != nil {
+				start := time.Now()
+				resps[i] = d.handle(p.req)
+				d.sm.observe(p.req.Header.Op, start.Sub(t0), time.Since(start))
+			} else {
+				resps[i] = d.handle(p.req)
+			}
 			if remaining.Add(-1) == 0 {
 				reply <- merge(resps)
 			}

@@ -31,6 +31,7 @@ import (
 	"github.com/agardist/agar/internal/cache"
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/core"
+	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/wire"
 )
 
@@ -47,6 +48,7 @@ type Server struct {
 	ln     net.Listener
 	handle handler
 	disp   *dispatcher // nil => conn dispatch
+	sm     *serverMetrics
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -55,19 +57,20 @@ type Server struct {
 }
 
 // newServer starts serving on addr ("127.0.0.1:0" for an ephemeral port)
-// with per-connection dispatch.
-func newServer(addr string, h handler) (*Server, error) {
-	return newServerDispatch(addr, h, nil)
+// with per-connection dispatch; sm (nil for the uninstrumented baseline)
+// times each op's execution.
+func newServer(addr string, h handler, sm *serverMetrics) (*Server, error) {
+	return newServerDispatch(addr, h, nil, sm)
 }
 
 // newShardServer starts a shard-dispatching server: rt routes ops onto
-// per-shard workers and gauge (shared with the handler for OpStats) tracks
-// the queue depth.
-func newShardServer(addr string, h handler, rt router, gauge *atomic.Int64) (*Server, error) {
-	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge))
+// per-shard workers, gauge tracks the queue depth, and sm (nil for the
+// uninstrumented baseline) times queue wait and execution per op.
+func newShardServer(addr string, h handler, rt router, gauge *atomic.Int64, sm *serverMetrics) (*Server, error) {
+	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge, sm), sm)
 }
 
-func newServerDispatch(addr string, h handler, disp *dispatcher) (*Server, error) {
+func newServerDispatch(addr string, h handler, disp *dispatcher, sm *serverMetrics) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		if disp != nil {
@@ -75,7 +78,7 @@ func newServerDispatch(addr string, h handler, disp *dispatcher) (*Server, error
 		}
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, handle: h, disp: disp, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handle: h, disp: disp, sm: sm, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -164,7 +167,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if err := wire.Write(conn, s.handle(req)); err != nil {
+		var resp wire.Message
+		if s.sm != nil {
+			start := time.Now()
+			resp = s.handle(req)
+			s.sm.observe(req.Header.Op, 0, time.Since(start))
+		} else {
+			resp = s.handle(req)
+		}
+		if err := wire.Write(conn, resp); err != nil {
 			return
 		}
 	}
@@ -307,12 +318,25 @@ func NewStoreServer(addr string, store *backend.Store) (*Server, error) {
 // NewStoreServerDispatch serves one region's backend store under the given
 // dispatch mode.
 func NewStoreServerDispatch(addr string, store *backend.Store, d Dispatch) (*Server, error) {
-	gauge := new(atomic.Int64)
-	h := storeHandler(store, gauge)
-	if d == DispatchConn {
-		return newServer(addr, h)
+	return NewStoreServerOpts(addr, store, ServerOptions{Dispatch: d})
+}
+
+// NewStoreServerOpts serves one region's backend store with full options:
+// dispatch mode, a shared metrics registry, and a region label. Metrics are
+// always collected — the wire stats op is built from them — so passing a
+// registry only decides where /metrics scrapes can see them.
+func NewStoreServerOpts(addr string, store *backend.Store, opts ServerOptions) (*Server, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
 	}
-	return newShardServer(addr, h, storeRouter{}, gauge)
+	gauge := new(atomic.Int64)
+	sm := newStoreServerMetrics(reg, opts.Region, store, gauge)
+	h := storeHandler(store, sm)
+	if opts.Dispatch == DispatchConn {
+		return newServer(addr, h, sm)
+	}
+	return newShardServer(addr, h, storeRouter{}, gauge, sm)
 }
 
 // storeDispatchShards stripes a store server's dispatch queues. The backend
@@ -342,9 +366,9 @@ func (storeRouter) splittable(wire.Header) bool { return false }
 
 func (storeRouter) split(wire.Message) ([]part, mergeFunc, bool) { return nil, nil, false }
 
-// storeHandler builds the store server's request handler; gauge is the
-// dispatch queue depth OpStats reports.
-func storeHandler(store *backend.Store, gauge *atomic.Int64) handler {
+// storeHandler builds the store server's request handler; sm supplies the
+// registry-backed sources the OpStats reply is built from.
+func storeHandler(store *backend.Store, sm *serverMetrics) handler {
 	return func(req wire.Message) wire.Message {
 		id := backend.ChunkID{Key: req.Header.Key, Index: req.Header.Index}
 		switch req.Header.Op {
@@ -388,15 +412,13 @@ func storeHandler(store *backend.Store, gauge *atomic.Int64) handler {
 			}
 			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 		case wire.OpStats:
-			st, err := store.StatsChecked()
-			if err != nil {
+			// StatsChecked still runs first so a down adapter propagates its
+			// error; the payload itself comes from the same registry sources
+			// /metrics exposes, keeping the two surfaces in lockstep.
+			if _, err := store.StatsChecked(); err != nil {
 				return wire.ErrorMessage(err)
 			}
-			return wire.Message{Header: wire.Header{
-				Op: wire.OpOK,
-				Stats: map[string]int64{"chunks": st.Chunks, "bytes": st.Bytes,
-					"dispatch_queue_depth": gauge.Load()},
-			}}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Stats: sm.statsMap()}}
 		default:
 			return wire.ErrorMessage(fmt.Errorf("store: unknown op %q", req.Header.Op))
 		}
@@ -427,12 +449,26 @@ func NewCacheServerCoop(addr string, c *cache.Cache, table *coop.Table) (*Server
 // re-merged in ascending chunk order. Both modes answer every op
 // byte-identically.
 func NewCacheServerDispatch(addr string, c *cache.Cache, table *coop.Table, d Dispatch) (*Server, error) {
-	gauge := new(atomic.Int64)
-	h := cacheHandler(c, table, gauge)
-	if d == DispatchConn {
-		return newServer(addr, h)
+	return NewCacheServerOpts(addr, c, table, ServerOptions{Dispatch: d})
+}
+
+// NewCacheServerOpts serves a chunk cache (cooperative when table is
+// non-nil) with full options: dispatch mode, a shared metrics registry, and
+// a region label. Metrics are always collected — the wire stats op is built
+// from them — so passing a registry only decides where /metrics scrapes can
+// see them.
+func NewCacheServerOpts(addr string, c *cache.Cache, table *coop.Table, opts ServerOptions) (*Server, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
 	}
-	return newShardServer(addr, h, cacheRouter{c: c}, gauge)
+	gauge := new(atomic.Int64)
+	sm := newCacheServerMetrics(reg, opts.Region, c, table, gauge)
+	h := cacheHandler(c, table, sm)
+	if opts.Dispatch == DispatchConn {
+		return newServer(addr, h, sm)
+	}
+	return newShardServer(addr, h, cacheRouter{c: c}, gauge, sm)
 }
 
 // cacheRouter routes cache ops onto the cache's own shards.
@@ -584,9 +620,9 @@ func mergeMPut(resps []wire.Message) wire.Message {
 }
 
 // cacheHandler builds the cache server's request handler; table is nil for
-// non-cooperative deployments, which reject digest frames; gauge is the
-// dispatch queue depth OpStats reports.
-func cacheHandler(c *cache.Cache, table *coop.Table, gauge *atomic.Int64) handler {
+// non-cooperative deployments, which reject digest frames; sm supplies the
+// registry-backed sources the OpStats reply is built from.
+func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics) handler {
 	return func(req wire.Message) wire.Message {
 		id := cache.EntryID{Key: req.Header.Key, Index: req.Header.Index}
 		switch req.Header.Op {
@@ -671,25 +707,10 @@ func cacheHandler(c *cache.Cache, table *coop.Table, gauge *atomic.Int64) handle
 				Op: wire.OpDigestAck, Seq: table.Mirror(req.Header.Region).Seq(),
 			}}
 		case wire.OpStats:
-			st := c.Stats()
-			stats := map[string]int64{
-				"gets": st.Gets, "hits": st.Hits, "sets": st.Sets,
-				"evictions": st.Evictions, "rejected": st.Rejected(),
-				"admission_rejects": st.AdmissionRejects, "full_rejects": st.FullRejects,
-				"used": c.Used(), "capacity": c.Capacity(), "shards": int64(c.ShardCount()),
-				"dispatch_queue_depth": gauge.Load(),
-			}
-			if table != nil {
-				hits, misses := table.PeerReads()
-				applied, stale := table.Applied()
-				stats["peer_hits"], stats["peer_misses"] = hits, misses
-				stats["digests"], stats["digests_stale"] = applied, stale
-				stats["digest_deltas"] = table.Deltas()
-				if age, ok := table.StalestAge(); ok {
-					stats["digest_age_ms"] = int64(age / time.Millisecond)
-				}
-			}
-			return wire.Message{Header: wire.Header{Op: wire.OpOK, Stats: stats}}
+			// Built from the same registry sources /metrics exposes (the
+			// cache's own atomics, the coop table, the dispatch gauge), so
+			// the wire payload and a scrape can never disagree.
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Stats: sm.statsMap()}}
 		default:
 			return wire.ErrorMessage(fmt.Errorf("cache: unknown op %q", req.Header.Op))
 		}
@@ -724,7 +745,7 @@ func NewHintServer(addr string, node *core.Node) (*Server, error) {
 		default:
 			return wire.ErrorMessage(fmt.Errorf("hint: unknown op %q", req.Header.Op))
 		}
-	})
+	}, nil)
 }
 
 // UDPHintServer serves hints over UDP, the paper's low-overhead channel

@@ -1,0 +1,86 @@
+package live
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed exchange inside a single live read: the hint lookup,
+// a batched cache/peer/store round trip, a single-chunk store fallback, a
+// degraded-wave fetch, or the erasure decode. Offsets are relative to the
+// read's start so traces from different reads compare directly.
+type Span struct {
+	// Name identifies the exchange: "hint", "cache-mget",
+	// "peer-mget:<region>", "store-mget:<region>", "store-get:<region>",
+	// "degraded-get:<region>", "decode".
+	Name string `json:"name"`
+	// StartMS is the span's offset from the read's start, in milliseconds.
+	StartMS float64 `json:"start_ms"`
+	// DurMS is the span's duration in milliseconds.
+	DurMS float64 `json:"dur_ms"`
+	// Chunks is how many chunks the exchange produced (0 for hint/decode).
+	Chunks int `json:"chunks,omitempty"`
+	// Bytes is the payload volume the exchange produced.
+	Bytes int `json:"bytes,omitempty"`
+	// Err carries the exchange's failure, if any — a store fault, an
+	// unreachable region, a failed decode.
+	Err string `json:"err,omitempty"`
+}
+
+// ReadTrace is the span breakdown of one live read — what ReadDetailed
+// spent its wall clock on. Spans from concurrent fetch goroutines overlap;
+// sort order is by start offset.
+type ReadTrace struct {
+	Key     string  `json:"key"`
+	TotalMS float64 `json:"total_ms"`
+	Spans   []Span  `json:"spans"`
+}
+
+// traceCollector accumulates spans from the read's concurrent fetch
+// goroutines. The mutex is off every fetch's wait path — goroutines record
+// a span only after their network exchange completes.
+type traceCollector struct {
+	start time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+func newTraceCollector(start time.Time) *traceCollector {
+	return &traceCollector{start: start}
+}
+
+// span records one exchange that began at t0 and just ended.
+func (t *traceCollector) span(name string, t0 time.Time, chunks, bytes int, err error) {
+	s := Span{
+		Name:    name,
+		StartMS: float64(t0.Sub(t.start)) / float64(time.Millisecond),
+		DurMS:   float64(time.Since(t0)) / float64(time.Millisecond),
+		Chunks:  chunks,
+		Bytes:   bytes,
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// finish seals the trace: spans sorted by start offset, total set.
+func (t *traceCollector) finish(key string) *ReadTrace {
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartMS != spans[j].StartMS {
+			return spans[i].StartMS < spans[j].StartMS
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	return &ReadTrace{
+		Key:     key,
+		TotalMS: float64(time.Since(t.start)) / float64(time.Millisecond),
+		Spans:   spans,
+	}
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, samples sorted by name
+// then label values, histograms as cumulative _bucket series plus _sum and
+// _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.Name, fam.Kind)
+		for _, s := range fam.Samples {
+			if fam.Kind == KindHistogram {
+				writeHistogram(bw, fam, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", fam.Name, labelString(fam.Labels, s.LabelValues, "", ""), formatValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w io.Writer, fam Family, s Sample) {
+	for i, bound := range fam.Buckets {
+		le := formatValue(bound)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name,
+			labelString(fam.Labels, s.LabelValues, "le", le), s.BucketCounts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name,
+		labelString(fam.Labels, s.LabelValues, "le", "+Inf"), s.BucketCounts[len(s.BucketCounts)-1])
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam.Name, labelString(fam.Labels, s.LabelValues, "", ""), formatValue(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", fam.Name, labelString(fam.Labels, s.LabelValues, "", ""), s.Count)
+}
+
+// labelString renders a {k="v",...} label block, appending the extra pair
+// (the histogram le) last; it returns "" when there are no pairs at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus does: shortest
+// round-trippable form, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Handler serves the registry at any path in Prometheus text format — mount
+// it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,282 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact exposition bytes: HELP/TYPE headers,
+// name-sorted families, label-value-sorted samples, cumulative histogram
+// buckets with +Inf, _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("test_requests_total", "Requests served.", "op")
+	c.With("get").Add(3)
+	c.With("put").Inc()
+	g := r.NewGauge("test_depth", "Queue depth.")
+	g.Set(7)
+	r.NewGaugeFunc("test_age_ms", "Age.", func() float64 { return 12.5 })
+	h := r.NewHistogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_age_ms Age.
+# TYPE test_age_ms gauge
+test_age_ms 12.5
+# HELP test_depth Queue depth.
+# TYPE test_depth gauge
+test_depth 7
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.01"} 2
+test_latency_seconds_bucket{le="0.1"} 3
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 5.06
+test_latency_seconds_count 4
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{op="get"} 3
+test_requests_total{op="put"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionEscaping checks label values and help text escape
+// backslashes, quotes, and newlines.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_esc", "line one\nline \\two", "path")
+	v.With(`a"b\c` + "\nnext").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP test_esc line one\nline \\two`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `test_esc{path="a\"b\\c\nnext"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+// TestExpositionLabelOrdering checks labels render in their declared
+// order, not sorted, and samples sort by label values.
+func TestExpositionLabelOrdering(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_pairs", "", "zeta", "alpha")
+	v.With("2", "b").Inc()
+	v.With("1", "a").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	first := strings.Index(out, `test_pairs{zeta="1",alpha="a"}`)
+	second := strings.Index(out, `test_pairs{zeta="2",alpha="b"}`)
+	if first < 0 || second < 0 || first > second {
+		t.Errorf("label ordering wrong:\n%s", out)
+	}
+}
+
+// TestHistogramCumulative checks bucket counts are cumulative and the +Inf
+// bucket equals the count.
+func TestHistogramCumulative(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1.5, 1.6, 2.5, 99} {
+		h.Observe(v)
+	}
+	buckets, sum, count := h.snapshot()
+	wantBuckets := []uint64{1, 3, 4, 5}
+	for i, w := range wantBuckets {
+		if buckets[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, buckets[i], w)
+		}
+	}
+	if count != 5 || buckets[len(buckets)-1] != count {
+		t.Errorf("count %d, +Inf %d", count, buckets[len(buckets)-1])
+	}
+	if math.Abs(sum-105.1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+// TestBoundaryValuesLandInLeBucket pins le (less-or-equal) semantics: an
+// observation equal to a bound counts in that bound's bucket.
+func TestBoundaryValuesLandInLeBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1)
+	buckets, _, _ := h.snapshot()
+	if buckets[0] != 1 {
+		t.Errorf("observation at bound escaped its bucket: %v", buckets)
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges, and histograms from many
+// goroutines (the -race half of the contract) and checks totals.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_hammer_total", "")
+	g := r.NewGauge("test_hammer_gauge", "")
+	h := r.NewHistogram("test_hammer_seconds", "", DefBuckets)
+	vec := r.NewHistogramVec("test_hammer_vec_seconds", "", DefBuckets, "op")
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := vec.With("get") // interning races against other workers
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				child.ObserveDuration(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WriteText(&b) // scrapes race against writes
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != total {
+		t.Errorf("gauge = %d, want %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	if vec.With("get").Count() != total {
+		t.Errorf("vec histogram count = %d, want %d", vec.With("get").Count(), total)
+	}
+}
+
+// TestParseRoundTrip writes a registry out and parses it back, checking
+// families, samples, and histogram reconstruction survive.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_rt_total", "Round trip.", "op", "region")
+	v.With("get", "frankfurt").Add(41)
+	h := r.NewHistogramVec("test_rt_seconds", "RT latency.", []float64{0.1, 1}, "op")
+	h.With("get").Observe(0.05)
+	h.With("get").Observe(0.5)
+	h.With("get").Observe(50)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, ok := SelectFamily(fams, "test_rt_total")
+	if !ok {
+		t.Fatal("counter family missing")
+	}
+	s, ok := SelectSample(cf, map[string]string{"op": "get", "region": "frankfurt"})
+	if !ok || s.Value != 41 {
+		t.Fatalf("counter sample = %+v, ok=%v", s, ok)
+	}
+	hf, ok := SelectFamily(fams, "test_rt_seconds")
+	if !ok || hf.Kind != KindHistogram {
+		t.Fatalf("histogram family missing or wrong kind: %+v", hf)
+	}
+	hs, ok := SelectSample(hf, map[string]string{"op": "get"})
+	if !ok {
+		t.Fatal("histogram sample missing")
+	}
+	if hs.Count != 3 || len(hs.BucketCounts) != 3 {
+		t.Fatalf("histogram sample = %+v", hs)
+	}
+	if hs.BucketCounts[0] != 1 || hs.BucketCounts[1] != 2 || hs.BucketCounts[2] != 3 {
+		t.Errorf("buckets = %v", hs.BucketCounts)
+	}
+	if math.Abs(hs.Sum-50.55) > 1e-9 {
+		t.Errorf("sum = %v", hs.Sum)
+	}
+}
+
+// TestQuantile checks interpolation, the +Inf clamp, and the empty case.
+func TestQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	s := Sample{BucketCounts: []uint64{10, 20, 20, 22}, Count: 22}
+	if q := Quantile(bounds, s, 0.5); math.Abs(q-1.1) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.1", q) // rank 11 → second bucket, 1/10 in
+	}
+	if q := Quantile(bounds, s, 0.25); math.Abs(q-0.55) > 1e-9 {
+		t.Errorf("p25 = %v, want 0.55", q)
+	}
+	if q := Quantile(bounds, s, 1); q != 4 {
+		t.Errorf("p100 = %v, want clamp to 4", q)
+	}
+	if q := Quantile(bounds, Sample{}, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+// TestDeltaSample checks per-phase windows subtract cleanly and clamp.
+func TestDeltaSample(t *testing.T) {
+	end := Sample{BucketCounts: []uint64{5, 9, 12}, Sum: 10, Count: 12}
+	start := Sample{BucketCounts: []uint64{2, 3, 4}, Sum: 3, Count: 4}
+	d := DeltaSample(end, start)
+	if d.Count != 8 || d.Sum != 7 {
+		t.Errorf("delta = %+v", d)
+	}
+	for i, w := range []uint64{3, 6, 8} {
+		if d.BucketCounts[i] != w {
+			t.Errorf("delta bucket[%d] = %d, want %d", i, d.BucketCounts[i], w)
+		}
+	}
+	clamped := DeltaSample(start, end)
+	if clamped.Count != 0 || clamped.BucketCounts[0] != 0 {
+		t.Errorf("clamp failed: %+v", clamped)
+	}
+}
+
+// TestReRegistrationDedupes checks registering a family twice with the same
+// shape returns the same children, and a conflicting shape panics.
+func TestReRegistrationDedupes(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewHistogramVec("test_dup_seconds", "", []float64{1, 2}, "op")
+	b := r.NewHistogramVec("test_dup_seconds", "", []float64{1, 2}, "op")
+	a.With("get").Observe(0.5)
+	if b.With("get").Count() != 1 {
+		t.Error("re-registration did not share children")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration did not panic")
+		}
+	}()
+	r.NewCounterVec("test_dup_seconds", "", "op")
+}
+
+// TestExponentialBuckets pins the generator.
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(0.25, 2, 4)
+	want := []float64{0.25, 0.5, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package metrics
+
+// The metric-name catalog: every family the system registers, in one
+// place. Registration sites use these constants, and the docs gate
+// (TestDocsMetricsReference) requires each to be documented in
+// docs/METRICS.md — the same idiom the WIRE.md gate uses for opcodes, so a
+// new metric without documentation fails tier-1 tests.
+const (
+	// Framed-TCP servers (cache-server, backend-server) — labels
+	// {server, region, op}; the two histograms split one op's life into
+	// its shard-dispatch queue wait and its handler execution.
+	NameServerOpQueueWait = "agar_server_op_queue_wait_seconds"
+	NameServerOpExecute   = "agar_server_op_execute_seconds"
+	NameServerQueueDepth  = "agar_server_dispatch_queue_depth"
+
+	// Cache engine counters and gauges — function-backed over the cache's
+	// own shard atomics; labels {server, region}.
+	NameCacheGets             = "agar_cache_gets_total"
+	NameCacheHits             = "agar_cache_hits_total"
+	NameCacheSets             = "agar_cache_sets_total"
+	NameCacheEvictions        = "agar_cache_evictions_total"
+	NameCacheAdmissionRejects = "agar_cache_admission_rejects_total"
+	NameCacheFullRejects      = "agar_cache_full_rejects_total"
+	NameCacheUsedBytes        = "agar_cache_used_bytes"
+	NameCacheCapacityBytes    = "agar_cache_capacity_bytes"
+	NameCacheShards           = "agar_cache_shards"
+
+	// Backend store servers — labels {server, region}.
+	NameStoreChunks = "agar_store_chunks"
+	NameStoreBytes  = "agar_store_bytes"
+
+	// Cooperative mesh — labels {server, region}; the RTT histogram is
+	// client-side, labelled {peer}.
+	NameCoopPeerHits     = "agar_coop_peer_hits_total"
+	NameCoopPeerMisses   = "agar_coop_peer_misses_total"
+	NameCoopDigests      = "agar_coop_digests_total"
+	NameCoopDigestsStale = "agar_coop_digests_stale_total"
+	NameCoopDigestDeltas = "agar_coop_digest_deltas_total"
+	NameCoopDigestAgeMS  = "agar_coop_digest_age_ms"
+	NameCoopPeerRTTMS    = "agar_coop_peer_rtt_ms"
+
+	// Blob-store adapters (store.WithMetrics) — labels {adapter, op}.
+	NameBlobOpSeconds = "agar_blob_op_seconds"
+
+	// Client read path: the async cache-population pool's backpressure.
+	NamePopulationQueueDepth = "agar_client_population_queue_depth"
+	NamePopulationDropped    = "agar_client_population_dropped_total"
+)

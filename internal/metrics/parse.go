@@ -1,0 +1,357 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseText reads a Prometheus text-format exposition (the format WriteText
+// emits) back into Family snapshots, keyed for lookup by SelectSample. It
+// understands counters, gauges, and histograms (_bucket/_sum/_count fused
+// back into one sample per label set); unknown typed families parse as
+// gauges. It exists so scrape-side tooling — the scenario live runner, the
+// round-trip tests — can consume /metrics without an external client
+// library.
+func ParseText(r io.Reader) ([]Family, error) {
+	fams := make(map[string]*Family)
+	var order []string
+	getFam := func(name string) *Family {
+		if f, ok := fams[name]; ok {
+			return f
+		}
+		f := &Family{Name: name, Kind: KindGauge}
+		fams[name] = f
+		order = append(order, name)
+		return f
+	}
+	// Per-family accumulation of histogram series by label signature.
+	type histAcc struct {
+		labels  []string // label names (excluding le), first seen order
+		values  map[string][]string
+		buckets map[string]map[float64]uint64
+		sums    map[string]float64
+		counts  map[string]uint64
+		order   []string
+	}
+	hists := make(map[string]*histAcc)
+	getHist := func(name string) *histAcc {
+		if h, ok := hists[name]; ok {
+			return h
+		}
+		h := &histAcc{
+			values:  make(map[string][]string),
+			buckets: make(map[string]map[float64]uint64),
+			sums:    make(map[string]float64),
+			counts:  make(map[string]uint64),
+		}
+		hists[name] = h
+		return h
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				f := getFam(fields[2])
+				f.Kind = Kind(fields[3])
+			} else if len(fields) >= 4 && fields[1] == "HELP" {
+				getFam(fields[2]).Help = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, err
+		}
+		// Histogram component series route to their parent family.
+		base, comp := name, ""
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if f, ok := fams[trimmed]; ok && f.Kind == KindHistogram {
+					base, comp = trimmed, suffix
+				}
+				break
+			}
+		}
+		if comp != "" {
+			h := getHist(base)
+			var le float64
+			kept := make([]string, 0, len(labels))
+			keptVals := make([]string, 0, len(labels))
+			for _, kv := range labels {
+				if kv[0] == "le" {
+					le, err = parseFloat(kv[1])
+					if err != nil {
+						return nil, fmt.Errorf("metrics: bad le %q: %w", kv[1], err)
+					}
+					continue
+				}
+				kept = append(kept, kv[0])
+				keptVals = append(keptVals, kv[1])
+			}
+			if h.labels == nil {
+				h.labels = kept
+			}
+			sig := strings.Join(keptVals, "\xff")
+			if _, ok := h.values[sig]; !ok {
+				h.values[sig] = keptVals
+				h.buckets[sig] = make(map[float64]uint64)
+				h.order = append(h.order, sig)
+			}
+			switch comp {
+			case "_bucket":
+				h.buckets[sig][le] = uint64(value)
+			case "_sum":
+				h.sums[sig] = value
+			case "_count":
+				h.counts[sig] = uint64(value)
+			}
+			continue
+		}
+		f := getFam(base)
+		s := Sample{Value: value}
+		for _, kv := range labels {
+			s.LabelValues = append(s.LabelValues, kv[1])
+		}
+		if f.Labels == nil {
+			for _, kv := range labels {
+				f.Labels = append(f.Labels, kv[0])
+			}
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Fuse histogram accumulators into their families.
+	for name, h := range hists {
+		f := getFam(name)
+		f.Labels = h.labels
+		for _, sig := range h.order {
+			bounds := make([]float64, 0, len(h.buckets[sig]))
+			for le := range h.buckets[sig] {
+				bounds = append(bounds, le)
+			}
+			sort.Float64s(bounds)
+			s := Sample{
+				LabelValues: h.values[sig],
+				Sum:         h.sums[sig],
+				Count:       h.counts[sig],
+			}
+			finite := bounds
+			if n := len(finite); n > 0 && math.IsInf(finite[n-1], 1) {
+				finite = finite[:n-1]
+			}
+			if len(f.Buckets) == 0 {
+				f.Buckets = finite
+			}
+			for _, le := range finite {
+				s.BucketCounts = append(s.BucketCounts, h.buckets[sig][le])
+			}
+			// +Inf bucket: explicit when present, else the count.
+			inf, ok := h.buckets[sig][infValue]
+			if !ok {
+				inf = s.Count
+			}
+			s.BucketCounts = append(s.BucketCounts, inf)
+			f.Samples = append(f.Samples, s)
+		}
+	}
+
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		out = append(out, *fams[name])
+	}
+	return out, nil
+}
+
+// infValue is the parsed form of the exposition's "+Inf" bucket bound.
+var infValue = math.Inf(1)
+
+// parseFloat handles the exposition spellings of special values.
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return infValue, nil
+	case "-Inf":
+		return -infValue, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSampleLine splits `name{k="v",...} value` (labels optional) into its
+// parts; label pairs keep file order.
+func parseSampleLine(line string) (name string, labels [][2]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("metrics: unterminated labels in %q", line)
+		}
+		labels, err = parseLabels(rest[i+1 : end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("metrics: malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	// rest may still hold "value [timestamp]".
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, 0, fmt.Errorf("metrics: missing value in %q", line)
+	}
+	value, err = parseFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("metrics: bad value in %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string) ([][2]string, error) {
+	var out [][2]string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("metrics: malformed label block %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("metrics: unquoted label value after %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("metrics: unterminated label value for %q", key)
+		}
+		out = append(out, [2]string{key, val.String()})
+		s = strings.TrimPrefix(strings.TrimSpace(s[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// SelectFamily returns the named family from a gathered or parsed set.
+func SelectFamily(fams []Family, name string) (Family, bool) {
+	for _, f := range fams {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// SelectSample returns the family's sample whose label values match the
+// given name=value constraints (unconstrained labels match anything).
+func SelectSample(f Family, want map[string]string) (Sample, bool) {
+	for _, s := range f.Samples {
+		ok := true
+		for i, name := range f.Labels {
+			if v, constrained := want[name]; constrained && (i >= len(s.LabelValues) || s.LabelValues[i] != v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of a histogram sample from
+// its cumulative buckets, interpolating linearly within the matched bucket
+// the way Prometheus's histogram_quantile does. Observations in the +Inf
+// bucket clamp to the largest finite bound. Returns 0 for an empty sample.
+func Quantile(bounds []float64, s Sample, q float64) float64 {
+	if s.Count == 0 || len(s.BucketCounts) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	for i, cum := range s.BucketCounts {
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) { // +Inf bucket
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		var below uint64
+		if i > 0 {
+			lo = bounds[i-1]
+			below = s.BucketCounts[i-1]
+		}
+		width := bounds[i] - lo
+		inBucket := float64(s.BucketCounts[i] - below)
+		if inBucket <= 0 {
+			return bounds[i]
+		}
+		return lo + width*(rank-float64(below))/inBucket
+	}
+	return bounds[len(bounds)-1]
+}
+
+// DeltaSample subtracts an earlier histogram snapshot from a later one —
+// the per-phase window between two scrapes. Counts that would go negative
+// clamp to zero.
+func DeltaSample(end, start Sample) Sample {
+	d := Sample{
+		LabelValues: end.LabelValues,
+		Sum:         end.Sum - start.Sum,
+		Value:       end.Value - start.Value,
+	}
+	if end.Count >= start.Count {
+		d.Count = end.Count - start.Count
+	}
+	d.BucketCounts = make([]uint64, len(end.BucketCounts))
+	for i, c := range end.BucketCounts {
+		var prev uint64
+		if i < len(start.BucketCounts) {
+			prev = start.BucketCounts[i]
+		}
+		if c >= prev {
+			d.BucketCounts[i] = c - prev
+		}
+	}
+	return d
+}

@@ -2,10 +2,14 @@ package scenario
 
 import (
 	"fmt"
+	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/live"
+	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/netsim"
 	"github.com/agardist/agar/internal/stats"
 	"github.com/agardist/agar/internal/workload"
@@ -30,6 +34,9 @@ type LiveOptions struct {
 	DelayScale float64
 	// Seed drives the workload.
 	Seed int64
+	// Traces is how many of the slowest measured reads keep their span
+	// trace in the result (default 3; negative disables tracing output).
+	Traces int
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
@@ -50,6 +57,9 @@ func (o LiveOptions) withDefaults() LiveOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Traces == 0 {
+		o.Traces = 3
 	}
 	return o
 }
@@ -74,6 +84,63 @@ type LiveResult struct {
 	DigestAgeMS int64                  `json:"digest_age_ms,omitempty"`
 	PeerReads   *stats.DurationSummary `json:"peer_reads,omitempty"`
 	WANReads    *stats.DurationSummary `json:"wan_reads,omitempty"`
+
+	// OpLatencies is the cache server's per-opcode latency profile over
+	// the measured window, derived from /metrics scrapes at the phase
+	// boundaries; SlowTraces holds the span traces of the slowest
+	// measured reads.
+	OpLatencies []OpLatency      `json:"op_latencies,omitempty"`
+	SlowTraces  []live.ReadTrace `json:"slow_traces,omitempty"`
+}
+
+// MetricsMarkdown renders the scrape-derived per-opcode latency table and
+// the slowest read span traces as a markdown fragment; empty when the run
+// collected neither.
+func (lr *LiveResult) MetricsMarkdown() string {
+	if len(lr.OpLatencies) == 0 && len(lr.SlowTraces) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	if len(lr.OpLatencies) > 0 {
+		b.WriteString("\nCache-server op latency (scraped from `/metrics` over the measured window):\n\n")
+		b.WriteString("| op | count | queue p50 (ms) | queue p99 (ms) | exec p50 (ms) | exec p99 (ms) |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+		for _, ol := range lr.OpLatencies {
+			fmt.Fprintf(&b, "| %s | %d | %.3f | %.3f | %.3f | %.3f |\n",
+				ol.Op, ol.Count, ol.QueueP50MS, ol.QueueP99MS, ol.ExecP50MS, ol.ExecP99MS)
+		}
+	}
+	if len(lr.SlowTraces) > 0 {
+		b.WriteString("\nSlowest reads (span traces):\n\n```\n")
+		for i, tr := range lr.SlowTraces {
+			fmt.Fprintf(&b, "%d. %s  %.1f ms\n", i+1, tr.Key, tr.TotalMS)
+			for _, sp := range tr.Spans {
+				fmt.Fprintf(&b, "   %-22s +%7.2f ms %8.2f ms", sp.Name, sp.StartMS, sp.DurMS)
+				if sp.Chunks > 0 {
+					fmt.Fprintf(&b, "  %d chunks / %d B", sp.Chunks, sp.Bytes)
+				}
+				if sp.Err != "" {
+					fmt.Fprintf(&b, "  err=%s", sp.Err)
+				}
+				b.WriteString("\n")
+			}
+		}
+		b.WriteString("```\n")
+	}
+	return b.String()
+}
+
+// OpLatency is one opcode's latency profile on the measured cache server:
+// queue-wait and execute percentiles in milliseconds, interpolated from
+// the delta between the measurement-start and measurement-end histogram
+// scrapes the way Prometheus's histogram_quantile would.
+type OpLatency struct {
+	Op         string  `json:"op"`
+	Count      uint64  `json:"count"`
+	QueueP50MS float64 `json:"queue_p50_ms"`
+	QueueP99MS float64 `json:"queue_p99_ms"`
+	ExecP50MS  float64 `json:"exec_p50_ms"`
+	ExecP99MS  float64 `json:"exec_p99_ms"`
 }
 
 // RunLiveSmoke replays the scenario's first phase against the localhost
@@ -102,7 +169,7 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 	sched.SetEpoch(time.Now().Add(24 * time.Hour))
 
 	chunkBytes := int64(opts.ObjectBytes/opts.K + 1)
-	boot := func(clientRegion geo.RegionID, sched *netsim.Schedule) (*live.Cluster, error) {
+	boot := func(clientRegion geo.RegionID, sched *netsim.Schedule, metricsAddr string) (*live.Cluster, error) {
 		return live.StartCluster(live.ClusterConfig{
 			Regions:        geo.DefaultRegions(),
 			K:              opts.K,
@@ -114,9 +181,12 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 			DelayScale:     opts.DelayScale,
 			Schedule:       sched,
 			DigestPeriod:   100 * time.Millisecond,
+			MetricsAddr:    metricsAddr,
 		})
 	}
-	cluster, err := boot(region, sched)
+	// Only the measured cluster exposes /metrics: the runner scrapes it at
+	// the phase boundaries to derive the per-opcode latency table.
+	cluster, err := boot(region, sched, "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q live: %w", spec.Name, err)
 	}
@@ -141,7 +211,7 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 	var peer *live.Cluster
 	if len(spec.PeerRegions) > 0 {
 		peerRegion, _ := geo.ParseRegion(spec.PeerRegions[0])
-		peer, err = boot(peerRegion, nil)
+		peer, err = boot(peerRegion, nil, "")
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q live peer: %w", spec.Name, err)
 		}
@@ -188,10 +258,16 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 	peerLat := stats.NewLatencySummary(opts.Ops)
 	wanLat := stats.NewLatencySummary(opts.Ops)
 	warmup := opts.Ops / 3
+	var scrapeStart []metrics.Family
 	for i := 0; i < warmup+opts.Ops; i++ {
 		if i == warmup {
-			// Measurement starts here: activate the phase's chaos events.
+			// Measurement starts here: activate the phase's chaos events
+			// and snapshot /metrics so the latency table covers only the
+			// measured window.
 			sched.SetEpoch(time.Now())
+			if scrapeStart, err = scrapeMetrics(cluster.MetricsAddr()); err != nil {
+				return nil, fmt.Errorf("scenario %q live scrape: %w", spec.Name, err)
+			}
 		}
 		key := workload.KeyName(gen.Next())
 		_, info, err := reader.ReadDetailed(key)
@@ -210,8 +286,23 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 		} else if info.CacheChunks == 0 {
 			wanLat.Add(info.Latency)
 		}
+		if opts.Traces > 0 && info.Trace != nil {
+			res.SlowTraces = append(res.SlowTraces, *info.Trace)
+			sort.Slice(res.SlowTraces, func(a, b int) bool {
+				return res.SlowTraces[a].TotalMS > res.SlowTraces[b].TotalMS
+			})
+			if len(res.SlowTraces) > opts.Traces {
+				res.SlowTraces = res.SlowTraces[:opts.Traces]
+			}
+		}
 	}
 	res.Latency = lat.Summarize()
+
+	scrapeEnd, err := scrapeMetrics(cluster.MetricsAddr())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q live scrape: %w", spec.Name, err)
+	}
+	res.OpLatencies = opLatencies(scrapeStart, scrapeEnd)
 
 	if peer != nil {
 		s := peerLat.Summarize()
@@ -230,6 +321,71 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// scrapeMetrics fetches and parses a cluster's /metrics endpoint — the
+// same wire path an external Prometheus scraper would take, so the live
+// runner exercises exposition and parsing end to end.
+func scrapeMetrics(addr string) ([]metrics.Family, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: %s", addr, resp.Status)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+// opLatencies diffs the measurement-start and measurement-end scrapes and
+// derives the cache server's per-opcode queue-wait and execute percentiles
+// from the histogram deltas, in opcode order.
+func opLatencies(start, end []metrics.Family) []OpLatency {
+	ex, ok := metrics.SelectFamily(end, metrics.NameServerOpExecute)
+	if !ok {
+		return nil
+	}
+	qw, _ := metrics.SelectFamily(end, metrics.NameServerOpQueueWait)
+	ex0, _ := metrics.SelectFamily(start, metrics.NameServerOpExecute)
+	qw0, _ := metrics.SelectFamily(start, metrics.NameServerOpQueueWait)
+
+	sel := func(f metrics.Family, s metrics.Sample) map[string]string {
+		m := make(map[string]string, len(f.Labels))
+		for i, name := range f.Labels {
+			if i < len(s.LabelValues) {
+				m[name] = s.LabelValues[i]
+			}
+		}
+		return m
+	}
+	var out []OpLatency
+	for _, s := range ex.Samples {
+		labels := sel(ex, s)
+		if labels["server"] != "cache" {
+			continue
+		}
+		prev, _ := metrics.SelectSample(ex0, labels)
+		d := metrics.DeltaSample(s, prev)
+		if d.Count == 0 {
+			continue
+		}
+		ol := OpLatency{
+			Op:        labels["op"],
+			Count:     d.Count,
+			ExecP50MS: 1000 * metrics.Quantile(ex.Buckets, d, 0.50),
+			ExecP99MS: 1000 * metrics.Quantile(ex.Buckets, d, 0.99),
+		}
+		if qs, ok := metrics.SelectSample(qw, labels); ok {
+			q0, _ := metrics.SelectSample(qw0, labels)
+			qd := metrics.DeltaSample(qs, q0)
+			ol.QueueP50MS = 1000 * metrics.Quantile(qw.Buckets, qd, 0.50)
+			ol.QueueP99MS = 1000 * metrics.Quantile(qw.Buckets, qd, 0.99)
+		}
+		out = append(out, ol)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
 }
 
 // loadWorkingSet fills the smoke working set — opts.Objects objects of the

@@ -1,0 +1,77 @@
+package store
+
+import (
+	"context"
+	"time"
+
+	"github.com/agardist/agar/internal/metrics"
+)
+
+// WithMetrics wraps any adapter so every BlobStore call observes its
+// latency into the registry's agar_blob_op_seconds histogram, labelled by
+// adapter kind and operation. Chaos-injected delay counts — the histogram
+// measures what callers actually wait, the way a client-side S3 SDK metric
+// would. Stats/List/Close are instrumented too: on a remote gateway they
+// are real round trips.
+func WithMetrics(bs BlobStore, reg *metrics.Registry, adapter string) BlobStore {
+	vec := reg.NewHistogramVec(metrics.NameBlobOpSeconds,
+		"Latency of one blob-store adapter call, chaos and gateway round trips included.",
+		metrics.DefBuckets, "adapter", "op")
+	return &metered{
+		inner:  bs,
+		put:    vec.With(adapter, "put"),
+		get:    vec.With(adapter, "get"),
+		getN:   vec.With(adapter, "get_multi"),
+		del:    vec.With(adapter, "delete"),
+		delObj: vec.With(adapter, "delete_object"),
+		list:   vec.With(adapter, "list"),
+		stats:  vec.With(adapter, "stats"),
+	}
+}
+
+type metered struct {
+	inner BlobStore
+
+	put, get, getN, del, delObj, list, stats *metrics.Histogram
+}
+
+func (m *metered) observe(h *metrics.Histogram, start time.Time) {
+	h.ObserveDuration(time.Since(start))
+}
+
+func (m *metered) PutChunk(ctx context.Context, bucket string, id ChunkID, data []byte) error {
+	defer m.observe(m.put, time.Now())
+	return m.inner.PutChunk(ctx, bucket, id, data)
+}
+
+func (m *metered) GetChunk(ctx context.Context, bucket string, id ChunkID) ([]byte, error) {
+	defer m.observe(m.get, time.Now())
+	return m.inner.GetChunk(ctx, bucket, id)
+}
+
+func (m *metered) GetChunks(ctx context.Context, bucket, key string, indices []int) (map[int][]byte, error) {
+	defer m.observe(m.getN, time.Now())
+	return m.inner.GetChunks(ctx, bucket, key, indices)
+}
+
+func (m *metered) DeleteChunk(ctx context.Context, bucket string, id ChunkID) (bool, error) {
+	defer m.observe(m.del, time.Now())
+	return m.inner.DeleteChunk(ctx, bucket, id)
+}
+
+func (m *metered) DeleteObject(ctx context.Context, bucket, key string) (int, error) {
+	defer m.observe(m.delObj, time.Now())
+	return m.inner.DeleteObject(ctx, bucket, key)
+}
+
+func (m *metered) List(ctx context.Context, bucket string) ([]string, error) {
+	defer m.observe(m.list, time.Now())
+	return m.inner.List(ctx, bucket)
+}
+
+func (m *metered) Stats(ctx context.Context, bucket string) (Stats, error) {
+	defer m.observe(m.stats, time.Now())
+	return m.inner.Stats(ctx, bucket)
+}
+
+func (m *metered) Close() error { return m.inner.Close() }
