@@ -231,6 +231,14 @@ func run() int {
 			return 1
 		}
 		mdPath := filepath.Join(*out, "SCENARIOS.md")
+		// agar-bench -load maintains a marker-fenced saturation-sweep section
+		// in the same file; carry it forward verbatim so a suite rerun never
+		// erases the latest load curve.
+		if old, err := os.ReadFile(mdPath); err == nil {
+			if block, ok := scenario.ExtractMarked(string(old), scenario.LoadSectionBegin, scenario.LoadSectionEnd); ok {
+				md.WriteString("\n" + block + "\n")
+			}
+		}
 		if err := os.WriteFile(mdPath, []byte(md.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "agar-suite: %v\n", err)
 			return 1

@@ -1,0 +1,142 @@
+// Command benchdiff compares two `go test -bench` outputs and fails on
+// regressions, so CI can gate pull requests on the paired hot-path
+// benchmarks instead of eyeballing them.
+//
+// Each input is the raw stdout of a bench run (ideally with -count=N; the
+// median per metric is compared, which shrugs off one noisy run).
+// Benchmarks present in only one file are reported and skipped; an empty
+// intersection passes, so the gate is a no-op until both sides carry the
+// same benchmarks.
+//
+// Usage:
+//
+//	go test -bench 'MGetReply' -count 5 ./internal/live > old.txt
+//	... apply change ...
+//	go test -bench 'MGetReply' -count 5 ./internal/live > new.txt
+//	benchdiff -threshold 0.10 old.txt new.txt
+//
+// The exit code is 0 when every gated metric (ns/op and B/op by default)
+// stays within threshold, 1 on any regression, 2 on invalid usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.10, "relative regression that fails the gate (0.10 = +10%)")
+		gate      = flag.String("gate", "ns/op,B/op", "comma-separated metrics that fail the gate when they regress")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-gate ns/op,B/op] old.txt new.txt")
+		os.Exit(2)
+	}
+	oldRuns, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	newRuns, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	gated := map[string]bool{}
+	for _, m := range strings.Split(*gate, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			gated[m] = true
+		}
+	}
+
+	rows, regressions := diff(oldRuns, newRuns, gated, *threshold)
+	if len(rows) == 0 {
+		fmt.Println("benchdiff: no benchmarks in common — nothing to gate")
+		return
+	}
+	fmt.Printf("%-40s %-10s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, r := range rows {
+		flag := ""
+		if r.regressed {
+			flag = "  REGRESSED"
+		}
+		fmt.Printf("%-40s %-10s %14.2f %14.2f %+7.1f%%%s\n", r.name, r.metric, r.old, r.new, 100*r.delta, flag)
+	}
+	for name := range union(oldRuns, newRuns) {
+		_, inOld := oldRuns[name]
+		_, inNew := newRuns[name]
+		if !inOld || !inNew {
+			fmt.Printf("benchdiff: %s present on one side only — skipped\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %+.0f%%\n", regressions, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok, %d compared metric(s) within %+.0f%%\n", len(rows), 100**threshold)
+}
+
+// row is one compared (benchmark, metric) pair.
+type row struct {
+	name, metric string
+	old, new     float64
+	delta        float64
+	regressed    bool
+}
+
+// diff medians both sides and compares every metric the benchmarks share,
+// flagging gated metrics that grew beyond the threshold. Rows sort by
+// benchmark then metric so the gate's output is diffable run to run.
+func diff(oldRuns, newRuns map[string]map[string][]float64, gated map[string]bool, threshold float64) ([]row, int) {
+	var rows []row
+	regressions := 0
+	for name, oldMetrics := range oldRuns {
+		newMetrics, ok := newRuns[name]
+		if !ok {
+			continue
+		}
+		for metric, oldSamples := range oldMetrics {
+			newSamples, ok := newMetrics[metric]
+			if !ok {
+				continue
+			}
+			o, n := median(oldSamples), median(newSamples)
+			r := row{name: name, metric: metric, old: o, new: n}
+			if o > 0 {
+				r.delta = (n - o) / o
+			}
+			if gated[metric] && o > 0 && r.delta > threshold {
+				r.regressed = true
+				regressions++
+			}
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].name != rows[j].name {
+			return rows[i].name < rows[j].name
+		}
+		return rows[i].metric < rows[j].metric
+	})
+	return rows, regressions
+}
+
+func union(a, b map[string]map[string][]float64) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const sampleRun = `goos: linux
+goarch: amd64
+BenchmarkMGetReplyLegacy-8   	    1000	     25000 ns/op	  500000 MB/s	    4096 B/op	      25 allocs/op
+BenchmarkMGetReplyLegacy-8   	    1000	     27000 ns/op	  480000 MB/s	    4100 B/op	      25 allocs/op
+BenchmarkMGetReplyLegacy-8   	    1000	     26000 ns/op	  490000 MB/s	    4098 B/op	      25 allocs/op
+BenchmarkMGetReplyPooled-8   	    2000	     12000 ns/op	  900000 MB/s	    1024 B/op	       7 allocs/op
+PASS
+ok  	github.com/agardist/agar/internal/live	1.234s
+`
+
+func TestParseFileMediansPerCountRun(t *testing.T) {
+	runs, err := parseFile(writeBench(t, "a.txt", sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, ok := runs["BenchmarkMGetReplyLegacy-8"]
+	if !ok {
+		t.Fatalf("legacy benchmark not parsed: %v", runs)
+	}
+	if got := len(legacy["ns/op"]); got != 3 {
+		t.Fatalf("ns/op samples = %d, want 3", got)
+	}
+	if m := median(legacy["ns/op"]); m != 26000 {
+		t.Fatalf("median ns/op = %v, want 26000", m)
+	}
+	if m := median(runs["BenchmarkMGetReplyPooled-8"]["allocs/op"]); m != 7 {
+		t.Fatalf("pooled allocs/op = %v, want 7", m)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	pkg	1.2s",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("parsed non-result line %q", line)
+		}
+	}
+}
+
+func TestDiffFlagsGatedRegressions(t *testing.T) {
+	oldRuns := map[string]map[string][]float64{
+		"BenchmarkX-8":       {"ns/op": {100}, "B/op": {1000}, "allocs/op": {10}},
+		"BenchmarkOldOnly-8": {"ns/op": {5}},
+	}
+	newRuns := map[string]map[string][]float64{
+		"BenchmarkX-8":       {"ns/op": {105}, "B/op": {1300}, "allocs/op": {50}},
+		"BenchmarkNewOnly-8": {"ns/op": {5}},
+	}
+	gated := map[string]bool{"ns/op": true, "B/op": true}
+	rows, regressions := diff(oldRuns, newRuns, gated, 0.10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (B/op +30%%; ns/op +5%% within threshold; allocs ungated)", regressions)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (only the shared benchmark compares)", len(rows))
+	}
+	for _, r := range rows {
+		wantRegressed := r.metric == "B/op"
+		if r.regressed != wantRegressed {
+			t.Errorf("%s %s regressed=%v, want %v", r.name, r.metric, r.regressed, wantRegressed)
+		}
+	}
+}
+
+func TestDiffEmptyIntersectionPasses(t *testing.T) {
+	rows, regressions := diff(
+		map[string]map[string][]float64{"BenchmarkA-8": {"ns/op": {1}}},
+		map[string]map[string][]float64{"BenchmarkB-8": {"ns/op": {1}}},
+		map[string]bool{"ns/op": true}, 0.10)
+	if len(rows) != 0 || regressions != 0 {
+		t.Fatalf("rows=%d regressions=%d, want 0/0", len(rows), regressions)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("median(nil) = %v, want 0", m)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseFile reads one `go test -bench` output into
+// benchmark name -> metric ("ns/op", "B/op", ...) -> samples, one sample
+// per -count run. The trailing "-8" GOMAXPROCS suffix is kept as part of
+// the name: two runs on differently-sized machines should not compare.
+func parseFile(path string) (map[string]map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		name, metrics, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		byMetric := out[name]
+		if byMetric == nil {
+			byMetric = map[string][]float64{}
+			out[name] = byMetric
+		}
+		for metric, v := range metrics {
+			byMetric[metric] = append(byMetric[metric], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// parseLine decodes one result line of the standard bench format:
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op
+//
+// Non-benchmark lines (headers, PASS, ok) report !ok.
+func parseLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false // second field must be the iteration count
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return fields[0], metrics, true
+}
+
+// median returns the middle sample (mean of the middle two when even).
+// It reorders its input.
+func median(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	mid := len(samples) / 2
+	if len(samples)%2 == 1 {
+		return samples[mid]
+	}
+	return (samples[mid-1] + samples[mid]) / 2
+}

@@ -46,6 +46,7 @@ func main() {
 		peers    = flag.String("peers", "", "cooperative peers: region=host:port@latency[,...]")
 		digest   = flag.Duration("digest-period", time.Second, "how often residency digests push to peers")
 		metricsA = flag.String("metrics-addr", "", "serve Prometheus-format /metrics on this address (off when empty)")
+		splitMin = flag.Int("split-min-bytes", 0, "shard dispatch: multi-shard batches below this many body bytes route whole instead of splitting (0 = always split)")
 	)
 	flag.Parse()
 
@@ -80,7 +81,7 @@ func main() {
 	table := coop.NewTable()
 	reg := metrics.NewRegistry()
 	srv, err := live.NewCacheServerOpts(*addr, store, table, live.ServerOptions{
-		Dispatch: mode, Registry: reg, Region: *region,
+		Dispatch: mode, Registry: reg, Region: *region, SplitMinBytes: *splitMin,
 	})
 	if err != nil {
 		fatalf("%v", err)

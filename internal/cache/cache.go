@@ -276,6 +276,45 @@ func (c *Cache) Get(id EntryID) ([]byte, error) {
 	return out, nil
 }
 
+// GetAppend appends the chunk's bytes to dst and reports whether the chunk
+// was resident, counting the lookup exactly like Get. The copy happens
+// under the shard lock into caller-owned storage, so a batched read can
+// collect every found chunk into one reusable buffer instead of allocating
+// per chunk — the cache server's pooled mget reply path. The returned
+// slice is dst extended (reallocated by append when dst lacks capacity);
+// on a miss dst is returned unchanged.
+func (c *Cache) GetAppend(id EntryID, dst []byte) ([]byte, bool) {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.gets.Add(1)
+	e, ok := s.entries[id]
+	if !ok {
+		return dst, false
+	}
+	s.stats.hits.Add(1)
+	s.policy.Accessed(e)
+	return append(dst, e.data...), true
+}
+
+// MeanEntryBytes estimates the average resident chunk size — resident
+// bytes over resident entries, folded across shards without locking. Zero
+// before anything is cached. The live server sizes pooled reply buffers
+// and byte-threshold batch-split decisions from it.
+func (c *Cache) MeanEntryBytes() int {
+	var used, n int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		used += s.used
+		n += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	if n == 0 {
+		return 0
+	}
+	return int(used / n)
+}
+
 // Contains reports chunk residency without counting as an access.
 func (c *Cache) Contains(id EntryID) bool {
 	s := c.shardFor(id)

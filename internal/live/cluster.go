@@ -57,6 +57,11 @@ type ClusterConfig struct {
 	// per-connection serialized loops kept as the paired baseline
 	// (DispatchConn).
 	Dispatch Dispatch
+	// SplitMinBytes is the cache server's size-aware batch-split threshold
+	// (ServerOptions.SplitMinBytes): multi-shard batches estimated below
+	// this many body bytes route whole to one shard worker instead of
+	// fanning out. Zero always splits.
+	SplitMinBytes int
 	// MetricsAddr, when non-empty, serves the cluster's shared metrics
 	// registry over HTTP at /metrics (Prometheus text format) — every
 	// server's families plus the client read path's, in one scrape.
@@ -193,6 +198,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.adv = coop.NewAdvertiser(cfg.ClientRegion.String(), c.node.Cache(), cfg.DigestPeriod)
 	if c.cacheSrv, err = NewCacheServerOpts("127.0.0.1:0", c.node.Cache(), c.table, ServerOptions{
 		Dispatch: cfg.Dispatch, Registry: c.reg, Region: cfg.ClientRegion.String(),
+		SplitMinBytes: cfg.SplitMinBytes,
 	}); err != nil {
 		return fail(err)
 	}

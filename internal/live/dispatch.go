@@ -94,13 +94,38 @@ type router interface {
 // growing without bound.
 const dispatchQueueDepth = 128
 
+// task is one unit of shard-worker work: a request, where its reply goes,
+// and — for split-batch parts — the shared fan-in state. Tasks travel by
+// value through the worker channels, so enqueueing an op allocates nothing
+// (the old closure-per-op queues allocated one closure plus captures per
+// frame; at saturation that alloc was the dispatch layer's whole profile).
+type task struct {
+	req   wire.Message
+	reply chan<- wire.Message
+	// t0 is the enqueue time for the queue-wait histogram; zero when the
+	// server runs uninstrumented (time.Now stays off the hot path).
+	t0  time.Time
+	fan *fanState
+	fi  int
+}
+
+// fanState is the shared countdown of one split batch: the last part to
+// finish merges the fragments and sends the reply. One allocation per
+// split batch, instead of the former one closure per part.
+type fanState struct {
+	resps     []wire.Message
+	remaining atomic.Int32
+	merge     mergeFunc
+	reply     chan<- wire.Message
+}
+
 // dispatcher owns one worker goroutine per shard, each draining its own
 // bounded queue. Ops for one shard execute in enqueue order on that shard's
 // worker; ops for different shards execute concurrently.
 type dispatcher struct {
 	handle handler
 	rt     router
-	queues []chan func()
+	queues []chan task
 	wg     sync.WaitGroup
 	// gauge tracks tasks enqueued but not yet finished — the
 	// dispatch_queue_depth gauge OpStats reports. Shared with the handler,
@@ -123,27 +148,56 @@ func newDispatcher(h handler, rt router, gauge *atomic.Int64, sm *serverMetrics)
 	if n < 1 {
 		n = 1
 	}
-	d := &dispatcher{handle: h, rt: rt, gauge: gauge, sm: sm, queues: make([]chan func(), n),
+	d := &dispatcher{handle: h, rt: rt, gauge: gauge, sm: sm, queues: make([]chan task, n),
 		parallel: runtime.GOMAXPROCS(0) > 1}
 	for i := range d.queues {
-		d.queues[i] = make(chan func(), dispatchQueueDepth)
+		d.queues[i] = make(chan task, dispatchQueueDepth)
 		d.wg.Add(1)
 		go d.worker(d.queues[i])
 	}
 	return d
 }
 
-func (d *dispatcher) worker(q chan func()) {
+func (d *dispatcher) worker(q chan task) {
 	defer d.wg.Done()
-	for task := range q {
-		task()
+	for t := range q {
+		d.run(t)
 		d.gauge.Add(-1)
 	}
 }
 
-func (d *dispatcher) enqueue(shard int, task func()) {
+// run executes one dequeued task: handle, observe, release the request's
+// pooled frame, and deliver the response — directly for routed ops, via
+// the fan-in countdown for split-batch parts (the atomic orders every
+// fragment write before the merge that reads them; each part observes its
+// own queue wait and execution under the batch's opcode).
+func (d *dispatcher) run(t task) {
+	var start time.Time
+	if d.sm != nil {
+		start = time.Now()
+	}
+	resp := d.handle(t.req)
+	if d.sm != nil {
+		var wait time.Duration
+		if !t.t0.IsZero() {
+			wait = start.Sub(t.t0)
+		}
+		d.sm.observe(t.req.Header.Op, wait, time.Since(start))
+	}
+	t.req.Release()
+	if t.fan != nil {
+		t.fan.resps[t.fi] = resp
+		if t.fan.remaining.Add(-1) == 0 {
+			t.fan.reply <- t.fan.merge(t.fan.resps)
+		}
+		return
+	}
+	t.reply <- resp
+}
+
+func (d *dispatcher) enqueue(shard int, t task) {
 	d.gauge.Add(1)
-	d.queues[shard] <- task
+	d.queues[shard] <- t
 }
 
 // dispatchSync executes one request on the caller's goroutine and returns
@@ -153,23 +207,30 @@ func (d *dispatcher) enqueue(shard int, task func()) {
 // their parts execute on different shards in parallel; on a single-core
 // runtime (or for everything else) the op runs inline — the shard locks
 // below the handler keep that exactly as safe as conn dispatch.
+// dispatchSync consumes the request (its pooled frame is released once
+// the handler or split no longer needs it).
 func (d *dispatcher) dispatchSync(req wire.Message) wire.Message {
 	if d.parallel && d.rt.splittable(req.Header) {
 		if parts, merge, ok := d.rt.split(req); ok {
 			// Fanned-out parts time themselves (queue wait included); no
 			// outer observation, so a split batch is never double counted.
+			// The parts carry copies, so the request frame releases now.
+			req.Release()
 			reply := make(chan wire.Message, 1)
 			d.fanOut(parts, merge, reply)
 			return <-reply
 		}
 	}
+	var start time.Time
 	if d.sm != nil {
-		start := time.Now()
-		resp := d.handle(req)
-		d.sm.observe(req.Header.Op, 0, time.Since(start))
-		return resp
+		start = time.Now()
 	}
-	return d.handle(req)
+	resp := d.handle(req)
+	if d.sm != nil {
+		d.sm.observe(req.Header.Op, 0, time.Since(start))
+	}
+	req.Release()
+	return resp
 }
 
 // dispatch schedules one decoded request and arranges for exactly one
@@ -186,63 +247,51 @@ func (d *dispatcher) dispatch(req wire.Message, reply chan<- wire.Message) {
 // goroutine — the serve loop only sends control ops here after draining
 // the connection, so execution order matches conn dispatch (a splittable
 // frame that turns out malformed also lands here, but it touches no state
-// and just produces its error reply).
+// and just produces its error reply). dispatchWith consumes the request.
 func (d *dispatcher) dispatchWith(req wire.Message, reply chan<- wire.Message, shard int, routed bool) {
 	if routed {
+		t := task{req: req, reply: reply}
 		if d.sm != nil {
-			t0 := time.Now()
-			d.enqueue(shard, func() {
-				start := time.Now()
-				resp := d.handle(req)
-				d.sm.observe(req.Header.Op, start.Sub(t0), time.Since(start))
-				reply <- resp
-			})
-			return
+			t.t0 = time.Now()
 		}
-		d.enqueue(shard, func() { reply <- d.handle(req) })
+		d.enqueue(shard, t)
 		return
 	}
 	if parts, merge, ok := d.rt.split(req); ok {
+		req.Release() // parts carry copies
 		d.fanOut(parts, merge, reply)
 		return
 	}
+	var start time.Time
 	if d.sm != nil {
-		start := time.Now()
-		resp := d.handle(req)
-		d.sm.observe(req.Header.Op, 0, time.Since(start))
-		reply <- resp
-		return
+		start = time.Now()
 	}
-	reply <- d.handle(req)
+	resp := d.handle(req)
+	if d.sm != nil {
+		d.sm.observe(req.Header.Op, 0, time.Since(start))
+	}
+	req.Release()
+	reply <- resp
 }
 
 // fanOut runs a split batch's parts on their shard workers and has the last
-// part to finish merge the fragments into the reply. The atomic countdown
-// orders every fragment write before the merge that reads them. Each part
-// observes its own queue wait and execution under the batch's opcode — a
-// split mget shows up as one histogram observation per shard part.
+// part to finish merge the fragments into the reply. A single-part split —
+// every chunk on one shard after all — skips the fan-in state and merge
+// entirely and completes inline on its shard worker: the part carries the
+// whole batch, so its handler reply already has the merged framing.
 func (d *dispatcher) fanOut(parts []part, merge mergeFunc, reply chan<- wire.Message) {
-	resps := make([]wire.Message, len(parts))
-	var remaining atomic.Int32
-	remaining.Store(int32(len(parts)))
 	var t0 time.Time
 	if d.sm != nil {
 		t0 = time.Now()
 	}
+	if len(parts) == 1 {
+		d.enqueue(parts[0].shard, task{req: parts[0].req, reply: reply, t0: t0})
+		return
+	}
+	fs := &fanState{resps: make([]wire.Message, len(parts)), merge: merge, reply: reply}
+	fs.remaining.Store(int32(len(parts)))
 	for i, p := range parts {
-		i, p := i, p
-		d.enqueue(p.shard, func() {
-			if d.sm != nil {
-				start := time.Now()
-				resps[i] = d.handle(p.req)
-				d.sm.observe(p.req.Header.Op, start.Sub(t0), time.Since(start))
-			} else {
-				resps[i] = d.handle(p.req)
-			}
-			if remaining.Add(-1) == 0 {
-				reply <- merge(resps)
-			}
-		})
+		d.enqueue(p.shard, task{req: p.req, fan: fs, fi: i, t0: t0})
 	}
 }
 

@@ -26,6 +26,17 @@ type ServerOptions struct {
 	// region shares a cluster registry without colliding. Empty is fine
 	// for standalone deployments.
 	Region string
+	// SplitMinBytes is the size-aware batch-split threshold for shard
+	// dispatch: a multi-shard mget/mput whose body weighs less than this
+	// many bytes (mput by its declared sizes, mget by chunk count times
+	// the cache's mean entry size) routes whole to its first chunk's
+	// shard worker instead of fanning out — small batches lose more to
+	// queue hops and the merge than parallel shard work buys back. Zero
+	// (the default) always splits, the legacy behaviour, which also keeps
+	// strict per-connection ordering between a batch and single-chunk ops
+	// on its other shards; a positive threshold trades that ordering for
+	// throughput on small batches. Store servers never split regardless.
+	SplitMinBytes int
 }
 
 // statSource maps one legacy wire-level OpStats key onto the registry

@@ -49,6 +49,12 @@ type Server struct {
 	handle handler
 	disp   *dispatcher // nil => conn dispatch
 	sm     *serverMetrics
+	// bp recycles frame, header, and reply-body buffers across this
+	// server's connections: every decoded request borrows its frame from
+	// here (released after the handler runs) and every reply releases its
+	// pooled header/body once the bytes leave the socket. One pool per
+	// server keeps Outstanding a per-server leak detector for tests.
+	bp *wire.BufferPool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -60,17 +66,23 @@ type Server struct {
 // with per-connection dispatch; sm (nil for the uninstrumented baseline)
 // times each op's execution.
 func newServer(addr string, h handler, sm *serverMetrics) (*Server, error) {
-	return newServerDispatch(addr, h, nil, sm)
+	return newServerDispatch(addr, h, nil, sm, nil)
 }
 
 // newShardServer starts a shard-dispatching server: rt routes ops onto
 // per-shard workers, gauge tracks the queue depth, and sm (nil for the
 // uninstrumented baseline) times queue wait and execution per op.
 func newShardServer(addr string, h handler, rt router, gauge *atomic.Int64, sm *serverMetrics) (*Server, error) {
-	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge, sm), sm)
+	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge, sm), sm, nil)
 }
 
-func newServerDispatch(addr string, h handler, disp *dispatcher, sm *serverMetrics) (*Server, error) {
+// newServerDispatch wires a server together; bp nil creates a private
+// buffer pool (cache and store servers pass the pool their handlers
+// already size reply bodies from, so one pool serves the whole server).
+func newServerDispatch(addr string, h handler, disp *dispatcher, sm *serverMetrics, bp *wire.BufferPool) (*Server, error) {
+	if bp == nil {
+		bp = wire.NewBufferPool()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		if disp != nil {
@@ -78,11 +90,16 @@ func newServerDispatch(addr string, h handler, disp *dispatcher, sm *serverMetri
 		}
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, handle: h, disp: disp, sm: sm, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handle: h, disp: disp, sm: sm, bp: bp, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// PoolOutstanding reports the server's pooled buffers currently between
+// Get and Put — the leak-detection hook: a quiesced server (every request
+// answered, every reply written) must report zero.
+func (s *Server) PoolOutstanding() int64 { return s.bp.Outstanding() }
 
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -163,7 +180,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, connReadBuffer)
 	for {
-		req, err := wire.Read(br)
+		req, err := wire.ReadPooled(br, s.bp)
 		if err != nil {
 			return
 		}
@@ -175,7 +192,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		} else {
 			resp = s.handle(req)
 		}
-		if err := wire.Write(conn, resp); err != nil {
+		req.Release()
+		if err := wire.WriteVectored(conn, resp, s.bp); err != nil {
 			return
 		}
 	}
@@ -271,19 +289,21 @@ func (s *Server) serveConnShard(conn net.Conn) {
 		broken := false
 		for reply := range pending {
 			resp := <-reply
-			if !broken && wire.Write(conn, resp) != nil {
+			if broken {
+				resp.Release() // pooled reply bodies must not leak with the conn
+			} else if wire.WriteVectored(conn, resp, s.bp) != nil {
 				broken = true // keep draining so in-flight ops are accounted
 			}
 			window.dec()
 		}
 	}()
 	for {
-		req, err := wire.Read(br)
+		req, err := wire.ReadPooled(br, s.bp)
 		if err != nil {
 			break
 		}
 		if window.idle() && br.Buffered() == 0 {
-			if wire.Write(conn, s.disp.dispatchSync(req)) != nil {
+			if wire.WriteVectored(conn, s.disp.dispatchSync(req), s.bp) != nil {
 				break
 			}
 			continue
@@ -296,7 +316,7 @@ func (s *Server) serveConnShard(conn net.Conn) {
 			// inline; the writer is idle once the window drains, so the
 			// reader writes the reply itself.
 			window.waitIdle()
-			if wire.Write(conn, s.disp.dispatchSync(req)) != nil {
+			if wire.WriteVectored(conn, s.disp.dispatchSync(req), s.bp) != nil {
 				break
 			}
 			continue
@@ -401,11 +421,13 @@ func storeHandler(store *backend.Store, sm *serverMetrics) handler {
 			if len(found) == 0 {
 				return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 			}
-			indices, sizes, body, err := wire.PackBatch(found)
+			// The adapter-returned chunks go out as body segments — one
+			// vectored write, no copy into a contiguous frame.
+			indices, sizes, segs, err := wire.PackBatchViews(found)
 			if err != nil {
 				return wire.ErrorMessage(err)
 			}
-			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Body: body}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Segments: segs}
 		case wire.OpDelete:
 			if _, err := store.DeleteChecked(id); err != nil {
 				return wire.ErrorMessage(err)
@@ -464,22 +486,67 @@ func NewCacheServerOpts(addr string, c *cache.Cache, table *coop.Table, opts Ser
 	}
 	gauge := new(atomic.Int64)
 	sm := newCacheServerMetrics(reg, opts.Region, c, table, gauge)
-	h := cacheHandler(c, table, sm)
+	bp := wire.NewBufferPool()
+	h := cacheHandler(c, table, sm, bp)
 	if opts.Dispatch == DispatchConn {
-		return newServer(addr, h, sm)
+		return newServerDispatch(addr, h, nil, sm, bp)
 	}
-	return newShardServer(addr, h, cacheRouter{c: c}, gauge, sm)
+	rt := &cacheRouter{c: c, splitMin: opts.SplitMinBytes}
+	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge, sm), sm, bp)
 }
 
 // cacheRouter routes cache ops onto the cache's own shards.
-type cacheRouter struct{ c *cache.Cache }
+type cacheRouter struct {
+	c *cache.Cache
+	// splitMin is the byte threshold below which a multi-shard batch
+	// routes whole instead of fanning out (ServerOptions.SplitMinBytes);
+	// zero always splits.
+	splitMin int
+	// meanEntry caches the cache's mean chunk size for batch byte
+	// estimates, refreshed every meanEntryRefresh routing decisions —
+	// MeanEntryBytes walks every shard lock, far too heavy per frame.
+	meanEntry atomic.Int64
+	estTick   atomic.Uint64
+}
 
-func (r cacheRouter) shards() int { return r.c.ShardCount() }
+// meanEntryRefresh is how many batch-spread estimates reuse one cached
+// mean entry size before rereading it from the cache.
+const meanEntryRefresh = 512
+
+func (r *cacheRouter) shards() int { return r.c.ShardCount() }
+
+// batchBytes estimates a batch frame's body weight for the split
+// threshold: mput declares exact per-chunk sizes in its header; mget is
+// estimated as chunk count times the cache's mean entry size.
+func (r *cacheRouter) batchBytes(h wire.Header) int {
+	if h.Op == wire.OpMPut {
+		total := 0
+		for _, s := range h.Sizes {
+			total += s
+		}
+		return total
+	}
+	if r.estTick.Add(1)%meanEntryRefresh == 1 {
+		r.meanEntry.Store(int64(r.c.MeanEntryBytes()))
+	}
+	return len(h.Indices) * int(r.meanEntry.Load())
+}
+
+// shouldSplit applies the size-aware split policy: batches below the
+// configured byte threshold stay whole — the fan-out's queue hops and
+// merge cost more than the parallel shard work saves on small frames.
+// Zero threshold preserves the legacy always-split behaviour, which also
+// keeps the strict per-connection ordering guarantee: a routed-whole
+// multi-shard batch executes on its first chunk's shard worker, so it no
+// longer serializes against single-chunk ops of its other shards.
+func (r *cacheRouter) shouldSplit(h wire.Header) bool {
+	return r.splitMin <= 0 || r.batchBytes(h) >= r.splitMin
+}
 
 // batchShards computes a batch's shard spread from the header alone — no
 // body unpacking — returning the single shard when every chunk stripes to
 // one (the whole frame then routes like a single-shard op).
-func (r cacheRouter) batchShards(key string, indices []int) (shard int, single bool) {
+func (r *cacheRouter) batchShards(key string, indices []int) (shard int, single bool) {
 	shard = -1
 	for _, idx := range indices {
 		s := r.c.ShardIndex(cache.EntryID{Key: key, Index: idx})
@@ -492,7 +559,7 @@ func (r cacheRouter) batchShards(key string, indices []int) (shard int, single b
 	return shard, shard >= 0
 }
 
-func (r cacheRouter) route(h wire.Header) (int, bool) {
+func (r *cacheRouter) route(h wire.Header) (int, bool) {
 	switch h.Op {
 	case wire.OpGet, wire.OpPut, wire.OpDelete:
 		return r.c.ShardIndex(cache.EntryID{Key: h.Key, Index: h.Index}), true
@@ -506,25 +573,34 @@ func (r cacheRouter) route(h wire.Header) (int, bool) {
 		if s, single := r.batchShards(h.Key, h.Indices); single {
 			return s, true
 		}
+		if !r.shouldSplit(h) {
+			// Below the split threshold: the whole batch runs on its first
+			// chunk's shard worker, skipping the fan-out machinery.
+			return r.c.ShardIndex(cache.EntryID{Key: h.Key, Index: h.Indices[0]}), true
+		}
 	}
 	return 0, false
 }
 
-func (r cacheRouter) splittable(h wire.Header) bool {
+func (r *cacheRouter) splittable(h wire.Header) bool {
 	return h.Op == wire.OpMGet || h.Op == wire.OpMPut
 }
 
 // split fans multi-shard batch frames out one part per shard. Single-shard
 // batches return ok=false — they run whole, inline on the fast path or on
-// their shard's worker via route — as do malformed batches (over-limit,
-// inconsistent framing), which fall through to the ordinary handler for
-// its usual error reply without touching state. The spread check reads
-// only the header, so no body is unpacked for frames that will not split.
-func (r cacheRouter) split(m wire.Message) ([]part, mergeFunc, bool) {
+// their shard's worker via route — as do batches below the split-size
+// threshold and malformed batches (over-limit, inconsistent framing),
+// which fall through to the ordinary handler for its usual error reply
+// without touching state. The spread check reads only the header, so no
+// body is unpacked for frames that will not split.
+func (r *cacheRouter) split(m wire.Message) ([]part, mergeFunc, bool) {
 	if len(m.Header.Indices) == 0 || len(m.Header.Indices) > wire.MaxBatchChunks {
 		return nil, nil, false
 	}
 	if _, single := r.batchShards(m.Header.Key, m.Header.Indices); single {
+		return nil, nil, false
+	}
+	if !r.shouldSplit(m.Header) {
 		return nil, nil, false
 	}
 	switch m.Header.Op {
@@ -570,36 +646,68 @@ func (r cacheRouter) split(m wire.Message) ([]part, mergeFunc, bool) {
 	return nil, nil, false
 }
 
-// mergeMGet reassembles a split mget's reply: union the per-shard found
-// chunks and re-pack, restoring the global ascending-index ordering — the
-// byte-identical reply an unsplit mget produces.
+// mergeMGet reassembles a split mget's reply without copying a byte: the
+// fragments' chunks become body segments of the merged message, sorted
+// back into global ascending-index order — the same framing an unsplit
+// mget produces, written with one vectored syscall. The merged message
+// adopts the fragments' pooled bodies, so the single Release after the
+// reply is written frees every fragment buffer; error paths release
+// everything before returning their plain error message.
 func mergeMGet(resps []wire.Message) wire.Message {
-	found := make([]map[int][]byte, 0, len(resps))
-	for _, resp := range resps {
-		if resp.Header.Op == wire.OpError {
-			return resp
+	releaseAll := func() {
+		for i := range resps {
+			resps[i].Release()
 		}
-		if len(resp.Header.Indices) == 0 {
+	}
+	for i := range resps {
+		if resps[i].Header.Op == wire.OpError {
+			err := resps[i]
+			for j := range resps {
+				if j != i {
+					resps[j].Release()
+				}
+			}
+			return err
+		}
+	}
+	merged := wire.Message{Header: wire.Header{Op: wire.OpOK}}
+	chunks := make([]wire.BatchChunk, 0, 16)
+	for i := range resps {
+		if len(resps[i].Header.Indices) == 0 {
+			resps[i].Release()
 			continue
 		}
-		chunks, err := wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+		var err error
+		chunks, err = wire.AppendBatchViews(chunks, resps[i].Header.Indices, resps[i].Header.Sizes, resps[i].Body)
 		if err != nil {
+			merged.Release()
+			releaseAll()
 			return wire.ErrorMessage(err)
 		}
-		found = append(found, chunks)
+		merged.Adopt(&resps[i])
 	}
-	merged, err := wire.MergeBatch(found...)
-	if err != nil {
-		return wire.ErrorMessage(err)
-	}
-	if len(merged) == 0 {
+	if len(chunks) == 0 {
+		merged.Release()
 		return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 	}
-	indices, sizes, body, err := wire.PackBatch(merged)
-	if err != nil {
-		return wire.ErrorMessage(err)
+	sort.Slice(chunks, func(a, b int) bool { return chunks[a].Index < chunks[b].Index })
+	indices := make([]int, len(chunks))
+	sizes := make([]int, len(chunks))
+	segs := make([][]byte, len(chunks))
+	for i, ch := range chunks {
+		if i > 0 && ch.Index == indices[i-1] {
+			// Two shards claimed one chunk: the split was wrong.
+			merged.Release()
+			return wire.ErrorMessage(fmt.Errorf("%w: chunk %d in two batch fragments", wire.ErrBadBatch, ch.Index))
+		}
+		indices[i] = ch.Index
+		sizes[i] = len(ch.Data)
+		segs[i] = ch.Data
 	}
-	return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Body: body}
+	merged.Header.Indices = indices
+	merged.Header.Sizes = sizes
+	merged.Segments = segs
+	return merged
 }
 
 // mergeMPut reassembles a split mput's reply: the ascending union of the
@@ -621,51 +729,89 @@ func mergeMPut(resps []wire.Message) wire.Message {
 
 // cacheHandler builds the cache server's request handler; table is nil for
 // non-cooperative deployments, which reject digest frames; sm supplies the
-// registry-backed sources the OpStats reply is built from.
-func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics) handler {
+// registry-backed sources the OpStats reply is built from; bp supplies
+// pooled reply-body buffers for the get/mget hot path (the messages own
+// them, and the serve loop's WriteVectored releases them after the bytes
+// leave the socket).
+func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics, bp *wire.BufferPool) handler {
+	// est sizes pooled reply buffers from the cache's mean entry size,
+	// refreshed every meanEntryRefresh ops — MeanEntryBytes walks every
+	// shard lock, far too heavy per request. An undershot estimate only
+	// costs one append regrow; the grown buffer still returns to the pool.
+	var estTick atomic.Uint64
+	var meanEntry atomic.Int64
+	est := func() int {
+		if estTick.Add(1)%meanEntryRefresh == 1 {
+			meanEntry.Store(int64(c.MeanEntryBytes()))
+		}
+		if v := meanEntry.Load(); v > 0 {
+			return int(v)
+		}
+		return 512
+	}
 	return func(req wire.Message) wire.Message {
 		id := cache.EntryID{Key: req.Header.Key, Index: req.Header.Index}
 		switch req.Header.Op {
 		case wire.OpGet:
-			data, err := c.Get(id)
-			if errors.Is(err, cache.ErrNotFound) {
+			// The chunk copies straight into a pooled buffer under the shard
+			// lock — no per-get allocation once the pool is warm.
+			buf, ok := c.GetAppend(id, bp.Get(est())[:0])
+			if !ok {
+				bp.Put(buf)
 				return wire.Message{Header: wire.Header{Op: wire.OpNotFound}}
 			}
-			if err != nil {
-				return wire.ErrorMessage(err)
-			}
-			return wire.Message{Header: wire.Header{Op: wire.OpOK}, Body: data}
+			resp := wire.Message{Header: wire.Header{Op: wire.OpOK}, Body: buf}
+			resp.Own(bp, buf)
+			return resp
 		case wire.OpPut:
 			if err := c.Put(id, req.Body); err != nil {
 				return wire.ErrorMessage(err)
 			}
 			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 		case wire.OpMGet:
-			if len(req.Header.Indices) > wire.MaxBatchChunks {
+			n := len(req.Header.Indices)
+			if n > wire.MaxBatchChunks {
 				return wire.ErrorMessage(fmt.Errorf("cache: mget of %d chunks exceeds batch limit %d",
-					len(req.Header.Indices), wire.MaxBatchChunks))
+					n, wire.MaxBatchChunks))
 			}
-			found := make(map[int][]byte, len(req.Header.Indices))
-			for _, idx := range req.Header.Indices {
-				if data, err := c.Get(cache.EntryID{Key: req.Header.Key, Index: idx}); err == nil {
-					found[idx] = data
+			// Every found chunk appends into one pooled body under its shard
+			// lock: no per-chunk allocation, no chunk map, no PackBatch copy.
+			// Sorting the request's indices up front (the frame is ours until
+			// release) makes the reply framing ascending — byte-identical to
+			// the PackBatch layout the merge and parity tests pin down — and
+			// lets duplicate request indices collapse like the map did.
+			sort.Ints(req.Header.Indices)
+			body := bp.Get(n * est())[:0]
+			indices := make([]int, 0, n)
+			sizes := make([]int, 0, n)
+			for i, idx := range req.Header.Indices {
+				if i > 0 && idx == req.Header.Indices[i-1] {
+					continue
+				}
+				mark := len(body)
+				var ok bool
+				if body, ok = c.GetAppend(cache.EntryID{Key: req.Header.Key, Index: idx}, body); ok {
+					indices = append(indices, idx)
+					sizes = append(sizes, len(body)-mark)
 				}
 			}
 			if table != nil && req.Header.Region != "" {
 				// A foreign-region client reading through the coop mesh:
 				// account the served and advertised-but-gone chunks.
-				table.RecordPeerRead(len(found), len(req.Header.Indices)-len(found))
+				table.RecordPeerRead(len(indices), n-len(indices))
 			}
-			if len(found) == 0 {
+			if len(indices) == 0 {
+				bp.Put(body)
 				return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 			}
-			indices, sizes, body, err := wire.PackBatch(found)
-			if err != nil {
-				return wire.ErrorMessage(err)
-			}
-			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Body: body}
+			resp := wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Body: body}
+			resp.Own(bp, body)
+			return resp
 		case wire.OpMPut:
-			chunks, err := wire.UnpackBatch(req.Header.Indices, req.Header.Sizes, req.Body)
+			// Views, not copies: the chunks alias the request frame, which
+			// stays owned until after the handler returns, and c.Put copies
+			// on insert.
+			chunks, err := wire.UnpackBatchViews(req.Header.Indices, req.Header.Sizes, req.Body)
 			if err != nil {
 				return wire.ErrorMessage(err)
 			}

@@ -1,0 +1,189 @@
+// Package loadgen generates open-loop load against a live Agar cluster and
+// records coordinated-omission-safe latency curves.
+//
+// Closed-loop drivers — a fixed fleet of workers each waiting for one
+// reply before sending the next request — cannot measure a server's
+// behaviour under offered load: when the server slows down, the driver
+// slows down with it, politely hiding every queueing delay the real world
+// would have seen (the coordinated-omission trap). This package instead
+// schedules arrivals on a fixed-rate clock that does not care how the
+// server is doing: operation i is due at start + i/rate, it is sent as
+// soon as the scheduler reaches it, and its latency is measured from the
+// *scheduled* arrival time — so time an op spent waiting behind a stalled
+// connection counts against the server, exactly as a user would have
+// experienced it.
+//
+// Run drives one (rate, duration) point through a caller-supplied Issuer;
+// Sweep walks a rate ladder and assembles a Report with per-opcode
+// p50/p99/p999, achieved-vs-offered throughput, and the saturation knee —
+// the last offered rate the server still kept up with. cmd/agar-bench
+// -load is the driver that aims this at a live cluster.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Op is one scheduled operation: a kind from the configured mix and the
+// key it targets. What a kind means on the wire — which opcode, how many
+// chunk indices, what payload — is the Issuer's business; loadgen only
+// guarantees the deterministic (kind, key) sequence for a given seed.
+type Op struct {
+	Kind string
+	Key  string
+}
+
+// Issuer sends one operation and calls done exactly once when its reply
+// arrives (or the attempt fails). Issue may block for back-pressure — a
+// full pipeline window, a borrowed connection — and that blocking is
+// intentionally charged to the op's latency: the clock started at its
+// scheduled arrival, not at Issue.
+type Issuer interface {
+	Issue(op Op, done func(error))
+}
+
+// OpWeight is one entry of the operation mix.
+type OpWeight struct {
+	Kind   string
+	Weight float64
+}
+
+// Config describes one open-loop run.
+type Config struct {
+	// Rate is the offered load in operations per second.
+	Rate float64
+	// Duration is the measured window; Warmup runs first at the same rate
+	// with latencies discarded (cold caches and fresh connections would
+	// otherwise pollute the tail).
+	Duration time.Duration
+	Warmup   time.Duration
+	// Seed makes the op sequence deterministic: same seed, same mix, same
+	// key space — same (kind, key) schedule, every run.
+	Seed int64
+	// Mix weights the op kinds; picks are proportional to Weight.
+	Mix []OpWeight
+	// Keys is the key-space size; keys are "obj-0" … "obj-(Keys-1)".
+	Keys int
+	// Skew is the Zipf exponent for key popularity; values <= 1 mean
+	// uniform (rand.Zipf requires s > 1).
+	Skew float64
+	// WaitTimeout bounds how long Run waits for stragglers after the last
+	// op is issued; zero means 30 seconds.
+	WaitTimeout time.Duration
+}
+
+func (c *Config) validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("loadgen: rate %v must be positive", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration %v must be positive", c.Duration)
+	}
+	if len(c.Mix) == 0 {
+		return fmt.Errorf("loadgen: empty op mix")
+	}
+	for _, w := range c.Mix {
+		if w.Weight <= 0 || w.Kind == "" {
+			return fmt.Errorf("loadgen: bad mix entry %q=%v", w.Kind, w.Weight)
+		}
+	}
+	if c.Keys <= 0 {
+		return fmt.Errorf("loadgen: key space %d must be positive", c.Keys)
+	}
+	return nil
+}
+
+// ParseMix parses a "kind=weight,kind=weight" flag value ("get=70,mget=30")
+// into an op mix.
+func ParseMix(s string) ([]OpWeight, error) {
+	var out []OpWeight
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, weight, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix entry %q is not kind=weight", part)
+		}
+		w, err := strconv.ParseFloat(weight, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("loadgen: mix weight %q must be a positive number", weight)
+		}
+		out = append(out, OpWeight{Kind: strings.TrimSpace(kind), Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix %q", s)
+	}
+	return out, nil
+}
+
+// ParseRates parses a comma-separated offered-load ladder ("500,1000,2000")
+// into ascending ops/s values.
+func ParseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("loadgen: rate %q must be a positive number", part)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: empty rate ladder %q", s)
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// opPicker draws the deterministic op sequence: weighted kind picks and
+// Zipf-or-uniform key picks from one seeded source. Not safe for
+// concurrent use; the scheduler goroutine owns it.
+type opPicker struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	keys int
+	mix  []OpWeight
+	cum  []float64
+	tot  float64
+}
+
+func newOpPicker(cfg *Config) *opPicker {
+	p := &opPicker{rng: rand.New(rand.NewSource(cfg.Seed)), keys: cfg.Keys, mix: cfg.Mix}
+	if cfg.Skew > 1 {
+		p.zipf = rand.NewZipf(p.rng, cfg.Skew, 1, uint64(cfg.Keys-1))
+	}
+	p.cum = make([]float64, len(cfg.Mix))
+	for i, w := range cfg.Mix {
+		p.tot += w.Weight
+		p.cum[i] = p.tot
+	}
+	return p
+}
+
+func (p *opPicker) pick() Op {
+	var key uint64
+	if p.zipf != nil {
+		key = p.zipf.Uint64()
+	} else {
+		key = uint64(p.rng.Intn(p.keys))
+	}
+	r := p.rng.Float64() * p.tot
+	kind := p.mix[len(p.mix)-1].Kind
+	for i, c := range p.cum {
+		if r < c {
+			kind = p.mix[i].Kind
+			break
+		}
+	}
+	return Op{Kind: kind, Key: "obj-" + strconv.FormatUint(key, 10)}
+}

@@ -1,0 +1,51 @@
+package scenario
+
+import "strings"
+
+// SCENARIOS.md is owned by two writers: agar-suite rewrites the whole file
+// on every run, and agar-bench -load contributes one marker-fenced section
+// with the latest saturation sweep. The markers let each writer replace its
+// own block without clobbering the other's: agar-bench splices between the
+// markers (SpliceMarked), and agar-suite carries any existing marked block
+// forward verbatim when it regenerates the rest of the file
+// (ExtractMarked).
+const (
+	// LoadSectionBegin and LoadSectionEnd fence the open-loop saturation
+	// sweep section that cmd/agar-bench -load maintains in SCENARIOS.md.
+	LoadSectionBegin = "<!-- agar-bench:load:begin -->"
+	LoadSectionEnd   = "<!-- agar-bench:load:end -->"
+)
+
+// ExtractMarked returns the block of doc fenced by the begin and end
+// marker lines, markers included, and whether a complete block was found.
+// A begin without an end (or in the wrong order) reports not-found rather
+// than guessing at a truncated block.
+func ExtractMarked(doc, begin, end string) (string, bool) {
+	i := strings.Index(doc, begin)
+	if i < 0 {
+		return "", false
+	}
+	j := strings.Index(doc[i:], end)
+	if j < 0 {
+		return "", false
+	}
+	return doc[i : i+j+len(end)], true
+}
+
+// SpliceMarked replaces doc's marker-fenced block with inner (wrapped in
+// fresh markers), or appends a new fenced block at the end when doc has
+// none. The result always contains exactly the new block where the old one
+// was; text outside the markers is untouched.
+func SpliceMarked(doc, begin, end, inner string) string {
+	block := begin + "\n" + strings.TrimRight(inner, "\n") + "\n" + end
+	if old, ok := ExtractMarked(doc, begin, end); ok {
+		return strings.Replace(doc, old, block, 1)
+	}
+	if doc != "" && !strings.HasSuffix(doc, "\n") {
+		doc += "\n"
+	}
+	if doc != "" {
+		doc += "\n"
+	}
+	return doc + block + "\n"
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Buffer-pool size classes: power-of-two capacities from 512 B up to
+// MaxFrame. Frames smaller than the smallest class borrow from it; frames
+// larger than MaxFrame cannot exist (Read rejects them before allocating).
+const (
+	poolMinBits = 9  // 512 B — smaller than any chunk-bearing frame
+	poolMaxBits = 24 // 16 MiB == MaxFrame
+	poolClasses = poolMaxBits - poolMinBits + 1
+)
+
+// poolClassCap bounds how many idle buffers one size class retains. Small
+// classes (request frames, reply headers, chunk bodies) keep enough for a
+// busy server's steady state; large classes cap retained memory — a burst
+// of near-MaxFrame frames must not pin gigabytes after it passes.
+func poolClassCap(bits int) int {
+	switch {
+	case bits <= 16: // ≤ 64 KiB
+		return 64
+	case bits <= 20: // ≤ 1 MiB
+		return 8
+	default:
+		return 2
+	}
+}
+
+// BufferPool recycles frame and chunk-body buffers across the wire hot
+// path: the server borrows a buffer per decoded frame (ReadPooled), per
+// reply header (WriteVectored), and per batched reply body, and returns
+// each with Put once the bytes have left the socket.
+//
+// Free lists are bounded per size class, so a pool's retained memory is
+// capped; overflow simply falls to the garbage collector. Get and Put are
+// allocation-free for in-class sizes, which is the point.
+//
+// The contract is strict ownership: Put only what Get returned, exactly
+// once, and never touch a buffer after Put — a released frame may be
+// handed to another connection immediately. Outstanding counts buffers
+// currently held between Get and Put; tests use it as a leak detector
+// (a quiesced server must report zero).
+type BufferPool struct {
+	classes     [poolClasses]chan []byte
+	outstanding atomic.Int64
+}
+
+// NewBufferPool returns an empty pool; classes fill as buffers are released.
+func NewBufferPool() *BufferPool {
+	p := &BufferPool{}
+	for i := range p.classes {
+		p.classes[i] = make(chan []byte, poolClassCap(poolMinBits+i))
+	}
+	return p
+}
+
+// classFor returns the smallest class whose buffers hold n bytes, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<poolMinBits {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - poolMinBits
+	if c >= poolClasses {
+		return -1
+	}
+	return c
+}
+
+// Get returns a buffer of length n (capacity possibly larger), recycled
+// when the pool has one and freshly allocated otherwise. Buffers longer
+// than the largest class are allocated directly; Put simply drops them.
+func (p *BufferPool) Get(n int) []byte {
+	p.outstanding.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	select {
+	case buf := <-p.classes[c]:
+		return buf[:n]
+	default:
+		return make([]byte, n, 1<<(poolMinBits+c))
+	}
+}
+
+// Put releases a buffer obtained from Get. The buffer is binned by its
+// capacity — an append that outgrew its class returns to the larger class
+// it grew into — and dropped to the garbage collector when its class is
+// already full.
+func (p *BufferPool) Put(buf []byte) {
+	p.outstanding.Add(-1)
+	// Bin by the largest class the capacity fully covers, so a future Get
+	// from that class always has room.
+	c := bits.Len(uint(cap(buf))) - 1 - poolMinBits
+	if c < 0 || cap(buf) == 0 {
+		return
+	}
+	if c >= poolClasses {
+		c = poolClasses - 1
+	}
+	select {
+	case p.classes[c] <- buf:
+	default: // class full: let the GC have it
+	}
+}
+
+// Outstanding reports buffers currently held between Get and Put — the
+// leak-detection hook. A server that has answered every request and
+// written every reply must report zero.
+func (p *BufferPool) Outstanding() int64 { return p.outstanding.Load() }

@@ -96,9 +96,74 @@ type Header struct {
 }
 
 // Message is one protocol frame.
+//
+// The body travels either as one contiguous slice (Body) or as an ordered
+// vector of slices (Segments); their concatenation is the wire body. At
+// most one of the two is set. Segments exist so a batched reply assembled
+// from several buffers — per-shard fragments, per-chunk store results —
+// can be written with one vectored syscall (WriteVectored) instead of
+// being copied into one contiguous frame first.
+//
+// A message may own pooled buffers its Body or Segments alias (see Own);
+// whoever consumes the message — normally WriteVectored on the server
+// reply path — must Release it exactly once.
 type Message struct {
 	Header Header
 	Body   []byte
+	// Segments carries the body as a vector; nil means Body is the body.
+	Segments [][]byte
+	// owned lists the pooled buffers backing this message. Each remembers
+	// its pool, so buffers from different pools can travel in one message.
+	owned []ownedBuf
+}
+
+// ownedBuf pairs a pooled buffer with the pool that issued it.
+type ownedBuf struct {
+	pool *BufferPool
+	buf  []byte
+}
+
+// Own records a pooled buffer this message's Body or Segments alias;
+// Release returns it. Messages without owned buffers release as a no-op,
+// so callers can release uniformly.
+func (m *Message) Own(p *BufferPool, buf []byte) {
+	m.owned = append(m.owned, ownedBuf{pool: p, buf: buf})
+}
+
+// Adopt transfers from's owned buffers to m — the merge half of a split
+// batch keeps the fragment bodies its segments alias alive this way, and
+// a single Release on the merged reply frees them all.
+func (m *Message) Adopt(from *Message) {
+	m.owned = append(m.owned, from.owned...)
+	from.owned = nil
+}
+
+// Release returns every owned buffer to its pool and clears the body
+// references (they alias buffers that may be reused immediately). Exactly
+// one Release per message; messages owning nothing release as a no-op.
+func (m *Message) Release() {
+	if m.owned == nil {
+		return
+	}
+	for _, o := range m.owned {
+		o.pool.Put(o.buf)
+	}
+	m.owned = nil
+	m.Body = nil
+	m.Segments = nil
+}
+
+// BodyLen returns the wire body length: len(Body), or the summed segment
+// lengths when the body travels as a vector.
+func (m *Message) BodyLen() int {
+	if m.Segments == nil {
+		return len(m.Body)
+	}
+	n := 0
+	for _, s := range m.Segments {
+		n += len(s)
+	}
+	return n
 }
 
 // Errors returned by the codec.
@@ -114,7 +179,8 @@ var (
 	ErrBadBatch = errors.New("wire: malformed batch")
 )
 
-// Encode serialises the message into a frame.
+// Encode serialises the message into a frame, flattening Segments into the
+// contiguous body when the message carries a vectored one.
 func Encode(m Message) ([]byte, error) {
 	header, err := json.Marshal(m.Header)
 	if err != nil {
@@ -123,15 +189,21 @@ func Encode(m Message) ([]byte, error) {
 	if len(header) > 0xFFFF {
 		return nil, fmt.Errorf("wire: header too large (%d bytes)", len(header))
 	}
-	total := 2 + len(header) + len(m.Body)
+	total := 2 + len(header) + m.BodyLen()
 	if total > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
 	buf := make([]byte, 4+total)
 	binary.BigEndian.PutUint32(buf, uint32(total))
 	binary.BigEndian.PutUint16(buf[4:], uint16(len(header)))
-	copy(buf[6:], header)
-	copy(buf[6+len(header):], m.Body)
+	off := 6 + copy(buf[6:], header)
+	if m.Segments != nil {
+		for _, s := range m.Segments {
+			off += copy(buf[off:], s)
+		}
+	} else {
+		copy(buf[off:], m.Body)
+	}
 	return buf, nil
 }
 
@@ -192,6 +264,113 @@ func Read(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("wire: short frame: %w", err)
 	}
 	return Decode(frame)
+}
+
+// DecodeShared parses one frame payload like Decode, but the returned
+// message's Body aliases the frame buffer instead of copying it. The
+// caller guarantees the frame outlives every use of the body — the pooled
+// read path does so by making the message own the frame (see ReadPooled).
+func DecodeShared(frame []byte) (Message, error) {
+	if len(frame) < 2 {
+		return Message{}, fmt.Errorf("%w: %d-byte frame below minimum", ErrBadFrame, len(frame))
+	}
+	hlen := int(binary.BigEndian.Uint16(frame))
+	if 2+hlen > len(frame) {
+		return Message{}, fmt.Errorf("%w: header length %d exceeds %d-byte frame", ErrBadFrame, hlen, len(frame))
+	}
+	var h Header
+	if err := json.Unmarshal(frame[2:2+hlen], &h); err != nil {
+		return Message{}, fmt.Errorf("wire: decode header: %w", err)
+	}
+	out := Message{Header: h}
+	if body := frame[2+hlen:]; len(body) > 0 {
+		out.Body = body
+	}
+	return out, nil
+}
+
+// ReadPooled receives one message using a pooled frame buffer instead of a
+// fresh allocation per frame. The returned message's Body aliases the
+// pooled frame and the message owns it: the caller must Release the
+// message once the request has been handled (handlers copy anything they
+// retain). Every error path — oversize reject, truncation, a bad header
+// length — returns the pooled buffer before reporting, so a hostile or
+// torn stream cannot leak frames out of the pool.
+func ReadPooled(r io.Reader, p *BufferPool) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Message{}, fmt.Errorf("%w: stream ended inside the length prefix", ErrTruncated)
+		}
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return Message{}, ErrFrameTooLarge
+	}
+	frame := p.Get(int(n))
+	read, err := io.ReadFull(r, frame)
+	if err != nil {
+		p.Put(frame)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Message{}, fmt.Errorf("%w: stream ended %d bytes into a %d-byte frame", ErrTruncated, read, n)
+		}
+		return Message{}, fmt.Errorf("wire: short frame: %w", err)
+	}
+	m, err := DecodeShared(frame)
+	if err != nil {
+		p.Put(frame)
+		return Message{}, err
+	}
+	m.Own(p, frame)
+	return m, nil
+}
+
+// WriteVectored sends one message without flattening it into a contiguous
+// frame: the length prefix and JSON header go into one pooled buffer, and
+// the body — contiguous or vectored — is written alongside it with
+// net.Buffers, which is a single writev on a TCP connection. A batched
+// reply assembled as Segments therefore reaches the socket with zero body
+// copies.
+//
+// WriteVectored consumes the message: it Releases any owned pooled
+// buffers on every path, success or error, so server reply paths can hand
+// pooled responses to it unconditionally.
+func WriteVectored(w io.Writer, m Message, p *BufferPool) error {
+	header, err := json.Marshal(m.Header)
+	if err != nil {
+		m.Release()
+		return fmt.Errorf("wire: encode header: %w", err)
+	}
+	if len(header) > 0xFFFF {
+		m.Release()
+		return fmt.Errorf("wire: header too large (%d bytes)", len(header))
+	}
+	bl := m.BodyLen()
+	total := 2 + len(header) + bl
+	if total > MaxFrame {
+		m.Release()
+		return ErrFrameTooLarge
+	}
+	head := p.Get(6 + len(header))
+	binary.BigEndian.PutUint32(head, uint32(total))
+	binary.BigEndian.PutUint16(head[4:], uint16(len(header)))
+	copy(head[6:], header)
+	if bl == 0 {
+		_, err = w.Write(head)
+	} else {
+		vec := make(net.Buffers, 1, 1+max(1, len(m.Segments)))
+		vec[0] = head
+		if m.Segments != nil {
+			vec = append(vec, m.Segments...)
+		} else {
+			vec = append(vec, m.Body)
+		}
+		_, err = vec.WriteTo(w)
+	}
+	p.Put(head)
+	m.Release()
+	return err
 }
 
 // Call performs one request/response round trip on a stream connection.
@@ -302,6 +481,111 @@ func MergeIndices(parts ...[]int) ([]int, error) {
 		}
 	}
 	sort.Ints(out)
+	return out, nil
+}
+
+// PackBatchViews lays a chunk set out as batch framing without copying the
+// chunk bytes: sorted indices, per-chunk sizes, and the chunk slices
+// themselves as body segments in index order. The segments alias the map's
+// values, so the message built from them must be written before any of
+// those buffers are reused — which the server reply path does immediately
+// via WriteVectored. Limits match PackBatch.
+func PackBatchViews(chunks map[int][]byte) (indices []int, sizes []int, segments [][]byte, err error) {
+	if len(chunks) == 0 {
+		return nil, nil, nil, fmt.Errorf("%w: empty batch", ErrBadBatch)
+	}
+	if len(chunks) > MaxBatchChunks {
+		return nil, nil, nil, fmt.Errorf("%w: %d chunks exceeds limit %d", ErrBadBatch, len(chunks), MaxBatchChunks)
+	}
+	indices = make([]int, 0, len(chunks))
+	for idx := range chunks {
+		indices = append(indices, idx)
+	}
+	sort.Ints(indices)
+	sizes = make([]int, len(indices))
+	segments = make([][]byte, len(indices))
+	for i, idx := range indices {
+		sizes[i] = len(chunks[idx])
+		segments[i] = chunks[idx]
+	}
+	return indices, sizes, segments, nil
+}
+
+// BatchChunk is one chunk of a batch body viewed in place (AppendBatchViews).
+type BatchChunk struct {
+	Index int
+	Data  []byte // aliases the batch body — valid only while the body is
+}
+
+// AppendBatchViews validates a batch message's framing and appends one
+// BatchChunk per declared chunk to dst, each Data slicing the body in
+// place — no copies, no map. Unlike UnpackBatch it additionally requires
+// the indices to ascend strictly, which everything PackBatch or the cache
+// server produces satisfies; the ordering makes duplicate detection free
+// and lets a merge step sort fragment chunks without a map. The views
+// alias body: they are valid only until the frame buffer is released.
+func AppendBatchViews(dst []BatchChunk, indices, sizes []int, body []byte) ([]BatchChunk, error) {
+	if len(indices) != len(sizes) {
+		return dst, fmt.Errorf("%w: %d indices vs %d sizes", ErrBadBatch, len(indices), len(sizes))
+	}
+	if len(indices) > MaxBatchChunks {
+		return dst, fmt.Errorf("%w: %d chunks exceeds limit %d", ErrBadBatch, len(indices), MaxBatchChunks)
+	}
+	off := 0
+	for i, idx := range indices {
+		if idx < 0 {
+			return dst, fmt.Errorf("%w: negative chunk index %d", ErrBadBatch, idx)
+		}
+		if i > 0 && idx <= indices[i-1] {
+			return dst, fmt.Errorf("%w: indices not strictly ascending at %d", ErrBadBatch, idx)
+		}
+		size := sizes[i]
+		if size < 0 {
+			return dst, fmt.Errorf("%w: negative size %d for chunk %d", ErrBadBatch, size, idx)
+		}
+		if size > len(body)-off {
+			return dst, fmt.Errorf("%w: body truncated at chunk %d (%d of %d bytes)", ErrBadBatch, idx, len(body), off+size)
+		}
+		dst = append(dst, BatchChunk{Index: idx, Data: body[off : off+size]})
+		off += size
+	}
+	if off != len(body) {
+		return dst, fmt.Errorf("%w: %d trailing body bytes", ErrBadBatch, len(body)-off)
+	}
+	return dst, nil
+}
+
+// UnpackBatchViews is UnpackBatch without the copies: every returned chunk
+// aliases the body slice. Use it when the chunks are consumed before the
+// frame buffer is reused — the cache server's mput handler (the cache
+// copies on insert) and client adapters that hand the map straight to a
+// decoder. Callers that retain chunks past the frame must use UnpackBatch.
+func UnpackBatchViews(indices, sizes []int, body []byte) (map[int][]byte, error) {
+	if len(indices) != len(sizes) {
+		return nil, fmt.Errorf("%w: %d indices vs %d sizes", ErrBadBatch, len(indices), len(sizes))
+	}
+	if len(indices) > MaxBatchChunks {
+		return nil, fmt.Errorf("%w: %d chunks exceeds limit %d", ErrBadBatch, len(indices), MaxBatchChunks)
+	}
+	out := make(map[int][]byte, len(indices))
+	off := 0
+	for i, idx := range indices {
+		size := sizes[i]
+		if size < 0 {
+			return nil, fmt.Errorf("%w: negative size %d for chunk %d", ErrBadBatch, size, idx)
+		}
+		if size > len(body)-off {
+			return nil, fmt.Errorf("%w: body truncated at chunk %d (%d of %d bytes)", ErrBadBatch, idx, len(body), off+size)
+		}
+		if _, dup := out[idx]; dup {
+			return nil, fmt.Errorf("%w: duplicate chunk index %d", ErrBadBatch, idx)
+		}
+		out[idx] = body[off : off+size]
+		off += size
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing body bytes", ErrBadBatch, len(body)-off)
+	}
 	return out, nil
 }
 
