@@ -13,6 +13,7 @@ import (
 	"github.com/agardist/agar/internal/live"
 	"github.com/agardist/agar/internal/loadgen"
 	"github.com/agardist/agar/internal/scenario"
+	"github.com/agardist/agar/internal/wire"
 )
 
 // loadParams carries the -load flag set into the sweep driver.
@@ -57,12 +58,20 @@ func chunkIndexFor(key string, nchunks int) int {
 func (is *pipeIssuer) Issue(op loadgen.Op, done func(error)) {
 	c := is.clients[is.next.Add(1)%uint64(len(is.clients))]
 	go func() {
-		var err error
+		// Raw frames rather than the convenience Get/GetMulti: the issuer
+		// stamps each op's deterministic trace ID into the frame's trace
+		// header, so the report's SlowOps join against the server's
+		// /debug/traces flight recorder.
+		h := wire.Header{Key: op.Key, Trace: op.Trace}
 		switch op.Kind {
 		case "mget":
-			_, err = c.GetMulti(op.Key, is.mgetIdx)
+			h.Op, h.Indices = wire.OpMGet, is.mgetIdx
 		default: // "get"
-			_, err = c.Get(op.Key, chunkIndexFor(op.Key, is.nchunks))
+			h.Op, h.Index = wire.OpGet, chunkIndexFor(op.Key, is.nchunks)
+		}
+		resp, err := c.Go(wire.Message{Header: h}).Wait()
+		if err == nil && resp.Header.Op == wire.OpNotFound {
+			err = fmt.Errorf("load: %s %s: not found", op.Kind, op.Key)
 		}
 		done(err)
 	}()

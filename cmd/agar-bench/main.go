@@ -43,6 +43,7 @@ func main() {
 
 		load       = flag.Bool("load", false, "run the open-loop saturation sweep against a live localhost cluster instead of the paper figures")
 		loadCheck  = flag.String("loadcheck", "", "validate a BENCH_load.json produced by -load, then exit")
+		probe      = flag.String("probe", "", "send a handful of traced ops at a running cache server (host:port), then exit — CI's tracing smoke client")
 		rates      = flag.String("rates", "1000,2000,4000,8000,16000", "offered-load ladder in ops/s for -load")
 		duration   = flag.Duration("duration", 3*time.Second, "measured window per -load point")
 		loadWarmup = flag.Duration("load-warmup", 500*time.Millisecond, "warm-up per -load point (latencies discarded)")
@@ -60,6 +61,10 @@ func main() {
 
 	if *loadCheck != "" {
 		runLoadCheck(*loadCheck)
+		return
+	}
+	if *probe != "" {
+		runProbe(*probe)
 		return
 	}
 	if *load {

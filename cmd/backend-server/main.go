@@ -26,6 +26,7 @@ import (
 	"github.com/agardist/agar/internal/live"
 	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/store"
+	"github.com/agardist/agar/internal/trace"
 )
 
 func main() {
@@ -55,14 +56,15 @@ func main() {
 	reg := metrics.NewRegistry()
 	blob = store.WithMetrics(blob, reg, *kind)
 	st := backend.NewStoreOn(r, blob)
+	rec := trace.NewRecorder()
 	srv, err := live.NewStoreServerOpts(*addr, st, live.ServerOptions{
-		Dispatch: mode, Registry: reg, Region: r.String(),
+		Dispatch: mode, Registry: reg, Region: r.String(), Recorder: rec,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("backend-server: region=%s store=%s dispatch=%s listening on %s\n", r, *kind, mode, srv.Addr())
-	metricsSrv := serveMetrics(*metricsA, reg)
+	metricsSrv := serveMetrics(*metricsA, reg, rec)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -75,9 +77,10 @@ func main() {
 	blob.Close()
 }
 
-// serveMetrics mounts the registry at /metrics when addr is set; returns
-// nil (metrics disabled) when it is empty.
-func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
+// serveMetrics mounts the full debug surface — /metrics, the
+// /debug/traces flight recorder, and the pprof handlers — when addr is
+// set; returns nil (disabled) when it is empty.
+func serveMetrics(addr string, reg *metrics.Registry, rec *trace.Recorder) *http.Server {
 	if addr == "" {
 		return nil
 	}
@@ -86,10 +89,10 @@ func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
 		fatalf("metrics listen %s: %v", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
+	metrics.MountDebug(mux, reg, rec)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("backend-server: metrics on http://%s/metrics\n", ln.Addr())
+	fmt.Printf("backend-server: metrics on http://%s/metrics, traces on /debug/traces, profiles on /debug/pprof/\n", ln.Addr())
 	return srv
 }
 

@@ -80,8 +80,10 @@ func main() {
 	bs.Close()
 }
 
-// serveMetrics mounts the registry at /metrics when addr is set; returns
-// nil (metrics disabled) when it is empty.
+// serveMetrics mounts the debug surface — /metrics and the pprof handlers
+// — when addr is set; returns nil (disabled) when it is empty. The blob
+// gateway speaks HTTP, not the Agar wire protocol, so it has no frame
+// trace recorder and no /debug/traces.
 func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
 	if addr == "" {
 		return nil
@@ -91,10 +93,10 @@ func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
 		fatalf("metrics listen %s: %v", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
+	metrics.MountDebug(mux, reg, nil)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("blob-server: metrics on http://%s/metrics\n", ln.Addr())
+	fmt.Printf("blob-server: metrics on http://%s/metrics, profiles on /debug/pprof/\n", ln.Addr())
 	return srv
 }
 

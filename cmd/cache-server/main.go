@@ -33,6 +33,7 @@ import (
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/live"
 	"github.com/agardist/agar/internal/metrics"
+	"github.com/agardist/agar/internal/trace"
 )
 
 func main() {
@@ -80,15 +81,17 @@ func main() {
 	store := cache.NewSharded(*capacity, *shards, factory)
 	table := coop.NewTable()
 	reg := metrics.NewRegistry()
+	rec := trace.NewRecorder()
 	srv, err := live.NewCacheServerOpts(*addr, store, table, live.ServerOptions{
 		Dispatch: mode, Registry: reg, Region: *region, SplitMinBytes: *splitMin,
+		Recorder: rec,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("cache-server: policy=%s capacity=%d shards=%d dispatch=%s listening on %s\n",
 		*policy, *capacity, store.ShardCount(), mode, srv.Addr())
-	metricsSrv := serveMetrics(*metricsA, reg)
+	metricsSrv := serveMetrics(*metricsA, reg, rec)
 
 	var adv *coop.Advertiser
 	var peerConns []*live.RemoteCache
@@ -119,9 +122,10 @@ func main() {
 	srv.Close()
 }
 
-// serveMetrics mounts the registry at /metrics when addr is set; returns
-// nil (metrics disabled) when it is empty.
-func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
+// serveMetrics mounts the full debug surface — /metrics, the
+// /debug/traces flight recorder, and the pprof handlers — when addr is
+// set; returns nil (disabled) when it is empty.
+func serveMetrics(addr string, reg *metrics.Registry, rec *trace.Recorder) *http.Server {
 	if addr == "" {
 		return nil
 	}
@@ -130,10 +134,10 @@ func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
 		fatalf("metrics listen %s: %v", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
+	metrics.MountDebug(mux, reg, rec)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("cache-server: metrics on http://%s/metrics\n", ln.Addr())
+	fmt.Printf("cache-server: metrics on http://%s/metrics, traces on /debug/traces, profiles on /debug/pprof/\n", ln.Addr())
 	return srv
 }
 

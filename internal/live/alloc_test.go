@@ -301,7 +301,7 @@ func TestSplitMinBytesRoutesSmallBatchesWhole(t *testing.T) {
 		var calls atomic.Int32
 		base := cacheHandler(c, nil, nil, bp)
 		counting := func(m wire.Message) wire.Message { calls.Add(1); return base(m) }
-		d := newDispatcher(counting, &cacheRouter{c: c, splitMin: splitMin}, new(atomic.Int64), nil)
+		d := newDispatcher(counting, &cacheRouter{c: c, splitMin: splitMin}, new(atomic.Int64), nil, nil)
 		defer d.stop()
 
 		reply := make(chan wire.Message, 1)

@@ -17,6 +17,7 @@ import (
 	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/netsim"
 	"github.com/agardist/agar/internal/store"
+	"github.com/agardist/agar/internal/trace"
 )
 
 // ClusterConfig sizes a localhost deployment of the full system.
@@ -97,8 +98,11 @@ type Cluster struct {
 	peerRCs []*RemoteCache
 
 	// Observability: every server and every reader of this cluster reports
-	// into one registry; the optional HTTP endpoint serves it at /metrics.
+	// into one registry; the optional HTTP endpoint serves it at /metrics
+	// plus /debug/traces and /debug/pprof. rec is the shared flight
+	// recorder every server of this cluster records into.
 	reg        *metrics.Registry
+	rec        *trace.Recorder
 	metricsLn  net.Listener
 	metricsSrv *http.Server
 
@@ -160,6 +164,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		blob:      blob,
 		storeSrvs: make(map[geo.RegionID]*Server),
 		reg:       reg,
+		rec:       trace.NewRecorder(),
 	}
 	fail := func(err error) (*Cluster, error) {
 		c.Close()
@@ -168,7 +173,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	for _, r := range cfg.Regions {
 		srv, err := NewStoreServerOpts("127.0.0.1:0", cluster.Store(r), ServerOptions{
-			Dispatch: cfg.Dispatch, Registry: c.reg, Region: r.String(),
+			Dispatch: cfg.Dispatch, Registry: c.reg, Region: r.String(), Recorder: c.rec,
 		})
 		if err != nil {
 			return fail(err)
@@ -198,11 +203,11 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.adv = coop.NewAdvertiser(cfg.ClientRegion.String(), c.node.Cache(), cfg.DigestPeriod)
 	if c.cacheSrv, err = NewCacheServerOpts("127.0.0.1:0", c.node.Cache(), c.table, ServerOptions{
 		Dispatch: cfg.Dispatch, Registry: c.reg, Region: cfg.ClientRegion.String(),
-		SplitMinBytes: cfg.SplitMinBytes,
+		SplitMinBytes: cfg.SplitMinBytes, Recorder: c.rec,
 	}); err != nil {
 		return fail(err)
 	}
-	if c.hintSrv, err = NewHintServer("127.0.0.1:0", c.node); err != nil {
+	if c.hintSrv, err = NewHintServerRec("127.0.0.1:0", c.node, c.rec); err != nil {
 		return fail(err)
 	}
 	if cfg.UseUDPHints {
@@ -222,7 +227,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			return fail(fmt.Errorf("live: metrics listen %s: %w", cfg.MetricsAddr, err))
 		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", c.reg.Handler())
+		metrics.MountDebug(mux, c.reg, c.rec)
 		c.metricsLn = ln
 		c.metricsSrv = &http.Server{Handler: mux}
 		go func() { _ = c.metricsSrv.Serve(ln) }()
@@ -235,6 +240,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 // families plus the client read path's. Scrape it over HTTP by setting
 // ClusterConfig.MetricsAddr, or read it in-process here.
 func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// Recorder exposes the cluster's shared flight recorder: every store,
+// cache, and hint server of this cluster records its slowest and errored
+// ops into it. Served at /debug/traces when MetricsAddr is set, or read
+// in-process here.
+func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
 
 // MetricsAddr returns the bound /metrics address ("" when disabled).
 func (c *Cluster) MetricsAddr() string {
@@ -394,6 +405,13 @@ func (c *Cluster) Close() {
 // Hinter abstracts the TCP and UDP hint clients.
 type Hinter interface {
 	Hint(key string) ([]int, error)
+}
+
+// ctxHinter is the optional traced form of Hinter: the TCP hint client
+// implements it; the single-datagram UDP channel stays untraced, exactly
+// as the paper's low-overhead hint path would.
+type ctxHinter interface {
+	HintCtx(ctx trace.Context, key string) ([]int, []trace.Annotation, error)
 }
 
 // NetworkReader reads objects through the live deployment: it requests a
@@ -564,16 +582,29 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 }
 
 // ReadDetailed fetches and decodes one object over the network and returns
-// its bytes plus the read's full accounting.
+// its bytes plus the read's full accounting. Every read mints a trace
+// context that propagates on each wire exchange (hint, cache mget, peer
+// mgets, store fetches), so the returned trace nests real server-side
+// queue-wait and execute annotations under the client's spans and the
+// servers' flight recorders retain the read's ops under the same trace ID
+// (ReadTrace.TraceID).
 func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 	start := time.Now()
 	tc := newTraceCollector(start)
+	tc.ctx = trace.New()
 	k := r.cluster.codec.K()
 	total := r.cluster.codec.Total()
 
 	hintT0 := time.Now()
-	hintChunks, err := r.hinter.Hint(key)
-	tc.span("hint", hintT0, 0, 0, err)
+	var hintChunks []int
+	var hintAnns []trace.Annotation
+	var err error
+	if th, ok := r.hinter.(ctxHinter); ok {
+		hintChunks, hintAnns, err = th.HintCtx(tc.ctx.Child(), key)
+	} else {
+		hintChunks, err = r.hinter.Hint(key)
+	}
+	tc.spanRemote("hint", hintT0, 0, 0, err, hintAnns)
 	if err != nil {
 		return nil, ReadInfo{Trace: tc.finish(key)}, fmt.Errorf("live: hint %q: %w", key, err)
 	}
@@ -674,12 +705,12 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			return
 		}
 		r.delay(locs[idx])
-		data, err := r.stores[locs[idx]].Get(backend.ChunkID{Key: key, Index: idx})
+		data, anns, err := r.stores[locs[idx]].GetCtx(tc.ctx.Child(), backend.ChunkID{Key: key, Index: idx})
 		got := 0
 		if err == nil {
 			got = 1
 		}
-		tc.span("store-get:"+locs[idx].String(), t0, got, len(data), err)
+		tc.spanRemote("store-get:"+locs[idx].String(), t0, got, len(data), err, anns)
 		results <- outcome{idx: idx, data: data, err: err}
 	}
 
@@ -715,12 +746,12 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 				return
 			}
 			r.delay(region)
-			found, err := r.stores[region].GetMulti(key, idxs)
+			found, anns, err := r.stores[region].GetMultiCtx(tc.ctx.Child(), key, idxs)
 			bytes := 0
 			for _, data := range found {
 				bytes += len(data)
 			}
-			tc.span("store-mget:"+region.String(), t0, len(found), bytes, err)
+			tc.spanRemote("store-mget:"+region.String(), t0, len(found), bytes, err, anns)
 			for _, idx := range idxs {
 				data, ok := found[idx]
 				if err != nil || !ok {
@@ -739,7 +770,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			found, err := r.cacheC.GetMulti(key, cacheWant)
+			found, anns, err := r.cacheC.GetMultiCtx(tc.ctx.Child(), key, cacheWant)
 			if err != nil {
 				found = nil // treat a failed cache round trip as all-miss
 			}
@@ -747,7 +778,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			for _, data := range found {
 				bytes += len(data)
 			}
-			tc.span("cache-mget", t0, len(found), bytes, err)
+			tc.spanRemote("cache-mget", t0, len(found), bytes, err, anns)
 			for _, idx := range cacheWant {
 				if data, ok := found[idx]; ok {
 					results <- outcome{idx: idx, data: data, fromCache: true}
@@ -765,7 +796,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			defer wg.Done()
 			t0 := time.Now()
 			r.delayDur(p.latency)
-			found, err := p.cache.GetMulti(key, idxs)
+			found, anns, err := p.cache.GetMultiCtx(tc.ctx.Child(), key, idxs)
 			rtt := time.Since(t0)
 			if p.rtt != nil {
 				p.rtt.Observe(float64(rtt) / float64(time.Millisecond))
@@ -777,7 +808,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			for _, data := range found {
 				bytes += len(data)
 			}
-			tc.span("peer-mget:"+p.region.String(), t0, len(found), bytes, err)
+			tc.spanRemote("peer-mget:"+p.region.String(), t0, len(found), bytes, err, anns)
 			for _, idx := range idxs {
 				if data, ok := found[idx]; ok {
 					results <- outcome{idx: idx, data: data, fromPeer: true}
@@ -841,12 +872,12 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 				defer wwg.Done()
 				t0 := time.Now()
 				r.delay(locs[idx])
-				data, err := r.stores[locs[idx]].Get(backend.ChunkID{Key: key, Index: idx})
+				data, anns, err := r.stores[locs[idx]].GetCtx(tc.ctx.Child(), backend.ChunkID{Key: key, Index: idx})
 				got := 0
 				if err == nil {
 					got = 1
 				}
-				tc.span("degraded-get:"+locs[idx].String(), t0, got, len(data), err)
+				tc.spanRemote("degraded-get:"+locs[idx].String(), t0, got, len(data), err, anns)
 				wave <- outcome{idx: idx, data: data, err: err}
 			}(idx)
 		}

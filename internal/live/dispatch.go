@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/agardist/agar/internal/trace"
 	"github.com/agardist/agar/internal/wire"
 )
 
@@ -111,12 +112,20 @@ type task struct {
 
 // fanState is the shared countdown of one split batch: the last part to
 // finish merges the fragments and sends the reply. One allocation per
-// split batch, instead of the former one closure per part.
+// split batch, instead of the former one closure per part. op, tid, t0
+// and anns carry the whole batch's identity for tracing and the flight
+// recorder: each part writes its span annotations into its own anns slot
+// (ordered before the countdown, like resps), and finishFan flattens them
+// onto the merged reply with p<part>/ prefixes.
 type fanState struct {
 	resps     []wire.Message
 	remaining atomic.Int32
 	merge     mergeFunc
 	reply     chan<- wire.Message
+	op        string
+	tid       string
+	t0        time.Time
+	anns      [][]trace.Annotation
 }
 
 // dispatcher owns one worker goroutine per shard, each draining its own
@@ -134,8 +143,12 @@ type dispatcher struct {
 	stopOnce sync.Once
 	// sm, when non-nil, splits every op's wall time into queue wait
 	// (enqueue to worker pickup) and execution. Nil — the uninstrumented
-	// baseline — keeps time.Now off the hot path entirely.
+	// baseline — keeps time.Now off the hot path entirely, unless a frame
+	// itself carries trace context or rec is set.
 	sm *serverMetrics
+	// rec, when non-nil, is the server's flight recorder: every finished
+	// op is offered to it, traced or not.
+	rec *trace.Recorder
 	// parallel records whether the runtime has cores to run shard workers
 	// on. Without them, fanning a fast-path batch out over workers costs
 	// scheduler hops and buys nothing, so dispatchSync stays inline.
@@ -143,12 +156,12 @@ type dispatcher struct {
 }
 
 // newDispatcher starts the per-shard workers.
-func newDispatcher(h handler, rt router, gauge *atomic.Int64, sm *serverMetrics) *dispatcher {
+func newDispatcher(h handler, rt router, gauge *atomic.Int64, sm *serverMetrics, rec *trace.Recorder) *dispatcher {
 	n := rt.shards()
 	if n < 1 {
 		n = 1
 	}
-	d := &dispatcher{handle: h, rt: rt, gauge: gauge, sm: sm, queues: make([]chan task, n),
+	d := &dispatcher{handle: h, rt: rt, gauge: gauge, sm: sm, rec: rec, queues: make([]chan task, n),
 		parallel: runtime.GOMAXPROCS(0) > 1}
 	for i := range d.queues {
 		d.queues[i] = make(chan task, dispatchQueueDepth)
@@ -171,28 +184,134 @@ func (d *dispatcher) worker(q chan task) {
 // the fan-in countdown for split-batch parts (the atomic orders every
 // fragment write before the merge that reads them; each part observes its
 // own queue wait and execution under the batch's opcode).
+//
+// Instrumentation engages when the server has metrics, has a flight
+// recorder, or the frame itself carries trace context; otherwise the task
+// runs with no time.Now at all — the paired-benchmark baseline. A traced
+// op's measured intervals come back as reply annotations: "queue" (enqueue
+// to worker pickup) and "exec" (handler time), offsets relative to the
+// task's enqueue; a fan part parks its annotations on the fan state for
+// finishFan to flatten.
 func (d *dispatcher) run(t task) {
-	var start time.Time
-	if d.sm != nil {
-		start = time.Now()
-	}
-	resp := d.handle(t.req)
-	if d.sm != nil {
-		var wait time.Duration
-		if !t.t0.IsZero() {
-			wait = start.Sub(t.t0)
+	traced := t.req.Header.Trace != ""
+	if d.sm == nil && d.rec == nil && !traced {
+		resp := d.handle(t.req)
+		t.req.Release()
+		if t.fan != nil {
+			t.fan.resps[t.fi] = resp
+			if t.fan.remaining.Add(-1) == 0 {
+				t.fan.reply <- t.fan.merge(t.fan.resps)
+			}
+			return
 		}
-		d.sm.observe(t.req.Header.Op, wait, time.Since(start))
+		t.reply <- resp
+		return
 	}
+	// Header strings are decoded copies, safe to hold past Release.
+	op, tid := t.req.Header.Op, t.req.Header.Trace
+	start := time.Now()
+	resp := d.handle(t.req)
+	exec := time.Since(start)
+	var wait time.Duration
+	if !t.t0.IsZero() {
+		wait = start.Sub(t.t0)
+	}
+	d.sm.observe(op, wait, exec, tid)
 	t.req.Release()
+	var anns []trace.Annotation
+	if traced || d.rec != nil {
+		anns = []trace.Annotation{
+			{Name: "queue", OffUS: 0, DurUS: wait.Microseconds()},
+			{Name: "exec", OffUS: wait.Microseconds(), DurUS: exec.Microseconds()},
+		}
+	}
 	if t.fan != nil {
 		t.fan.resps[t.fi] = resp
+		t.fan.anns[t.fi] = anns
 		if t.fan.remaining.Add(-1) == 0 {
-			t.fan.reply <- t.fan.merge(t.fan.resps)
+			d.finishFan(t.fan)
 		}
 		return
 	}
+	if traced {
+		resp.Header.Anns = anns
+	}
+	if d.rec != nil {
+		d.rec.Observe(op, wait+exec, tid, respErr(resp), anns)
+	}
 	t.reply <- resp
+}
+
+// finishFan merges a completed split batch and reports it as one op: the
+// parts' annotations flatten onto the merged reply prefixed p<part>/ (the
+// merge builds a fresh header, so part annotations must ride the fan
+// state, not the fragments), and the recorder sees the batch once, with
+// its full fan-out-to-merge duration.
+func (d *dispatcher) finishFan(fs *fanState) {
+	resp := fs.merge(fs.resps)
+	traced := fs.tid != ""
+	if traced || d.rec != nil {
+		var flat []trace.Annotation
+		for fi, anns := range fs.anns {
+			for _, a := range anns {
+				a.Name = fmt.Sprintf("p%d/%s", fi, a.Name)
+				flat = append(flat, a)
+			}
+		}
+		if traced {
+			resp.Header.Anns = flat
+		}
+		if d.rec != nil {
+			var dur time.Duration
+			if !fs.t0.IsZero() {
+				dur = time.Since(fs.t0)
+			}
+			d.rec.Observe(fs.op, dur, fs.tid, respErr(resp), flat)
+		}
+	}
+	fs.reply <- resp
+}
+
+// respErr extracts a reply's error message for the flight recorder ("" for
+// non-error replies).
+func respErr(resp wire.Message) string {
+	if resp.Header.Op == wire.OpError {
+		return resp.Header.Error
+	}
+	return ""
+}
+
+// runInline executes one request on the caller's goroutine — the conn
+// dispatch loop and both shard-dispatch inline paths share it. The op is
+// handled, observed (a single "exec" annotation; inline ops never wait on
+// a queue), offered to the flight recorder, and its reply annotated when
+// the request carried trace context. With no metrics, no recorder, and no
+// trace context the call is exactly the old fast path: handle and release,
+// no clock reads.
+func runInline(h handler, sm *serverMetrics, rec *trace.Recorder, req wire.Message) wire.Message {
+	traced := req.Header.Trace != ""
+	if sm == nil && rec == nil && !traced {
+		resp := h(req)
+		req.Release()
+		return resp
+	}
+	op, tid := req.Header.Op, req.Header.Trace
+	start := time.Now()
+	resp := h(req)
+	exec := time.Since(start)
+	sm.observe(op, 0, exec, tid)
+	req.Release()
+	var anns []trace.Annotation
+	if traced || rec != nil {
+		anns = []trace.Annotation{{Name: "exec", OffUS: 0, DurUS: exec.Microseconds()}}
+	}
+	if traced {
+		resp.Header.Anns = anns
+	}
+	if rec != nil {
+		rec.Observe(op, exec, tid, respErr(resp), anns)
+	}
+	return resp
 }
 
 func (d *dispatcher) enqueue(shard int, t task) {
@@ -214,23 +333,16 @@ func (d *dispatcher) dispatchSync(req wire.Message) wire.Message {
 		if parts, merge, ok := d.rt.split(req); ok {
 			// Fanned-out parts time themselves (queue wait included); no
 			// outer observation, so a split batch is never double counted.
-			// The parts carry copies, so the request frame releases now.
+			// The parts carry copies, so the request frame releases now
+			// (header strings are decoded copies and survive the release).
+			h := req.Header
 			req.Release()
 			reply := make(chan wire.Message, 1)
-			d.fanOut(parts, merge, reply)
+			d.fanOut(h, parts, merge, reply)
 			return <-reply
 		}
 	}
-	var start time.Time
-	if d.sm != nil {
-		start = time.Now()
-	}
-	resp := d.handle(req)
-	if d.sm != nil {
-		d.sm.observe(req.Header.Op, 0, time.Since(start))
-	}
-	req.Release()
-	return resp
+	return runInline(d.handle, d.sm, d.rec, req)
 }
 
 // dispatch schedules one decoded request and arranges for exactly one
@@ -251,44 +363,39 @@ func (d *dispatcher) dispatch(req wire.Message, reply chan<- wire.Message) {
 func (d *dispatcher) dispatchWith(req wire.Message, reply chan<- wire.Message, shard int, routed bool) {
 	if routed {
 		t := task{req: req, reply: reply}
-		if d.sm != nil {
+		if d.sm != nil || d.rec != nil || req.Header.Trace != "" {
 			t.t0 = time.Now()
 		}
 		d.enqueue(shard, t)
 		return
 	}
 	if parts, merge, ok := d.rt.split(req); ok {
+		h := req.Header
 		req.Release() // parts carry copies
-		d.fanOut(parts, merge, reply)
+		d.fanOut(h, parts, merge, reply)
 		return
 	}
-	var start time.Time
-	if d.sm != nil {
-		start = time.Now()
-	}
-	resp := d.handle(req)
-	if d.sm != nil {
-		d.sm.observe(req.Header.Op, 0, time.Since(start))
-	}
-	req.Release()
-	reply <- resp
+	reply <- runInline(d.handle, d.sm, d.rec, req)
 }
 
 // fanOut runs a split batch's parts on their shard workers and has the last
 // part to finish merge the fragments into the reply. A single-part split —
 // every chunk on one shard after all — skips the fan-in state and merge
 // entirely and completes inline on its shard worker: the part carries the
-// whole batch, so its handler reply already has the merged framing.
-func (d *dispatcher) fanOut(parts []part, merge mergeFunc, reply chan<- wire.Message) {
+// whole batch, so its handler reply already has the merged framing. h is
+// the original batch header, carrying the opcode and trace context the fan
+// state reports under (the request frame itself is already released).
+func (d *dispatcher) fanOut(h wire.Header, parts []part, merge mergeFunc, reply chan<- wire.Message) {
 	var t0 time.Time
-	if d.sm != nil {
+	if d.sm != nil || d.rec != nil || h.Trace != "" {
 		t0 = time.Now()
 	}
 	if len(parts) == 1 {
 		d.enqueue(parts[0].shard, task{req: parts[0].req, reply: reply, t0: t0})
 		return
 	}
-	fs := &fanState{resps: make([]wire.Message, len(parts)), merge: merge, reply: reply}
+	fs := &fanState{resps: make([]wire.Message, len(parts)), merge: merge, reply: reply,
+		op: h.Op, tid: h.Trace, t0: t0, anns: make([][]trace.Annotation, len(parts))}
 	fs.remaining.Store(int32(len(parts)))
 	for i, p := range parts {
 		d.enqueue(p.shard, task{req: p.req, fan: fs, fi: i, t0: t0})

@@ -63,7 +63,7 @@ func TestDispatcherPerShardConcurrency(t *testing.T) {
 		<-release
 		return wire.Message{Header: wire.Header{Op: wire.OpOK, Index: req.Header.Index}}
 	}
-	d := newDispatcher(h, testRouter{n: 2}, new(atomic.Int64), nil)
+	d := newDispatcher(h, testRouter{n: 2}, new(atomic.Int64), nil, nil)
 	defer d.stop()
 
 	replies := [2]chan wire.Message{make(chan wire.Message, 1), make(chan wire.Message, 1)}
@@ -106,7 +106,7 @@ func TestDispatcherSameShardSerializes(t *testing.T) {
 		inside.Add(-1)
 		return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 	}
-	d := newDispatcher(h, testRouter{n: 4}, new(atomic.Int64), nil)
+	d := newDispatcher(h, testRouter{n: 4}, new(atomic.Int64), nil, nil)
 	defer d.stop()
 
 	const ops = 16
@@ -372,7 +372,7 @@ func TestDispatchPipelineOrder(t *testing.T) {
 		}
 		return wire.Message{Header: wire.Header{Op: wire.OpOK, Index: req.Header.Index}}
 	}
-	srv, err := newShardServer("127.0.0.1:0", h, testRouter{n: 2}, new(atomic.Int64), nil)
+	srv, err := newShardServer("127.0.0.1:0", h, testRouter{n: 2}, new(atomic.Int64), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/agardist/agar/internal/cache"
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/metrics"
+	"github.com/agardist/agar/internal/trace"
 	"github.com/agardist/agar/internal/wire"
 )
 
@@ -37,6 +38,14 @@ type ServerOptions struct {
 	// on its other shards; a positive threshold trades that ordering for
 	// throughput on small batches. Store servers never split regardless.
 	SplitMinBytes int
+	// Recorder, when non-nil, is the server's flight recorder: every
+	// finished op is offered to it (slowest and errored requests are
+	// retained per opcode, served at /debug/traces). Nil disables the
+	// recorder and — together with an untraced request stream — keeps
+	// time.Now off the hot path entirely, matching the pre-recorder
+	// baseline the paired benchmarks pin. Deployed servers (the cluster,
+	// the server binaries) always pass one.
+	Recorder *trace.Recorder
 }
 
 // statSource maps one legacy wire-level OpStats key onto the registry
@@ -60,9 +69,11 @@ type serverMetrics struct {
 	stats     []statSource
 }
 
-// observe records one op's queue wait and execution time. Safe on a nil
-// receiver (uninstrumented baseline).
-func (m *serverMetrics) observe(op string, queue, exec time.Duration) {
+// observe records one op's queue wait and execution time; traceID (empty
+// for untraced requests) pins a bucket exemplar on the execute histogram,
+// so a high-latency bucket names a concrete trace to look up. Safe on a
+// nil receiver (uninstrumented baseline).
+func (m *serverMetrics) observe(op string, queue, exec time.Duration, traceID string) {
 	if m == nil {
 		return
 	}
@@ -75,7 +86,7 @@ func (m *serverMetrics) observe(op string, queue, exec time.Duration) {
 		eh = m.exOther
 	}
 	qh.ObserveDuration(queue)
-	eh.ObserveDuration(exec)
+	eh.ObserveDurationExemplar(exec, traceID)
 }
 
 // statsMap builds the wire-level OpStats payload from the registry-backed

@@ -134,7 +134,7 @@ func benchServerGet(b *testing.B, instrumented bool) {
 	if instrumented {
 		srv, err = NewCacheServerOpts("127.0.0.1:0", c, nil, ServerOptions{})
 	} else {
-		srv, err = newShardServer("127.0.0.1:0", cacheHandler(c, nil, nil, wire.NewBufferPool()), &cacheRouter{c: c}, new(atomic.Int64), nil)
+		srv, err = newShardServer("127.0.0.1:0", cacheHandler(c, nil, nil, wire.NewBufferPool()), &cacheRouter{c: c}, new(atomic.Int64), nil, nil)
 	}
 	if err != nil {
 		b.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"github.com/agardist/agar/internal/backend"
 	"github.com/agardist/agar/internal/cache"
 	"github.com/agardist/agar/internal/coop"
+	"github.com/agardist/agar/internal/trace"
 	"github.com/agardist/agar/internal/wire"
 )
 
@@ -84,6 +85,20 @@ func (p *pool) call(req wire.Message) (wire.Message, error) {
 	return resp, err
 }
 
+// callCtx is call with trace context stamped onto the request: a sampled
+// context rides the optional header fields (and the server answers with
+// its span annotations, returned alongside the reply); the zero context
+// adds nothing, so the frame stays byte-identical to an untraced call.
+func (p *pool) callCtx(ctx trace.Context, req wire.Message) (wire.Message, []trace.Annotation, error) {
+	if ctx.Sampled() {
+		req.Header.Trace = ctx.TraceID.String()
+		req.Header.Span = ctx.SpanID.String()
+		req.Header.TFlags = ctx.Flags
+	}
+	resp, err := p.call(req)
+	return resp, resp.Header.Anns, err
+}
+
 // close drops every idle connection. Borrowed connections are closed by
 // their callers' failure paths; a pool remains usable after close (new
 // calls simply redial), matching the old single-connection semantics.
@@ -113,31 +128,46 @@ func (s *RemoteStore) Close() { s.rc.close() }
 
 // Get fetches one chunk.
 func (s *RemoteStore) Get(id backend.ChunkID) ([]byte, error) {
-	resp, err := s.rc.call(wire.Message{Header: wire.Header{Op: wire.OpGet, Key: id.Key, Index: id.Index}})
+	data, _, err := s.GetCtx(trace.Context{}, id)
+	return data, err
+}
+
+// GetCtx is Get with trace context: a sampled context rides the request
+// and the server's span annotations come back with the chunk. The zero
+// context sends the byte-identical untraced frame.
+func (s *RemoteStore) GetCtx(ctx trace.Context, id backend.ChunkID) ([]byte, []trace.Annotation, error) {
+	resp, anns, err := s.rc.callCtx(ctx, wire.Message{Header: wire.Header{Op: wire.OpGet, Key: id.Key, Index: id.Index}})
 	if err != nil {
-		return nil, err
+		return nil, anns, err
 	}
 	if resp.Header.Op == wire.OpNotFound {
-		return nil, backend.ErrNotFound
+		return nil, anns, backend.ErrNotFound
 	}
-	return resp.Body, nil
+	return resp.Body, anns, nil
 }
 
 // GetMulti fetches several chunks of one key in a single round trip and
 // returns whichever the region holds, keyed by chunk index — the batched
 // form of Get, mirroring the cache protocol's mget.
 func (s *RemoteStore) GetMulti(key string, indices []int) (map[int][]byte, error) {
+	found, _, err := s.GetMultiCtx(trace.Context{}, key, indices)
+	return found, err
+}
+
+// GetMultiCtx is GetMulti with trace context (see GetCtx).
+func (s *RemoteStore) GetMultiCtx(ctx trace.Context, key string, indices []int) (map[int][]byte, []trace.Annotation, error) {
 	if len(indices) == 0 {
-		return map[int][]byte{}, nil
+		return map[int][]byte{}, nil, nil
 	}
 	if len(indices) > wire.MaxBatchChunks {
-		return nil, fmt.Errorf("live: mget of %d chunks exceeds batch limit %d", len(indices), wire.MaxBatchChunks)
+		return nil, nil, fmt.Errorf("live: mget of %d chunks exceeds batch limit %d", len(indices), wire.MaxBatchChunks)
 	}
-	resp, err := s.rc.call(wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices}})
+	resp, anns, err := s.rc.callCtx(ctx, wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices}})
 	if err != nil {
-		return nil, err
+		return nil, anns, err
 	}
-	return wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+	found, err := wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+	return found, anns, err
 }
 
 // Put stores one chunk.
@@ -207,17 +237,27 @@ func (c *RemoteCache) Put(id cache.EntryID, data []byte) error {
 // returns whichever were resident, keyed by chunk index — the batched form
 // of Get. Missing chunks are simply absent from the result.
 func (c *RemoteCache) GetMulti(key string, indices []int) (map[int][]byte, error) {
+	found, _, err := c.GetMultiCtx(trace.Context{}, key, indices)
+	return found, err
+}
+
+// GetMultiCtx is GetMulti with trace context: a sampled context rides the
+// request and the server's span annotations (queue wait, per-shard
+// execute, split-batch parts) come back with the chunks. The zero context
+// sends the byte-identical untraced frame.
+func (c *RemoteCache) GetMultiCtx(ctx trace.Context, key string, indices []int) (map[int][]byte, []trace.Annotation, error) {
 	if len(indices) == 0 {
-		return map[int][]byte{}, nil
+		return map[int][]byte{}, nil, nil
 	}
 	if len(indices) > wire.MaxBatchChunks {
-		return nil, fmt.Errorf("live: mget of %d chunks exceeds batch limit %d", len(indices), wire.MaxBatchChunks)
+		return nil, nil, fmt.Errorf("live: mget of %d chunks exceeds batch limit %d", len(indices), wire.MaxBatchChunks)
 	}
-	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices, Region: c.origin}})
+	resp, anns, err := c.rc.callCtx(ctx, wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices, Region: c.origin}})
 	if err != nil {
-		return nil, err
+		return nil, anns, err
 	}
-	return wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+	found, err := wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+	return found, anns, err
 }
 
 // SendDigest pushes one cooperative residency digest frame — full or delta
@@ -307,11 +347,19 @@ func (h *RemoteHinter) Close() { h.rc.close() }
 
 // Hint requests the caching hint for a key.
 func (h *RemoteHinter) Hint(key string) ([]int, error) {
-	resp, err := h.rc.call(wire.Message{Header: wire.Header{Op: wire.OpHint, Key: key}})
+	indices, _, err := h.HintCtx(trace.Context{}, key)
+	return indices, err
+}
+
+// HintCtx is Hint with trace context (see RemoteCache.GetMultiCtx); the
+// hint server's execute annotation comes back with the hint, so a merged
+// read trace shows real server time for the hint exchange too.
+func (h *RemoteHinter) HintCtx(ctx trace.Context, key string) ([]int, []trace.Annotation, error) {
+	resp, anns, err := h.rc.callCtx(ctx, wire.Message{Header: wire.Header{Op: wire.OpHint, Key: key}})
 	if err != nil {
-		return nil, err
+		return nil, anns, err
 	}
-	return resp.Header.Indices, nil
+	return resp.Header.Indices, anns, nil
 }
 
 // HintMulti resolves the caching hints for several keys in one round trip —

@@ -25,13 +25,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/agardist/agar/internal/backend"
 	"github.com/agardist/agar/internal/cache"
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/core"
 	"github.com/agardist/agar/internal/metrics"
+	"github.com/agardist/agar/internal/trace"
 	"github.com/agardist/agar/internal/wire"
 )
 
@@ -49,6 +49,9 @@ type Server struct {
 	handle handler
 	disp   *dispatcher // nil => conn dispatch
 	sm     *serverMetrics
+	// rec is the server's flight recorder (nil when disabled): finished
+	// ops are offered to it on every dispatch path.
+	rec *trace.Recorder
 	// bp recycles frame, header, and reply-body buffers across this
 	// server's connections: every decoded request borrows its frame from
 	// here (released after the handler runs) and every reply releases its
@@ -64,22 +67,22 @@ type Server struct {
 
 // newServer starts serving on addr ("127.0.0.1:0" for an ephemeral port)
 // with per-connection dispatch; sm (nil for the uninstrumented baseline)
-// times each op's execution.
-func newServer(addr string, h handler, sm *serverMetrics) (*Server, error) {
-	return newServerDispatch(addr, h, nil, sm, nil)
+// times each op's execution; rec (nil to disable) is the flight recorder.
+func newServer(addr string, h handler, sm *serverMetrics, rec *trace.Recorder) (*Server, error) {
+	return newServerDispatch(addr, h, nil, sm, rec, nil)
 }
 
 // newShardServer starts a shard-dispatching server: rt routes ops onto
 // per-shard workers, gauge tracks the queue depth, and sm (nil for the
 // uninstrumented baseline) times queue wait and execution per op.
-func newShardServer(addr string, h handler, rt router, gauge *atomic.Int64, sm *serverMetrics) (*Server, error) {
-	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge, sm), sm, nil)
+func newShardServer(addr string, h handler, rt router, gauge *atomic.Int64, sm *serverMetrics, rec *trace.Recorder) (*Server, error) {
+	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge, sm, rec), sm, rec, nil)
 }
 
 // newServerDispatch wires a server together; bp nil creates a private
 // buffer pool (cache and store servers pass the pool their handlers
 // already size reply bodies from, so one pool serves the whole server).
-func newServerDispatch(addr string, h handler, disp *dispatcher, sm *serverMetrics, bp *wire.BufferPool) (*Server, error) {
+func newServerDispatch(addr string, h handler, disp *dispatcher, sm *serverMetrics, rec *trace.Recorder, bp *wire.BufferPool) (*Server, error) {
 	if bp == nil {
 		bp = wire.NewBufferPool()
 	}
@@ -90,7 +93,7 @@ func newServerDispatch(addr string, h handler, disp *dispatcher, sm *serverMetri
 		}
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, handle: h, disp: disp, sm: sm, bp: bp, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handle: h, disp: disp, sm: sm, rec: rec, bp: bp, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -116,7 +119,11 @@ func (s *Server) QueueDepth() int64 {
 // Close stops the listener, closes active connections, waits for all
 // connection goroutines to exit, and — under shard dispatch — drains and
 // stops the shard workers, so every accepted op has been answered or
-// discarded with its connection by the time Close returns.
+// discarded with its connection by the time Close returns. It then
+// verifies the server's buffer pool has drained: every decoded request
+// and every written (or discarded) reply must have released its pooled
+// buffers by now, so a non-zero count is a leak on some dispatch path and
+// panics loudly instead of silently growing in production.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -125,6 +132,7 @@ func (s *Server) Close() {
 		if s.disp != nil {
 			s.disp.stop()
 		}
+		s.verifyPoolDrained()
 		return
 	}
 	s.closed = true
@@ -138,6 +146,15 @@ func (s *Server) Close() {
 	// workers drain what is queued and stop.
 	if s.disp != nil {
 		s.disp.stop()
+	}
+	s.verifyPoolDrained()
+}
+
+// verifyPoolDrained panics if pooled buffers are still outstanding after a
+// full shutdown — the drain-and-verify leak check Close runs.
+func (s *Server) verifyPoolDrained() {
+	if n := s.bp.Outstanding(); n != 0 {
+		panic(fmt.Sprintf("live: server %s closed with %d pooled buffers outstanding (buffer leak)", s.ln.Addr(), n))
 	}
 }
 
@@ -184,15 +201,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		var resp wire.Message
-		if s.sm != nil {
-			start := time.Now()
-			resp = s.handle(req)
-			s.sm.observe(req.Header.Op, 0, time.Since(start))
-		} else {
-			resp = s.handle(req)
-		}
-		req.Release()
+		resp := runInline(s.handle, s.sm, s.rec, req)
 		if err := wire.WriteVectored(conn, resp, s.bp); err != nil {
 			return
 		}
@@ -354,9 +363,9 @@ func NewStoreServerOpts(addr string, store *backend.Store, opts ServerOptions) (
 	sm := newStoreServerMetrics(reg, opts.Region, store, gauge)
 	h := storeHandler(store, sm)
 	if opts.Dispatch == DispatchConn {
-		return newServer(addr, h, sm)
+		return newServer(addr, h, sm, opts.Recorder)
 	}
-	return newShardServer(addr, h, storeRouter{}, gauge, sm)
+	return newShardServer(addr, h, storeRouter{}, gauge, sm, opts.Recorder)
 }
 
 // storeDispatchShards stripes a store server's dispatch queues. The backend
@@ -489,10 +498,10 @@ func NewCacheServerOpts(addr string, c *cache.Cache, table *coop.Table, opts Ser
 	bp := wire.NewBufferPool()
 	h := cacheHandler(c, table, sm, bp)
 	if opts.Dispatch == DispatchConn {
-		return newServerDispatch(addr, h, nil, sm, bp)
+		return newServerDispatch(addr, h, nil, sm, opts.Recorder, bp)
 	}
 	rt := &cacheRouter{c: c, splitMin: opts.SplitMinBytes}
-	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge, sm), sm, bp)
+	return newServerDispatch(addr, h, newDispatcher(h, rt, gauge, sm, opts.Recorder), sm, opts.Recorder, bp)
 }
 
 // cacheRouter routes cache ops onto the cache's own shards.
@@ -636,9 +645,13 @@ func (r *cacheRouter) split(m wire.Message) ([]part, mergeFunc, bool) {
 			if err != nil {
 				return nil, nil, false
 			}
+			// Parts carry the batch's trace context so a traced mput's
+			// per-shard executions annotate like a traced mget's (whose
+			// parts copy the whole header above).
 			parts = append(parts, part{shard: s, req: wire.Message{
-				Header: wire.Header{Op: wire.OpMPut, Key: m.Header.Key, Indices: indices, Sizes: sizes},
-				Body:   body,
+				Header: wire.Header{Op: wire.OpMPut, Key: m.Header.Key, Indices: indices, Sizes: sizes,
+					Trace: m.Header.Trace, Span: m.Header.Span, TFlags: m.Header.TFlags},
+				Body: body,
 			}})
 		}
 		return parts, mergeMPut, true
@@ -868,6 +881,13 @@ func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics, bp *wire
 // hints in one frame (each key still records one monitored access). The
 // UDP channel stays single-key — one hint per datagram, like the paper's.
 func NewHintServer(addr string, node *core.Node) (*Server, error) {
+	return NewHintServerRec(addr, node, nil)
+}
+
+// NewHintServerRec is NewHintServer with a flight recorder attached, so a
+// cluster's hint exchanges land in the same /debug/traces retention as its
+// cache and store ops.
+func NewHintServerRec(addr string, node *core.Node, rec *trace.Recorder) (*Server, error) {
 	return newServer(addr, func(req wire.Message) wire.Message {
 		switch req.Header.Op {
 		case wire.OpHint:
@@ -891,7 +911,7 @@ func NewHintServer(addr string, node *core.Node) (*Server, error) {
 		default:
 			return wire.ErrorMessage(fmt.Errorf("hint: unknown op %q", req.Header.Op))
 		}
-	}, nil)
+	}, nil, rec)
 }
 
 // UDPHintServer serves hints over UDP, the paper's low-overhead channel

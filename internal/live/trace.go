@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/agardist/agar/internal/trace"
 )
 
 // Span is one timed exchange inside a single live read: the hint lookup,
@@ -26,13 +28,23 @@ type Span struct {
 	// Err carries the exchange's failure, if any — a store fault, an
 	// unreachable region, a failed decode.
 	Err string `json:"err,omitempty"`
+	// Remote holds the server-side annotations the exchange's reply
+	// carried (queue wait, execute, split-batch parts) — real measured
+	// server time nested under this client-observed span, offsets
+	// relative to the server receiving the frame. Empty for exchanges
+	// that were not traced or whose server predates trace headers.
+	Remote []trace.Annotation `json:"remote,omitempty"`
 }
 
 // ReadTrace is the span breakdown of one live read — what ReadDetailed
 // spent its wall clock on. Spans from concurrent fetch goroutines overlap;
 // sort order is by start offset.
 type ReadTrace struct {
-	Key     string  `json:"key"`
+	Key string `json:"key"`
+	// TraceID is the read's propagated trace identifier: the same ID the
+	// servers' flight recorders retained the read's ops under, so a slow
+	// client trace can be joined against every /debug/traces it touched.
+	TraceID string  `json:"trace_id,omitempty"`
 	TotalMS float64 `json:"total_ms"`
 	Spans   []Span  `json:"spans"`
 }
@@ -42,6 +54,7 @@ type ReadTrace struct {
 // a span only after their network exchange completes.
 type traceCollector struct {
 	start time.Time
+	ctx   trace.Context // the read's root context (zero: untraced)
 	mu    sync.Mutex
 	spans []Span
 }
@@ -52,12 +65,20 @@ func newTraceCollector(start time.Time) *traceCollector {
 
 // span records one exchange that began at t0 and just ended.
 func (t *traceCollector) span(name string, t0 time.Time, chunks, bytes int, err error) {
+	t.spanRemote(name, t0, chunks, bytes, err, nil)
+}
+
+// spanRemote is span carrying the server-side annotations the exchange's
+// reply returned — the graft point where real server time joins the
+// client's span tree.
+func (t *traceCollector) spanRemote(name string, t0 time.Time, chunks, bytes int, err error, remote []trace.Annotation) {
 	s := Span{
 		Name:    name,
 		StartMS: float64(t0.Sub(t.start)) / float64(time.Millisecond),
 		DurMS:   float64(time.Since(t0)) / float64(time.Millisecond),
 		Chunks:  chunks,
 		Bytes:   bytes,
+		Remote:  remote,
 	}
 	if err != nil {
 		s.Err = err.Error()
@@ -80,6 +101,7 @@ func (t *traceCollector) finish(key string) *ReadTrace {
 	})
 	return &ReadTrace{
 		Key:     key,
+		TraceID: t.ctx.TraceID.String(),
 		TotalMS: float64(time.Since(t.start)) / float64(time.Millisecond),
 		Spans:   spans,
 	}

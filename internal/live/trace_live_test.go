@@ -1,0 +1,95 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/agardist/agar/internal/geo"
+)
+
+// TestReadDetailedTracePropagation drives one detailed read through the
+// live cluster end to end and checks the cross-process trace tree it
+// assembles: the read minted a trace ID, the store exchanges' spans carry
+// server-measured annotations grafted from the replies, and the same
+// trace ID is retained by the cluster's shared flight recorder — the join
+// an operator performs between a slow client trace and /debug/traces.
+func TestReadDetailedTracePropagation(t *testing.T) {
+	cluster, err := StartCluster(ClusterConfig{
+		ClientRegion: geo.Frankfurt,
+		CacheBytes:   90 * 2048,
+		ChunkBytes:   2048,
+		DelayScale:   0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 10_000)
+	rng.Read(data)
+	if err := cluster.Backend().PutObject("object-0", data); err != nil {
+		t.Fatal(err)
+	}
+
+	reader, err := NewNetworkReader(cluster, geo.Frankfurt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+
+	_, info, err := reader.ReadDetailed("object-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Trace == nil {
+		t.Fatal("detailed read returned no trace")
+	}
+	if len(info.Trace.TraceID) != 16 {
+		t.Fatalf("trace ID %q, want 16 hex digits", info.Trace.TraceID)
+	}
+
+	var remoted int
+	for _, sp := range info.Trace.Spans {
+		if len(sp.Remote) == 0 {
+			continue
+		}
+		remoted++
+		var lastEnd int64
+		for _, ann := range sp.Remote {
+			if ann.Name == "" || ann.OffUS < 0 || ann.DurUS < 0 {
+				t.Fatalf("span %s malformed annotation %+v", sp.Name, ann)
+			}
+			if end := ann.OffUS + ann.DurUS; end > lastEnd {
+				lastEnd = end
+			}
+		}
+		// Server time is measured inside the client span; allow 1ms of
+		// clock/rounding slack on a span measured in float ms.
+		if float64(lastEnd)/1000 > sp.DurMS+1 {
+			t.Fatalf("span %s: server annotations (%d µs) exceed client span (%.3f ms)",
+				sp.Name, lastEnd, sp.DurMS)
+		}
+	}
+	if remoted == 0 {
+		t.Fatalf("no span carried server annotations: %+v", info.Trace.Spans)
+	}
+
+	snap := cluster.Recorder().Snapshot()
+	found := false
+	for op, ot := range snap.Ops {
+		for _, r := range ot.Slowest {
+			if r.TraceID == info.Trace.TraceID {
+				found = true
+				if r.DurUS < 0 || len(r.Anns) == 0 {
+					t.Fatalf("retained record for %s malformed: %+v", op, r)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("flight recorder retained nothing under trace %s: ops %v",
+			info.Trace.TraceID, fmt.Sprint(snap.Ops))
+	}
+}

@@ -29,13 +29,19 @@ import (
 	"time"
 )
 
-// Op is one scheduled operation: a kind from the configured mix and the
-// key it targets. What a kind means on the wire — which opcode, how many
-// chunk indices, what payload — is the Issuer's business; loadgen only
-// guarantees the deterministic (kind, key) sequence for a given seed.
+// Op is one scheduled operation: a kind from the configured mix, the key
+// it targets, and the trace ID the Issuer should propagate on the wire.
+// What a kind means on the wire — which opcode, how many chunk indices,
+// what payload — is the Issuer's business; loadgen only guarantees the
+// deterministic (kind, key, trace) sequence for a given seed.
 type Op struct {
 	Kind string
 	Key  string
+	// Trace is a 16-hex-digit trace ID, unique per op and deterministic per
+	// seed. Issuers that speak the Agar wire protocol stamp it into the
+	// frame's trace header, so the report's slowest ops (Point.SlowOps) can
+	// be joined against the servers' /debug/traces flight recorders.
+	Trace string
 }
 
 // Issuer sends one operation and calls done exactly once when its reply
@@ -149,7 +155,11 @@ func ParseRates(s string) ([]float64, error) {
 // Zipf-or-uniform key picks from one seeded source. Not safe for
 // concurrent use; the scheduler goroutine owns it.
 type opPicker struct {
-	rng  *rand.Rand
+	rng *rand.Rand
+	// trng draws trace IDs from its own stream: a shared source would shift
+	// every (kind, key) draw by one, silently changing the schedule a seed
+	// produced before traces existed.
+	trng *rand.Rand
 	zipf *rand.Zipf
 	keys int
 	mix  []OpWeight
@@ -158,7 +168,11 @@ type opPicker struct {
 }
 
 func newOpPicker(cfg *Config) *opPicker {
-	p := &opPicker{rng: rand.New(rand.NewSource(cfg.Seed)), keys: cfg.Keys, mix: cfg.Mix}
+	p := &opPicker{
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		trng: rand.New(rand.NewSource(cfg.Seed ^ 0x7472616365)), // "trace"
+		keys: cfg.Keys, mix: cfg.Mix,
+	}
 	if cfg.Skew > 1 {
 		p.zipf = rand.NewZipf(p.rng, cfg.Skew, 1, uint64(cfg.Keys-1))
 	}
@@ -185,5 +199,13 @@ func (p *opPicker) pick() Op {
 			break
 		}
 	}
-	return Op{Kind: kind, Key: "obj-" + strconv.FormatUint(key, 10)}
+	tid := p.trng.Uint64()
+	if tid == 0 {
+		tid = 1 // zero means "untraced" on the wire
+	}
+	return Op{
+		Kind:  kind,
+		Key:   "obj-" + strconv.FormatUint(key, 10),
+		Trace: fmt.Sprintf("%016x", tid),
+	}
 }

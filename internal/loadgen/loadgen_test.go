@@ -123,6 +123,64 @@ func TestRunPointShape(t *testing.T) {
 	}
 }
 
+// TestRunSlowOps: the point retains at most SlowK in-window completions,
+// slowest first, each carrying the deterministic trace ID its op was
+// issued with — the join key against the servers' /debug/traces.
+func TestRunSlowOps(t *testing.T) {
+	iss := &fakeIssuer{delay: time.Millisecond}
+	pt, err := Run(testConfig(), iss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.SlowOps) == 0 || len(pt.SlowOps) > SlowK {
+		t.Fatalf("SlowOps len = %d, want 1..%d", len(pt.SlowOps), SlowK)
+	}
+	traces := map[string]bool{}
+	for i, s := range pt.SlowOps {
+		if s.Kind == "" || s.Key == "" || len(s.Trace) != 16 || s.LatUs <= 0 {
+			t.Fatalf("slow op %d malformed: %+v", i, s)
+		}
+		if i > 0 && s.LatUs > pt.SlowOps[i-1].LatUs {
+			t.Fatalf("slow ops not slowest-first: %v after %v", s.LatUs, pt.SlowOps[i-1].LatUs)
+		}
+		if traces[s.Trace] {
+			t.Fatalf("duplicate trace %s", s.Trace)
+		}
+		traces[s.Trace] = true
+	}
+	// Each slow op's trace must belong to an op the issuer actually saw.
+	issued := map[string]Op{}
+	for _, op := range iss.ops {
+		issued[op.Trace] = op
+	}
+	for _, s := range pt.SlowOps {
+		op, ok := issued[s.Trace]
+		if !ok || op.Kind != s.Kind || op.Key != s.Key {
+			t.Fatalf("slow op %+v does not match issued op %+v", s, op)
+		}
+	}
+}
+
+// TestPickTraceDeterministicAndDistinct: trace IDs are a pure function of
+// the seed (so reports are reproducible) yet unique across the schedule,
+// and drawing them must not perturb the v1 (kind, key) stream — pinned by
+// the separate trace rng.
+func TestPickTraceDeterministicAndDistinct(t *testing.T) {
+	cfg := testConfig()
+	a, b := newOpPicker(&cfg), newOpPicker(&cfg)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		opA, opB := a.pick(), b.pick()
+		if opA != opB {
+			t.Fatalf("pick %d diverged: %+v vs %+v", i, opA, opB)
+		}
+		if len(opA.Trace) != 16 || seen[opA.Trace] {
+			t.Fatalf("pick %d trace %q malformed or repeated", i, opA.Trace)
+		}
+		seen[opA.Trace] = true
+	}
+}
+
 // TestRunWaitTimeout: an issuer that never resolves must not hang Run.
 func TestRunWaitTimeout(t *testing.T) {
 	cfg := testConfig()
@@ -232,6 +290,9 @@ func TestReportValidate(t *testing.T) {
 		"quantile": func(r *Report) { s := r.Points[0].Ops["get"]; s.P99Us = s.P50Us - 1; r.Points[0].Ops["get"] = s },
 		"errors":   func(r *Report) { s := r.Points[0].Ops["get"]; s.Errors = s.Count + 1; r.Points[0].Ops["get"] = s },
 		"knee":     func(r *Report) { r.Knee = &Knee{OfferedOps: 31337} },
+		"slow": func(r *Report) {
+			r.Points[0].SlowOps = []SlowOp{{Kind: "get", LatUs: 1}, {Kind: "get", LatUs: 2}}
+		},
 	}
 	for name, mutate := range cases {
 		r := &Report{}

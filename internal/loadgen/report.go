@@ -9,8 +9,13 @@ import (
 
 // Schema identifies the BENCH_load.json layout; bump on incompatible
 // change so CI's -loadcheck rejects stale artifacts instead of
-// misreading them.
-const Schema = "agar-load/v1"
+// misreading them. v2 added Point.SlowOps — the trace IDs of each rung's
+// slowest in-window completions.
+const Schema = "agar-load/v2"
+
+// SlowK is how many of a rung's slowest in-window ops are retained in
+// Point.SlowOps.
+const SlowK = 8
 
 // kneeEfficiency is the achieved/offered ratio a point must hold to count
 // as "keeping up": the saturation knee is the last ascending offered rate
@@ -45,6 +50,22 @@ type Point struct {
 	// the schedule and the point overstates server latency.
 	SendLagMaxUs float64            `json:"send_lag_max_us"`
 	Ops          map[string]OpStats `json:"ops"`
+	// SlowOps lists the rung's SlowK slowest in-window completions, slowest
+	// first. Each carries the trace ID the issuer propagated on the wire, so
+	// a tail-latency outlier here joins directly against the server-side
+	// span breakdown the flight recorder kept under the same ID at
+	// /debug/traces.
+	SlowOps []SlowOp `json:"slow_ops,omitempty"`
+}
+
+// SlowOp is one tail-latency outlier: what was asked, how long it took
+// (from its scheduled arrival), and the trace ID to look it up by on the
+// servers it touched.
+type SlowOp struct {
+	Kind  string  `json:"kind"`
+	Key   string  `json:"key"`
+	Trace string  `json:"trace,omitempty"`
+	LatUs float64 `json:"lat_us"`
 }
 
 // Knee is the detected saturation point of a sweep.
@@ -168,6 +189,14 @@ func (r *Report) Validate() error {
 			}
 			if st.P50Us < 0 {
 				return fmt.Errorf("loadgen: point %d op %s negative latency", i, kind)
+			}
+		}
+		for j, s := range p.SlowOps {
+			if s.Kind == "" || s.LatUs < 0 {
+				return fmt.Errorf("loadgen: point %d slow op %d malformed: %+v", i, j, s)
+			}
+			if j > 0 && s.LatUs > p.SlowOps[j-1].LatUs {
+				return fmt.Errorf("loadgen: point %d slow ops not slowest-first at %d", i, j)
 			}
 		}
 	}

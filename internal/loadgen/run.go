@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -20,6 +21,24 @@ type recorder struct {
 	// saturated server that eventually drains its backlog would score 100%
 	// efficiency at any offered rate.
 	inWindow int64
+	// slow holds the SlowK slowest in-window completions, ascending by
+	// latency so index 0 is the cheapest to displace.
+	slow []SlowOp
+}
+
+// noteSlow offers one in-window completion to the slow set. Caller holds mu.
+func (r *recorder) noteSlow(op Op, lat time.Duration) {
+	l := float64(lat) / float64(time.Microsecond)
+	if len(r.slow) == SlowK && l <= r.slow[0].LatUs {
+		return
+	}
+	i := sort.Search(len(r.slow), func(i int) bool { return r.slow[i].LatUs >= l })
+	r.slow = append(r.slow, SlowOp{})
+	copy(r.slow[i+1:], r.slow[i:])
+	r.slow[i] = SlowOp{Kind: op.Kind, Key: op.Key, Trace: op.Trace, LatUs: l}
+	if len(r.slow) > SlowK {
+		r.slow = r.slow[1:]
+	}
 }
 
 func newRecorder(cfg *Config) *recorder {
@@ -34,14 +53,15 @@ func newRecorder(cfg *Config) *recorder {
 	return r
 }
 
-func (r *recorder) record(kind string, lat time.Duration, err error, inWindow bool) {
+func (r *recorder) record(op Op, lat time.Duration, err error, inWindow bool) {
 	r.mu.Lock()
-	r.samples[kind] = append(r.samples[kind], lat)
+	r.samples[op.Kind] = append(r.samples[op.Kind], lat)
 	if err != nil {
-		r.errs[kind]++
+		r.errs[op.Kind]++
 	}
 	if inWindow {
 		r.inWindow++
+		r.noteSlow(op, lat)
 	}
 	r.mu.Unlock()
 }
@@ -85,12 +105,12 @@ func Run(cfg Config, issuer Issuer) (Point, error) {
 				maxLag = lag
 			}
 		}
-		kind, schedAt := op.Kind, sched
+		sent, schedAt := op, sched
 		wg.Add(1)
 		issuer.Issue(op, func(err error) {
 			if measured {
 				now := time.Now()
-				rec.record(kind, now.Sub(schedAt), err, !now.After(end))
+				rec.record(sent, now.Sub(schedAt), err, !now.After(end))
 			}
 			wg.Done()
 		})
@@ -126,6 +146,9 @@ func Run(cfg Config, issuer Issuer) (Point, error) {
 		pt.Ops[kind] = summarize(lats, rec.errs[kind])
 	}
 	pt.AchievedOps = float64(rec.inWindow) / cfg.Duration.Seconds()
+	for i := len(rec.slow) - 1; i >= 0; i-- { // slowest first
+		pt.SlowOps = append(pt.SlowOps, rec.slow[i])
+	}
 	rec.mu.Unlock()
 	return pt, nil
 }

@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"github.com/agardist/agar/internal/trace"
+)
+
+// MountDebug wires one observability mux the way every server binary
+// serves it on its -metrics-addr listener:
+//
+//	/metrics        the registry in Prometheus text format
+//	/debug/traces   the flight recorder's retained slow/errored requests
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// and registers the process-level families (RegisterGoRuntime) on reg.
+// rec may be nil for binaries without a flight recorder; the endpoint is
+// simply absent then. Call once per (mux, registry) pair — the runtime
+// families bind one owner per series and panic on re-registration.
+func MountDebug(mux *http.ServeMux, reg *Registry, rec *trace.Recorder) {
+	mux.Handle("/metrics", reg.Handler())
+	if rec != nil {
+		mux.Handle("/debug/traces", rec.Handler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	RegisterGoRuntime(reg)
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestMux mounts the debug surface without a trace recorder.
+func newTestMux(t *testing.T, r *Registry) *http.ServeMux {
+	t.Helper()
+	mux := http.NewServeMux()
+	MountDebug(mux, r, nil)
+	return mux
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestHistogramExemplar pins the exemplar surface: the exemplar lands on
+// the bucket its value falls in, later observations into the same bucket
+// replace it (last writer wins), the overflow bucket keeps its own, and
+// an empty trace ID never records one.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_exemplar_seconds", "", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "aaaaaaaaaaaaaaaa")
+	h.ObserveExemplar(0.5, "bbbbbbbbbbbbbbbb")
+	h.ObserveExemplar(0.6, "cccccccccccccccc") // replaces b in the same bucket
+	h.ObserveExemplar(5, "dddddddddddddddd")   // +Inf overflow bucket
+	h.ObserveExemplar(0.07, "")                // counted, no exemplar
+
+	fams := r.Gather()
+	fam, ok := SelectFamily(fams, "test_exemplar_seconds")
+	if !ok || len(fam.Samples) != 1 {
+		t.Fatalf("family missing: %+v", fams)
+	}
+	s := fam.Samples[0]
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	want := map[float64]struct {
+		trace string
+		value float64
+	}{
+		0.1: {"aaaaaaaaaaaaaaaa", 0.05},
+		1:   {"cccccccccccccccc", 0.6},
+	}
+	var sawInf bool
+	for _, ex := range s.Exemplars {
+		if ex.BucketLE > 1e308 { // +Inf stamped by snapshotExemplars
+			sawInf = true
+			if ex.TraceID != "dddddddddddddddd" || ex.Value != 5 {
+				t.Fatalf("+Inf exemplar = %+v", ex)
+			}
+			continue
+		}
+		w, ok := want[ex.BucketLE]
+		if !ok {
+			t.Fatalf("unexpected exemplar bucket %v", ex.BucketLE)
+		}
+		if ex.TraceID != w.trace || ex.Value != w.value {
+			t.Fatalf("bucket %v exemplar = %+v, want %+v", ex.BucketLE, ex, w)
+		}
+		delete(want, ex.BucketLE)
+	}
+	if len(want) != 0 || !sawInf {
+		t.Fatalf("exemplars missing: leftover %v, inf=%v (got %+v)", want, sawInf, s.Exemplars)
+	}
+}
+
+// TestExemplarExpositionRoundTrip checks the text format end to end: the
+// _bucket lines carry OpenMetrics-style " # {trace_id=...}" suffixes, and
+// the package's own parser — which external tooling shares — still reads
+// every value correctly with the suffixes present.
+func TestExemplarExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogramVec("test_exemplar_seconds", "", []float64{0.1, 1}, "op")
+	h.With("get").ObserveExemplar(0.5, "feedfacecafebeef")
+	h.With("get").Observe(0.01)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, `le="1"} 2 # {trace_id="feedfacecafebeef"} 0.5`) {
+		t.Fatalf("exposition missing exemplar suffix:\n%s", text)
+	}
+
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse with exemplars: %v", err)
+	}
+	fam, ok := SelectFamily(fams, "test_exemplar_seconds")
+	if !ok {
+		t.Fatal("family lost in round trip")
+	}
+	s, ok := SelectSample(fam, map[string]string{"op": "get"})
+	if !ok || s.Count != 2 {
+		t.Fatalf("sample = %+v ok=%v, want count 2", s, ok)
+	}
+	// Bucket counts must survive the suffix strip: 0.01 in bucket 0, both
+	// in bucket 1.
+	if s.BucketCounts[0] != 1 || s.BucketCounts[1] != 2 {
+		t.Fatalf("bucket counts = %v", s.BucketCounts)
+	}
+}
+
+// TestMountDebugSurface mounts the shared debug mux and checks each route
+// answers: /metrics with the build-info and runtime families, /debug/pprof
+// with an index, and /debug/traces absent when no recorder is given.
+func TestMountDebugSurface(t *testing.T) {
+	r := NewRegistry()
+	mux := newTestMux(t, r)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	body := get(t, ts.URL+"/metrics")
+	for _, name := range []string{NameBuildInfo, NameGoGoroutines, NameGoHeapAllocBytes, NameGoGCPauseSeconds} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if idx := get(t, ts.URL+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index lacks goroutine profile:\n%.200s", idx)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/debug/traces without a recorder = %d, want 404", resp.StatusCode)
+	}
+}

@@ -33,13 +33,22 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 func writeHistogram(w io.Writer, fam Family, s Sample) {
+	exemplar := func(le float64) string {
+		for _, e := range s.Exemplars {
+			if e.BucketLE == le {
+				return fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabel(e.TraceID), formatValue(e.Value))
+			}
+		}
+		return ""
+	}
 	for i, bound := range fam.Buckets {
 		le := formatValue(bound)
-		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name,
-			labelString(fam.Labels, s.LabelValues, "le", le), s.BucketCounts[i])
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name,
+			labelString(fam.Labels, s.LabelValues, "le", le), s.BucketCounts[i], exemplar(bound))
 	}
-	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name,
-		labelString(fam.Labels, s.LabelValues, "le", "+Inf"), s.BucketCounts[len(s.BucketCounts)-1])
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name,
+		labelString(fam.Labels, s.LabelValues, "le", "+Inf"), s.BucketCounts[len(s.BucketCounts)-1],
+		exemplar(math.Inf(1)))
 	fmt.Fprintf(w, "%s_sum%s %s\n", fam.Name, labelString(fam.Labels, s.LabelValues, "", ""), formatValue(s.Sum))
 	fmt.Fprintf(w, "%s_count%s %d\n", fam.Name, labelString(fam.Labels, s.LabelValues, "", ""), s.Count)
 }

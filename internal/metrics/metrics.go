@@ -97,6 +97,10 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, non-cumulative; last is +Inf
 	count  atomic.Uint64
 	sum    atomic.Uint64 // math.Float64bits
+	// exemplars holds, per bucket, the trace ID of the last observation
+	// that landed there with a trace attached — the jump from "this bucket
+	// has a tail" to "here is one concrete slow request to look up".
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -106,7 +110,20 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 	}
 	b := append([]float64(nil), bounds...)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
+}
+
+// Exemplar ties one histogram bucket to a concrete traced request: the
+// trace ID the observation carried and the observed value. BucketLE is the
+// bucket's upper bound (+Inf for the overflow bucket) when gathered.
+type Exemplar struct {
+	BucketLE float64
+	TraceID  string
+	Value    float64
 }
 
 // Observe records one value.
@@ -127,6 +144,24 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one value and, when traceID is non-empty, pins
+// it as the matched bucket's exemplar — last writer wins, one atomic store
+// over Observe's cost, still lock-free.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// ObserveDurationExemplar records a duration in seconds with a trace-ID
+// exemplar (empty traceID degrades to a plain observation).
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	h.ObserveExemplar(d.Seconds(), traceID)
+}
 
 // Count returns how many values have been observed.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -152,6 +187,24 @@ func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
 	}
 	buckets[len(buckets)-1] = count
 	return buckets, h.Sum(), count
+}
+
+// snapshotExemplars copies the non-empty bucket exemplars, stamping each
+// with its bucket's upper bound (+Inf for the overflow bucket).
+func (h *Histogram) snapshotExemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.exemplars {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out = append(out, Exemplar{BucketLE: le, TraceID: e.TraceID, Value: e.Value})
+	}
+	return out
 }
 
 // child is one labelled instance inside a family: exactly one of the
@@ -362,6 +415,9 @@ type Sample struct {
 	// Sum and Count are the histogram's running sum and observation count.
 	Sum   float64
 	Count uint64
+	// Exemplars are the histogram's per-bucket trace-ID exemplars (only
+	// buckets that have seen a traced observation appear).
+	Exemplars []Exemplar
 }
 
 // Gather snapshots every family, sorted by name with samples sorted by
@@ -393,6 +449,7 @@ func (r *Registry) Gather() []Family {
 			s := Sample{LabelValues: append([]string(nil), c.values...)}
 			if c.hist != nil {
 				s.BucketCounts, s.Sum, s.Count = c.hist.snapshot()
+				s.Exemplars = c.hist.snapshotExemplars()
 			} else {
 				s.Value = c.value()
 			}

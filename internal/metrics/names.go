@@ -45,4 +45,13 @@ const (
 	// Client read path: the async cache-population pool's backpressure.
 	NamePopulationQueueDepth = "agar_client_population_queue_depth"
 	NamePopulationDropped    = "agar_client_population_dropped_total"
+
+	// Process-level families every binary's debug mux exposes
+	// (RegisterGoRuntime / MountDebug): a constant-1 build identity gauge
+	// labelled {go_version, module}, and function-backed Go runtime health
+	// read at gather time.
+	NameBuildInfo        = "agar_build_info"
+	NameGoGoroutines     = "agar_go_goroutines"
+	NameGoHeapAllocBytes = "agar_go_heap_alloc_bytes"
+	NameGoGCPauseSeconds = "agar_go_gc_pause_seconds_total"
 )

@@ -70,6 +70,12 @@ func ParseText(r io.Reader) ([]Family, error) {
 			}
 			continue
 		}
+		// Strip an OpenMetrics-style exemplar suffix (` # {trace_id="…"} v`)
+		// before parsing: the sample proper ends at the " # " separator. No
+		// registered label value contains that sequence, so the cut is safe.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
 		name, labels, value, err := parseSampleLine(line)
 		if err != nil {
 			return nil, err

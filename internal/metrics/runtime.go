@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterGoRuntime adds the process-level families to a registry: the
+// agar_build_info identity gauge (constant 1, labelled with the Go
+// toolchain version and main module path) plus function-backed Go runtime
+// health — goroutine count, heap bytes in use, and cumulative GC pause
+// time — all read at gather time, so an idle registry costs nothing.
+//
+// Call it at most once per registry: the families bind one owner per time
+// series and a second registration panics, the same contract every other
+// function-backed family in the system has. MountDebug calls it for you.
+func RegisterGoRuntime(reg *Registry) {
+	mod := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		mod = bi.Main.Path
+	}
+	reg.NewGaugeFuncVec(NameBuildInfo,
+		"Constant 1, labelled with the Go toolchain and main module that built this process.",
+		"go_version", "module").
+		Bind(func() float64 { return 1 }, runtime.Version(), mod)
+	reg.NewGaugeFunc(NameGoGoroutines,
+		"Goroutines currently alive in this process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.NewGaugeFunc(NameGoHeapAllocBytes,
+		"Heap bytes allocated and still in use (runtime MemStats HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.NewCounterFunc(NameGoGCPauseSeconds,
+		"Cumulative stop-the-world GC pause time in seconds.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+}

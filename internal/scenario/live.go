@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/netsim"
 	"github.com/agardist/agar/internal/stats"
+	"github.com/agardist/agar/internal/trace"
 	"github.com/agardist/agar/internal/workload"
 )
 
@@ -88,9 +90,24 @@ type LiveResult struct {
 	// OpLatencies is the cache server's per-opcode latency profile over
 	// the measured window, derived from /metrics scrapes at the phase
 	// boundaries; SlowTraces holds the span traces of the slowest
-	// measured reads.
+	// measured reads, each span carrying the server-side annotations its
+	// reply returned; Flight summarizes the cluster's flight recorder
+	// (/debug/traces) as scraped at the phase boundary.
 	OpLatencies []OpLatency      `json:"op_latencies,omitempty"`
 	SlowTraces  []live.ReadTrace `json:"slow_traces,omitempty"`
+	Flight      []FlightOp       `json:"flight,omitempty"`
+}
+
+// FlightOp is one opcode's flight-recorder retention on the measured
+// cluster at the end of the phase: how many slow and errored records the
+// always-on recorder kept, and the worst one's duration and trace ID —
+// the join key back into the client-side SlowTraces.
+type FlightOp struct {
+	Op           string `json:"op"`
+	Retained     int    `json:"retained"`
+	Errors       int    `json:"errors"`
+	SlowestUS    int64  `json:"slowest_us"`
+	SlowestTrace string `json:"slowest_trace,omitempty"`
 }
 
 // MetricsMarkdown renders the scrape-derived per-opcode latency table and
@@ -111,9 +128,13 @@ func (lr *LiveResult) MetricsMarkdown() string {
 		}
 	}
 	if len(lr.SlowTraces) > 0 {
-		b.WriteString("\nSlowest reads (span traces):\n\n```\n")
+		b.WriteString("\nSlowest reads (span traces; indented lines are server-measured\nannotations carried back on the exchange's reply, offsets relative to\nthe server receiving the frame):\n\n```\n")
 		for i, tr := range lr.SlowTraces {
-			fmt.Fprintf(&b, "%d. %s  %.1f ms\n", i+1, tr.Key, tr.TotalMS)
+			fmt.Fprintf(&b, "%d. %s  %.1f ms", i+1, tr.Key, tr.TotalMS)
+			if tr.TraceID != "" {
+				fmt.Fprintf(&b, "  trace=%s", tr.TraceID)
+			}
+			b.WriteString("\n")
 			for _, sp := range tr.Spans {
 				fmt.Fprintf(&b, "   %-22s +%7.2f ms %8.2f ms", sp.Name, sp.StartMS, sp.DurMS)
 				if sp.Chunks > 0 {
@@ -123,9 +144,25 @@ func (lr *LiveResult) MetricsMarkdown() string {
 					fmt.Fprintf(&b, "  err=%s", sp.Err)
 				}
 				b.WriteString("\n")
+				for _, ann := range sp.Remote {
+					fmt.Fprintf(&b, "      · %-19s +%7d µs %8d µs\n", ann.Name, ann.OffUS, ann.DurUS)
+				}
 			}
 		}
 		b.WriteString("```\n")
+	}
+	if len(lr.Flight) > 0 {
+		b.WriteString("\nFlight recorder (`/debug/traces` scraped at the phase boundary):\n\n")
+		b.WriteString("| op | slow retained | errors | slowest (ms) | slowest trace |\n")
+		b.WriteString("|---|---:|---:|---:|:---|\n")
+		for _, f := range lr.Flight {
+			tid := f.SlowestTrace
+			if tid == "" {
+				tid = "—"
+			}
+			fmt.Fprintf(&b, "| %s | %d | %d | %.3f | `%s` |\n",
+				f.Op, f.Retained, f.Errors, float64(f.SlowestUS)/1000, tid)
+		}
 	}
 	return b.String()
 }
@@ -303,6 +340,10 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 		return nil, fmt.Errorf("scenario %q live scrape: %w", spec.Name, err)
 	}
 	res.OpLatencies = opLatencies(scrapeStart, scrapeEnd)
+	res.Flight, err = scrapeTraces(cluster.MetricsAddr())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q live traces: %w", spec.Name, err)
+	}
 
 	if peer != nil {
 		s := peerLat.Summarize()
@@ -321,6 +362,37 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// scrapeTraces fetches the cluster's /debug/traces flight-recorder
+// snapshot over real HTTP at the phase boundary and condenses it to one
+// row per opcode, sorted by opcode. The cluster shares one recorder across
+// its store, cache and hint servers, so the summary covers every hop the
+// measured reads touched.
+func scrapeTraces(addr string) ([]FlightOp, error) {
+	resp, err := http.Get("http://" + addr + "/debug/traces")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("traces %s: %s", addr, resp.Status)
+	}
+	var snap trace.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	out := make([]FlightOp, 0, len(snap.Ops))
+	for op, ot := range snap.Ops {
+		f := FlightOp{Op: op, Retained: len(ot.Slowest), Errors: len(ot.Errors)}
+		if len(ot.Slowest) > 0 {
+			f.SlowestUS = ot.Slowest[0].DurUS
+			f.SlowestTrace = ot.Slowest[0].TraceID
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out, nil
 }
 
 // scrapeMetrics fetches and parses a cluster's /metrics endpoint — the

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Retention bounds per opcode. Fixed and small on purpose: the recorder
+// is always on, so its memory ceiling is ops × (SlowPerOp + ErrsPerOp)
+// records regardless of traffic.
+const (
+	SlowPerOp = 16 // slowest requests retained per opcode
+	ErrsPerOp = 16 // most recent errored requests per opcode
+)
+
+// Record is one retained request: its opcode, duration, the trace ID it
+// carried (empty for untraced requests — slowness is recorded either
+// way), the server error it returned if any, and the span annotations
+// measured while serving it.
+type Record struct {
+	Op      string       `json:"op"`
+	TraceID string       `json:"trace_id,omitempty"`
+	DurUS   int64        `json:"dur_us"`
+	Err     string       `json:"err,omitempty"`
+	Anns    []Annotation `json:"anns,omitempty"`
+	// UnixMS stamps when the request finished, so a retained record can
+	// be matched against external logs and metrics scrapes.
+	UnixMS int64 `json:"unix_ms"`
+}
+
+// opRecorder retains one opcode's records. slowMin caches the smallest
+// duration in the slow set once the set is full: the steady-state Observe
+// of an unremarkable request is one atomic load and a compare, no lock.
+type opRecorder struct {
+	slowMin atomic.Int64 // ns; 0 until the slow set fills
+	mu      sync.Mutex
+	slow    []Record
+	errs    []Record // ring, errNext is the next overwrite slot
+	errNext int
+}
+
+func (o *opRecorder) observe(rec Record, dur time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if rec.Err != "" {
+		if len(o.errs) < ErrsPerOp {
+			o.errs = append(o.errs, rec)
+		} else {
+			o.errs[o.errNext] = rec
+			o.errNext = (o.errNext + 1) % ErrsPerOp
+		}
+	}
+	if len(o.slow) < SlowPerOp {
+		o.slow = append(o.slow, rec)
+		if len(o.slow) == SlowPerOp {
+			o.resetSlowMin()
+		}
+		return
+	}
+	min := 0
+	for i := 1; i < len(o.slow); i++ {
+		if o.slow[i].DurUS < o.slow[min].DurUS {
+			min = i
+		}
+	}
+	if rec.DurUS > o.slow[min].DurUS {
+		o.slow[min] = rec
+		o.resetSlowMin()
+	}
+}
+
+// resetSlowMin recomputes the fast-reject threshold; callers hold mu.
+func (o *opRecorder) resetSlowMin() {
+	min := o.slow[0].DurUS
+	for _, r := range o.slow[1:] {
+		if r.DurUS < min {
+			min = r.DurUS
+		}
+	}
+	o.slowMin.Store(min * int64(time.Microsecond))
+}
+
+// Recorder is the per-server flight recorder: a fixed-size retention of
+// the slowest and errored requests for every opcode the server has
+// handled. Observe is safe for concurrent use and cheap for requests that
+// are neither slow nor errored.
+type Recorder struct {
+	ops sync.Map // op string -> *opRecorder
+}
+
+// NewRecorder returns an empty flight recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Observe offers one finished request to the recorder. traceID may be
+// empty (untraced requests still count as slow); errMsg non-empty marks
+// the request errored and guarantees retention in the error ring.
+func (r *Recorder) Observe(op string, dur time.Duration, traceID, errMsg string, anns []Annotation) {
+	v, ok := r.ops.Load(op)
+	if !ok {
+		v, _ = r.ops.LoadOrStore(op, &opRecorder{})
+	}
+	o := v.(*opRecorder)
+	if errMsg == "" && dur.Nanoseconds() < o.slowMin.Load() {
+		return // unremarkable: slower requests already fill the slow set
+	}
+	o.observe(Record{
+		Op:      op,
+		TraceID: traceID,
+		DurUS:   dur.Microseconds(),
+		Err:     errMsg,
+		Anns:    anns,
+		UnixMS:  time.Now().UnixMilli(),
+	}, dur)
+}
+
+// OpTraces is one opcode's retained records in a Snapshot.
+type OpTraces struct {
+	// Slowest is ordered slowest-first; Errors is most-recent-first.
+	Slowest []Record `json:"slowest"`
+	Errors  []Record `json:"errors,omitempty"`
+}
+
+// Snapshot is the JSON document served at /debug/traces.
+type Snapshot struct {
+	Ops map[string]OpTraces `json:"ops"`
+}
+
+// Snapshot copies the current retention out of the recorder.
+func (r *Recorder) Snapshot() Snapshot {
+	snap := Snapshot{Ops: make(map[string]OpTraces)}
+	r.ops.Range(func(k, v any) bool {
+		o := v.(*opRecorder)
+		o.mu.Lock()
+		ot := OpTraces{Slowest: append([]Record(nil), o.slow...)}
+		// Unroll the error ring newest-first.
+		for i := len(o.errs) - 1; i >= 0; i-- {
+			ot.Errors = append(ot.Errors, o.errs[(o.errNext+i)%len(o.errs)])
+		}
+		o.mu.Unlock()
+		sort.SliceStable(ot.Slowest, func(i, j int) bool { return ot.Slowest[i].DurUS > ot.Slowest[j].DurUS })
+		snap.Ops[k.(string)] = ot
+		return true
+	})
+	return snap
+}
+
+// Handler serves the recorder's snapshot as indented JSON — the
+// /debug/traces endpoint.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

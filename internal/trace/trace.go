@@ -1,0 +1,115 @@
+// Package trace carries per-request trace context across process
+// boundaries and keeps a flight recorder of the requests worth looking at
+// afterwards.
+//
+// A trace is identified by a random 64-bit ID rendered as 16 hex digits —
+// compact enough to ride in a wire header field and grep out of any log.
+// Context is the propagated triple (trace ID, span ID, flags); Annotation
+// is the server-side unit of measurement: a named interval, offset
+// relative to the moment the server received the frame, that the server
+// returns on its reply so the client can graft real server time (queue
+// wait, per-shard execute, split-batch parts) into its own span tree.
+//
+// Recorder is the always-on flight recorder: per opcode it retains the
+// slowest and the most recent errored requests in fixed-size buffers, so
+// "what was that p99.9 five minutes ago" has a concrete answer without
+// any sampling decision made up front. Handler serves the retained
+// records as JSON — mounted at /debug/traces on each server's metrics
+// mux.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+)
+
+// ID is a 64-bit trace or span identifier; zero means "absent".
+type ID uint64
+
+// idRng feeds NewID. The global math/rand source would also do, but a
+// private locked source keeps trace-ID draws from perturbing any other
+// package's use of the global stream.
+var idRng = struct {
+	sync.Mutex
+	*rand.Rand
+}{Rand: rand.New(rand.NewSource(rand.Int63()))}
+
+// NewID draws a random non-zero identifier.
+func NewID() ID {
+	idRng.Lock()
+	defer idRng.Unlock()
+	for {
+		if id := ID(idRng.Uint64()); id != 0 {
+			return id
+		}
+	}
+}
+
+// String renders the ID as 16 lowercase hex digits; the zero ID renders
+// as the empty string so omitempty header fields stay absent.
+func (id ID) String() string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// ParseID decodes a 16-hex-digit identifier; the empty string parses to
+// the zero ID (absent context, not an error).
+func ParseID(s string) (ID, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad id %q: %w", s, err)
+	}
+	return ID(v), nil
+}
+
+// FlagSampled marks a context whose spans should be recorded in detail;
+// untraced requests simply carry no context at all, so today every
+// propagated context is sampled — the flag exists so a future sampler can
+// propagate IDs without asking servers for annotations.
+const FlagSampled = 1
+
+// Context is the propagated trace state: which trace a request belongs
+// to, which client span issued it, and behaviour flags. The zero Context
+// means "untraced" and must encode to nothing on the wire.
+type Context struct {
+	TraceID ID
+	SpanID  ID
+	Flags   int
+}
+
+// Valid reports whether the context names a trace.
+func (c Context) Valid() bool { return c.TraceID != 0 }
+
+// Sampled reports whether servers should record and return annotations.
+func (c Context) Sampled() bool { return c.Valid() && c.Flags&FlagSampled != 0 }
+
+// New mints a sampled root context for one client operation.
+func New() Context {
+	return Context{TraceID: NewID(), SpanID: NewID(), Flags: FlagSampled}
+}
+
+// Child derives a context for one downstream exchange: same trace, fresh
+// span ID, flags inherited.
+func (c Context) Child() Context {
+	if !c.Valid() {
+		return Context{}
+	}
+	return Context{TraceID: c.TraceID, SpanID: NewID(), Flags: c.Flags}
+}
+
+// Annotation is one named server-side interval, reported on the reply.
+// Offsets are microseconds relative to the server receiving the request
+// frame, so a client can order a server's annotations without any clock
+// agreement between the two processes; durations are microseconds.
+type Annotation struct {
+	Name  string `json:"name"`
+	OffUS int64  `json:"off_us"`
+	DurUS int64  `json:"dur_us"`
+}

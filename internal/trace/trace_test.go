@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		id := NewID()
+		if id == 0 {
+			t.Fatal("NewID returned zero")
+		}
+		s := id.String()
+		if len(s) != 16 {
+			t.Fatalf("id %v renders %q, want 16 hex digits", uint64(id), s)
+		}
+		back, err := ParseID(s)
+		if err != nil || back != id {
+			t.Fatalf("ParseID(%q) = %v, %v, want %v", s, back, err, id)
+		}
+	}
+	if s := ID(0).String(); s != "" {
+		t.Fatalf("zero ID renders %q, want empty", s)
+	}
+	if id, err := ParseID(""); err != nil || id != 0 {
+		t.Fatalf("ParseID(\"\") = %v, %v, want zero", id, err)
+	}
+	if _, err := ParseID("not-hex"); err == nil {
+		t.Fatal("ParseID accepted garbage")
+	}
+}
+
+func TestContextChild(t *testing.T) {
+	root := New()
+	if !root.Sampled() {
+		t.Fatal("New() context not sampled")
+	}
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Fatal("child changed trace ID")
+	}
+	if child.SpanID == root.SpanID {
+		t.Fatal("child kept parent span ID")
+	}
+	if (Context{}).Child().Valid() {
+		t.Fatal("child of zero context is valid")
+	}
+}
+
+// TestRecorderSlowEviction pins the retention policy: the slow set keeps
+// exactly the SlowPerOp slowest observations, evicting the fastest
+// retained record when a slower one arrives, and the snapshot is ordered
+// slowest-first.
+func TestRecorderSlowEviction(t *testing.T) {
+	r := NewRecorder()
+	n := 3 * SlowPerOp
+	for i := 1; i <= n; i++ {
+		r.Observe("get", time.Duration(i)*time.Millisecond, fmt.Sprintf("%016x", i), "", nil)
+	}
+	snap := r.Snapshot()
+	got := snap.Ops["get"].Slowest
+	if len(got) != SlowPerOp {
+		t.Fatalf("retained %d records, want %d", len(got), SlowPerOp)
+	}
+	for i, rec := range got {
+		wantUS := int64(n-i) * 1000
+		if rec.DurUS != wantUS {
+			t.Fatalf("slowest[%d] = %d µs, want %d µs", i, rec.DurUS, wantUS)
+		}
+	}
+	// A fast op after the set is full must be rejected without displacing
+	// anything.
+	r.Observe("get", time.Microsecond, "", "", nil)
+	if got := r.Snapshot().Ops["get"].Slowest; got[len(got)-1].DurUS < 1000 {
+		t.Fatalf("fast op displaced a slow record: %+v", got[len(got)-1])
+	}
+}
+
+// TestRecorderErrorRing pins the error ring: errored requests are always
+// retained regardless of duration, the ring holds the most recent
+// ErrsPerOp, newest first.
+func TestRecorderErrorRing(t *testing.T) {
+	r := NewRecorder()
+	// Fill the slow set with slow successes so errors cannot ride in on
+	// the slow path.
+	for i := 0; i < SlowPerOp; i++ {
+		r.Observe("put", time.Second, "", "", nil)
+	}
+	n := 2*ErrsPerOp + 3
+	for i := 1; i <= n; i++ {
+		r.Observe("put", time.Microsecond, "", fmt.Sprintf("boom-%d", i), nil)
+	}
+	errs := r.Snapshot().Ops["put"].Errors
+	if len(errs) != ErrsPerOp {
+		t.Fatalf("retained %d errors, want %d", len(errs), ErrsPerOp)
+	}
+	for i, rec := range errs {
+		want := fmt.Sprintf("boom-%d", n-i)
+		if rec.Err != want {
+			t.Fatalf("errors[%d] = %q, want %q (newest first)", i, rec.Err, want)
+		}
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines while
+// snapshots run — the -race gate for the flight recorder.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	ops := []string{"get", "mget", "put"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				errMsg := ""
+				if i%97 == 0 {
+					errMsg = "synthetic"
+				}
+				r.Observe(ops[(g+i)%len(ops)], time.Duration(i%500)*time.Microsecond,
+					NewID().String(), errMsg, []Annotation{{Name: "exec", DurUS: int64(i)}})
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	snap := r.Snapshot()
+	for _, op := range ops {
+		ot, ok := snap.Ops[op]
+		if !ok || len(ot.Slowest) == 0 {
+			t.Fatalf("op %s retained nothing", op)
+		}
+		if len(ot.Slowest) > SlowPerOp || len(ot.Errors) > ErrsPerOp {
+			t.Fatalf("op %s over-retained: %d slow, %d errs", op, len(ot.Slowest), len(ot.Errors))
+		}
+	}
+}
+
+// TestRecorderHandler checks the /debug/traces JSON shape end to end: the
+// handler serves a decodable Snapshot carrying the fields the CI smoke
+// greps for.
+func TestRecorderHandler(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("get", 5*time.Millisecond, NewID().String(), "", []Annotation{
+		{Name: "queue", OffUS: 0, DurUS: 40},
+		{Name: "exec", OffUS: 40, DurUS: 4960},
+	})
+	r.Observe("get", time.Millisecond, "", "no such chunk", nil)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	ot := snap.Ops["get"]
+	if len(ot.Slowest) != 2 || len(ot.Errors) != 1 {
+		t.Fatalf("snapshot shape: %+v", ot)
+	}
+	if ot.Slowest[0].DurUS != 5000 || len(ot.Slowest[0].Anns) != 2 || ot.Slowest[0].TraceID == "" {
+		t.Fatalf("slowest record malformed: %+v", ot.Slowest[0])
+	}
+	if ot.Errors[0].Err != "no such chunk" {
+		t.Fatalf("error record malformed: %+v", ot.Errors[0])
+	}
+}

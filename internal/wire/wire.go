@@ -23,6 +23,8 @@ import (
 	"io"
 	"net"
 	"sort"
+
+	"github.com/agardist/agar/internal/trace"
 )
 
 // MaxFrame bounds a frame to guard against corrupt length prefixes.
@@ -87,6 +89,19 @@ type Header struct {
 	// Sizes carries the per-chunk byte lengths of a batch message's body:
 	// Sizes[i] bytes of Body belong to chunk Indices[i], in order.
 	Sizes []int `json:"sizes,omitempty"`
+	// Trace, Span and TFlags carry the optional trace context of a traced
+	// request: the 16-hex-digit trace ID the whole client operation runs
+	// under, the client span that issued this exchange, and behaviour
+	// flags (trace.FlagSampled asks the server for annotations). All three
+	// are omitted for untraced requests, so untraced framing is
+	// byte-identical to the pre-trace protocol and old peers interoperate.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	TFlags int    `json:"tflags,omitempty"`
+	// Anns carries the server's span annotations back on the reply to a
+	// traced request: named intervals (queue wait, per-shard execute)
+	// offset from the server's receipt of the frame.
+	Anns []trace.Annotation `json:"anns,omitempty"`
 	// Error carries the error text for OpError responses.
 	Error string `json:"error,omitempty"`
 	// Stats carries free-form counters for OpStats responses.
