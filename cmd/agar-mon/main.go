@@ -1,0 +1,311 @@
+// Command agar-mon watches a running Agar cluster from the outside: it
+// polls every target's /metrics endpoint into a monitor ring store,
+// replays the default watch rules (dispatch-queue saturation, goroutine
+// and heap growth, digest staleness, read-p99 ceiling, hit-ratio burn
+// rate) on each tick, and prints a compact per-instance dashboard with
+// sparklines plus every alert transition as it happens.
+//
+// Usage:
+//
+//	agar-mon -targets cache=http://127.0.0.1:9301,backend=http://127.0.0.1:9302
+//	agar-mon -targets http://127.0.0.1:9301 -interval 1s -n 30
+//
+// Targets are "name=baseURL" pairs (bare URLs name themselves after
+// their host:port). The base URL is the server's metrics address —
+// agar-mon scrapes <base>/metrics and, with -traces, <base>/debug/traces
+// for the slowest recent span. The exit code is 1 when any rule is still
+// firing at the end, so a bounded run (-n) doubles as a cluster health
+// gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/agardist/agar/internal/metrics"
+	"github.com/agardist/agar/internal/monitor"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		targets  = flag.String("targets", "", "comma-separated name=baseURL (or bare URL) metrics endpoints to watch")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		n        = flag.Int("n", 0, "ticks to run before exiting (0 = until interrupted)")
+		history  = flag.Int("history", 512, "points of history kept per series")
+		window   = flag.Duration("window", time.Minute, "lookback for windowed readouts (hit ratio, p99)")
+		traces   = flag.Bool("traces", true, "also poll /debug/traces for each target's slowest recent span")
+	)
+	flag.Parse()
+
+	insts, sources, err := parseTargets(*targets)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agar-mon: %v\n", err)
+		return 2
+	}
+
+	store := monitor.NewStore(*history)
+	coll := &monitor.Collector{Store: store, Sources: sources}
+	eval := monitor.NewEvaluator(store, monitor.DefaultWatchRules())
+	trends := make(map[string][]float64)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	tick := 0
+	for {
+		now := time.Now()
+		if err := coll.Collect(now); err != nil {
+			fmt.Fprintf(os.Stderr, "agar-mon: scrape: %v\n", err)
+		}
+		alerts := eval.Eval(now)
+
+		fmt.Printf("agar-mon %s\n", now.Format("15:04:05"))
+		for _, inst := range insts {
+			line, p99 := instrumentLine(store, inst.name, *window, now)
+			trends[inst.name] = appendTrend(trends[inst.name], p99, 32)
+			fmt.Printf("  %-12s %s %s\n", inst.name, line, sparkline(trends[inst.name]))
+			if *traces {
+				if s := slowestSpan(inst.base); s != "" {
+					fmt.Printf("  %-12s %s\n", "", s)
+				}
+			}
+		}
+		for _, a := range alerts {
+			fmt.Printf("  ALERT %s\n", a)
+		}
+		if firing := eval.Firing(); len(firing) > 0 {
+			fmt.Printf("  firing: %s\n", strings.Join(firing, ", "))
+		}
+
+		tick++
+		if *n > 0 && tick >= *n {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+		case <-time.After(*interval):
+			continue
+		}
+		break
+	}
+
+	if firing := eval.Firing(); len(firing) > 0 {
+		fmt.Fprintf(os.Stderr, "agar-mon: rules still firing: %s\n", strings.Join(firing, ", "))
+		return 1
+	}
+	return 0
+}
+
+// target is one watched instance: its display name and base URL.
+type target struct {
+	name string
+	base string
+}
+
+// parseTargets splits -targets into instances and their scrape sources.
+func parseTargets(s string) ([]target, []monitor.Source, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil, fmt.Errorf("no -targets given (try -targets cache=http://127.0.0.1:9301)")
+	}
+	var insts []target
+	var sources []monitor.Source
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, base, ok := strings.Cut(part, "=")
+		if !ok {
+			base, name = part, ""
+		}
+		base = strings.TrimRight(base, "/")
+		u, err := url.Parse(base)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, nil, fmt.Errorf("target %q: want name=http://host:port", part)
+		}
+		if name == "" {
+			name = u.Host
+		}
+		if seen[name] {
+			return nil, nil, fmt.Errorf("duplicate target name %q", name)
+		}
+		seen[name] = true
+		insts = append(insts, target{name: name, base: base})
+		sources = append(sources, monitor.HTTPSource{Name: name, URL: base + "/metrics"})
+	}
+	return insts, sources, nil
+}
+
+// instrumentLine renders one instance's current readouts and returns the
+// windowed p99 (seconds; NaN when the instance has no execute history).
+func instrumentLine(st *monitor.Store, inst string, window time.Duration, now time.Time) (string, float64) {
+	match := map[string]string{"instance": inst}
+	queue := sumLatest(st, metrics.NameServerQueueDepth, match)
+	gors := sumLatest(st, metrics.NameGoGoroutines, match)
+	heap := sumLatest(st, metrics.NameGoHeapAllocBytes, match)
+
+	from := now.Add(-window)
+	hits := sumIncrease(st, metrics.NameCacheHits, match, from, now)
+	gets := sumIncrease(st, metrics.NameCacheGets, match, from, now)
+	hitStr := "—"
+	if gets > 0 {
+		hitStr = fmt.Sprintf("%.0f%%", 100*hits/gets)
+	}
+
+	p99 := math.NaN()
+	for _, w := range st.HistDeltas(metrics.NameServerOpExecute, match, from, now) {
+		if w.Delta.Count == 0 {
+			continue
+		}
+		if q := metrics.Quantile(w.Bounds, w.Delta, 0.99); math.IsNaN(p99) || q > p99 {
+			p99 = q
+		}
+	}
+	p99Str := "—"
+	if !math.IsNaN(p99) {
+		p99Str = fmt.Sprintf("%.1fms", p99*1000)
+	}
+	return fmt.Sprintf("queue %3.0f  goroutines %4.0f  heap %6.1fMB  hit %4s  p99 %8s",
+		queue, gors, heap/(1<<20), hitStr, p99Str), p99
+}
+
+// sumLatest sums the freshest point of every series matching the labels —
+// gauges split across shards read as one instance-wide figure.
+func sumLatest(st *monitor.Store, name string, match map[string]string) float64 {
+	var sum float64
+	for _, s := range st.Select(name, match) {
+		if len(s.Points) > 0 {
+			sum += s.Points[len(s.Points)-1].V
+		}
+	}
+	return sum
+}
+
+// sumIncrease sums every matching series' reset-clamped increase across
+// the window.
+func sumIncrease(st *monitor.Store, name string, match map[string]string, from, to time.Time) float64 {
+	var sum float64
+	for _, s := range st.Select(name, match) {
+		var first, last *monitor.Point
+		for i := range s.Points {
+			p := s.Points[i]
+			if p.T.Before(from) || p.T.After(to) {
+				continue
+			}
+			if first == nil {
+				first = &s.Points[i]
+			}
+			last = &s.Points[i]
+		}
+		if first == nil || last == nil || !last.T.After(first.T) {
+			continue
+		}
+		if d := last.V - first.V; d > 0 {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// appendTrend pushes v onto the trend ring, dropping the oldest beyond
+// cap. NaN samples (no data yet) are skipped so the sparkline stays dense.
+func appendTrend(t []float64, v float64, max int) []float64 {
+	if math.IsNaN(v) {
+		return t
+	}
+	t = append(t, v)
+	if len(t) > max {
+		t = t[len(t)-max:]
+	}
+	return t
+}
+
+// sparkline renders values as a bar-rune strip scaled to their range.
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	runes := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(runes)-1))
+		}
+		b.WriteRune(runes[i])
+	}
+	return b.String()
+}
+
+// slowestSpan polls a target's /debug/traces and formats its slowest
+// recorded span, empty when the endpoint is absent or quiet.
+func slowestSpan(base string) string {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(base + "/debug/traces")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	var doc struct {
+		Ops map[string]struct {
+			Slowest []struct {
+				Op      string `json:"op"`
+				TraceID string `json:"trace_id"`
+				DurUS   int64  `json:"dur_us"`
+				Err     string `json:"err"`
+			} `json:"slowest"`
+		} `json:"ops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return ""
+	}
+	type span struct {
+		op, id, errs string
+		durUS        int64
+	}
+	var worst *span
+	ops := make([]string, 0, len(doc.Ops))
+	for op := range doc.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops) // deterministic pick among ties
+	for _, op := range ops {
+		for _, r := range doc.Ops[op].Slowest {
+			if worst == nil || r.DurUS > worst.durUS {
+				worst = &span{op: r.Op, id: r.TraceID, errs: r.Err, durUS: r.DurUS}
+			}
+		}
+	}
+	if worst == nil {
+		return ""
+	}
+	s := fmt.Sprintf("slowest %s %.1fms trace=%s", worst.op, float64(worst.durUS)/1000, worst.id)
+	if worst.errs != "" {
+		s += " err=" + worst.errs
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/agardist/agar/internal/metrics"
+	"github.com/agardist/agar/internal/monitor"
+)
+
+func TestParseTargets(t *testing.T) {
+	insts, sources, err := parseTargets("cache=http://127.0.0.1:9301, http://10.0.0.2:9302/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 || len(sources) != 2 {
+		t.Fatalf("got %d targets, %d sources", len(insts), len(sources))
+	}
+	if insts[0].name != "cache" || insts[0].base != "http://127.0.0.1:9301" {
+		t.Errorf("first target = %+v", insts[0])
+	}
+	if insts[1].name != "10.0.0.2:9302" {
+		t.Errorf("bare URL should name itself after host:port, got %q", insts[1].name)
+	}
+	if src, ok := sources[0].(monitor.HTTPSource); !ok || src.URL != "http://127.0.0.1:9301/metrics" {
+		t.Errorf("source = %+v", sources[0])
+	}
+
+	for _, bad := range []string{"", "cache=not a url", "a=http://x:1,a=http://y:2"} {
+		if _, _, err := parseTargets(bad); err == nil {
+			t.Errorf("parseTargets(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInstrumentLineReadouts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.NewGauge(metrics.NameServerQueueDepth, "d").Set(7)
+	gets := reg.NewCounter(metrics.NameCacheGets, "g")
+	hits := reg.NewCounter(metrics.NameCacheHits, "h")
+	ex := reg.NewHistogramVec(metrics.NameServerOpExecute, "e", []float64{0.01, 0.1, 1}, "op")
+
+	st := monitor.NewStore(64)
+	coll := &monitor.Collector{Store: st, Sources: []monitor.Source{
+		monitor.RegistrySource{Name: "cache", Registry: reg},
+	}}
+	// The series must exist at the first scrape: windowed deltas need two
+	// snapshots of the same series.
+	ex.With("get").Observe(0.05)
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := coll.Collect(now); err != nil {
+		t.Fatal(err)
+	}
+	gets.Add(100)
+	hits.Add(25)
+	for i := 0; i < 20; i++ {
+		ex.With("get").Observe(0.05)
+	}
+	if err := coll.Collect(now.Add(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	line, p99 := instrumentLine(st, "cache", time.Minute, now.Add(30*time.Second))
+	if !strings.Contains(line, "queue   7") {
+		t.Errorf("line missing queue depth: %q", line)
+	}
+	if !strings.Contains(line, "hit  25%") {
+		t.Errorf("line missing hit ratio: %q", line)
+	}
+	if math.IsNaN(p99) || p99 <= 0.01 || p99 > 0.1 {
+		t.Errorf("p99 = %v, want within (0.01, 0.1]", p99)
+	}
+
+	// An instance with no data renders placeholders rather than zeros
+	// masquerading as readings.
+	line, p99 = instrumentLine(st, "ghost", time.Minute, now.Add(30*time.Second))
+	if !strings.Contains(line, "—") || !math.IsNaN(p99) {
+		t.Errorf("ghost line = %q p99 = %v", line, p99)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := sparkline(nil); s != "" {
+		t.Errorf("empty sparkline = %q", s)
+	}
+	s := sparkline([]float64{0, 0.5, 1})
+	if got := []rune(s); len(got) != 3 || got[0] != '▁' || got[2] != '█' {
+		t.Errorf("sparkline = %q", s)
+	}
+	if s := sparkline([]float64{3, 3, 3}); s != "▁▁▁" {
+		t.Errorf("flat sparkline = %q", s)
+	}
+}
+
+func TestAppendTrend(t *testing.T) {
+	var tr []float64
+	for i := 0; i < 10; i++ {
+		tr = appendTrend(tr, float64(i), 4)
+	}
+	if len(tr) != 4 || tr[0] != 6 || tr[3] != 9 {
+		t.Errorf("trend = %v", tr)
+	}
+	if got := appendTrend(tr, math.NaN(), 4); len(got) != 4 || got[3] != 9 {
+		t.Errorf("NaN should be skipped, got %v", got)
+	}
+}

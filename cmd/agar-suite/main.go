@@ -12,11 +12,21 @@
 //	agar-suite -scenario baseline -live                   # + localhost cluster smoke
 //	agar-suite -dumpspec baseline > my.json               # spec file template
 //	agar-suite -spec my.json,other.json                   # run custom spec files
+//	agar-suite -soak                                      # 4h virtual long-soak
+//	agar-suite -soak -soakscale 0.05                      # CI soak smoke
+//	agar-suite -soakcheck BENCH_soak.json                 # validate a soak report
 //
 // Outputs (under -out, default "."):
 //
 //	BENCH_scenario.json — every scenario's per-phase/per-arm metrics
+//	BENCH_soak.json     — the long-soak's samples, alert timeline, drift
 //	SCENARIOS.md        — markdown summary with paired deltas
+//
+// -soak runs only the long-soak unless -scenario/-spec are given too; its
+// markdown lands in a marker-fenced SCENARIOS.md section that full suite
+// runs carry forward. -soakcheck re-reads a BENCH_soak.json and fails
+// (exit 1) unless the baseline arm is alert- and drift-free and the
+// brownout arm's alerts fired and resolved — the CI gate for the soak.
 //
 // The exit code is 0 on success, 1 when any scenario fails to run, and 2
 // on invalid usage — so CI can gate on a smoke scenario.
@@ -56,6 +66,10 @@ func run() int {
 		liveOps  = flag.Int("liveops", 120, "measured reads per live phase (smoke) and per dispatch round")
 		trace    = flag.Int("trace", 3, "slowest read traces dumped per live phase (0 disables)")
 		quiet    = flag.Bool("q", false, "suppress per-scenario markdown on stdout")
+
+		soak      = flag.Bool("soak", false, "run the long-soak (BENCH_soak.json + SCENARIOS.md soak section)")
+		soakScale = flag.Float64("soakscale", 1, "time-scale factor for the soak (0 < soakscale <= 1)")
+		soakCheck = flag.String("soakcheck", "", "validate an existing BENCH_soak.json and exit")
 	)
 	flag.Parse()
 
@@ -83,6 +97,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "agar-suite: -scale %v outside (0, 1]\n", *scale)
 		return 2
 	}
+	if *soakScale <= 0 || *soakScale > 1 {
+		fmt.Fprintf(os.Stderr, "agar-suite: -soakscale %v outside (0, 1]\n", *soakScale)
+		return 2
+	}
+	if *soakCheck != "" {
+		return checkSoak(*soakCheck)
+	}
 
 	// Spec files run alongside an explicit -scenario selection; with -spec
 	// alone, only the files run.
@@ -103,7 +124,9 @@ func run() int {
 			specs = append(specs, s)
 		}
 	}
-	if *specFile == "" || scenarioSet {
+	// -soak alone runs only the soak; an explicit -scenario adds the
+	// library back alongside it.
+	if (*specFile == "" && !*soak) || scenarioSet {
 		if *name == "all" {
 			specs = append(specs, scenario.Library()...)
 		} else {
@@ -231,12 +254,17 @@ func run() int {
 			return 1
 		}
 		mdPath := filepath.Join(*out, "SCENARIOS.md")
-		// agar-bench -load maintains a marker-fenced saturation-sweep section
-		// in the same file; carry it forward verbatim so a suite rerun never
-		// erases the latest load curve.
+		// agar-bench -load and agar-suite -soak maintain marker-fenced
+		// sections in the same file; carry them forward verbatim so a suite
+		// rerun never erases the latest load curve or soak timeline.
 		if old, err := os.ReadFile(mdPath); err == nil {
-			if block, ok := scenario.ExtractMarked(string(old), scenario.LoadSectionBegin, scenario.LoadSectionEnd); ok {
-				md.WriteString("\n" + block + "\n")
+			for _, m := range [][2]string{
+				{scenario.LoadSectionBegin, scenario.LoadSectionEnd},
+				{scenario.SoakSectionBegin, scenario.SoakSectionEnd},
+			} {
+				if block, ok := scenario.ExtractMarked(string(old), m[0], m[1]); ok {
+					md.WriteString("\n" + block + "\n")
+				}
 			}
 		}
 		if err := os.WriteFile(mdPath, []byte(md.String()), 0o644); err != nil {
@@ -246,10 +274,109 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "agar-suite: wrote %s and %s\n", jsonPath, mdPath)
 	}
 
+	// The soak runs after the suite rewrite so its splice lands in the
+	// fresh SCENARIOS.md rather than being overwritten by it.
+	if *soak {
+		s := scenario.LongSoak()
+		if *soakScale != 1 {
+			s = s.Scale(*soakScale)
+		}
+		start := time.Now()
+		rep, err := scenario.RunSoak(s, scenario.Options{Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agar-suite: soak: %v\n", err)
+			return 1
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agar-suite: encode soak: %v\n", err)
+			return 1
+		}
+		soakPath := filepath.Join(*out, "BENCH_soak.json")
+		if err := os.WriteFile(soakPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "agar-suite: %v\n", err)
+			return 1
+		}
+		mdPath := filepath.Join(*out, "SCENARIOS.md")
+		doc := ""
+		if old, err := os.ReadFile(mdPath); err == nil {
+			doc = string(old)
+		}
+		doc = scenario.SpliceMarked(doc, scenario.SoakSectionBegin, scenario.SoakSectionEnd, rep.Markdown())
+		if err := os.WriteFile(mdPath, []byte(doc), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "agar-suite: %v\n", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Println(rep.Markdown())
+		}
+		fmt.Fprintf(os.Stderr, "agar-suite: soak done in %v, wrote %s (section spliced into %s)\n",
+			time.Since(start).Round(time.Millisecond), soakPath, mdPath)
+	}
+
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "agar-suite: %d scenario(s) failed\n", failed)
 		return 1
 	}
+	return 0
+}
+
+// checkSoak validates a BENCH_soak.json: schema, both arms present with
+// samples, the baseline arm alert- and drift-free, and every brownout
+// alert resolved by the end of the timeline. Exit 0 when clean, 1 with
+// one line per problem otherwise.
+func checkSoak(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agar-suite: soakcheck: %v\n", err)
+		return 1
+	}
+	var rep scenario.SoakReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "agar-suite: soakcheck %s: %v\n", path, err)
+		return 1
+	}
+	var problems []string
+	if rep.Schema != scenario.SoakSchema {
+		problems = append(problems, fmt.Sprintf("schema %q, want %q", rep.Schema, scenario.SoakSchema))
+	}
+	base, brown := rep.Arm("baseline"), rep.Arm("brownout")
+	if base == nil {
+		problems = append(problems, "missing baseline arm")
+	}
+	if brown == nil {
+		problems = append(problems, "missing brownout arm")
+	}
+	if base != nil && brown != nil {
+		for _, arm := range []*scenario.SoakArmReport{base, brown} {
+			if len(arm.Samples) == 0 || arm.TotalOps == 0 {
+				problems = append(problems, fmt.Sprintf("arm %s has no measurements", arm.Arm))
+			}
+		}
+		if base.FiringCount != 0 {
+			problems = append(problems, fmt.Sprintf("baseline arm fired %d alerts, want 0", base.FiringCount))
+		}
+		if base.DriftFlagged != 0 {
+			problems = append(problems, fmt.Sprintf("baseline arm flagged %d drift findings, want 0", base.DriftFlagged))
+		}
+		for _, r := range rep.Rules {
+			if len(brown.FiringOffsets(r.Name)) > 0 && !brown.ResolvedAfter(r.Name) {
+				problems = append(problems, fmt.Sprintf("brownout rule %s stuck firing at the end of the timeline", r.Name))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "agar-suite: soakcheck %s: %s\n", path, p)
+		}
+		return 1
+	}
+	firing := 0
+	if brown != nil {
+		firing = brown.FiringCount
+	}
+	fmt.Printf("soakcheck %s: ok (%.1f virtual hours, baseline clean, brownout fired %d and resolved)\n",
+		path, rep.VirtualMS/3.6e6, firing)
 	return 0
 }
 

@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"github.com/agardist/agar/internal/metrics"
+	"github.com/agardist/agar/internal/monitor"
 	"github.com/agardist/agar/internal/store"
 )
 
@@ -57,7 +58,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	srv := &http.Server{Handler: store.NewGateway(bs)}
+	srv := &http.Server{Handler: store.NewGatewayWith(bs, reg)}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fatalf("%v", err)
@@ -80,10 +81,10 @@ func main() {
 	bs.Close()
 }
 
-// serveMetrics mounts the debug surface — /metrics and the pprof handlers
-// — when addr is set; returns nil (disabled) when it is empty. The blob
-// gateway speaks HTTP, not the Agar wire protocol, so it has no frame
-// trace recorder and no /debug/traces.
+// serveMetrics mounts the debug surface — /metrics, /debug/health, and
+// the pprof handlers — when addr is set; returns nil (disabled) when it
+// is empty. The blob gateway speaks HTTP, not the Agar wire protocol, so
+// it has no frame trace recorder and no /debug/traces.
 func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
 	if addr == "" {
 		return nil
@@ -93,10 +94,11 @@ func serveMetrics(addr string, reg *metrics.Registry) *http.Server {
 		fatalf("metrics listen %s: %v", addr, err)
 	}
 	mux := http.NewServeMux()
-	metrics.MountDebug(mux, reg, nil)
+	health := monitor.NewRegistryHealth("blob-server", reg, monitor.DefaultServerRules())
+	metrics.MountDebug(mux, reg, nil, health)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("blob-server: metrics on http://%s/metrics, profiles on /debug/pprof/\n", ln.Addr())
+	fmt.Printf("blob-server: metrics on http://%s/metrics, health on /debug/health, profiles on /debug/pprof/\n", ln.Addr())
 	return srv
 }
 

@@ -33,6 +33,7 @@ import (
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/live"
 	"github.com/agardist/agar/internal/metrics"
+	"github.com/agardist/agar/internal/monitor"
 	"github.com/agardist/agar/internal/trace"
 )
 
@@ -123,8 +124,9 @@ func main() {
 }
 
 // serveMetrics mounts the full debug surface — /metrics, the
-// /debug/traces flight recorder, and the pprof handlers — when addr is
-// set; returns nil (disabled) when it is empty.
+// /debug/traces flight recorder, the /debug/health readiness evaluator,
+// and the pprof handlers — when addr is set; returns nil (disabled) when
+// it is empty.
 func serveMetrics(addr string, reg *metrics.Registry, rec *trace.Recorder) *http.Server {
 	if addr == "" {
 		return nil
@@ -134,10 +136,11 @@ func serveMetrics(addr string, reg *metrics.Registry, rec *trace.Recorder) *http
 		fatalf("metrics listen %s: %v", addr, err)
 	}
 	mux := http.NewServeMux()
-	metrics.MountDebug(mux, reg, rec)
+	health := monitor.NewRegistryHealth("cache-server", reg, monitor.DefaultServerRules())
+	metrics.MountDebug(mux, reg, rec, health)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("cache-server: metrics on http://%s/metrics, traces on /debug/traces, profiles on /debug/pprof/\n", ln.Addr())
+	fmt.Printf("cache-server: metrics on http://%s/metrics, traces on /debug/traces, health on /debug/health, profiles on /debug/pprof/\n", ln.Addr())
 	return srv
 }
 

@@ -220,7 +220,7 @@ func TestDocsMetricsReference(t *testing.T) {
 // README links as the documentation entry points must exist and be
 // non-trivial.
 func TestDocsSuiteExists(t *testing.T) {
-	for _, file := range []string{"docs/ARCHITECTURE.md", "docs/METRICS.md", "docs/PERFORMANCE.md", "docs/TRACING.md", "docs/WIRE.md", "SCENARIOS.md", "README.md"} {
+	for _, file := range []string{"docs/ARCHITECTURE.md", "docs/METRICS.md", "docs/MONITORING.md", "docs/PERFORMANCE.md", "docs/TRACING.md", "docs/WIRE.md", "SCENARIOS.md", "README.md"} {
 		info, err := os.Stat(file)
 		if err != nil {
 			t.Fatalf("%s missing: %v", file, err)

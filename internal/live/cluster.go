@@ -15,6 +15,7 @@ import (
 	"github.com/agardist/agar/internal/erasure"
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/metrics"
+	"github.com/agardist/agar/internal/monitor"
 	"github.com/agardist/agar/internal/netsim"
 	"github.com/agardist/agar/internal/store"
 	"github.com/agardist/agar/internal/trace"
@@ -227,7 +228,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			return fail(fmt.Errorf("live: metrics listen %s: %w", cfg.MetricsAddr, err))
 		}
 		mux := http.NewServeMux()
-		metrics.MountDebug(mux, c.reg, c.rec)
+		health := monitor.NewRegistryHealth("cluster", c.reg, monitor.DefaultServerRules())
+		metrics.MountDebug(mux, c.reg, c.rec, health)
 		c.metricsLn = ln
 		c.metricsSrv = &http.Server{Handler: mux}
 		go func() { _ = c.metricsSrv.Serve(ln) }()

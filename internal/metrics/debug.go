@@ -12,16 +12,21 @@ import (
 //
 //	/metrics        the registry in Prometheus text format
 //	/debug/traces   the flight recorder's retained slow/errored requests
+//	/debug/health   the readiness evaluator (200 green / 503 red)
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // and registers the process-level families (RegisterGoRuntime) on reg.
-// rec may be nil for binaries without a flight recorder; the endpoint is
-// simply absent then. Call once per (mux, registry) pair — the runtime
-// families bind one owner per series and panic on re-registration.
-func MountDebug(mux *http.ServeMux, reg *Registry, rec *trace.Recorder) {
+// rec may be nil for binaries without a flight recorder, and health nil
+// for binaries without a readiness evaluator; those endpoints are simply
+// absent then. Call once per (mux, registry) pair — the runtime families
+// bind one owner per series and panic on re-registration.
+func MountDebug(mux *http.ServeMux, reg *Registry, rec *trace.Recorder, health http.Handler) {
 	mux.Handle("/metrics", reg.Handler())
 	if rec != nil {
 		mux.Handle("/debug/traces", rec.Handler())
+	}
+	if health != nil {
+		mux.Handle("/debug/health", health)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

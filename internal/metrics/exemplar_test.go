@@ -12,7 +12,7 @@ import (
 func newTestMux(t *testing.T, r *Registry) *http.ServeMux {
 	t.Helper()
 	mux := http.NewServeMux()
-	MountDebug(mux, r, nil)
+	MountDebug(mux, r, nil, nil)
 	return mux
 }
 

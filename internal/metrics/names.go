@@ -42,6 +42,11 @@ const (
 	// Blob-store adapters (store.WithMetrics) — labels {adapter, op}.
 	NameBlobOpSeconds = "agar_blob_op_seconds"
 
+	// Blob gateway HTTP surface (store.NewGatewayWith) — request counts
+	// labelled {op, code} plus the instantaneous in-flight gauge.
+	NameHTTPRequests = "agar_http_requests_total"
+	NameHTTPInFlight = "agar_http_in_flight"
+
 	// Client read path: the async cache-population pool's backpressure.
 	NamePopulationQueueDepth = "agar_client_population_queue_depth"
 	NamePopulationDropped    = "agar_client_population_dropped_total"

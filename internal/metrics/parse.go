@@ -305,9 +305,16 @@ func SelectSample(f Family, want map[string]string) (Sample, bool) {
 // Quantile estimates the q-quantile (0 < q <= 1) of a histogram sample from
 // its cumulative buckets, interpolating linearly within the matched bucket
 // the way Prometheus's histogram_quantile does. Observations in the +Inf
-// bucket clamp to the largest finite bound. Returns 0 for an empty sample.
+// bucket clamp to the largest finite bound. The result is always a finite
+// number: an empty or degenerate sample (no observations, no finite bounds,
+// an out-of-range q, torn bucket counts from a mid-write scrape) returns 0
+// rather than NaN, Inf, or a panic — scrape-side rule evaluation must never
+// produce a poisoned value from a malformed exposition.
 func Quantile(bounds []float64, s Sample, q float64) float64 {
 	if s.Count == 0 || len(s.BucketCounts) == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q <= 0 || q > 1 {
 		return 0
 	}
 	rank := q * float64(s.Count)
@@ -319,7 +326,7 @@ func Quantile(bounds []float64, s Sample, q float64) float64 {
 			if len(bounds) == 0 {
 				return 0
 			}
-			return bounds[len(bounds)-1]
+			return finiteOrZero(bounds[len(bounds)-1])
 		}
 		lo := 0.0
 		var below uint64
@@ -330,24 +337,46 @@ func Quantile(bounds []float64, s Sample, q float64) float64 {
 		width := bounds[i] - lo
 		inBucket := float64(s.BucketCounts[i] - below)
 		if inBucket <= 0 {
-			return bounds[i]
+			return finiteOrZero(bounds[i])
 		}
-		return lo + width*(rank-float64(below))/inBucket
+		return finiteOrZero(lo + width*(rank-float64(below))/inBucket)
 	}
-	return bounds[len(bounds)-1]
+	// Count exceeds every cumulative bucket (including what should be the
+	// +Inf bucket): a torn or malformed exposition. Clamp to the largest
+	// bound on record instead of indexing past an empty slice.
+	if len(bounds) == 0 {
+		return 0
+	}
+	return finiteOrZero(bounds[len(bounds)-1])
 }
 
-// DeltaSample subtracts an earlier histogram snapshot from a later one —
-// the per-phase window between two scrapes. Counts that would go negative
-// clamp to zero.
-func DeltaSample(end, start Sample) Sample {
-	d := Sample{
-		LabelValues: end.LabelValues,
-		Sum:         end.Sum - start.Sum,
-		Value:       end.Value - start.Value,
+// finiteOrZero collapses NaN/Inf — possible only from malformed parsed
+// input — to the 0 sentinel Quantile promises.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
 	}
+	return v
+}
+
+// DeltaSample subtracts an earlier histogram (or counter) snapshot from a
+// later one — the per-phase window between two scrapes. A counter reset
+// between the snapshots (a server restart re-zeroes every atomic) shows up
+// as the later snapshot being smaller than the earlier; every component of
+// the delta then clamps to zero rather than going negative, so the reset
+// costs one empty window instead of poisoning rate and ratio math
+// downstream. Torn scrapes (individual counts moving backwards mid-write)
+// clamp the same way.
+func DeltaSample(end, start Sample) Sample {
+	d := Sample{LabelValues: end.LabelValues}
 	if end.Count >= start.Count {
 		d.Count = end.Count - start.Count
+	}
+	if d.Sum = end.Sum - start.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	if d.Value = end.Value - start.Value; d.Value < 0 {
+		d.Value = 0
 	}
 	d.BucketCounts = make([]uint64, len(end.BucketCounts))
 	for i, c := range end.BucketCounts {

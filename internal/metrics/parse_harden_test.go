@@ -1,0 +1,155 @@
+package metrics
+
+// Scrape-hardening regressions: the monitor's rule engine evaluates
+// Quantile and DeltaSample over parsed expositions from servers it does
+// not control, across restarts and mid-write scrapes. These tests pin the
+// two promises that keep rule math sane: Quantile never returns NaN/Inf
+// and never panics on degenerate input, and DeltaSample never goes
+// negative — a counter reset costs one empty window, nothing worse.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileDegenerate drives Quantile through every malformed shape a
+// scrape can produce and requires a finite, panic-free answer.
+func TestQuantileDegenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []float64
+		s      Sample
+		q      float64
+		want   float64
+	}{
+		{name: "empty sample", bounds: []float64{1, 2}, s: Sample{}, q: 0.99, want: 0},
+		{name: "no buckets", bounds: []float64{1, 2}, s: Sample{Count: 5}, q: 0.5, want: 0},
+		{
+			// A parsed family with only a +Inf bucket has no finite bounds
+			// at all; the old code indexed bounds[-1] here.
+			name:   "no finite bounds",
+			bounds: nil,
+			s:      Sample{Count: 7, BucketCounts: []uint64{7}},
+			q:      0.99,
+			want:   0,
+		},
+		{
+			// Count torn ahead of every cumulative bucket (mid-write scrape):
+			// the scan exhausts the buckets without matching the rank.
+			name:   "count exceeds buckets",
+			bounds: []float64{1, 2},
+			s:      Sample{Count: 100, BucketCounts: []uint64{3, 5, 6}},
+			q:      0.99,
+			want:   2, // clamps to the largest bound
+		},
+		{
+			name:   "count exceeds buckets with no bounds",
+			bounds: nil,
+			s:      Sample{Count: 100, BucketCounts: []uint64{3}},
+			q:      0.99,
+			want:   0,
+		},
+		{name: "q zero", bounds: []float64{1, 2}, s: Sample{Count: 4, BucketCounts: []uint64{2, 4, 4}}, q: 0, want: 0},
+		{name: "q negative", bounds: []float64{1, 2}, s: Sample{Count: 4, BucketCounts: []uint64{2, 4, 4}}, q: -1, want: 0},
+		{name: "q above one", bounds: []float64{1, 2}, s: Sample{Count: 4, BucketCounts: []uint64{2, 4, 4}}, q: 1.5, want: 0},
+		{name: "q NaN", bounds: []float64{1, 2}, s: Sample{Count: 4, BucketCounts: []uint64{2, 4, 4}}, q: math.NaN(), want: 0},
+		{
+			// Sanity: a well-formed sample still interpolates.
+			name:   "well formed",
+			bounds: []float64{1, 2},
+			s:      Sample{Count: 4, BucketCounts: []uint64{2, 4, 4}},
+			q:      0.5,
+			want:   1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Quantile(tc.bounds, tc.s, tc.q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Quantile = %v, want finite", got)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("Quantile = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// requireNonNegative asserts no component of a delta went below zero.
+func requireNonNegative(t *testing.T, d Sample) {
+	t.Helper()
+	if d.Sum < 0 || d.Value < 0 {
+		t.Errorf("negative delta: sum=%v value=%v", d.Sum, d.Value)
+	}
+	// Count and BucketCounts are uint64: a subtraction bug shows up as a
+	// wrapped giant, not a negative.
+	if d.Count > 1<<62 {
+		t.Errorf("count wrapped: %d", d.Count)
+	}
+	for i, c := range d.BucketCounts {
+		if c > 1<<62 {
+			t.Errorf("bucket[%d] wrapped: %d", i, c)
+		}
+	}
+}
+
+// TestDeltaSampleCounterReset pins the restart story: a server restart
+// re-zeroes every atomic, so the "end" snapshot is smaller than "start"
+// in every component, and the delta must clamp to an empty window.
+func TestDeltaSampleCounterReset(t *testing.T) {
+	cases := []struct {
+		name       string
+		end, start Sample
+		wantCount  uint64
+		wantSum    float64
+		wantValue  float64
+	}{
+		{
+			name:  "full reset across restart",
+			start: Sample{Count: 400, Sum: 99.5, Value: 400, BucketCounts: []uint64{100, 300, 400}},
+			end:   Sample{Count: 12, Sum: 1.5, Value: 12, BucketCounts: []uint64{4, 10, 12}},
+		},
+		{
+			name:  "scalar counter reset",
+			start: Sample{Value: 5000},
+			end:   Sample{Value: 3},
+		},
+		{
+			name:      "torn sum moves backwards",
+			start:     Sample{Count: 10, Sum: 8, BucketCounts: []uint64{5, 10}},
+			end:       Sample{Count: 12, Sum: 7.5, BucketCounts: []uint64{6, 12}},
+			wantCount: 2,
+			wantSum:   0,
+		},
+		{
+			name:      "torn bucket moves backwards",
+			start:     Sample{Count: 10, Sum: 8, BucketCounts: []uint64{5, 10}},
+			end:       Sample{Count: 11, Sum: 9, BucketCounts: []uint64{4, 11}},
+			wantCount: 1,
+			wantSum:   1,
+		},
+		{
+			name:      "normal monotonic window",
+			start:     Sample{Count: 4, Sum: 3, Value: 4, BucketCounts: []uint64{2, 4}},
+			end:       Sample{Count: 12, Sum: 10, Value: 12, BucketCounts: []uint64{5, 12}},
+			wantCount: 8,
+			wantSum:   7,
+			wantValue: 8,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := DeltaSample(tc.end, tc.start)
+			requireNonNegative(t, d)
+			if d.Count != tc.wantCount {
+				t.Errorf("count = %d, want %d", d.Count, tc.wantCount)
+			}
+			if math.Abs(d.Sum-tc.wantSum) > 1e-9 {
+				t.Errorf("sum = %v, want %v", d.Sum, tc.wantSum)
+			}
+			if math.Abs(d.Value-tc.wantValue) > 1e-9 {
+				t.Errorf("value = %v, want %v", d.Value, tc.wantValue)
+			}
+		})
+	}
+}

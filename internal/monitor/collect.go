@@ -1,0 +1,112 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/agardist/agar/internal/metrics"
+)
+
+// Source is one place metric families come from: an in-process registry
+// (the health endpoint watching its own server) or a remote /metrics
+// endpoint (agar-mon watching a cluster).
+type Source interface {
+	// Instance names the source; when non-empty it is attached to every
+	// collected series as an "instance" label so multi-target collectors
+	// keep servers apart.
+	Instance() string
+	// Gather snapshots the source's current families.
+	Gather() ([]metrics.Family, error)
+}
+
+// RegistrySource adapts an in-process metrics registry.
+type RegistrySource struct {
+	Name     string
+	Registry *metrics.Registry
+}
+
+// Instance implements Source.
+func (s RegistrySource) Instance() string { return s.Name }
+
+// Gather implements Source.
+func (s RegistrySource) Gather() ([]metrics.Family, error) {
+	return s.Registry.Gather(), nil
+}
+
+// HTTPSource scrapes a Prometheus text-format endpoint — a server's
+// -metrics-addr /metrics — through the scrape-side parser.
+type HTTPSource struct {
+	Name string
+	URL  string
+	// Client defaults to a 5-second-timeout client.
+	Client *http.Client
+}
+
+// Instance implements Source.
+func (s HTTPSource) Instance() string { return s.Name }
+
+// Gather implements Source.
+func (s HTTPSource) Gather() ([]metrics.Family, error) {
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	resp, err := client.Get(s.URL)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: scrape %s: %w", s.URL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("monitor: scrape %s: status %d", s.URL, resp.StatusCode)
+	}
+	fams, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: scrape %s: %w", s.URL, err)
+	}
+	return fams, nil
+}
+
+// Collector fills a Store from a set of sources. It owns no goroutine and
+// no clock: callers invoke Collect at the cadence and on the timeline they
+// choose — a ticker against a live cluster, virtual sample boundaries
+// under a soak, or per-request from the health endpoint.
+type Collector struct {
+	Store   *Store
+	Sources []Source
+}
+
+// Collect gathers every source once, stamping all series at instant now.
+// A failing source is skipped (its error joined into the return) so one
+// browned-out server doesn't blind the collector to the rest.
+func (c *Collector) Collect(now time.Time) error {
+	var errs []error
+	for _, src := range c.Sources {
+		fams, err := src.Gather()
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		instance := src.Instance()
+		for _, f := range fams {
+			for _, s := range f.Samples {
+				labels := make(map[string]string, len(f.Labels)+1)
+				for i, name := range f.Labels {
+					if i < len(s.LabelValues) {
+						labels[name] = s.LabelValues[i]
+					}
+				}
+				if instance != "" {
+					labels["instance"] = instance
+				}
+				if f.Kind == metrics.KindHistogram {
+					c.Store.AppendHist(f.Name, labels, f.Buckets, now, s)
+				} else {
+					c.Store.Append(f.Name, labels, now, s.Value)
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,163 @@
+package monitor
+
+import (
+	"math"
+	"time"
+
+	"github.com/agardist/agar/internal/metrics"
+)
+
+// DriftCheck describes one slow-degradation detector: it segments a
+// series' whole retained timeline, aggregates each segment, and compares
+// the earliest aggregate against the latest. Where rules catch acute
+// violations, drift checks catch the leak that never crosses a threshold
+// but only ever gets worse over a multi-hour soak.
+type DriftCheck struct {
+	Name   string            `json:"name"`
+	Metric string            `json:"metric"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Quantile, when in (0, 1], aggregates each segment as that quantile
+	// of the histogram Metric's increase over the segment; otherwise each
+	// segment is the mean of the scalar series' points.
+	Quantile float64 `json:"quantile,omitempty"`
+	// BadDirection is "up" (latency, heap, errors) or "down" (hit ratio,
+	// throughput); drift the other way is improvement, never flagged.
+	BadDirection string `json:"bad_direction"`
+	// Tolerance is the relative early→late change below which drift is
+	// noise (e.g. 0.2 = flag only ≥20% degradation).
+	Tolerance float64 `json:"tolerance"`
+	// Segments defaults to 4.
+	Segments int `json:"segments,omitempty"`
+}
+
+// DriftFinding is one check's verdict over one series.
+type DriftFinding struct {
+	Check  string            `json:"check"`
+	Metric string            `json:"metric"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Segments holds the per-segment aggregates, oldest first.
+	Segments []float64 `json:"segments"`
+	Early    float64   `json:"early"`
+	Late     float64   `json:"late"`
+	// Change is the relative early→late movement, signed.
+	Change float64 `json:"change"`
+	// Monotonic reports the aggregates moved in one direction (with slack
+	// of 10% of the total movement per step).
+	Monotonic bool `json:"monotonic"`
+	// Flagged: movement is in the bad direction, beyond tolerance, and
+	// monotonic — degradation, not a transient.
+	Flagged bool `json:"flagged"`
+}
+
+// DetectDrift runs every check over the store's full retained timeline
+// between from and to, returning one finding per matching series that
+// had enough data to segment.
+func DetectDrift(st *Store, checks []DriftCheck, from, to time.Time) []DriftFinding {
+	var out []DriftFinding
+	for _, c := range checks {
+		segments := c.Segments
+		if segments <= 0 {
+			segments = 4
+		}
+		if !to.After(from) {
+			continue
+		}
+		segDur := to.Sub(from) / time.Duration(segments)
+		if c.Quantile > 0 {
+			out = append(out, c.driftHist(st, from, segDur, segments)...)
+		} else {
+			out = append(out, c.driftScalar(st, from, segDur, segments)...)
+		}
+	}
+	return out
+}
+
+func (c DriftCheck) driftScalar(st *Store, from time.Time, segDur time.Duration, segments int) []DriftFinding {
+	var out []DriftFinding
+	for _, s := range st.Select(c.Metric, c.Labels) {
+		aggs := make([]float64, 0, segments)
+		complete := true
+		for i := 0; i < segments; i++ {
+			lo := from.Add(time.Duration(i) * segDur)
+			hi := lo.Add(segDur)
+			var sum float64
+			var n int
+			for _, p := range s.Points {
+				if p.T.Before(lo) || !p.T.Before(hi) {
+					continue
+				}
+				sum += p.V
+				n++
+			}
+			if n == 0 {
+				complete = false
+				break
+			}
+			aggs = append(aggs, sum/float64(n))
+		}
+		if !complete {
+			continue
+		}
+		out = append(out, c.finding(s.Labels, aggs))
+	}
+	return out
+}
+
+func (c DriftCheck) driftHist(st *Store, from time.Time, segDur time.Duration, segments int) []DriftFinding {
+	// Group per label signature: every segment must yield a window for the
+	// same series or the series is skipped as incomplete.
+	perSig := make(map[string][]float64)
+	labelsBySig := make(map[string]map[string]string)
+	for i := 0; i < segments; i++ {
+		lo := from.Add(time.Duration(i) * segDur)
+		hi := lo.Add(segDur)
+		for _, w := range st.HistDeltas(c.Metric, c.Labels, lo, hi) {
+			if w.Delta.Count == 0 {
+				continue
+			}
+			sig := labelSig(w.Labels)
+			if len(perSig[sig]) != i {
+				continue // missed an earlier segment; stays incomplete
+			}
+			perSig[sig] = append(perSig[sig], metrics.Quantile(w.Bounds, w.Delta, c.Quantile))
+			labelsBySig[sig] = w.Labels
+		}
+	}
+	var out []DriftFinding
+	for sig, aggs := range perSig {
+		if len(aggs) != segments {
+			continue
+		}
+		out = append(out, c.finding(labelsBySig[sig], aggs))
+	}
+	return out
+}
+
+// finding judges one series' segment aggregates.
+func (c DriftCheck) finding(labels map[string]string, aggs []float64) DriftFinding {
+	early, late := aggs[0], aggs[len(aggs)-1]
+	change := (late - early) / math.Max(math.Abs(early), 1e-9)
+	slack := 0.1 * math.Abs(late-early)
+	monotonic := true
+	for i := 1; i < len(aggs); i++ {
+		step := aggs[i] - aggs[i-1]
+		if late >= early && step < -slack {
+			monotonic = false
+		}
+		if late < early && step > slack {
+			monotonic = false
+		}
+	}
+	bad := (c.BadDirection == "up" && change > 0) || (c.BadDirection == "down" && change < 0)
+	return DriftFinding{
+		Check:     c.Name,
+		Metric:    c.Metric,
+		Labels:    copyLabels(labels),
+		Segments:  aggs,
+		Early:     early,
+		Late:      late,
+		Change:    change,
+		Monotonic: monotonic,
+		Flagged:   bad && math.Abs(change) >= c.Tolerance && monotonic,
+	}
+}

@@ -1,0 +1,387 @@
+package monitor
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/agardist/agar/internal/metrics"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return epoch.Add(d) }
+
+// TestStoreRingOverwrite pins the ring semantics: a store of capacity 4
+// retains exactly the last 4 points, oldest first.
+func TestStoreRingOverwrite(t *testing.T) {
+	st := NewStore(4)
+	for i := 0; i < 10; i++ {
+		st.Append("m", map[string]string{"a": "1"}, at(time.Duration(i)*time.Second), float64(i))
+	}
+	series := st.Select("m", nil)
+	if len(series) != 1 {
+		t.Fatalf("series = %d, want 1", len(series))
+	}
+	pts := series[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("retained = %d, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.V != want {
+			t.Errorf("point %d = %v, want %v", i, p.V, want)
+		}
+	}
+}
+
+// TestStoreSelectMatch pins subset label matching and isolation between
+// label sets of the same name.
+func TestStoreSelectMatch(t *testing.T) {
+	st := NewStore(0)
+	st.Append("m", map[string]string{"server": "a", "region": "eu"}, at(0), 1)
+	st.Append("m", map[string]string{"server": "b", "region": "us"}, at(0), 2)
+	if got := len(st.Select("m", nil)); got != 2 {
+		t.Fatalf("unconstrained select = %d series, want 2", got)
+	}
+	sel := st.Select("m", map[string]string{"region": "us"})
+	if len(sel) != 1 || sel[0].Points[0].V != 2 {
+		t.Fatalf("matched select = %+v", sel)
+	}
+	if got := len(st.Select("m", map[string]string{"region": "apac"})); got != 0 {
+		t.Fatalf("unmatched select = %d series, want 0", got)
+	}
+}
+
+// TestStoreHistDeltas pins the windowed histogram delta: the increase
+// between the first and last snapshots inside the window, quantile-ready.
+func TestStoreHistDeltas(t *testing.T) {
+	st := NewStore(0)
+	bounds := []float64{0.01, 0.1, 1}
+	snap := func(c1, c2, c3, inf uint64) metrics.Sample {
+		return metrics.Sample{
+			BucketCounts: []uint64{c1, c2, c3, inf},
+			Count:        inf,
+			Sum:          float64(inf) * 0.05,
+		}
+	}
+	st.AppendHist("h", nil, bounds, at(0), snap(10, 10, 10, 10))
+	st.AppendHist("h", nil, bounds, at(time.Minute), snap(20, 30, 30, 30))
+	st.AppendHist("h", nil, bounds, at(2*time.Minute), snap(20, 40, 40, 40))
+
+	wins := st.HistDeltas("h", nil, at(0), at(2*time.Minute))
+	if len(wins) != 1 {
+		t.Fatalf("windows = %d, want 1", len(wins))
+	}
+	d := wins[0].Delta
+	if d.Count != 30 || d.BucketCounts[0] != 10 || d.BucketCounts[1] != 30 {
+		t.Fatalf("delta = %+v", d)
+	}
+	// p50 of the delta (10 in first bucket, 20 more by the second) lands
+	// inside the second bucket (interpolated).
+	if q := metrics.Quantile(wins[0].Bounds, d, 0.5); q <= 0.01 || q > 0.1 {
+		t.Errorf("p50 = %v, want in (0.01, 0.1]", q)
+	}
+	// A window covering a single snapshot yields nothing.
+	if wins := st.HistDeltas("h", nil, at(0), at(30*time.Second)); len(wins) != 0 {
+		t.Errorf("single-snapshot window yielded %d deltas", len(wins))
+	}
+}
+
+// TestCollectorRegistry pins the registry source path: gathered families
+// land in the store under their label sets plus the instance label.
+func TestCollectorRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.NewCounterVec("test_ops_total", "ops", "op")
+	c.With("get").Add(1)
+	c.With("put").Add(2)
+	h := reg.NewHistogramVec("test_lat_seconds", "latency", []float64{0.1, 1}, "op")
+	h.With("get").Observe(0.05)
+
+	st := NewStore(0)
+	col := &Collector{Store: st, Sources: []Source{RegistrySource{Name: "srv-a", Registry: reg}}}
+	if err := col.Collect(at(0)); err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	sel := st.Select("test_ops_total", map[string]string{"op": "put", "instance": "srv-a"})
+	if len(sel) != 1 || sel[0].Points[0].V != 2 {
+		t.Fatalf("counter series = %+v", sel)
+	}
+	c.With("put").Add(3)
+	h.With("get").Observe(0.2)
+	if err := col.Collect(at(time.Minute)); err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	wins := st.HistDeltas("test_lat_seconds", map[string]string{"op": "get"}, at(0), at(time.Minute))
+	if len(wins) != 1 {
+		t.Fatalf("hist windows = %+v", wins)
+	}
+}
+
+// TestCollectorHTTP scrapes a real /metrics endpoint end to end through
+// ParseText, and keeps collecting past a failing source.
+func TestCollectorHTTP(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.NewCounter("scraped_total", "x").Add(7)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	st := NewStore(0)
+	col := &Collector{Store: st, Sources: []Source{
+		HTTPSource{Name: "dead", URL: "http://127.0.0.1:1/metrics"},
+		HTTPSource{Name: "live", URL: srv.URL},
+	}}
+	err := col.Collect(at(0))
+	if err == nil {
+		t.Fatal("want joined error from the dead source")
+	}
+	sel := st.Select("scraped_total", map[string]string{"instance": "live"})
+	if len(sel) != 1 || sel[0].Points[0].V != 7 {
+		t.Fatalf("scraped series = %+v (err %v)", sel, err)
+	}
+}
+
+// TestRuleThresholdLifecycle walks ok → pending (For) → firing → resolved
+// and checks the emitted transitions.
+func TestRuleThresholdLifecycle(t *testing.T) {
+	st := NewStore(0)
+	ev := NewEvaluator(st, []Rule{{
+		Name: "depth", Kind: KindThreshold, Metric: "depth", Max: F(10), For: time.Minute,
+	}})
+
+	st.Append("depth", nil, at(0), 5)
+	if alerts := ev.Eval(at(0)); len(alerts) != 0 {
+		t.Fatalf("healthy eval emitted %v", alerts)
+	}
+	// Violating, but inside the For grace: pending, no alert.
+	st.Append("depth", nil, at(30*time.Second), 50)
+	if alerts := ev.Eval(at(30 * time.Second)); len(alerts) != 0 {
+		t.Fatalf("pending eval emitted %v", alerts)
+	}
+	// Still violating past For: fires.
+	st.Append("depth", nil, at(2*time.Minute), 60)
+	alerts := ev.Eval(at(2 * time.Minute))
+	if len(alerts) != 1 || alerts[0].State != StateFiring || alerts[0].Value != 60 {
+		t.Fatalf("firing eval = %v", alerts)
+	}
+	if firing := ev.Firing(); len(firing) != 1 || firing[0] != "depth" {
+		t.Fatalf("firing = %v", firing)
+	}
+	// Recovery resolves.
+	st.Append("depth", nil, at(3*time.Minute), 2)
+	alerts = ev.Eval(at(3 * time.Minute))
+	if len(alerts) != 1 || alerts[0].State != StateOK {
+		t.Fatalf("resolve eval = %v", alerts)
+	}
+	if len(ev.Firing()) != 0 {
+		t.Fatal("still firing after recovery")
+	}
+}
+
+// TestRuleRatio pins the DenMetric form: windowed hit ratio under a Min
+// floor, with a zero-increase denominator yielding no data (not a fire).
+func TestRuleRatio(t *testing.T) {
+	st := NewStore(0)
+	ev := NewEvaluator(st, []Rule{{
+		Name: "hit-floor", Kind: KindThreshold,
+		Metric: "hits", DenMetric: "gets",
+		Window: time.Minute, Min: F(0.5),
+	}})
+	st.Append("hits", nil, at(0), 100)
+	st.Append("gets", nil, at(0), 100)
+	st.Append("hits", nil, at(30*time.Second), 110)
+	st.Append("gets", nil, at(30*time.Second), 200)
+	// Ratio over the window: 10/100 = 0.1 < 0.5 → fires (For = 0).
+	alerts := ev.Eval(at(30 * time.Second))
+	if len(alerts) != 1 || alerts[0].State != StateFiring {
+		t.Fatalf("ratio eval = %v", alerts)
+	}
+	if v := alerts[0].Value; v < 0.09 || v > 0.11 {
+		t.Fatalf("ratio value = %v, want ~0.1", v)
+	}
+	// Idle window (no counter movement): no data, keeps firing silently.
+	st.Append("hits", nil, at(5*time.Minute), 110)
+	st.Append("gets", nil, at(5*time.Minute), 200)
+	if alerts := ev.Eval(at(10 * time.Minute)); len(alerts) != 0 {
+		t.Fatalf("idle eval emitted %v", alerts)
+	}
+	if len(ev.Firing()) != 1 {
+		t.Fatal("no-data cleared a firing rule")
+	}
+}
+
+// TestRuleQuantile pins the histogram form: p99 over the window's delta
+// against a Max ceiling.
+func TestRuleQuantile(t *testing.T) {
+	st := NewStore(0)
+	bounds := []float64{0.01, 0.1, 1}
+	ev := NewEvaluator(st, []Rule{{
+		Name: "p99", Kind: KindThreshold, Metric: "lat",
+		Quantile: 0.99, Window: time.Minute, Max: F(0.05),
+	}})
+	st.AppendHist("lat", nil, bounds, at(0), metrics.Sample{BucketCounts: []uint64{0, 0, 0, 0}})
+	// 100 observations all in the first bucket: p99 ≈ 0.01, under ceiling.
+	st.AppendHist("lat", nil, bounds, at(30*time.Second), metrics.Sample{BucketCounts: []uint64{100, 100, 100, 100}, Count: 100})
+	if alerts := ev.Eval(at(30 * time.Second)); len(alerts) != 0 {
+		t.Fatalf("fast eval emitted %v", alerts)
+	}
+	// The next window's 100 observations land in the second bucket: p99 0.1.
+	st.AppendHist("lat", nil, bounds, at(90*time.Second), metrics.Sample{BucketCounts: []uint64{100, 200, 200, 200}, Count: 200})
+	alerts := ev.Eval(at(90 * time.Second))
+	if len(alerts) != 1 || alerts[0].State != StateFiring {
+		t.Fatalf("slow eval = %v", alerts)
+	}
+}
+
+// TestRuleRate pins the growth detector: per-second slope over the window.
+func TestRuleRate(t *testing.T) {
+	st := NewStore(0)
+	ev := NewEvaluator(st, []Rule{{
+		Name: "goroutines", Kind: KindRate, Metric: "g",
+		Window: time.Minute, Max: F(10),
+	}})
+	st.Append("g", nil, at(0), 100)
+	st.Append("g", nil, at(30*time.Second), 103)
+	if alerts := ev.Eval(at(30 * time.Second)); len(alerts) != 0 {
+		t.Fatalf("slow growth emitted %v", alerts)
+	}
+	st.Append("g", nil, at(60*time.Second), 1000)
+	alerts := ev.Eval(at(60 * time.Second))
+	if len(alerts) != 1 || alerts[0].State != StateFiring {
+		t.Fatalf("fast growth eval = %v", alerts)
+	}
+}
+
+// TestRuleBurnRate pins the two-window form: sustained violation fires,
+// a recovered short window holds it back.
+func TestRuleBurnRate(t *testing.T) {
+	st := NewStore(0)
+	rule := Rule{
+		Name: "err-burn", Kind: KindBurnRate, Metric: "errs",
+		Window: 10 * time.Minute, Short: time.Minute, Burn: 0.5, Max: F(0.1),
+	}
+	ev := NewEvaluator(st, []Rule{rule})
+	// 10 minutes of violation at 1/min: both windows violate.
+	for i := 0; i <= 10; i++ {
+		st.Append("errs", nil, at(time.Duration(i)*time.Minute), 0.9)
+	}
+	alerts := ev.Eval(at(10 * time.Minute))
+	if len(alerts) != 1 || alerts[0].State != StateFiring {
+		t.Fatalf("sustained eval = %v", alerts)
+	}
+
+	// Fresh evaluator, same history, but the short window has recovered:
+	// the long window still violates (>50% of its points) yet the recent
+	// minute is clean, so the rule holds back.
+	st2 := NewStore(0)
+	ev2 := NewEvaluator(st2, []Rule{rule})
+	for i := 0; i <= 8; i++ {
+		st2.Append("errs", nil, at(time.Duration(i)*time.Minute), 0.9)
+	}
+	st2.Append("errs", nil, at(9*time.Minute+30*time.Second), 0.01)
+	st2.Append("errs", nil, at(10*time.Minute), 0.01)
+	if alerts := ev2.Eval(at(10 * time.Minute)); len(alerts) != 0 {
+		t.Fatalf("recovered short window still fired: %v", alerts)
+	}
+}
+
+// TestDetectDrift pins the early/late comparison: a monotonic climb in
+// the bad direction flags, a flat series and an improvement do not.
+func TestDetectDrift(t *testing.T) {
+	st := NewStore(0)
+	for i := 0; i < 40; i++ {
+		ts := at(time.Duration(i) * time.Minute)
+		st.Append("climbing", nil, ts, 100+float64(i)*5) // +200% over the run
+		st.Append("flat", nil, ts, 100+float64(i%2))
+		st.Append("improving", nil, ts, 300-float64(i)*5)
+	}
+	checks := []DriftCheck{
+		{Name: "climb", Metric: "climbing", BadDirection: "up", Tolerance: 0.2},
+		{Name: "flat", Metric: "flat", BadDirection: "up", Tolerance: 0.2},
+		{Name: "improve", Metric: "improving", BadDirection: "up", Tolerance: 0.2},
+	}
+	findings := DetectDrift(st, checks, at(0), at(40*time.Minute))
+	if len(findings) != 3 {
+		t.Fatalf("findings = %d, want 3: %+v", len(findings), findings)
+	}
+	byCheck := map[string]DriftFinding{}
+	for _, f := range findings {
+		byCheck[f.Check] = f
+	}
+	if f := byCheck["climb"]; !f.Flagged || !f.Monotonic || f.Change < 0.2 {
+		t.Errorf("climb finding = %+v, want flagged monotonic up", f)
+	}
+	if f := byCheck["flat"]; f.Flagged {
+		t.Errorf("flat finding flagged: %+v", f)
+	}
+	if f := byCheck["improve"]; f.Flagged {
+		t.Errorf("improvement flagged: %+v", f)
+	}
+}
+
+// TestDetectDriftDown pins the "down is bad" direction — a sagging hit
+// ratio flags.
+func TestDetectDriftDown(t *testing.T) {
+	st := NewStore(0)
+	for i := 0; i < 40; i++ {
+		st.Append("ratio", nil, at(time.Duration(i)*time.Minute), 0.9-float64(i)*0.01)
+	}
+	findings := DetectDrift(st, []DriftCheck{
+		{Name: "sag", Metric: "ratio", BadDirection: "down", Tolerance: 0.2},
+	}, at(0), at(40*time.Minute))
+	if len(findings) != 1 || !findings[0].Flagged {
+		t.Fatalf("sag findings = %+v, want flagged", findings)
+	}
+}
+
+// TestHealthEndpoint drives /debug/health from red to green on a virtual
+// clock: a registry gauge crosses the rule ceiling, the endpoint serves
+// 503 with the failing rule named, the gauge recovers, 200 returns.
+func TestHealthEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	depth := reg.NewGauge("depth", "queue depth")
+	h := NewRegistryHealth("test", reg, []Rule{{
+		Name: "sat", Kind: KindThreshold, Metric: "depth", Max: F(10),
+	}})
+	now := at(0)
+	h.Now = func() time.Time { return now }
+
+	serve := func() *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/health", nil))
+		return w
+	}
+
+	depth.Set(3)
+	if w := serve(); w.Code != 200 {
+		t.Fatalf("healthy = %d: %s", w.Code, w.Body)
+	}
+	now = at(time.Minute)
+	depth.Set(500)
+	w := serve()
+	if w.Code != 503 {
+		t.Fatalf("saturated = %d: %s", w.Code, w.Body)
+	}
+	if body := w.Body.String(); !containsAll(body, `"failing"`, `"sat"`, `"firing"`) {
+		t.Fatalf("503 body missing fields: %s", body)
+	}
+	now = at(2 * time.Minute)
+	depth.Set(1)
+	if w := serve(); w.Code != 200 {
+		t.Fatalf("recovered = %d: %s", w.Code, w.Body)
+	}
+	// The transitions were recorded: firing then resolved.
+	alerts := h.Alerts()
+	if len(alerts) != 2 || alerts[0].State != StateFiring || alerts[1].State != StateOK {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}

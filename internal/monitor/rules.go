@@ -1,0 +1,432 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/agardist/agar/internal/metrics"
+)
+
+// RuleKind selects how a rule turns its series into a signal.
+type RuleKind string
+
+const (
+	// KindThreshold compares a signal against Min/Max bounds. The signal is
+	// the latest scalar point (staleness-bounded by Window), a windowed
+	// ratio when DenMetric is set, or a windowed histogram quantile when
+	// Quantile is set.
+	KindThreshold RuleKind = "threshold"
+	// KindRate compares the signal's per-second rate of change over Window
+	// against Min/Max — growth detectors for goroutines and heap.
+	KindRate RuleKind = "rate"
+	// KindBurnRate fires when the fraction of threshold-violating points
+	// exceeds Burn over both the long Window and the short Short window —
+	// the classic two-window burn-rate form: the long window proves the
+	// violation is sustained, the short one proves it is still happening.
+	KindBurnRate RuleKind = "burn-rate"
+)
+
+// Rule is one declarative check over the store. Zero-value fields are
+// inert, so literals read like the SLO they encode.
+type Rule struct {
+	// Name identifies the rule in alerts and the health document.
+	Name string   `json:"name"`
+	Kind RuleKind `json:"kind"`
+	// Metric is the series (or histogram family, with Quantile) watched.
+	Metric string `json:"metric"`
+	// Labels constrains which series of the metric are evaluated; every
+	// matching series is checked and any violation fires the rule.
+	Labels map[string]string `json:"labels,omitempty"`
+	// DenMetric, when set, makes the signal a windowed ratio: the increase
+	// of Metric over Window divided by the increase of DenMetric (both
+	// counters). A zero-increase denominator yields no signal.
+	DenMetric string `json:"den_metric,omitempty"`
+	// Quantile, when in (0, 1], makes the signal a quantile of the
+	// histogram Metric's increase over Window.
+	Quantile float64 `json:"quantile,omitempty"`
+	// Window is the evaluation lookback. For plain thresholds it is a
+	// staleness bound on the latest point (0 = any age).
+	Window time.Duration `json:"window,omitempty"`
+	// Short is the burn-rate confirmation window (default Window/12,
+	// mirroring the 1h/5m convention).
+	Short time.Duration `json:"short,omitempty"`
+	// Burn is the violating-point fraction both burn-rate windows must
+	// exceed (default 0.5).
+	Burn float64 `json:"burn,omitempty"`
+	// MinPoints is the least evidence a burn-rate long window must hold
+	// before the rule judges it (default 3); sparser windows report no
+	// data. Keeps a single cold sample after startup from firing alone.
+	MinPoints int `json:"min_points,omitempty"`
+	// Min and Max bound the signal; nil bounds are unchecked. Use F to
+	// take literals' addresses.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// For delays firing until the violation has persisted this long.
+	For time.Duration `json:"for,omitempty"`
+}
+
+// F returns v's address — sugar for Rule{Max: F(250)} literals.
+func F(v float64) *float64 { return &v }
+
+// violated reports whether v breaks the rule's bounds.
+func (r Rule) violated(v float64) bool {
+	if r.Min != nil && v < *r.Min {
+		return true
+	}
+	if r.Max != nil && v > *r.Max {
+		return true
+	}
+	return false
+}
+
+// window returns the rule's lookback with a floor: windowless rate and
+// burn-rate rules get a minute so they can't divide by zero.
+func (r Rule) window() time.Duration {
+	if r.Window > 0 {
+		return r.Window
+	}
+	return time.Minute
+}
+
+// RuleState labels one rule's position in the firing lifecycle.
+type RuleState string
+
+const (
+	StateOK      RuleState = "ok"
+	StatePending RuleState = "pending" // violating, inside the For grace
+	StateFiring  RuleState = "firing"
+	StateNoData  RuleState = "no-data" // no signal; prior state is kept
+)
+
+// Alert is one timestamped transition emitted by the evaluator.
+type Alert struct {
+	Rule string `json:"rule"`
+	// State is the state transitioned into: firing or ok (resolved).
+	State RuleState `json:"state"`
+	At    time.Time `json:"at"`
+	// Value is the worst signal observed at the transition (zero on
+	// resolve), Labels the series that produced it.
+	Value  float64           `json:"value,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+func (a Alert) String() string {
+	return fmt.Sprintf("%s %s at %s (value %.4g)", a.Rule, a.State, a.At.Format(time.RFC3339), a.Value)
+}
+
+// signal is one evaluated series' reading.
+type signal struct {
+	value  float64
+	labels map[string]string
+}
+
+// evalSignals computes the rule's signal for every matching series at
+// instant now. An empty result means no data.
+func (r Rule) evalSignals(st *Store, now time.Time) []signal {
+	from := now.Add(-r.window())
+	switch {
+	case r.Quantile > 0:
+		wins := st.HistDeltas(r.Metric, r.Labels, from, now)
+		out := make([]signal, 0, len(wins))
+		for _, w := range wins {
+			if w.Delta.Count == 0 {
+				continue
+			}
+			out = append(out, signal{value: metrics.Quantile(w.Bounds, w.Delta, r.Quantile), labels: w.Labels})
+		}
+		return out
+	case r.DenMetric != "":
+		nums := st.Select(r.Metric, r.Labels)
+		dens := st.Select(r.DenMetric, r.Labels)
+		denBySig := make(map[string][]Point, len(dens))
+		for _, d := range dens {
+			denBySig[labelSig(d.Labels)] = d.Points
+		}
+		var out []signal
+		for _, n := range nums {
+			den, ok := denBySig[labelSig(n.Labels)]
+			if !ok {
+				continue
+			}
+			dn, okN := increase(n.Points, from, now)
+			dd, okD := increase(den, from, now)
+			if !okN || !okD || dd <= 0 {
+				continue
+			}
+			out = append(out, signal{value: dn / dd, labels: n.Labels})
+		}
+		return out
+	case r.Kind == KindRate:
+		var out []signal
+		for _, s := range st.Select(r.Metric, r.Labels) {
+			first, last, n := windowEnds(s.Points, from, now)
+			if n < 2 || !last.T.After(first.T) {
+				continue
+			}
+			rate := (last.V - first.V) / last.T.Sub(first.T).Seconds()
+			out = append(out, signal{value: rate, labels: s.Labels})
+		}
+		return out
+	default:
+		return r.latestSignals(st, now)
+	}
+}
+
+// latestSignals reads the freshest point per matching series, bounded by
+// the staleness window when one is set.
+func (r Rule) latestSignals(st *Store, now time.Time) []signal {
+	var out []signal
+	for _, s := range st.Select(r.Metric, r.Labels) {
+		if len(s.Points) == 0 {
+			continue
+		}
+		p := s.Points[len(s.Points)-1]
+		if r.Window > 0 && now.Sub(p.T) > r.Window {
+			continue
+		}
+		out = append(out, signal{value: p.V, labels: s.Labels})
+	}
+	return out
+}
+
+// increase returns the counter increase across [from, to] within points,
+// reset-clamped to zero like metrics.DeltaSample.
+func increase(points []Point, from, to time.Time) (float64, bool) {
+	first, last, n := windowEnds(points, from, to)
+	if n < 2 {
+		return 0, false
+	}
+	d := last.V - first.V
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// windowEnds returns the first and last points inside [from, to] and how
+// many the window holds.
+func windowEnds(points []Point, from, to time.Time) (first, last Point, n int) {
+	for _, p := range points {
+		if p.T.Before(from) || p.T.After(to) {
+			continue
+		}
+		if n == 0 {
+			first = p
+		}
+		last = p
+		n++
+	}
+	return first, last, n
+}
+
+// burnSignals evaluates the two-window burn-rate form: per matching
+// series, the fraction of bound-violating points must exceed Burn over
+// both the long and the short window for the series to report a
+// violating signal. Quiet series report NaN so the evaluator can tell
+// healthy apart from no-data.
+func (r Rule) burnSignals(st *Store, now time.Time) []signal {
+	long := r.window()
+	short := r.Short
+	if short <= 0 {
+		short = long / 12
+		if short <= 0 {
+			short = long
+		}
+	}
+	burn := r.Burn
+	if burn <= 0 {
+		burn = 0.5
+	}
+	minPts := r.MinPoints
+	if minPts <= 0 {
+		minPts = 3
+	}
+	var out []signal
+	for _, s := range st.Select(r.Metric, r.Labels) {
+		frac := func(w time.Duration) (float64, float64, int) {
+			var viol, total int
+			worst := math.Inf(-1)
+			for _, p := range s.Points {
+				if p.T.Before(now.Add(-w)) || p.T.After(now) {
+					continue
+				}
+				total++
+				if r.violated(p.V) {
+					viol++
+					if p.V > worst {
+						worst = p.V
+					}
+				}
+			}
+			if total == 0 {
+				return 0, 0, 0
+			}
+			return float64(viol) / float64(total), worst, total
+		}
+		longFrac, worst, nLong := frac(long)
+		shortFrac, _, nShort := frac(short)
+		// The long window must hold real evidence before it is judged; a
+		// near-empty window right after startup proves nothing either way.
+		if nLong < minPts || nShort == 0 {
+			continue
+		}
+		if longFrac >= burn && shortFrac >= burn {
+			out = append(out, signal{value: worst, labels: s.Labels})
+		} else {
+			// Healthy series still report a (non-violating) signal so the
+			// evaluator distinguishes "quiet" from "no data": value is the
+			// long-window violating fraction, which by construction is
+			// below burn and thus never re-violates bounds downstream.
+			out = append(out, signal{value: math.NaN(), labels: s.Labels})
+		}
+	}
+	return out
+}
+
+// ruleState is the evaluator's per-rule memory.
+type ruleState struct {
+	state        RuleState
+	pendingSince time.Time
+	firingSince  time.Time
+}
+
+// RuleStatus is one rule's current standing, served by /debug/health.
+type RuleStatus struct {
+	Rule  string    `json:"rule"`
+	State RuleState `json:"state"`
+	// Value is the worst current signal (omitted when no data).
+	Value float64 `json:"value,omitempty"`
+	// Since stamps when the current firing began.
+	Since  time.Time         `json:"since,omitzero"`
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// Evaluator runs a rule set against a store, tracking per-rule firing
+// state across evaluations and emitting alert transitions.
+type Evaluator struct {
+	Store *Store
+	Rules []Rule
+
+	states map[string]*ruleState
+}
+
+// NewEvaluator returns an evaluator over the store with the given rules.
+func NewEvaluator(st *Store, rules []Rule) *Evaluator {
+	return &Evaluator{Store: st, Rules: rules, states: make(map[string]*ruleState)}
+}
+
+// Eval evaluates every rule at instant now and returns the transitions
+// (newly firing, newly resolved) this evaluation produced. Not safe for
+// concurrent use — serialize calls (Health does).
+func (e *Evaluator) Eval(now time.Time) []Alert {
+	if e.states == nil {
+		e.states = make(map[string]*ruleState)
+	}
+	var alerts []Alert
+	for _, r := range e.Rules {
+		st := e.states[r.Name]
+		if st == nil {
+			st = &ruleState{state: StateOK}
+			e.states[r.Name] = st
+		}
+		var sigs []signal
+		if r.Kind == KindBurnRate {
+			sigs = r.burnSignals(e.Store, now)
+		} else {
+			sigs = r.evalSignals(e.Store, now)
+		}
+		if len(sigs) == 0 {
+			// No data: keep a firing rule firing (a saturated server that
+			// stops answering scrapes is not healthy), drop pending back.
+			if st.state == StatePending {
+				st.state = StateOK
+			}
+			if st.state != StateFiring {
+				st.state = StateNoData
+			}
+			continue
+		}
+		worst, hasViolation := worstSignal(r, sigs)
+		switch {
+		case hasViolation && st.state == StateFiring:
+			// still firing — no transition
+		case hasViolation:
+			if st.pendingSince.IsZero() {
+				st.pendingSince = now
+			}
+			if now.Sub(st.pendingSince) >= r.For {
+				st.state = StateFiring
+				st.firingSince = now
+				alerts = append(alerts, Alert{Rule: r.Name, State: StateFiring, At: now, Value: worst.value, Labels: worst.labels})
+			} else {
+				st.state = StatePending
+			}
+		default:
+			if st.state == StateFiring {
+				alerts = append(alerts, Alert{Rule: r.Name, State: StateOK, At: now})
+			}
+			st.state = StateOK
+			st.pendingSince = time.Time{}
+			st.firingSince = time.Time{}
+		}
+		if !hasViolation {
+			st.pendingSince = time.Time{}
+		}
+	}
+	return alerts
+}
+
+// worstSignal picks the most violating signal (largest violating value;
+// for Min-bound rules the smallest). hasViolation is false when every
+// signal respects the bounds.
+func worstSignal(r Rule, sigs []signal) (signal, bool) {
+	var worst signal
+	found := false
+	for _, s := range sigs {
+		if math.IsNaN(s.value) || !r.violated(s.value) {
+			continue
+		}
+		if !found {
+			worst, found = s, true
+			continue
+		}
+		if r.Min != nil && r.Max == nil {
+			if s.value < worst.value {
+				worst = s
+			}
+		} else if s.value > worst.value {
+			worst = s
+		}
+	}
+	return worst, found
+}
+
+// Status reports every rule's current standing, sorted by rule name.
+func (e *Evaluator) Status() []RuleStatus {
+	out := make([]RuleStatus, 0, len(e.Rules))
+	for _, r := range e.Rules {
+		st := e.states[r.Name]
+		rs := RuleStatus{Rule: r.Name, State: StateOK}
+		if st != nil {
+			rs.State = st.state
+			rs.Since = st.firingSince
+		}
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
+	return out
+}
+
+// Firing returns the names of currently firing rules, sorted.
+func (e *Evaluator) Firing() []string {
+	var out []string
+	for name, st := range e.states {
+		if st.state == StateFiring {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -117,3 +117,60 @@ func TestFlipDeterministicAndGuarded(t *testing.T) {
 		d.Flip(1)
 	}
 }
+
+// TestScheduleBandwidthCapRule covers the time-varying cap form: a cap
+// rule applies only inside its window, composes tightest-wins with static
+// sampler caps, honours wildcards, and a nonpositive rate panics.
+func TestScheduleBandwidthCapRule(t *testing.T) {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := NewVirtualClock(epoch)
+	sched := NewSchedule(epoch)
+	sched.CapBandwidth(Window{Start: 10 * time.Second, End: 20 * time.Second}, AnyRegion, AnyRegion, 1<<20)
+
+	s := NewSampler(testMatrix(100*time.Millisecond), 0, 1)
+	s.SetChaos(clock, sched)
+
+	// Before the window: uncapped, sized transfer costs only base latency.
+	if got := s.ChunkSized(geo.Frankfurt, geo.Tokyo, 512<<10); got != 100*time.Millisecond {
+		t.Fatalf("pre-window transfer = %v", got)
+	}
+	// Inside the window: 512 KiB over 1 MiB/s adds 500 ms.
+	clock.Advance(15 * time.Second)
+	if got := s.Bandwidth(geo.Frankfurt, geo.Tokyo); got != 1<<20 {
+		t.Fatalf("in-window bandwidth = %d", got)
+	}
+	if got := s.ChunkSized(geo.Frankfurt, geo.Tokyo, 512<<10); got != 600*time.Millisecond {
+		t.Fatalf("in-window transfer = %v", got)
+	}
+	// After the window closes: uncapped again — the brownout recovered.
+	clock.Advance(10 * time.Second)
+	if got := s.ChunkSized(geo.Frankfurt, geo.Tokyo, 512<<10); got != 100*time.Millisecond {
+		t.Fatalf("post-window transfer = %v", got)
+	}
+
+	// Directional matching: a from-specific rule leaves other sources alone.
+	sched.CapBandwidth(Window{Start: 25 * time.Second}, geo.Dublin, AnyRegion, 2<<20)
+	if got := s.Bandwidth(geo.Dublin, geo.Tokyo); got != 2<<20 {
+		t.Fatalf("directional cap = %d", got)
+	}
+	if got := s.Bandwidth(geo.Frankfurt, geo.Tokyo); got != 0 {
+		t.Fatalf("unmatched source capped at %d", got)
+	}
+
+	// Tightest-wins against a static sampler cap, whichever is smaller.
+	s.CapBandwidth(geo.Dublin, geo.Tokyo, 1<<20)
+	if got := s.Bandwidth(geo.Dublin, geo.Tokyo); got != 1<<20 {
+		t.Fatalf("static tighter cap = %d", got)
+	}
+	sched.CapBandwidth(Window{Start: 25 * time.Second}, geo.Dublin, geo.Tokyo, 512<<10)
+	if got := s.Bandwidth(geo.Dublin, geo.Tokyo); got != 512<<10 {
+		t.Fatalf("schedule tighter cap = %d", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nonpositive schedule cap accepted")
+		}
+	}()
+	sched.CapBandwidth(Window{}, AnyRegion, AnyRegion, 0)
+}

@@ -38,12 +38,19 @@ const (
 	// RuleCut severs matching links while active: reads over them fail as
 	// if the remote region were unreachable.
 	RuleCut
+	// RuleBandwidthCap caps matching links' transfer rate to BPS
+	// bytes/second while active: sized transfers (Sampler.ChunkSized) pay
+	// bytes/BPS of extra latency — the brownout half of a chaos timeline,
+	// where a storage tier's effective throughput sags for a window and
+	// recovers. Overlapping active caps (and any static sampler caps)
+	// compose by taking the tightest.
+	RuleBandwidthCap
 )
 
-// Rule is one chaos event on the network: a latency shift or a link cut,
-// active during a window, matching a (from, to) link pair. AnyRegion acts
-// as a wildcard on either side. Rules are directional; use the Schedule
-// helpers to install symmetric pairs.
+// Rule is one chaos event on the network: a latency shift, a link cut, or
+// a bandwidth cap, active during a window, matching a (from, to) link
+// pair. AnyRegion acts as a wildcard on either side. Rules are
+// directional; use the Schedule helpers to install symmetric pairs.
 type Rule struct {
 	Window Window
 	Kind   RuleKind
@@ -53,6 +60,8 @@ type Rule struct {
 	Factor float64
 	// Add is added after scaling (RuleShift).
 	Add time.Duration
+	// BPS is the bytes/second ceiling (RuleBandwidthCap).
+	BPS int64
 }
 
 func (r Rule) matches(from, to geo.RegionID) bool {
@@ -103,6 +112,9 @@ func (s *Schedule) Add(r Rule) {
 	if r.Kind == RuleShift && r.Factor < 0 {
 		panic(fmt.Sprintf("netsim: negative shift factor %v", r.Factor))
 	}
+	if r.Kind == RuleBandwidthCap && r.BPS <= 0 {
+		panic(fmt.Sprintf("netsim: bandwidth cap rule needs a positive rate, got %d", r.BPS))
+	}
 	s.mu.Lock()
 	s.rules = append(s.rules, r)
 	s.mu.Unlock()
@@ -129,6 +141,12 @@ func (s *Schedule) Cut(w Window, from, to geo.RegionID) {
 func (s *Schedule) CutRegion(w Window, region geo.RegionID) {
 	s.Add(Rule{Window: w, Kind: RuleCut, From: AnyRegion, To: region})
 	s.Add(Rule{Window: w, Kind: RuleCut, From: region, To: AnyRegion})
+}
+
+// CapBandwidth caps the directional (from, to) link to bps bytes/second
+// for the window — the time-varying counterpart of Sampler.CapBandwidth.
+func (s *Schedule) CapBandwidth(w Window, from, to geo.RegionID, bps int64) {
+	s.Add(Rule{Window: w, Kind: RuleBandwidthCap, From: from, To: to, BPS: bps})
 }
 
 // active returns whether the rule applies at offset off for the link.
@@ -161,6 +179,28 @@ func (s *Schedule) LatencyAt(t time.Time, from, to geo.RegionID, base time.Durat
 		lat = time.Duration(float64(lat)*f) + r.Add
 	}
 	return lat
+}
+
+// BandwidthAt returns the tightest bandwidth cap active on the (from, to)
+// link at instant t, or 0 when no cap rule is active — the same "0 means
+// uncapped" convention as Sampler.Bandwidth.
+func (s *Schedule) BandwidthAt(t time.Time, from, to geo.RegionID) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	off, ok := s.offsetOf(t)
+	if !ok {
+		return 0
+	}
+	var best int64
+	for _, r := range s.rules {
+		if r.Kind != RuleBandwidthCap || !r.Window.Contains(off) || !r.matches(from, to) {
+			continue
+		}
+		if best == 0 || r.BPS < best {
+			best = r.BPS
+		}
+	}
+	return best
 }
 
 // CutAt reports whether the (from, to) link is severed at instant t.

@@ -159,14 +159,22 @@ func (s *Sampler) CapBandwidth(from, to geo.RegionID, bps int64) {
 	s.mu.Unlock()
 }
 
-// Bandwidth returns the tightest cap matching the link, or 0 if uncapped.
+// Bandwidth returns the tightest cap matching the link — static sampler
+// caps composed with any bandwidth-cap rules active on the bound chaos
+// schedule at the clock's current instant — or 0 if uncapped.
 func (s *Sampler) Bandwidth(from, to geo.RegionID) int64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var best int64
 	for _, c := range s.caps {
 		if c.matches(from, to) && (best == 0 || c.bps < best) {
 			best = c.bps
+		}
+	}
+	clock, sched := s.clock, s.schedule
+	s.mu.Unlock()
+	if clock != nil && sched != nil {
+		if bps := sched.BandwidthAt(clock.Now(), from, to); bps > 0 && (best == 0 || bps < best) {
+			best = bps
 		}
 	}
 	return best

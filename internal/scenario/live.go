@@ -298,10 +298,12 @@ func RunLiveSmoke(spec Spec, opts LiveOptions) (*LiveResult, error) {
 	var scrapeStart []metrics.Family
 	for i := 0; i < warmup+opts.Ops; i++ {
 		if i == warmup {
-			// Measurement starts here: activate the phase's chaos events
-			// and snapshot /metrics so the latency table covers only the
-			// measured window.
+			// Measurement starts here: activate the phase's chaos events,
+			// snapshot /metrics so the latency table covers only the
+			// measured window, and clear the flight recorder so the
+			// slowest-trace table excludes warm-up ops.
 			sched.SetEpoch(time.Now())
+			cluster.Recorder().Reset()
 			if scrapeStart, err = scrapeMetrics(cluster.MetricsAddr()); err != nil {
 				return nil, fmt.Errorf("scenario %q live scrape: %w", spec.Name, err)
 			}

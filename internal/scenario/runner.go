@@ -203,6 +203,10 @@ func compile(spec Spec, epoch time.Time) *compiled {
 			case EventRegionOutage:
 				r, _ := geo.ParseRegion(e.Region)
 				c.schedule.CutRegion(w, r)
+			case EventBandwidthCap:
+				from, _ := wildcardRegion(e.From)
+				to, _ := wildcardRegion(e.To)
+				c.schedule.CapBandwidth(w, from, to, e.BPS)
 			case EventCacheCrash:
 				c.crashes[i] = append(c.crashes[i], &crashAction{at: start})
 			case EventFlashCrowd:
@@ -314,6 +318,11 @@ func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.
 			env.ChunkBytes = d.PaperChunkBytes()
 			sampler.CapBandwidth(netsim.AnyRegion, netsim.AnyRegion, tier.BandwidthBps)
 		}
+	}
+	// Bandwidth-cap events need sized transfers too: without ChunkBytes the
+	// sampler has no bytes to charge the capped window for.
+	if env.ChunkBytes == 0 && spec.hasBandwidthCaps() {
+		env.ChunkBytes = d.PaperChunkBytes()
 	}
 	reader, node, err := d.NewReader(arm, env, region, cacheMB, opts.Seed)
 	if err != nil {

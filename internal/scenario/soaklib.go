@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/agardist/agar/internal/monitor"
+)
+
+// LongSoak is the library's long-soak: four virtual hours of diurnal
+// traffic (a morning hotspot, a zipfian midday peak, an evening hotspot
+// over a different range, a uniform night) with a twenty-minute storage
+// brownout injected mid-midday — a 256 KiB/s bandwidth cap plus a 3×
+// latency shift on every link, the shape of a storage tier degrading
+// under someone else's load. The rule thresholds sit between the two
+// arms' calibrated envelopes (baseline p99 ≈ 1.03 s, brownout p99 ≈
+// 3.5 s), so the baseline arm runs alert-free while the brownout arm's
+// alert timeline brackets the injected window.
+func LongSoak() SoakSpec {
+	return SoakSpec{
+		Spec: Spec{
+			Name:        "long-soak",
+			Description: "4h diurnal mix with a 20-minute mid-day storage brownout",
+			Region:      "frankfurt",
+			Phases: []Phase{
+				{
+					Name:     "morning",
+					Duration: time.Hour,
+					Workload: Workload{Kind: WorkloadHotspot, HotLo: 0, HotHi: 60, HotFrac: 0.8},
+				},
+				{
+					Name:     "midday",
+					Duration: time.Hour,
+					Workload: Workload{Kind: WorkloadZipfian},
+					Events: []Event{
+						{Kind: EventBandwidthCap, At: 20 * time.Minute, Duration: 20 * time.Minute, BPS: 256 << 10},
+						{Kind: EventLatencyShift, At: 20 * time.Minute, Duration: 20 * time.Minute, Factor: 3},
+					},
+				},
+				{
+					Name:     "evening",
+					Duration: time.Hour,
+					Workload: Workload{Kind: WorkloadHotspot, HotLo: 200, HotHi: 280, HotFrac: 0.7},
+				},
+				{
+					Name:     "night",
+					Duration: time.Hour,
+					Workload: Workload{Kind: WorkloadUniform},
+				},
+			},
+		},
+		SampleEvery:  time.Minute,
+		OpsPerSample: 60,
+		Rules:        LongSoakRules(),
+		Drift:        LongSoakDrift(),
+	}
+}
+
+// LongSoakRules is the long-soak's rule set. Ceilings sit between the
+// calibrated baseline and brownout envelopes; the hit-ratio floor is a
+// two-window burn rate so a single cold sample at a phase transition
+// (hit ratio momentarily zero) never fires it.
+func LongSoakRules() []monitor.Rule {
+	return []monitor.Rule{
+		{
+			Name: "read-p99-ceiling", Kind: monitor.KindThreshold,
+			Metric: MetricSoakReadP99MS, Max: monitor.F(1500),
+		},
+		{
+			Name: "read-mean-ceiling", Kind: monitor.KindThreshold,
+			Metric: MetricSoakReadMeanMS, Max: monitor.F(1200),
+		},
+		{
+			Name: "error-rate-ceiling", Kind: monitor.KindThreshold,
+			Metric: MetricSoakErrorRate, Max: monitor.F(0.05),
+		},
+		{
+			Name: "hit-ratio-floor", Kind: monitor.KindBurnRate,
+			Metric: MetricSoakHitRatio, Min: monitor.F(0.005),
+			Window: 10 * time.Minute, Short: 4 * time.Minute, Burn: 0.75,
+		},
+	}
+}
+
+// LongSoakDrift is the long-soak's degradation sweep: read latency only
+// ever climbing or the hit ratio only ever sagging across the whole run
+// flags, transients and diurnal swings do not.
+func LongSoakDrift() []monitor.DriftCheck {
+	return []monitor.DriftCheck{
+		{Name: "read-mean-creep", Metric: MetricSoakReadMeanMS, BadDirection: "up", Tolerance: 0.25},
+		{Name: "hit-ratio-sag", Metric: MetricSoakHitRatio, BadDirection: "down", Tolerance: 0.25},
+		{Name: "error-rate-creep", Metric: MetricSoakErrorRate, BadDirection: "up", Tolerance: 0.25},
+	}
+}
+
+// Scale returns a copy of the soak with every duration — phases, event
+// offsets, the sample window, and the rules' evaluation windows —
+// multiplied by f, so a quick run replays the soak's exact shape in a
+// fraction of its virtual length. Note samples shrink with the clock but
+// the reads inside them do not speed up, so heavily scaled runs hold few
+// ops per sample and their ratio metrics get noisy.
+func (s SoakSpec) Scale(f float64) SoakSpec {
+	out := s
+	out.Spec = s.Spec.Scale(f)
+	out.SampleEvery = time.Duration(float64(s.SampleEvery) * f)
+	out.Rules = make([]monitor.Rule, len(s.Rules))
+	for i, r := range s.Rules {
+		r.Window = time.Duration(float64(r.Window) * f)
+		r.Short = time.Duration(float64(r.Short) * f)
+		r.For = time.Duration(float64(r.For) * f)
+		out.Rules[i] = r
+	}
+	return out
+}
+
+// Markdown renders the soak report's SCENARIOS.md section: the per-arm
+// envelope, the alert timeline, and the drift table.
+func (r *SoakReport) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Soak: %s\n\n", r.Name)
+	if r.Description != "" {
+		fmt.Fprintf(&b, "%s\n\n", r.Description)
+	}
+	fmt.Fprintf(&b, "%.1f virtual hours · %s samples · %d ops/sample · region %s · seed %d\n\n",
+		r.VirtualMS/3.6e6, msDur(r.SampleEveryMS), r.OpsPerSample, r.Region, r.Seed)
+
+	b.WriteString("| arm | samples | ops | hit ratio | mean ms | p99 ms | firing alerts | drift flags |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, arm := range r.Arms {
+		var hrSum, meanMax, p99Max float64
+		for _, s := range arm.Samples {
+			hrSum += s.HitRatio
+			if s.MeanMS > meanMax {
+				meanMax = s.MeanMS
+			}
+			if s.P99MS > p99Max {
+				p99Max = s.P99MS
+			}
+		}
+		hr := 0.0
+		if len(arm.Samples) > 0 {
+			hr = hrSum / float64(len(arm.Samples))
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %.3f | max %.0f | max %.0f | %d | %d |\n",
+			arm.Arm, len(arm.Samples), arm.TotalOps, hr, meanMax, p99Max, arm.FiringCount, arm.DriftFlagged)
+	}
+
+	for _, arm := range r.Arms {
+		if len(arm.Alerts) == 0 {
+			fmt.Fprintf(&b, "\nArm `%s`: no alerts.\n", arm.Arm)
+			continue
+		}
+		fmt.Fprintf(&b, "\nArm `%s` alert timeline:\n\n", arm.Arm)
+		b.WriteString("| offset | rule | transition | value |\n")
+		b.WriteString("|---|---|---|---|\n")
+		for _, a := range arm.Alerts {
+			val := "—"
+			if a.State == string(monitor.StateFiring) {
+				val = fmt.Sprintf("%.1f", a.Value)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", msDur(a.OffsetMS), a.Rule, a.State, val)
+		}
+	}
+
+	wroteDriftHeader := false
+	for _, arm := range r.Arms {
+		for _, f := range arm.Drift {
+			if !wroteDriftHeader {
+				b.WriteString("\nDrift (early quarter vs late quarter):\n\n")
+				b.WriteString("| arm | check | early | late | change | monotonic | flagged |\n")
+				b.WriteString("|---|---|---|---|---|---|---|\n")
+				wroteDriftHeader = true
+			}
+			fmt.Fprintf(&b, "| %s | %s | %.3f | %.3f | %+.0f%% | %v | %v |\n",
+				arm.Arm, f.Check, f.Early, f.Late, f.Change*100, f.Monotonic, f.Flagged)
+		}
+	}
+	return b.String()
+}
+
+// msDur formats a millisecond offset compactly (e.g. "1h22m", "4m30s").
+func msDur(ms float64) string {
+	d := time.Duration(ms * float64(time.Millisecond)).Round(time.Second)
+	return d.String()
+}

@@ -87,6 +87,11 @@ const (
 	// EventFlashCrowd redirects HotFrac of requests into the key range
 	// [HotLo, HotHi) for the window, overlaying the phase workload.
 	EventFlashCrowd EventKind = "flash-crowd"
+	// EventBandwidthCap caps matching links to BPS bytes/second for the
+	// window — a storage-tier brownout: chunk-sized transfers pay extra,
+	// size-dependent latency until the window closes. "*" (or empty)
+	// matches any region on either side.
+	EventBandwidthCap EventKind = "bandwidth-cap"
 )
 
 // Event is one chaos event inside a phase. At is the offset from the phase
@@ -110,6 +115,8 @@ type Event struct {
 	HotLo   int     `json:"hot_lo,omitempty"`
 	HotHi   int     `json:"hot_hi,omitempty"`
 	HotFrac float64 `json:"hot_frac,omitempty"`
+	// BPS is the bytes/second ceiling for bandwidth-cap.
+	BPS int64 `json:"bps,omitempty"`
 }
 
 // Phase is one named segment of a scenario's virtual timeline.
@@ -247,6 +254,20 @@ func (s Spec) storeTiers() ([]store.Tier, bool) {
 		out[i], _ = store.ParseTier(name)
 	}
 	return out, true
+}
+
+// hasBandwidthCaps reports whether any phase carries a bandwidth-cap
+// event — the runner then sizes chunk transfers so the caps have bytes to
+// charge for.
+func (s Spec) hasBandwidthCaps() bool {
+	for _, p := range s.Phases {
+		for _, e := range p.Events {
+			if e.Kind == EventBandwidthCap {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // objects returns the working-set size with the default applied.
@@ -411,6 +432,16 @@ func (e Event) validate(objects int, phase time.Duration) error {
 	case EventRegionOutage:
 		if _, err := geo.ParseRegion(e.Region); err != nil {
 			return fmt.Errorf("region-outage: %w", err)
+		}
+	case EventBandwidthCap:
+		if _, err := wildcardRegion(e.From); err != nil {
+			return err
+		}
+		if _, err := wildcardRegion(e.To); err != nil {
+			return err
+		}
+		if e.BPS <= 0 {
+			return fmt.Errorf("bandwidth-cap: needs a positive bps, got %d", e.BPS)
 		}
 	case EventCacheCrash:
 	case EventFlashCrowd:

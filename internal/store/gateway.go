@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/wire"
 )
 
@@ -39,16 +40,50 @@ const (
 const maxChunkBody = 16 << 20
 
 // NewGateway serves the blob store over the HTTP surface above.
-func NewGateway(bs BlobStore) http.Handler {
+func NewGateway(bs BlobStore) http.Handler { return NewGatewayWith(bs, nil) }
+
+// NewGatewayWith is NewGateway with request accounting: when reg is
+// non-nil every route counts into agar_http_requests_total{op,code} and
+// the agar_http_in_flight gauge tracks concurrently served requests. A
+// nil registry serves the same routes uninstrumented.
+func NewGatewayWith(bs BlobStore, reg *metrics.Registry) http.Handler {
 	mux := http.NewServeMux()
 	g := &gateway{bs: bs}
-	mux.HandleFunc("GET /v1/{bucket}", g.bucket)
-	mux.HandleFunc("GET /v1/{bucket}/{key}", g.getBatch)
-	mux.HandleFunc("DELETE /v1/{bucket}/{key}", g.deleteObject)
-	mux.HandleFunc("GET /v1/{bucket}/{key}/{chunk}", g.getChunk)
-	mux.HandleFunc("PUT /v1/{bucket}/{key}/{chunk}", g.putChunk)
-	mux.HandleFunc("DELETE /v1/{bucket}/{key}/{chunk}", g.deleteChunk)
+	wrap := func(op string, h http.HandlerFunc) http.HandlerFunc { return h }
+	if reg != nil {
+		requests := reg.NewCounterVec(metrics.NameHTTPRequests,
+			"Gateway HTTP requests served, by route op and status code.", "op", "code")
+		inFlight := reg.NewGauge(metrics.NameHTTPInFlight,
+			"Gateway HTTP requests currently being served.")
+		wrap = func(op string, h http.HandlerFunc) http.HandlerFunc {
+			return func(w http.ResponseWriter, r *http.Request) {
+				inFlight.Add(1)
+				defer inFlight.Add(-1)
+				sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+				h(sw, r)
+				requests.With(op, strconv.Itoa(sw.code)).Inc()
+			}
+		}
+	}
+	mux.HandleFunc("GET /v1/{bucket}", wrap("list", g.bucket))
+	mux.HandleFunc("GET /v1/{bucket}/{key}", wrap("get_batch", g.getBatch))
+	mux.HandleFunc("DELETE /v1/{bucket}/{key}", wrap("delete_object", g.deleteObject))
+	mux.HandleFunc("GET /v1/{bucket}/{key}/{chunk}", wrap("get_chunk", g.getChunk))
+	mux.HandleFunc("PUT /v1/{bucket}/{key}/{chunk}", wrap("put_chunk", g.putChunk))
+	mux.HandleFunc("DELETE /v1/{bucket}/{key}/{chunk}", wrap("delete_chunk", g.deleteChunk))
 	return mux
+}
+
+// statusWriter captures the response code a handler commits to; a body
+// written without an explicit WriteHeader counts as the implicit 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 type gateway struct{ bs BlobStore }

@@ -9,6 +9,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"github.com/agardist/agar/internal/metrics"
 )
 
 // TestGatewayRoundTrip drives the Remote adapter against a gateway over a
@@ -135,4 +137,73 @@ func keysOf(m map[int][]byte) []int {
 		out = append(out, k)
 	}
 	return out
+}
+
+// TestGatewayRequestMetrics pins the instrumented gateway's accounting:
+// every route lands in agar_http_requests_total under its op and status
+// labels, and the in-flight gauge returns to zero once requests drain.
+func TestGatewayRequestMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := httptest.NewServer(NewGatewayWith(NewMem(), reg))
+	defer srv.Close()
+
+	do := func(method, path string, body []byte) int {
+		req, err := http.NewRequest(method, srv.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := do(http.MethodPut, "/v1/fra/obj/0", []byte("chunk")); code != http.StatusNoContent {
+		t.Fatalf("put = %d", code)
+	}
+	if code := do(http.MethodGet, "/v1/fra/obj/0", nil); code != http.StatusOK {
+		t.Fatalf("get = %d", code)
+	}
+	if code := do(http.MethodGet, "/v1/fra/obj/9", nil); code != http.StatusNotFound {
+		t.Fatalf("missing get = %d", code)
+	}
+	if code := do(http.MethodGet, "/v1/fra", nil); code != http.StatusOK {
+		t.Fatalf("list = %d", code)
+	}
+	if code := do(http.MethodDelete, "/v1/fra/obj", nil); code != http.StatusOK {
+		t.Fatalf("delete object = %d", code)
+	}
+
+	want := map[[2]string]float64{
+		{"put_chunk", "204"}:     1,
+		{"get_chunk", "200"}:     1,
+		{"get_chunk", "404"}:     1,
+		{"list", "200"}:          1,
+		{"delete_object", "200"}: 1,
+	}
+	var inFlight *float64
+	for _, f := range reg.Gather() {
+		switch f.Name {
+		case metrics.NameHTTPRequests:
+			for _, s := range f.Samples {
+				key := [2]string{s.LabelValues[0], s.LabelValues[1]}
+				if got, ok := want[key]; ok {
+					if s.Value != got {
+						t.Errorf("%v = %v, want %v", key, s.Value, got)
+					}
+					delete(want, key)
+				}
+			}
+		case metrics.NameHTTPInFlight:
+			v := f.Samples[0].Value
+			inFlight = &v
+		}
+	}
+	for key := range want {
+		t.Errorf("no sample for %v", key)
+	}
+	if inFlight == nil || *inFlight != 0 {
+		t.Errorf("in-flight gauge = %v, want 0 after drain", inFlight)
+	}
 }

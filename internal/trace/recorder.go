@@ -148,13 +148,33 @@ func (r *Recorder) Snapshot() Snapshot {
 	return snap
 }
 
+// Reset discards every retained record, re-arming the recorder for a
+// fresh observation window — long soaks fence per-phase flight tables
+// with it. Safe to call concurrently with Observe: an in-flight
+// observation lands either in the old retention (discarded) or the new.
+func (r *Recorder) Reset() {
+	r.ops.Range(func(k, _ any) bool {
+		r.ops.Delete(k)
+		return true
+	})
+}
+
 // Handler serves the recorder's snapshot as indented JSON — the
-// /debug/traces endpoint.
+// /debug/traces endpoint. A ?op=<opcode> query filters the snapshot to
+// that opcode's retention (an unknown opcode serves an empty document).
 func (r *Recorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if op := req.URL.Query().Get("op"); op != "" {
+			filtered := Snapshot{Ops: make(map[string]OpTraces, 1)}
+			if ot, ok := snap.Ops[op]; ok {
+				filtered.Ops[op] = ot
+			}
+			snap = filtered
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(r.Snapshot())
+		_ = enc.Encode(snap)
 	})
 }

@@ -1,0 +1,117 @@
+package trace
+
+// Reset and filter regressions for the flight recorder: long soaks fence
+// per-phase observation windows with Reset, and operators narrow
+// /debug/traces to one opcode with ?op= — both must hold under the
+// recorder's lock-free fast path.
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderReset empties the retention and re-arms observation.
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("get", 5*time.Millisecond, "", "", nil)
+	r.Observe("mget", 7*time.Millisecond, "", "boom", nil)
+	if got := len(r.Snapshot().Ops); got != 2 {
+		t.Fatalf("pre-reset ops = %d, want 2", got)
+	}
+	r.Reset()
+	if got := len(r.Snapshot().Ops); got != 0 {
+		t.Fatalf("post-reset ops = %d, want 0", got)
+	}
+	// The recorder keeps observing after a reset: a fresh window fills.
+	r.Observe("get", 3*time.Millisecond, "", "", nil)
+	snap := r.Snapshot()
+	if len(snap.Ops["get"].Slowest) != 1 {
+		t.Fatalf("post-reset retention = %+v", snap.Ops)
+	}
+}
+
+// TestRecorderHandlerOpFilter checks ?op= narrows the served snapshot to
+// one opcode, and an unknown opcode serves an empty document rather than
+// an error.
+func TestRecorderHandlerOpFilter(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("get", 5*time.Millisecond, "", "", nil)
+	r.Observe("mget", 7*time.Millisecond, "", "", nil)
+
+	serve := func(target string) Snapshot {
+		t.Helper()
+		req := httptest.NewRequest("GET", target, nil)
+		w := httptest.NewRecorder()
+		r.Handler().ServeHTTP(w, req)
+		if w.Code != 200 {
+			t.Fatalf("GET %s = %d", target, w.Code)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("decode %s: %v", target, err)
+		}
+		return snap
+	}
+
+	if snap := serve("/debug/traces"); len(snap.Ops) != 2 {
+		t.Errorf("unfiltered ops = %d, want 2", len(snap.Ops))
+	}
+	snap := serve("/debug/traces?op=mget")
+	if len(snap.Ops) != 1 || len(snap.Ops["mget"].Slowest) != 1 {
+		t.Errorf("filtered snapshot = %+v", snap.Ops)
+	}
+	if snap := serve("/debug/traces?op=nosuch"); len(snap.Ops) != 0 {
+		t.Errorf("unknown op served %d ops, want 0", len(snap.Ops))
+	}
+}
+
+// TestRecorderResetRace hammers Observe, Snapshot and Reset concurrently;
+// run under -race this pins that fencing a window mid-traffic is safe.
+func TestRecorderResetRace(t *testing.T) {
+	r := NewRecorder()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ops := []string{"get", "mget", "put"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				errMsg := ""
+				if i%7 == 0 {
+					errMsg = "synthetic"
+				}
+				r.Observe(ops[i%len(ops)], time.Duration(i%100)*time.Microsecond, "", errMsg, nil)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			r.Reset()
+			_ = r.Snapshot()
+		}
+	}()
+	// The reset goroutine bounds the test: once it finishes, stop traffic.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	// Post-race the recorder still works.
+	r.Reset()
+	r.Observe("get", time.Millisecond, "", "", nil)
+	if len(r.Snapshot().Ops["get"].Slowest) != 1 {
+		t.Fatal("recorder broken after reset race")
+	}
+}
