@@ -61,6 +61,7 @@ func run() int {
 		armsFlag = flag.String("arms", "", "comma-separated arms: agar,lru,lfu,fixed,backend (default agar,lru,lfu,backend)")
 		chunks   = flag.Int("c", 3, "fixed chunks-per-object for the lru/lfu/fixed arms")
 		scale    = flag.Float64("scale", 1, "time-scale factor applied to every phase (0 < scale <= 1)")
+		coh      = flag.String("coherence", "", "override mutating scenarios' coherence mode: versioned|none|paired")
 		objects  = flag.Int("objects", 0, "override the working-set size (0 = scenario default)")
 		live     = flag.Bool("live", false, "additionally smoke each scenario's first phase on the localhost cluster")
 		liveOps  = flag.Int("liveops", 120, "measured reads per live phase (smoke) and per dispatch round")
@@ -172,10 +173,27 @@ func run() int {
 	md.WriteString("# Agar scenario suite\n")
 	fmt.Fprintf(&md, "\ngenerated %s · seed %d · scale %g\n", suite.Generated, *seed, *scale)
 
+	switch *coh {
+	case "", scenario.CoherenceVersioned, scenario.CoherenceNone, scenario.CoherencePaired:
+	default:
+		fmt.Fprintf(os.Stderr, "agar-suite: -coherence %q (want versioned|none|paired)\n", *coh)
+		return 2
+	}
+
 	failed := 0
 	for _, spec := range specs {
 		if *objects > 0 {
 			spec.Objects = *objects
+		}
+		// The coherence override only applies to scenarios that mutate —
+		// a read-only spec with a coherence mode would fail validation.
+		if *coh != "" {
+			for _, p := range spec.Phases {
+				if p.Updates > 0 || p.RMW > 0 {
+					spec.Coherence = *coh
+					break
+				}
+			}
 		}
 		runSpec := spec
 		if *scale != 1 {

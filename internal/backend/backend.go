@@ -46,6 +46,11 @@ type Store struct {
 
 	mu   sync.RWMutex
 	down bool
+
+	// Versioned write path (versioned.go): lazily-built mirror of the
+	// bucket's persisted per-key version records.
+	verOnce  sync.Once
+	verCache *versionCache
 }
 
 // NewStore returns an empty in-memory bucket for the region — the default

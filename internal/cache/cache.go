@@ -44,6 +44,11 @@ func (id EntryID) String() string { return fmt.Sprintf("%s#%d", id.Key, id.Index
 type entry struct {
 	id   EntryID
 	data []byte
+	// ver is the hybrid-logical-clock version the chunk was written at
+	// (hlc.Timestamp as a uint64); zero for unversioned chunks. The cache
+	// stores it verbatim — admission against version floors is the caller's
+	// job (coherence.VersionTable on live servers).
+	ver uint64
 
 	// intrusive LRU list links (also reused as the per-frequency list by LFU)
 	prev, next *entry
@@ -297,6 +302,24 @@ func (c *Cache) GetAppend(id EntryID, dst []byte) ([]byte, bool) {
 	return append(dst, e.data...), true
 }
 
+// GetAppendVer is GetAppend plus the chunk's stored version: it appends
+// the chunk's bytes to dst and returns the extended slice, the chunk's
+// write version (zero for unversioned chunks and on a miss), and whether
+// the chunk was resident. The cache server's versioned mget reply path.
+func (c *Cache) GetAppendVer(id EntryID, dst []byte) ([]byte, uint64, bool) {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.gets.Add(1)
+	e, ok := s.entries[id]
+	if !ok {
+		return dst, 0, false
+	}
+	s.stats.hits.Add(1)
+	s.policy.Accessed(e)
+	return append(dst, e.data...), e.ver, true
+}
+
 // MeanEntryBytes estimates the average resident chunk size — resident
 // bytes over resident entries, folded across shards without locking. Zero
 // before anything is cached. The live server sizes pooled reply buffers
@@ -365,6 +388,13 @@ func (c *Cache) IndicesOf(key string) []int {
 // if the item alone exceeds the shard's capacity, and ErrCacheFull if the
 // policy refuses to evict.
 func (c *Cache) Put(id EntryID, data []byte) error {
+	return c.PutVer(id, data, 0)
+}
+
+// PutVer inserts a chunk stamped with its write version (zero for
+// unversioned, identical to Put). The version is stored verbatim; callers
+// that enforce a version floor check admission before inserting.
+func (c *Cache) PutVer(id EntryID, data []byte, ver uint64) error {
 	s := c.shardFor(id)
 	size := int64(len(data))
 	if size > s.capacity {
@@ -392,7 +422,7 @@ func (c *Cache) Put(id EntryID, data []byte) error {
 		s.removeLocked(victim)
 	}
 
-	e := &entry{id: id, data: append([]byte(nil), data...)}
+	e := &entry{id: id, data: append([]byte(nil), data...), ver: ver}
 	s.entries[id] = e
 	chunks := s.byKey[id.Key]
 	if chunks == nil {
@@ -434,6 +464,30 @@ func (c *Cache) DeleteObject(key string) int {
 	return n
 }
 
+// DropObjectBelow removes every resident chunk of the object whose stored
+// version is older than ver — including unversioned (version-zero) chunks,
+// which by definition predate any versioned write — and returns how many
+// were removed. Chunks at or above ver stay. This is the cache half of
+// applying an invalidation: raise the floor, then drop what the floor now
+// excludes.
+func (c *Cache) DropObjectBelow(key string, ver uint64) int {
+	if ver == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, e := range s.byKey[key] {
+			if e.ver < ver {
+				s.removeLocked(e)
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Clear empties the cache.
 func (c *Cache) Clear() {
 	for _, s := range c.shards {
@@ -463,6 +517,31 @@ func (c *Cache) Snapshot() map[string][]int {
 		sort.Ints(idxs)
 	}
 	return out
+}
+
+// SnapshotVer returns the Snapshot view plus, for every resident object
+// that carries any versioned chunk, the newest chunk version — the raw
+// material of version-carrying digests. Objects whose chunks are all
+// unversioned do not appear in the version map.
+func (c *Cache) SnapshotVer() (map[string][]int, map[string]uint64) {
+	groups := make(map[string][]int)
+	vers := make(map[string]uint64)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, chunks := range s.byKey {
+			for idx, e := range chunks {
+				groups[key] = append(groups[key], idx)
+				if e.ver > vers[key] {
+					vers[key] = e.ver
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	for _, idxs := range groups {
+		sort.Ints(idxs)
+	}
+	return groups, vers
 }
 
 func (s *shard) removeLocked(e *entry) {

@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPutVerGetAppendVer(t *testing.T) {
+	c := New(1<<20, NewLRU())
+	id := EntryID{Key: "obj", Index: 2}
+	if err := c.PutVer(id, []byte("v2-data"), 200); err != nil {
+		t.Fatal(err)
+	}
+	buf, ver, ok := c.GetAppendVer(id, nil)
+	if !ok || ver != 200 || string(buf) != "v2-data" {
+		t.Fatalf("got %q ver=%d ok=%v", buf, ver, ok)
+	}
+	// Unversioned Put resets the version to zero.
+	if err := c.Put(id, []byte("raw")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ver, _ := c.GetAppendVer(id, nil); ver != 0 {
+		t.Fatalf("unversioned overwrite kept version %d", ver)
+	}
+	// Miss returns dst unchanged and version zero.
+	buf, ver, ok = c.GetAppendVer(EntryID{Key: "missing"}, []byte("pre"))
+	if ok || ver != 0 || string(buf) != "pre" {
+		t.Fatalf("miss: %q ver=%d ok=%v", buf, ver, ok)
+	}
+}
+
+func TestDropObjectBelow(t *testing.T) {
+	c := NewSharded(1<<20, 4, func() Policy { return NewLRU() })
+	c.PutVer(EntryID{Key: "obj", Index: 0}, []byte("a"), 100)
+	c.PutVer(EntryID{Key: "obj", Index: 1}, []byte("b"), 200)
+	c.Put(EntryID{Key: "obj", Index: 2}, []byte("c")) // unversioned predates any write
+	c.PutVer(EntryID{Key: "other", Index: 0}, []byte("d"), 50)
+
+	if n := c.DropObjectBelow("obj", 0); n != 0 {
+		t.Fatalf("zero floor dropped %d", n)
+	}
+	if n := c.DropObjectBelow("obj", 200); n != 2 {
+		t.Fatalf("dropped %d, want 2 (index 0 at v100 and unversioned index 2)", n)
+	}
+	if got := c.IndicesOf("obj"); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("surviving indices %v", got)
+	}
+	if got := c.IndicesOf("other"); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("unrelated object touched: %v", got)
+	}
+	// Dropping again at the same floor is a no-op.
+	if n := c.DropObjectBelow("obj", 200); n != 0 {
+		t.Fatalf("second drop removed %d", n)
+	}
+}
+
+func TestSnapshotVer(t *testing.T) {
+	c := NewSharded(1<<20, 4, func() Policy { return NewLRU() })
+	c.PutVer(EntryID{Key: "versioned", Index: 0}, []byte("a"), 100)
+	c.PutVer(EntryID{Key: "versioned", Index: 3}, []byte("b"), 300)
+	c.Put(EntryID{Key: "legacy", Index: 1}, []byte("c"))
+
+	groups, vers := c.SnapshotVer()
+	if !reflect.DeepEqual(groups["versioned"], []int{0, 3}) || !reflect.DeepEqual(groups["legacy"], []int{1}) {
+		t.Fatalf("groups %v", groups)
+	}
+	if vers["versioned"] != 300 {
+		t.Fatalf("versioned key advertises %d, want the max 300", vers["versioned"])
+	}
+	if _, ok := vers["legacy"]; ok {
+		t.Fatal("all-unversioned key appeared in the version map")
+	}
+	// SnapshotVer's groups must match Snapshot exactly.
+	if !reflect.DeepEqual(groups, c.Snapshot()) {
+		t.Fatal("SnapshotVer groups diverge from Snapshot")
+	}
+}

@@ -1,15 +1,24 @@
-// Package coherence totally orders cache invalidations through a
-// Paxos-replicated log, implementing the write-coherence design the paper's
-// §VI sketches: "Agar would need to implement a cache coherence algorithm
-// ... Protocols such as Paxos could provide the necessary synchronization
-// primitives."
+// Package coherence is the cache-coherence layer of the write path: the
+// per-key version-floor table live cache and store servers enforce
+// versioned mutations against (VersionTable), plus the original
+// Paxos-replicated invalidation log the paper's §VI sketches ("Protocols
+// such as Paxos could provide the necessary synchronization primitives").
 //
-// Writers append an invalidation record for each updated object; every
-// region runs an Applier that consumes the committed log prefix in order
-// and drops the object's chunks from its local cache. Because the log is
-// totally ordered, all regions observe the same invalidation sequence, and
-// a read that follows an applied invalidation cannot return pre-write
-// chunks from that cache.
+// The Paxos log is retained as the in-process prototype of a totally
+// ordered invalidation stream, but the live transport does not bridge it:
+// the deployed design retires the log in favour of hybrid-logical-clock
+// versions riding the coop digest mesh. Per-key last-writer-wins ordering
+// under HLC timestamps provides exactly the synchronization invalidation
+// needs — no reader must agree on cross-key order, only on which version
+// of one key is newest — so a quorum round trip per write buys nothing the
+// version floor does not, and costs a WAN round trip the digest piggyback
+// avoids. docs/WRITES.md records the full decision; coherence_test.go's
+// read-after-write assertion is promoted to the live transport in
+// internal/live's coherence tests.
+//
+// For the log prototype: writers append an invalidation record for each
+// updated object; every region runs an Applier that consumes the committed
+// log prefix in order and drops the object's chunks from its local cache.
 package coherence
 
 import (

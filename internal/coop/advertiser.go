@@ -12,6 +12,16 @@ type Snapshotter interface {
 	Snapshot() map[string][]int
 }
 
+// VersionedSnapshotter is the optional residency source that also reports
+// each key's highest cached write version. When an advertiser's source
+// implements it (*cache.Cache does, via SnapshotVer), digests carry
+// KeyVers and deltas become version-aware: a key re-cached at a newer
+// version is pushed even when its index set is unchanged, which is how an
+// invalidation propagates through the mesh.
+type VersionedSnapshotter interface {
+	SnapshotVer() (map[string][]int, map[string]uint64)
+}
+
 // Target delivers digest frames to one peer. The live layer implements it
 // on its pooled cache-server client; tests inject fakes. A nil error means
 // the peer acknowledged the frame at its sequence — the signal the
@@ -47,9 +57,11 @@ type Advertiser struct {
 	targets map[string]*target
 	seq     int64
 	// prev is the previous Advertise's snapshot (the seq-1 state deltas
-	// are computed against); nil before the first push.
-	prev    map[string][]int
-	prevSeq int64
+	// are computed against); nil before the first push. prevVers is its
+	// per-key version view when the source is a VersionedSnapshotter.
+	prev     map[string][]int
+	prevVers map[string]uint64
+	prevSeq  int64
 
 	pushes      atomic.Int64
 	deltaPushes atomic.Int64
@@ -107,25 +119,32 @@ func (a *Advertiser) Advertise() int {
 	a.mu.Lock()
 	a.seq++
 	seq := a.seq
-	prev, prevSeq := a.prev, a.prevSeq
+	prev, prevVers, prevSeq := a.prev, a.prevVers, a.prevSeq
 	targets := make([]*target, 0, len(a.targets))
 	for _, t := range a.targets {
 		targets = append(targets, t)
 	}
 	a.mu.Unlock()
 
-	snap := a.source.Snapshot()
+	var snap map[string][]int
+	var vers map[string]uint64
+	if vs, ok := a.source.(VersionedSnapshotter); ok {
+		snap, vers = vs.SnapshotVer()
+	} else {
+		snap = a.source.Snapshot()
+	}
 	if len(targets) == 0 {
-		a.setPrev(snap, seq)
+		a.setPrev(snap, vers, seq)
 		return 0
 	}
-	full := Paginate(a.region, seq, snap)
+	full := PaginateVer(a.region, seq, snap, vers)
 	// Deltas are worth computing only against the immediately preceding
 	// snapshot: a peer acked further back would need a change set this
 	// advertiser no longer holds.
 	var delta []Digest
 	if prev != nil && prevSeq == seq-1 {
-		delta = PaginateDelta(a.region, seq, prevSeq, Diff(prev, snap))
+		changed, changedVers := DiffVer(prev, snap, prevVers, vers)
+		delta = PaginateDeltaVer(a.region, seq, prevSeq, changed, changedVers)
 	}
 
 	failed := 0
@@ -159,7 +178,7 @@ func (a *Advertiser) Advertise() int {
 			failed++
 		}
 	}
-	a.setPrev(snap, seq)
+	a.setPrev(snap, vers, seq)
 	return failed
 }
 
@@ -169,9 +188,9 @@ func (a *Advertiser) ackedSeq(ts *target) int64 {
 	return ts.acked
 }
 
-func (a *Advertiser) setPrev(snap map[string][]int, seq int64) {
+func (a *Advertiser) setPrev(snap map[string][]int, vers map[string]uint64, seq int64) {
 	a.mu.Lock()
-	a.prev, a.prevSeq = snap, seq
+	a.prev, a.prevVers, a.prevSeq = snap, vers, seq
 	a.mu.Unlock()
 }
 

@@ -51,6 +51,13 @@ type Digest struct {
 	Delta bool
 	// Base is the sequence the delta's changes are relative to.
 	Base int64
+	// KeyVers carries the advertiser's highest cached write version
+	// (an hlc.Timestamp) per key, for the keys of this frame that have one.
+	// Receivers fold these into their version floors, so an invalidation
+	// rides the same digest mesh as residency — a mirror whose view of a key
+	// predates its floor is dropped rather than served. Nil from unversioned
+	// advertisers; such frames never lower a floor.
+	KeyVers map[string]uint64
 }
 
 // Diff computes the residency changes from prev to cur as a delta group
@@ -58,18 +65,38 @@ type Digest struct {
 // vanished map to an empty slice. Index order is ignored; unchanged keys
 // are absent. An empty diff means the snapshots agree.
 func Diff(prev, cur map[string][]int) map[string][]int {
-	out := make(map[string][]int)
+	changed, _ := DiffVer(prev, cur, nil, nil)
+	return changed
+}
+
+// DiffVer is the version-aware Diff: a key is also "changed" when its
+// advertised version moved even though its index set did not — the
+// invalidate-then-repopulate case, where the same indices now hold newer
+// bytes and a delta that ignored versions would leave peers serving the
+// old floor. It returns the changed group set plus the current versions of
+// every changed key that has one.
+func DiffVer(prev, cur map[string][]int, prevVers, curVers map[string]uint64) (map[string][]int, map[string]uint64) {
+	changed := make(map[string][]int)
 	for key, idxs := range cur {
-		if !sameIndexSet(prev[key], idxs) {
-			out[key] = append([]int(nil), idxs...)
+		if !sameIndexSet(prev[key], idxs) || prevVers[key] != curVers[key] {
+			changed[key] = append([]int(nil), idxs...)
 		}
 	}
 	for key := range prev {
 		if _, ok := cur[key]; !ok {
-			out[key] = []int{}
+			changed[key] = []int{}
 		}
 	}
-	return out
+	var vers map[string]uint64
+	for key := range changed {
+		if v := curVers[key]; v != 0 {
+			if vers == nil {
+				vers = make(map[string]uint64)
+			}
+			vers[key] = v
+		}
+	}
+	return changed, vers
 }
 
 // sameIndexSet reports whether two index lists hold the same set.
@@ -94,7 +121,13 @@ func sameIndexSet(a, b []int) bool {
 // produces one empty delta frame: the mirror must observe the new sequence
 // (and refresh its age) even when nothing moved.
 func PaginateDelta(region string, seq, base int64, changes map[string][]int) []Digest {
-	full := Paginate(region, seq, changes)
+	return PaginateDeltaVer(region, seq, base, changes, nil)
+}
+
+// PaginateDeltaVer is PaginateDelta with per-key versions attached to each
+// page (see PaginateVer).
+func PaginateDeltaVer(region string, seq, base int64, changes map[string][]int, vers map[string]uint64) []Digest {
+	full := PaginateVer(region, seq, changes, vers)
 	for i := range full {
 		full[i].Delta = true
 		full[i].Base = base
@@ -108,6 +141,13 @@ func PaginateDelta(region string, seq, base int64, changes map[string][]int) []D
 // empty frame — receivers must observe the new sequence to drop their
 // stale view.
 func Paginate(region string, seq int64, snapshot map[string][]int) []Digest {
+	return PaginateVer(region, seq, snapshot, nil)
+}
+
+// PaginateVer is Paginate with per-key write versions: each page carries
+// the versions of its own keys (nonzero entries only), so receivers can
+// raise version floors from exactly the frames that mention a key.
+func PaginateVer(region string, seq int64, snapshot map[string][]int, vers map[string]uint64) []Digest {
 	keys := make([]string, 0, len(snapshot))
 	for k := range snapshot {
 		keys = append(keys, k)
@@ -123,10 +163,17 @@ func Paginate(region string, seq int64, snapshot map[string][]int) []Digest {
 			end = len(keys)
 		}
 		groups := make(map[string][]int, end-start)
+		var kv map[string]uint64
 		for _, k := range keys[start:end] {
 			groups[k] = snapshot[k]
+			if v := vers[k]; v != 0 {
+				if kv == nil {
+					kv = make(map[string]uint64)
+				}
+				kv[k] = v
+			}
 		}
-		out = append(out, Digest{Region: region, Seq: seq, Groups: groups})
+		out = append(out, Digest{Region: region, Seq: seq, Groups: groups, KeyVers: kv})
 	}
 	return out
 }

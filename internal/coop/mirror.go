@@ -19,6 +19,7 @@ type Mirror struct {
 	region  string
 	seq     int64
 	groups  map[string]map[int]bool
+	vers    map[string]uint64
 	updated time.Time
 	applied int64
 
@@ -28,7 +29,12 @@ type Mirror struct {
 
 // NewMirror returns an empty mirror for the named peer region.
 func NewMirror(region string) *Mirror {
-	return &Mirror{region: region, groups: make(map[string]map[int]bool), now: time.Now}
+	return &Mirror{
+		region: region,
+		groups: make(map[string]map[int]bool),
+		vers:   make(map[string]uint64),
+		now:    time.Now,
+	}
 }
 
 // Region returns the peer region this mirror tracks.
@@ -51,12 +57,21 @@ func (m *Mirror) SetClock(now func() time.Time) {
 // current sequence merge (later pages); lower sequences are rejected as
 // stale. It reports whether the frame was applied.
 func (m *Mirror) Apply(seq int64, groups map[string][]int) bool {
+	return m.ApplyVer(seq, groups, nil)
+}
+
+// ApplyVer is Apply with the frame's per-key write versions: applied keys
+// record the version the peer advertised (absent entries clear it), so
+// VersionOf answers how fresh the peer's copy of a key is — the signal
+// that lets a reader skip a peer whose copy predates a known write.
+func (m *Mirror) ApplyVer(seq int64, groups map[string][]int, keyVers map[string]uint64) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch {
 	case seq > m.seq || m.applied == 0:
 		m.seq = seq
 		m.groups = make(map[string]map[int]bool, len(groups))
+		m.vers = make(map[string]uint64, len(keyVers))
 	case seq < m.seq:
 		return false
 	}
@@ -68,6 +83,9 @@ func (m *Mirror) Apply(seq int64, groups map[string][]int) bool {
 		}
 		for _, idx := range idxs {
 			set[idx] = true
+		}
+		if v := keyVers[key]; v != 0 {
+			m.vers[key] = v
 		}
 	}
 	m.updated = m.now()
@@ -83,6 +101,13 @@ func (m *Mirror) Apply(seq int64, groups map[string][]int) bool {
 // advertiser's ack check falls it back to a full digest. It reports
 // whether the frame was applied.
 func (m *Mirror) ApplyDelta(seq, base int64, groups map[string][]int) bool {
+	return m.ApplyDeltaVer(seq, base, groups, nil)
+}
+
+// ApplyDeltaVer is ApplyDelta with the frame's per-key write versions:
+// every changed key's version is replaced by what the frame advertises
+// (absent — including an unversioned advertiser's nil map — clears it).
+func (m *Mirror) ApplyDeltaVer(seq, base int64, groups map[string][]int, keyVers map[string]uint64) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch {
@@ -98,6 +123,7 @@ func (m *Mirror) ApplyDelta(seq, base int64, groups map[string][]int) bool {
 	for key, idxs := range groups {
 		if len(idxs) == 0 {
 			delete(m.groups, key)
+			delete(m.vers, key)
 			continue
 		}
 		set := make(map[int]bool, len(idxs))
@@ -105,10 +131,24 @@ func (m *Mirror) ApplyDelta(seq, base int64, groups map[string][]int) bool {
 			set[idx] = true
 		}
 		m.groups[key] = set
+		if v := keyVers[key]; v != 0 {
+			m.vers[key] = v
+		} else {
+			delete(m.vers, key)
+		}
 	}
 	m.updated = m.now()
 	m.applied++
 	return true
+}
+
+// VersionOf returns the write version the peer last advertised for a key,
+// zero when it advertised none (an unversioned key, or a mirror that has
+// not heard of the key).
+func (m *Mirror) VersionOf(key string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.vers[key]
 }
 
 // IndicesOf returns the peer's advertised resident chunk indices for a

@@ -73,12 +73,12 @@ func (t *Table) Apply(d Digest) bool {
 	m := t.Mirror(d.Region)
 	var ok bool
 	if d.Delta {
-		ok = m.ApplyDelta(d.Seq, d.Base, d.Groups)
+		ok = m.ApplyDeltaVer(d.Seq, d.Base, d.Groups, d.KeyVers)
 		if ok {
 			t.deltas.Add(1)
 		}
 	} else {
-		ok = m.Apply(d.Seq, d.Groups)
+		ok = m.ApplyVer(d.Seq, d.Groups, d.KeyVers)
 	}
 	if ok {
 		t.digests.Add(1)
@@ -86,6 +86,37 @@ func (t *Table) Apply(d Digest) bool {
 		t.stale.Add(1)
 	}
 	return ok
+}
+
+// VersionOf returns the write version a peer region last advertised for a
+// key (zero when the region is unknown or advertised none).
+func (t *Table) VersionOf(region, key string) uint64 {
+	t.mu.Lock()
+	m := t.mirrors[region]
+	t.mu.Unlock()
+	if m == nil {
+		return 0
+	}
+	return m.VersionOf(key)
+}
+
+// MaxVersionOf returns the highest write version any tracked peer
+// advertises for the key — the mesh-wide freshness bound a reader can
+// demand without a backend round trip.
+func (t *Table) MaxVersionOf(key string) uint64 {
+	t.mu.Lock()
+	mirrors := make([]*Mirror, 0, len(t.mirrors))
+	for _, m := range t.mirrors {
+		mirrors = append(mirrors, m)
+	}
+	t.mu.Unlock()
+	var max uint64
+	for _, m := range mirrors {
+		if v := m.VersionOf(key); v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // RecordPeerRead accounts one batched read from a remote peer's client:

@@ -1,0 +1,154 @@
+// Package hlc implements hybrid logical clocks — the version authority of
+// the write path. The paper's §VI leaves write synchronization as a sketch;
+// this repo resolves it with HLC timestamps on every mutation: last writer
+// wins per key, invalidations carry the writer's timestamp, and caches
+// refuse to serve or admit chunks older than the newest version they have
+// seen for a key.
+//
+// A Timestamp packs a 48-bit physical component (milliseconds since the
+// Unix epoch) with a 16-bit logical counter, so timestamps from any two
+// clocks compare with plain integer ordering and fit in one wire header
+// field. The Clock is injectable like coop.Table.SetClock: scenario runs
+// stamp writes on the simulator's virtual timeline, live servers on wall
+// time.
+package hlc
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// logicalBits is the width of the logical counter packed into the low bits
+// of a Timestamp. 16 bits of counter per physical millisecond is far more
+// than any realistic same-millisecond write burst; on overflow the clock
+// borrows the next millisecond.
+const logicalBits = 16
+
+// Timestamp is one hybrid-logical-clock reading: (wall-ms << 16) | logical.
+// The zero Timestamp means "unversioned" everywhere in the system — legacy
+// chunks, unversioned wire frames — and is never produced by a Clock.
+type Timestamp uint64
+
+// Pack builds a timestamp from a physical millisecond reading and a
+// logical counter.
+func Pack(wallMS int64, logical int) Timestamp {
+	return Timestamp(uint64(wallMS)<<logicalBits | uint64(logical)&(1<<logicalBits-1))
+}
+
+// WallMS returns the physical component, milliseconds since the Unix epoch.
+func (t Timestamp) WallMS() int64 { return int64(t >> logicalBits) }
+
+// Logical returns the logical counter.
+func (t Timestamp) Logical() int { return int(t & (1<<logicalBits - 1)) }
+
+// Wall returns the physical component as a time.Time.
+func (t Timestamp) Wall() time.Time { return time.UnixMilli(t.WallMS()).UTC() }
+
+// IsZero reports whether this is the unversioned sentinel.
+func (t Timestamp) IsZero() bool { return t == 0 }
+
+// String renders "wallms.logical", the diagnostic form Parse accepts.
+func (t Timestamp) String() string {
+	return fmt.Sprintf("%d.%d", t.WallMS(), t.Logical())
+}
+
+// Parse reads the String form back.
+func Parse(s string) (Timestamp, error) {
+	var wall int64
+	var logical int
+	if _, err := fmt.Sscanf(s, "%d.%d", &wall, &logical); err != nil {
+		return 0, fmt.Errorf("hlc: parse %q: %w", s, err)
+	}
+	if wall < 0 || logical < 0 || logical >= 1<<logicalBits {
+		return 0, fmt.Errorf("hlc: parse %q: components out of range", strconv.Quote(s))
+	}
+	return Pack(wall, logical), nil
+}
+
+// Clock issues monotonically increasing hybrid timestamps. Safe for
+// concurrent use.
+type Clock struct {
+	mu   sync.Mutex
+	now  func() time.Time
+	last Timestamp
+}
+
+// New returns a clock reading physical time from time.Now.
+func New() *Clock { return &Clock{now: time.Now} }
+
+// NewAt returns a clock reading physical time from the given source — the
+// virtual-time hook, mirroring coop.Table.SetClock. A nil source falls back
+// to time.Now.
+func NewAt(now func() time.Time) *Clock {
+	if now == nil {
+		now = time.Now
+	}
+	return &Clock{now: now}
+}
+
+// SetClock swaps the physical time source (nil restores time.Now). The
+// logical state is kept, so timestamps stay monotonic across the swap even
+// if the new source reads earlier.
+func (c *Clock) SetClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	c.mu.Lock()
+	c.now = now
+	c.mu.Unlock()
+}
+
+// Now issues the next timestamp for a local or send event: physical time
+// when it has advanced, otherwise the previous reading with the logical
+// counter bumped.
+func (c *Clock) Now() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tickLocked(c.physLocked())
+}
+
+// Observe merges a remote timestamp into the clock (a receive event) and
+// returns a reading strictly greater than both the remote timestamp and
+// every earlier local one — the HLC receive rule.
+func (c *Clock) Observe(remote Timestamp) Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phys := c.physLocked()
+	if remote > c.last {
+		c.last = remote
+	}
+	return c.tickLocked(phys)
+}
+
+// Last returns the most recently issued timestamp without advancing the
+// clock (zero before the first Now/Observe).
+func (c *Clock) Last() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// physLocked reads the physical source as a logical-zero timestamp.
+func (c *Clock) physLocked() Timestamp {
+	ms := c.now().UnixMilli()
+	if ms < 0 {
+		ms = 0
+	}
+	return Pack(ms, 0)
+}
+
+// tickLocked advances last past max(last, phys) and returns it. A logical
+// counter that saturates its 16 bits borrows the next millisecond, keeping
+// strict monotonicity.
+func (c *Clock) tickLocked(phys Timestamp) Timestamp {
+	if phys > c.last {
+		c.last = phys
+	} else if c.last.Logical() == 1<<logicalBits-1 {
+		c.last = Pack(c.last.WallMS()+1, 0)
+	} else {
+		c.last++
+	}
+	return c.last
+}

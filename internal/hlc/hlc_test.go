@@ -1,0 +1,144 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPackUnpack(t *testing.T) {
+	ts := Pack(1754_000_000_123, 42)
+	if ts.WallMS() != 1754_000_000_123 || ts.Logical() != 42 {
+		t.Fatalf("round trip: wall=%d logical=%d", ts.WallMS(), ts.Logical())
+	}
+	if ts.IsZero() {
+		t.Fatal("nonzero timestamp reported zero")
+	}
+	if !Timestamp(0).IsZero() {
+		t.Fatal("zero timestamp not reported zero")
+	}
+	if got := ts.Wall(); got.UnixMilli() != 1754_000_000_123 {
+		t.Fatalf("Wall = %v", got)
+	}
+}
+
+func TestStringParse(t *testing.T) {
+	ts := Pack(123456, 7)
+	back, err := Parse(ts.String())
+	if err != nil || back != ts {
+		t.Fatalf("parse(%q) = %v, %v", ts.String(), back, err)
+	}
+	for _, bad := range []string{"", "x", "1.-2", "-1.0", "1.70000"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestMonotonicWithinMillisecond pins the logical-counter rule: readings
+// inside one physical millisecond still strictly increase.
+func TestMonotonicWithinMillisecond(t *testing.T) {
+	frozen := time.UnixMilli(1000)
+	c := NewAt(func() time.Time { return frozen })
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		ts := c.Now()
+		if ts <= prev {
+			t.Fatalf("not monotonic: %v then %v", prev, ts)
+		}
+		if ts.WallMS() != 1000 {
+			t.Fatalf("wall drifted to %d", ts.WallMS())
+		}
+		prev = ts
+	}
+}
+
+// TestPhysicalDominates pins the hybrid rule: once physical time advances
+// past the logical run, readings snap back to (wall, 0).
+func TestPhysicalDominates(t *testing.T) {
+	now := time.UnixMilli(1000)
+	c := NewAt(func() time.Time { return now })
+	for i := 0; i < 5; i++ {
+		c.Now()
+	}
+	now = time.UnixMilli(2000)
+	ts := c.Now()
+	if ts.WallMS() != 2000 || ts.Logical() != 0 {
+		t.Fatalf("after physical advance: %v", ts)
+	}
+}
+
+// TestObserveAdvancesPastRemote pins the receive rule: a reading after
+// Observe is strictly greater than the remote timestamp even when the
+// remote clock runs far ahead of local physical time.
+func TestObserveAdvancesPastRemote(t *testing.T) {
+	c := NewAt(func() time.Time { return time.UnixMilli(1000) })
+	remote := Pack(50_000, 3)
+	got := c.Observe(remote)
+	if got <= remote {
+		t.Fatalf("Observe(%v) = %v, not past remote", remote, got)
+	}
+	if next := c.Now(); next <= got {
+		t.Fatalf("Now after Observe not monotonic: %v then %v", got, next)
+	}
+}
+
+// TestLogicalOverflowBorrowsMillisecond drives the 16-bit counter to
+// saturation and checks the clock borrows the next millisecond instead of
+// wrapping backwards.
+func TestLogicalOverflowBorrowsMillisecond(t *testing.T) {
+	c := NewAt(func() time.Time { return time.UnixMilli(1000) })
+	c.Observe(Pack(1000, 1<<logicalBits-3))
+	a := c.Now() // saturates the counter
+	b := c.Now() // must borrow
+	if b <= a {
+		t.Fatalf("overflow wrapped: %v then %v", a, b)
+	}
+	if b.WallMS() != 1001 || b.Logical() != 0 {
+		t.Fatalf("expected borrowed millisecond, got %v", b)
+	}
+}
+
+// TestSetClockKeepsMonotonicity swaps in an earlier physical source and
+// checks issued timestamps never regress.
+func TestSetClockKeepsMonotonicity(t *testing.T) {
+	c := NewAt(func() time.Time { return time.UnixMilli(5000) })
+	before := c.Now()
+	c.SetClock(func() time.Time { return time.UnixMilli(100) })
+	after := c.Now()
+	if after <= before {
+		t.Fatalf("regressed across SetClock: %v then %v", before, after)
+	}
+	if c.Last() != after {
+		t.Fatalf("Last = %v, want %v", c.Last(), after)
+	}
+}
+
+// TestConcurrentNowUnique hammers one clock from many goroutines and
+// checks every issued timestamp is unique — the property last-writer-wins
+// conflict resolution leans on.
+func TestConcurrentNowUnique(t *testing.T) {
+	c := New()
+	const workers, per = 8, 200
+	out := make([][]Timestamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out[w] = append(out[w], c.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, workers*per)
+	for _, ts := range out {
+		for _, t0 := range ts {
+			if seen[t0] {
+				t.Fatalf("duplicate timestamp %v", t0)
+			}
+			seen[t0] = true
+		}
+	}
+}

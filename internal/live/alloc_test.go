@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/coherence"
 	"github.com/agardist/agar/internal/wire"
 )
 
@@ -90,7 +91,7 @@ func BenchmarkMGetReplyLegacy(b *testing.B) {
 func BenchmarkMGetReplyPooled(b *testing.B) {
 	c, indices := benchCache(b, benchChunks, benchChunkBytes)
 	bp := wire.NewBufferPool()
-	h := cacheHandler(c, nil, nil, bp)
+	h := cacheHandler(c, nil, coherence.NewVersionTable(), nil, bp)
 	b.ReportAllocs()
 	b.SetBytes(benchChunks * benchChunkBytes)
 	for i := 0; i < b.N; i++ {
@@ -118,7 +119,7 @@ func BenchmarkGetReplyLegacy(b *testing.B) {
 func BenchmarkGetReplyPooled(b *testing.B) {
 	c, _ := benchCache(b, benchChunks, benchChunkBytes)
 	bp := wire.NewBufferPool()
-	h := cacheHandler(c, nil, nil, bp)
+	h := cacheHandler(c, nil, coherence.NewVersionTable(), nil, bp)
 	b.ReportAllocs()
 	b.SetBytes(benchChunkBytes)
 	for i := 0; i < b.N; i++ {
@@ -140,7 +141,7 @@ func BenchmarkGetReplyPooled(b *testing.B) {
 func TestMGetReplyAllocReduction(t *testing.T) {
 	c, indices := benchCache(t, benchChunks, benchChunkBytes)
 	bp := wire.NewBufferPool()
-	h := cacheHandler(c, nil, nil, bp)
+	h := cacheHandler(c, nil, coherence.NewVersionTable(), nil, bp)
 
 	// Warm the pool and the estimator so steady state is what's measured.
 	for i := 0; i < 8; i++ {
@@ -173,7 +174,7 @@ func TestMGetReplyAllocReduction(t *testing.T) {
 func TestPooledReplyParity(t *testing.T) {
 	c, indices := benchCache(t, 8, 64)
 	bp := wire.NewBufferPool()
-	h := cacheHandler(c, nil, nil, bp)
+	h := cacheHandler(c, nil, coherence.NewVersionTable(), nil, bp)
 
 	var legacy, pooled bytes.Buffer
 	if err := legacyMGetReply(c, &legacy, "obj", indices); err != nil {
@@ -299,7 +300,7 @@ func TestSplitMinBytesRoutesSmallBatchesWhole(t *testing.T) {
 		}
 		bp := wire.NewBufferPool()
 		var calls atomic.Int32
-		base := cacheHandler(c, nil, nil, bp)
+		base := cacheHandler(c, nil, coherence.NewVersionTable(), nil, bp)
 		counting := func(m wire.Message) wire.Message { calls.Add(1); return base(m) }
 		d := newDispatcher(counting, &cacheRouter{c: c, splitMin: splitMin}, new(atomic.Int64), nil, nil)
 		defer d.stop()

@@ -199,7 +199,7 @@ func TestPopulatorFlushAndDrop(t *testing.T) {
 
 	p := newPopulator(remote, 2, 4)
 	for i := 0; i < 32; i++ {
-		p.enqueue(fmt.Sprintf("k%d", i), map[int][]byte{0: make([]byte, 128)})
+		p.enqueue(fmt.Sprintf("k%d", i), map[int][]byte{0: make([]byte, 128)}, 0)
 	}
 	p.flush()
 	if got := c.Len(); got == 0 {
@@ -212,7 +212,7 @@ func TestPopulatorFlushAndDrop(t *testing.T) {
 		t.Fatalf("applied %d + dropped %d != 32", applied, p.droppedCount())
 	}
 	p.close()
-	if p.enqueue("late", map[int][]byte{0: {1}}) {
+	if p.enqueue("late", map[int][]byte{0: {1}}, 0) {
 		t.Fatal("enqueue after close must drop")
 	}
 	p.close() // idempotent
@@ -221,7 +221,7 @@ func TestPopulatorFlushAndDrop(t *testing.T) {
 func TestPopulatorEmptyEnqueueIsNoop(t *testing.T) {
 	p := newPopulator(nil, 1, 1)
 	defer p.close()
-	if !p.enqueue("k", nil) {
+	if !p.enqueue("k", nil, 0) {
 		t.Fatal("empty fill should be accepted as a no-op")
 	}
 	p.flush()

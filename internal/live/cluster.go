@@ -10,6 +10,7 @@ import (
 
 	"github.com/agardist/agar/internal/backend"
 	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/coherence"
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/core"
 	"github.com/agardist/agar/internal/erasure"
@@ -90,6 +91,11 @@ type Cluster struct {
 	hintSrv   *Server
 	udpSrv    *UDPHintServer
 
+	// versions is the cluster-wide version-floor table: the cache server
+	// admits versioned mutations against it, incoming digests raise it, and
+	// readers consult it as the local bounded-staleness floor.
+	versions *coherence.VersionTable
+
 	// Cooperative mesh state: the table mirrors peers' digests, the
 	// advertiser pushes this cluster's own residency out.
 	table   *coop.Table
@@ -164,6 +170,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		cluster:   cluster,
 		blob:      blob,
 		storeSrvs: make(map[geo.RegionID]*Server),
+		versions:  coherence.NewVersionTable(),
 		reg:       reg,
 		rec:       trace.NewRecorder(),
 	}
@@ -204,7 +211,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.adv = coop.NewAdvertiser(cfg.ClientRegion.String(), c.node.Cache(), cfg.DigestPeriod)
 	if c.cacheSrv, err = NewCacheServerOpts("127.0.0.1:0", c.node.Cache(), c.table, ServerOptions{
 		Dispatch: cfg.Dispatch, Registry: c.reg, Region: cfg.ClientRegion.String(),
-		SplitMinBytes: cfg.SplitMinBytes, Recorder: c.rec,
+		SplitMinBytes: cfg.SplitMinBytes, Recorder: c.rec, Versions: c.versions,
 	}); err != nil {
 		return fail(err)
 	}
@@ -366,6 +373,10 @@ func (c *Cluster) PushDigests() int { return c.adv.Advertise() }
 // CoopTable exposes the cluster's mirror table (for stats and tests).
 func (c *Cluster) CoopTable() *coop.Table { return c.table }
 
+// Versions exposes the cluster-wide version-floor table the cache server
+// and this cluster's readers share.
+func (c *Cluster) Versions() *coherence.VersionTable { return c.versions }
+
 // Advertiser exposes the cluster's digest advertiser (for stats and tests).
 func (c *Cluster) Advertiser() *coop.Advertiser { return c.adv }
 
@@ -437,6 +448,10 @@ type NetworkReader struct {
 	peers   []readerPeer
 	sampler *netsim.Sampler
 	pop     *populator
+	// staleDrops counts cache and peer chunks discarded because their write
+	// version was below the read's target — the client-visible half of an
+	// invalidation racing a read.
+	staleDrops *metrics.Counter
 }
 
 // readerPeer is one cooperative peer as seen from a reader: the mirror the
@@ -501,6 +516,9 @@ func NewNetworkReader(c *Cluster, region geo.RegionID) (*NetworkReader, error) {
 		peers:   peers,
 		sampler: sampler,
 		pop:     newPopulator(cacheC, populateWorkers, populateQueue),
+		staleDrops: c.reg.NewCounterVec(metrics.NameClientStaleDrops,
+			"Cache and peer chunks a reader discarded because their write version was below the read's target.",
+			"region").With(region.String()),
 	}
 	c.addPopulator(r.pop)
 	return r, nil
@@ -569,6 +587,14 @@ type ReadInfo struct {
 	CacheChunks int
 	// PeerChunks counts chunks served by cooperative peer caches.
 	PeerChunks int
+	// StaleDrops counts chunks discarded mid-read because their write
+	// version was below the read's target (a concurrent write or a pending
+	// invalidation); dropped chunks are refetched from the stores.
+	StaleDrops int
+	// Version is the write version the read settled on: the maximum of the
+	// session floor, the local invalidation floor, and every fetched chunk's
+	// version. Zero for never-versioned objects.
+	Version uint64
 	// Trace is the read's span breakdown: every network exchange (hint,
 	// batched cache/peer/store round trips, degraded waves, store faults)
 	// with offsets, durations, chunk and byte counts.
@@ -591,6 +617,31 @@ func (r *NetworkReader) Read(key string) ([]byte, time.Duration, int, error) {
 // servers' flight recorders retain the read's ops under the same trace ID
 // (ReadTrace.TraceID).
 func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
+	return r.readDetailed(key, 0)
+}
+
+// ReadSession is ReadDetailed under a session's coherence floor: chunks
+// older than the session's last write of the key are never decoded
+// (read-your-writes), and a successful read advances the floor to the
+// version it observed (monotonic reads). A nil session reads like
+// ReadDetailed.
+func (r *NetworkReader) ReadSession(key string, sess *Session) ([]byte, ReadInfo, error) {
+	var floor uint64
+	if sess != nil {
+		floor = sess.Floor(key)
+	}
+	data, info, err := r.readDetailed(key, floor)
+	if err == nil && sess != nil {
+		sess.Observe(key, info.Version)
+	}
+	return data, info, err
+}
+
+// readDetailed is the read path under a version floor: every fetched chunk
+// below max(floor, local invalidation floor, newest fetched version) is
+// discarded and refetched from the stores, so a read never mixes chunk
+// generations and never returns data older than the floor.
+func (r *NetworkReader) readDetailed(key string, floor uint64) ([]byte, ReadInfo, error) {
 	start := time.Now()
 	tc := newTraceCollector(start)
 	tc.ctx = trace.New()
@@ -689,6 +740,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 	type outcome struct {
 		idx       int
 		data      []byte
+		ver       uint64 // the chunk's write version; zero for legacy data
 		fromCache bool
 		fromPeer  bool
 		err       error
@@ -707,13 +759,13 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			return
 		}
 		r.delay(locs[idx])
-		data, anns, err := r.stores[locs[idx]].GetCtx(tc.ctx.Child(), backend.ChunkID{Key: key, Index: idx})
+		data, ver, anns, err := r.stores[locs[idx]].GetVerCtx(tc.ctx.Child(), backend.ChunkID{Key: key, Index: idx})
 		got := 0
 		if err == nil {
 			got = 1
 		}
 		tc.spanRemote("store-get:"+locs[idx].String(), t0, got, len(data), err, anns)
-		results <- outcome{idx: idx, data: data, err: err}
+		results <- outcome{idx: idx, data: data, ver: ver, err: err}
 	}
 
 	// Hinted chunks travel in one batched cache round trip, peer-covered
@@ -748,7 +800,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 				return
 			}
 			r.delay(region)
-			found, anns, err := r.stores[region].GetMultiCtx(tc.ctx.Child(), key, idxs)
+			found, vers, _, anns, err := r.stores[region].GetMultiVerCtx(tc.ctx.Child(), key, idxs)
 			bytes := 0
 			for _, data := range found {
 				bytes += len(data)
@@ -763,7 +815,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 					results <- outcome{idx: idx, err: fmt.Errorf("live: chunk %d of %q missing in %v", idx, key, region)}
 					continue
 				}
-				results <- outcome{idx: idx, data: data}
+				results <- outcome{idx: idx, data: data, ver: vers[idx]}
 			}
 		}(region, idxs)
 	}
@@ -772,7 +824,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			found, anns, err := r.cacheC.GetMultiCtx(tc.ctx.Child(), key, cacheWant)
+			found, vers, anns, err := r.cacheC.GetMultiVerCtx(tc.ctx.Child(), key, cacheWant)
 			if err != nil {
 				found = nil // treat a failed cache round trip as all-miss
 			}
@@ -783,7 +835,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			tc.spanRemote("cache-mget", t0, len(found), bytes, err, anns)
 			for _, idx := range cacheWant {
 				if data, ok := found[idx]; ok {
-					results <- outcome{idx: idx, data: data, fromCache: true}
+					results <- outcome{idx: idx, data: data, ver: vers[idx], fromCache: true}
 					continue
 				}
 				// Hinted but missing: fall through to the backend.
@@ -798,7 +850,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			defer wg.Done()
 			t0 := time.Now()
 			r.delayDur(p.latency)
-			found, anns, err := p.cache.GetMultiCtx(tc.ctx.Child(), key, idxs)
+			found, vers, anns, err := p.cache.GetMultiVerCtx(tc.ctx.Child(), key, idxs)
 			rtt := time.Since(t0)
 			if p.rtt != nil {
 				p.rtt.Observe(float64(rtt) / float64(time.Millisecond))
@@ -813,7 +865,7 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			tc.spanRemote("peer-mget:"+p.region.String(), t0, len(found), bytes, err, anns)
 			for _, idx := range idxs {
 				if data, ok := found[idx]; ok {
-					results <- outcome{idx: idx, data: data, fromPeer: true}
+					results <- outcome{idx: idx, data: data, ver: vers[idx], fromPeer: true}
 					continue
 				}
 				// Stale digest: the peer evicted the chunk since its last
@@ -826,35 +878,55 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 	wg.Wait()
 	close(results)
 
-	chunks := make([][]byte, total)
+	// Collect into a per-index outcome map so stale filtering can discard a
+	// chunk and let the degraded waves refetch it. The read target is the
+	// newest version the read must not go behind: the caller's session
+	// floor, the local invalidation floor, and every fetched chunk's version
+	// all raise it.
+	best := make(map[int]outcome, len(want))
 	tried := make(map[int]bool, len(want))
-	got, fromCache, fromPeers := 0, 0, 0
-	toCache := make(map[int][]byte)
+	target := floor
+	if f := uint64(r.cluster.versions.Get(key)); f > target {
+		target = f
+	}
 	for o := range results {
 		tried[o.idx] = true
 		if o.err != nil {
 			continue
 		}
-		chunks[o.idx] = o.data
-		got++
-		switch {
-		case o.fromCache:
-			fromCache++
-		case o.fromPeer:
-			fromPeers++
-		case hinted[o.idx]:
-			toCache[o.idx] = o.data
+		if prev, ok := best[o.idx]; !ok || o.ver > prev.ver {
+			best[o.idx] = o
+		}
+		if o.ver > target {
+			target = o.ver
+		}
+	}
+	// Drop chunks below the target — a cache or peer serving
+	// pre-invalidation state, or a store region a write has not reached
+	// yet. Once the target is nonzero the object is versioned, and a
+	// version-zero chunk is of unknown generation (a legacy insert from
+	// before the first versioned write): decoding it alongside current
+	// chunks could tear the object, so it drops too. A zero target (a
+	// never-versioned object) keeps everything. Dropped indices become
+	// untried so the waves refetch them from the authoritative stores.
+	stale := 0
+	for idx, o := range best {
+		if o.ver < target {
+			delete(best, idx)
+			stale++
+			tried[idx] = false
 		}
 	}
 
 	// Degraded-read waves: a chunk fetch that died mid-flight (server gone,
-	// link cut after planning) is replaced by the nearest chunks not yet
-	// tried, wave after wave, until k chunks arrive or reachable candidates
-	// run out — the live twin of the simulator client's substitution waves.
-	for got < k {
+	// link cut after planning, stale version dropped above) is replaced by
+	// the nearest chunks not yet tried, wave after wave, until k chunks
+	// arrive or reachable candidates run out — the live twin of the
+	// simulator client's substitution waves.
+	for len(best) < k {
 		var extra []int
 		for _, idx := range plan.Chunks {
-			if len(extra) == k-got {
+			if len(extra) == k-len(best) {
 				break
 			}
 			if tried[idx] || r.sampler.Unreachable(r.region, locs[idx]) {
@@ -874,13 +946,13 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 				defer wwg.Done()
 				t0 := time.Now()
 				r.delay(locs[idx])
-				data, anns, err := r.stores[locs[idx]].GetCtx(tc.ctx.Child(), backend.ChunkID{Key: key, Index: idx})
+				data, ver, anns, err := r.stores[locs[idx]].GetVerCtx(tc.ctx.Child(), backend.ChunkID{Key: key, Index: idx})
 				got := 0
 				if err == nil {
 					got = 1
 				}
 				tc.spanRemote("degraded-get:"+locs[idx].String(), t0, got, len(data), err, anns)
-				wave <- outcome{idx: idx, data: data, err: err}
+				wave <- outcome{idx: idx, data: data, ver: ver, err: err}
 			}(idx)
 		}
 		wwg.Wait()
@@ -889,14 +961,50 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 			if o.err != nil {
 				continue
 			}
-			chunks[o.idx] = o.data
-			got++
-			if hinted[o.idx] {
-				toCache[o.idx] = o.data
+			if o.ver > target {
+				// A newer write landed mid-read: everything older already
+				// collected is now stale. Raise the target and re-filter;
+				// re-dropped indices become refetchable once more.
+				target = o.ver
+				for idx, b := range best {
+					if b.ver < target {
+						delete(best, idx)
+						stale++
+						tried[idx] = false
+					}
+				}
+			}
+			if o.ver < target {
+				stale++ // already tried: the next wave moves to other chunks
+				continue
+			}
+			best[o.idx] = o
+		}
+	}
+
+	chunks := make([][]byte, total)
+	got, fromCache, fromPeers := 0, 0, 0
+	toCache := make(map[int][]byte)
+	var fillVer uint64
+	for idx, o := range best {
+		chunks[idx] = o.data
+		got++
+		switch {
+		case o.fromCache:
+			fromCache++
+		case o.fromPeer:
+			fromPeers++
+		case hinted[idx]:
+			toCache[idx] = o.data
+			if o.ver > fillVer {
+				fillVer = o.ver
 			}
 		}
 	}
-	info := ReadInfo{CacheChunks: fromCache, PeerChunks: fromPeers}
+	if stale > 0 && r.staleDrops != nil {
+		r.staleDrops.Add(int64(stale))
+	}
+	info := ReadInfo{CacheChunks: fromCache, PeerChunks: fromPeers, StaleDrops: stale, Version: target}
 	if got < k {
 		info.Latency = time.Since(start)
 		info.Trace = tc.finish(key)
@@ -914,7 +1022,10 @@ func (r *NetworkReader) ReadDetailed(key string) ([]byte, ReadInfo, error) {
 	info.Trace = tc.finish(key)
 
 	// Hand hinted-but-missed chunks to the async population pool: the fill
-	// happens off the read path, batched into one PutMulti per object.
-	r.pop.enqueue(key, toCache)
+	// happens off the read path, batched into one PutMulti per object and
+	// tagged with the version the chunks were read at so a fill racing a
+	// newer write is refused by the server's floor instead of resurrecting
+	// pre-write chunks.
+	r.pop.enqueue(key, toCache, fillVer)
 	return data, info, nil
 }

@@ -1,0 +1,110 @@
+package live
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/agardist/agar/internal/wire"
+)
+
+// mgetFragment builds one shard's mget reply frame from its chunks, with
+// optional per-chunk versions keyed like the chunks.
+func mgetFragment(t *testing.T, chunks map[int][]byte, vers map[int]uint64) wire.Message {
+	t.Helper()
+	indices, sizes, body, err := wire.PackBatch(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Body: body}
+	if vers != nil {
+		vs := make([]uint64, len(indices))
+		for i, idx := range indices {
+			vs[i] = vers[idx]
+		}
+		m.Header.Vers = vs
+	}
+	return m
+}
+
+func mergedBody(m wire.Message) []byte {
+	if m.Segments == nil {
+		return m.Body
+	}
+	var out []byte
+	for _, s := range m.Segments {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// TestMergeMGetMixedVersionFragments merges a split mget where one shard's
+// fragment carries write versions and the other is legacy (nil Vers) —
+// exactly what a half-upgraded object looks like across lock stripes. The
+// merged reply must align versions to the globally sorted indices with
+// zero backfill for the unversioned chunks, so the client can judge every
+// chunk against its coherence target.
+func TestMergeMGetMixedVersionFragments(t *testing.T) {
+	a := mgetFragment(t, map[int][]byte{2: []byte("cc"), 0: []byte("aaa")}, map[int]uint64{0: 7, 2: 9})
+	b := mgetFragment(t, map[int][]byte{1: []byte("b"), 3: []byte("dddd")}, nil)
+
+	merged := mergeMGet([]wire.Message{a, b})
+	if merged.Header.Op != wire.OpOK {
+		t.Fatalf("merged op = %v", merged.Header.Op)
+	}
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(merged.Header.Indices, want) {
+		t.Fatalf("merged indices = %v, want %v", merged.Header.Indices, want)
+	}
+	if want := []uint64{7, 0, 9, 0}; !reflect.DeepEqual(merged.Header.Vers, want) {
+		t.Fatalf("merged vers = %v, want %v", merged.Header.Vers, want)
+	}
+	found, err := wire.UnpackBatch(merged.Header.Indices, merged.Header.Sizes, mergedBody(merged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, want := range map[int]string{0: "aaa", 1: "b", 2: "cc", 3: "dddd"} {
+		if !bytes.Equal(found[idx], []byte(want)) {
+			t.Fatalf("chunk %d = %q, want %q", idx, found[idx], want)
+		}
+	}
+}
+
+// TestMergeMGetUnversionedStaysUnversioned pins the alloc-free byte-parity
+// contract: when no fragment carries Vers, the merged reply must not
+// either — a Vers of even all zeros would grow every legacy frame.
+func TestMergeMGetUnversionedStaysUnversioned(t *testing.T) {
+	a := mgetFragment(t, map[int][]byte{0: []byte("x")}, nil)
+	b := mgetFragment(t, map[int][]byte{1: []byte("y")}, nil)
+	merged := mergeMGet([]wire.Message{a, b})
+	if merged.Header.Vers != nil {
+		t.Fatalf("unversioned merge grew Vers %v", merged.Header.Vers)
+	}
+}
+
+// TestMergeMGetAllZeroVersFragmentsBackfill covers a fragment that carries
+// an explicit all-zero Vers (versioned read of legacy chunks): zeros carry
+// no information, so the merge may drop the array entirely, but it must
+// never invent a nonzero version.
+func TestMergeMGetAllZeroVersFragments(t *testing.T) {
+	a := mgetFragment(t, map[int][]byte{0: []byte("x")}, map[int]uint64{0: 0})
+	b := mgetFragment(t, map[int][]byte{1: []byte("y")}, map[int]uint64{1: 4})
+	merged := mergeMGet([]wire.Message{a, b})
+	if want := []uint64{0, 4}; !reflect.DeepEqual(merged.Header.Vers, want) {
+		t.Fatalf("merged vers = %v, want %v", merged.Header.Vers, want)
+	}
+}
+
+// TestMergeMPutStaleFragmentWins: when any shard of a split mput refuses
+// the batch as stale, the merged verdict is that refusal (with the winning
+// floor), not a partial-success index list the floor already outdated.
+func TestMergeMPutStaleFragmentWins(t *testing.T) {
+	ok := wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: []int{0, 2}}}
+	stale := wire.Message{Header: wire.Header{Op: wire.OpStale, Ver: 99}}
+	merged := mergeMPut([]wire.Message{ok, stale})
+	if merged.Header.Op != wire.OpStale {
+		t.Fatalf("merged op = %v, want OpStale", merged.Header.Op)
+	}
+	if merged.Header.Ver != 99 {
+		t.Fatalf("merged stale floor = %d, want 99", merged.Header.Ver)
+	}
+}

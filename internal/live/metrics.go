@@ -6,6 +6,7 @@ import (
 
 	"github.com/agardist/agar/internal/backend"
 	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/coherence"
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/trace"
@@ -46,6 +47,11 @@ type ServerOptions struct {
 	// baseline the paired benchmarks pin. Deployed servers (the cluster,
 	// the server binaries) always pass one.
 	Recorder *trace.Recorder
+	// Versions is the cache server's per-key version-floor table: versioned
+	// mutations are admitted against it, and digest KeyVers observed into it
+	// drop the cached chunks an invalidation outdated. Nil creates a private
+	// table; the cluster passes a shared one so tests can read the floors.
+	Versions *coherence.VersionTable
 }
 
 // statSource maps one legacy wire-level OpStats key onto the registry
@@ -67,6 +73,38 @@ type serverMetrics struct {
 	qwOther   *metrics.Histogram
 	exOther   *metrics.Histogram
 	stats     []statSource
+
+	// Versioned write-path instrumentation (nil on servers that never see
+	// versioned traffic is fine — the helpers are nil-safe).
+	staleRejects  *metrics.Counter
+	invalidations *metrics.Counter
+	versionLag    *metrics.Gauge
+}
+
+// staleReject accounts one mutation refused by a version floor.
+func (m *serverMetrics) staleReject() {
+	if m != nil && m.staleRejects != nil {
+		m.staleRejects.Inc()
+	}
+}
+
+// invalidated accounts keys whose cached chunks were dropped because a
+// newer write version arrived.
+func (m *serverMetrics) invalidated(keys int) {
+	if m != nil && m.invalidations != nil && keys > 0 {
+		m.invalidations.Add(int64(keys))
+	}
+}
+
+// observeVersionLag records the wall-clock age of the newest write version
+// a digest just delivered — the cross-region staleness gauge.
+func (m *serverMetrics) observeVersionLag(ms int64) {
+	if m != nil && m.versionLag != nil {
+		if ms < 0 {
+			ms = 0
+		}
+		m.versionLag.Set(ms)
+	}
 }
 
 // observe records one op's queue wait and execution time; traceID (empty
@@ -212,6 +250,16 @@ func newCacheServerMetrics(reg *metrics.Registry, region string, c *cache.Cache,
 			}, "cache", region)
 		m.stats = append(m.stats, statSource{"digest_age_ms", age})
 	}
+
+	m.staleRejects = reg.NewCounterVec(metrics.NameCoherenceStaleRejects,
+		"Versioned mutations refused because a newer version already holds the key.",
+		"server", "region").With("cache", region)
+	m.invalidations = reg.NewCounterVec(metrics.NameCoherenceInvalidations,
+		"Keys whose cached chunks were dropped because a newer write version arrived.",
+		"server", "region").With("cache", region)
+	m.versionLag = reg.NewGaugeVec(metrics.NameCoherenceVersionLagMS,
+		"Wall-clock age in milliseconds of the newest write version the last digest delivered.",
+		"server", "region").With("cache", region)
 	return m
 }
 
@@ -220,8 +268,11 @@ func newCacheServerMetrics(reg *metrics.Registry, region string, c *cache.Cache,
 func newStoreServerMetrics(reg *metrics.Registry, region string, st *backend.Store, gauge *atomic.Int64) *serverMetrics {
 	m := &serverMetrics{}
 	m.internOps(reg, "store", region, []string{
-		wire.OpGet, wire.OpPut, wire.OpMGet, wire.OpDelete, wire.OpStats,
+		wire.OpGet, wire.OpPut, wire.OpMGet, wire.OpDelete, wire.OpDelObj, wire.OpStats,
 	})
+	m.staleRejects = reg.NewCounterVec(metrics.NameCoherenceStaleRejects,
+		"Versioned mutations refused because a newer version already holds the key.",
+		"server", "region").With("store", region)
 	gauges := []struct {
 		name, help, key string
 		read            func() int64

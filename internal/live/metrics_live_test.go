@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/coherence"
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/wire"
@@ -134,7 +135,7 @@ func benchServerGet(b *testing.B, instrumented bool) {
 	if instrumented {
 		srv, err = NewCacheServerOpts("127.0.0.1:0", c, nil, ServerOptions{})
 	} else {
-		srv, err = newShardServer("127.0.0.1:0", cacheHandler(c, nil, nil, wire.NewBufferPool()), &cacheRouter{c: c}, new(atomic.Int64), nil, nil)
+		srv, err = newShardServer("127.0.0.1:0", cacheHandler(c, nil, coherence.NewVersionTable(), nil, wire.NewBufferPool()), &cacheRouter{c: c}, new(atomic.Int64), nil, nil)
 	}
 	if err != nil {
 		b.Fatal(err)

@@ -3,16 +3,19 @@ package live
 import "sync"
 
 // popJob is one pending cache fill: the hinted chunks of one object that a
-// read had to fetch from the backend.
+// read had to fetch from the backend, plus the write version they were read
+// at (zero for legacy unversioned data).
 type popJob struct {
 	key    string
 	chunks map[int][]byte
+	ver    uint64
 }
 
 // chunkSink is where the populator writes batched fills — the narrow slice
 // of *RemoteCache it needs, injectable for tests.
 type chunkSink interface {
 	PutMulti(key string, chunks map[int][]byte) error
+	PutMultiVer(key string, chunks map[int][]byte, ver uint64) error
 }
 
 // populator applies end-of-read cache fills on a bounded async worker pool,
@@ -48,8 +51,16 @@ func newPopulator(cache chunkSink, workers, queue int) *populator {
 func (p *populator) worker() {
 	defer p.wg.Done()
 	for job := range p.jobs {
-		// Best effort: a failed fill just means the next read re-fetches.
-		_ = p.cache.PutMulti(job.key, job.chunks)
+		// Best effort: a failed fill just means the next read re-fetches. A
+		// versioned fill carries the version the chunks were read at, so the
+		// server can refuse it if a newer write has already raised the floor
+		// — an unversioned fill of versioned data would dodge that check and
+		// reintroduce pre-write chunks after an invalidation.
+		if job.ver != 0 {
+			_ = p.cache.PutMultiVer(job.key, job.chunks, job.ver)
+		} else {
+			_ = p.cache.PutMulti(job.key, job.chunks)
+		}
 		p.mu.Lock()
 		p.pending--
 		if p.pending == 0 {
@@ -61,7 +72,7 @@ func (p *populator) worker() {
 
 // enqueue hands a fill to the pool without blocking; it reports false when
 // the job was dropped (full queue or closed pool).
-func (p *populator) enqueue(key string, chunks map[int][]byte) bool {
+func (p *populator) enqueue(key string, chunks map[int][]byte, ver uint64) bool {
 	if len(chunks) == 0 {
 		return true
 	}
@@ -71,7 +82,7 @@ func (p *populator) enqueue(key string, chunks map[int][]byte) bool {
 		return false
 	}
 	select {
-	case p.jobs <- popJob{key: key, chunks: chunks}:
+	case p.jobs <- popJob{key: key, chunks: chunks, ver: ver}:
 		p.pending++
 		return true
 	default:

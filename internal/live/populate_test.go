@@ -28,6 +28,14 @@ func (s *blockingSink) PutMulti(key string, chunks map[int][]byte) error {
 	return nil
 }
 
+func (s *blockingSink) PutMultiVer(key string, chunks map[int][]byte, ver uint64) error {
+	<-s.gate
+	s.mu.Lock()
+	s.applied = append(s.applied, popJob{key: key, chunks: chunks, ver: ver})
+	s.mu.Unlock()
+	return nil
+}
+
 func (s *blockingSink) count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -50,7 +58,7 @@ func TestPopulatorOverflowDropsWithoutBlocking(t *testing.T) {
 	// First job is picked up by the worker and parks on the gate; second
 	// fills the queue. Poll until the queue slot is genuinely occupied so
 	// the overflow below is deterministic.
-	if !p.enqueue("job-0", chunksFor(0)) {
+	if !p.enqueue("job-0", chunksFor(0), 0) {
 		t.Fatal("first enqueue dropped")
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -60,7 +68,7 @@ func TestPopulatorOverflowDropsWithoutBlocking(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if !p.enqueue("job-1", chunksFor(1)) {
+	if !p.enqueue("job-1", chunksFor(1), 0) {
 		t.Fatal("queue-filling enqueue dropped")
 	}
 
@@ -68,7 +76,7 @@ func TestPopulatorOverflowDropsWithoutBlocking(t *testing.T) {
 	const overflow = 5
 	startedAt := time.Now()
 	for i := 0; i < overflow; i++ {
-		if p.enqueue("job-overflow", chunksFor(2+i)) {
+		if p.enqueue("job-overflow", chunksFor(2+i), 0) {
 			t.Fatalf("overflow enqueue %d accepted with a full queue", i)
 		}
 	}
@@ -80,7 +88,7 @@ func TestPopulatorOverflowDropsWithoutBlocking(t *testing.T) {
 	}
 
 	// Empty chunk maps are a no-op success, not a drop.
-	if !p.enqueue("empty", nil) {
+	if !p.enqueue("empty", nil, 0) {
 		t.Fatal("empty fill reported dropped")
 	}
 	if got := p.droppedCount(); got != overflow {
@@ -102,7 +110,7 @@ func TestFlushPopulationWaitsForEveryQueuedFill(t *testing.T) {
 	const jobs = 40
 	accepted := 0
 	for i := 0; i < jobs; i++ {
-		if p.enqueue("k", chunksFor(i)) {
+		if p.enqueue("k", chunksFor(i), 0) {
 			accepted++
 		}
 	}
@@ -122,10 +130,10 @@ func TestPopulatorCloseSheddingAndIdempotence(t *testing.T) {
 	sink := newBlockingSink()
 	close(sink.gate)
 	p := newPopulator(sink, 1, 8)
-	p.enqueue("k", chunksFor(0))
+	p.enqueue("k", chunksFor(0), 0)
 	p.close()
 	p.close()
-	if p.enqueue("late", chunksFor(1)) {
+	if p.enqueue("late", chunksFor(1), 0) {
 		t.Fatal("enqueue accepted after close")
 	}
 	if sink.count() != 1 {
@@ -150,7 +158,7 @@ func TestPopulatorConcurrentEndOfReadFills(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < fills; i++ {
-				if p.enqueue("obj", chunksFor(g*fills+i)) {
+				if p.enqueue("obj", chunksFor(g*fills+i), 0) {
 					acceptedTotal.Add(1)
 				}
 				if i%10 == 0 {

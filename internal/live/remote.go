@@ -269,7 +269,7 @@ func (c *RemoteCache) GetMultiCtx(ctx trace.Context, key string, indices []int) 
 func (c *RemoteCache) SendDigest(d coop.Digest) error {
 	resp, err := c.rc.call(wire.Message{
 		Header: wire.Header{Op: wire.OpDigest, Region: d.Region, Seq: d.Seq, Groups: d.Groups,
-			Delta: d.Delta, Base: d.Base},
+			Delta: d.Delta, Base: d.Base, KeyVers: d.KeyVers},
 	})
 	if err != nil {
 		return err

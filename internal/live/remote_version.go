@@ -1,0 +1,179 @@
+package live
+
+import (
+	"github.com/agardist/agar/internal/backend"
+	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/trace"
+	"github.com/agardist/agar/internal/wire"
+)
+
+// The versioned halves of the remote adapters. Every method here speaks the
+// same frames as its unversioned sibling plus the optional Ver/Vers header
+// fields; a zero version sends the byte-identical legacy frame, so callers
+// that never version pay nothing. An OpStale reply — the server's version
+// floor refused the mutation — surfaces as *backend.StaleError carrying the
+// floor, the same error shape the in-process store returns, so retry logic
+// is transport-agnostic.
+
+// staleFromReply converts an OpStale reply into the store-layer error.
+func staleFromReply(h wire.Header) error {
+	if h.Op != wire.OpStale {
+		return nil
+	}
+	return &backend.StaleError{Cur: h.Ver}
+}
+
+// PutVer stores one chunk under a write version: refused with
+// *backend.StaleError when the server's floor for the key is newer.
+func (s *RemoteStore) PutVer(id backend.ChunkID, data []byte, ver uint64) error {
+	resp, err := s.rc.call(wire.Message{
+		Header: wire.Header{Op: wire.OpPut, Key: id.Key, Index: id.Index, Ver: ver},
+		Body:   data,
+	})
+	if err != nil {
+		return err
+	}
+	return staleFromReply(resp.Header)
+}
+
+// DeleteObjectVer removes every chunk of a key and persists the delete's
+// version as a tombstone floor; stale deletes are refused.
+func (s *RemoteStore) DeleteObjectVer(key string, ver uint64) error {
+	resp, err := s.rc.call(wire.Message{Header: wire.Header{Op: wire.OpDelObj, Key: key, Ver: ver}})
+	if err != nil {
+		return err
+	}
+	return staleFromReply(resp.Header)
+}
+
+// GetVer fetches one chunk plus the key's durable version floor (zero for a
+// never-versioned key).
+func (s *RemoteStore) GetVer(id backend.ChunkID) ([]byte, uint64, error) {
+	resp, err := s.rc.call(wire.Message{Header: wire.Header{Op: wire.OpGet, Key: id.Key, Index: id.Index}})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Header.Op == wire.OpNotFound {
+		return nil, 0, backend.ErrNotFound
+	}
+	return resp.Body, resp.Header.Ver, nil
+}
+
+// GetVerCtx is GetVer with trace context (see GetCtx).
+func (s *RemoteStore) GetVerCtx(ctx trace.Context, id backend.ChunkID) ([]byte, uint64, []trace.Annotation, error) {
+	resp, anns, err := s.rc.callCtx(ctx, wire.Message{Header: wire.Header{Op: wire.OpGet, Key: id.Key, Index: id.Index}})
+	if err != nil {
+		return nil, 0, anns, err
+	}
+	if resp.Header.Op == wire.OpNotFound {
+		return nil, 0, anns, backend.ErrNotFound
+	}
+	return resp.Body, resp.Header.Ver, anns, nil
+}
+
+// GetMultiVerCtx is GetMultiCtx plus versions: per-chunk write versions
+// (nil for a never-versioned key) and the key's floor.
+func (s *RemoteStore) GetMultiVerCtx(ctx trace.Context, key string, indices []int) (map[int][]byte, map[int]uint64, uint64, []trace.Annotation, error) {
+	if len(indices) == 0 {
+		return map[int][]byte{}, nil, 0, nil, nil
+	}
+	resp, anns, err := s.rc.callCtx(ctx, wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices}})
+	if err != nil {
+		return nil, nil, 0, anns, err
+	}
+	found, err := wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+	if err != nil {
+		return nil, nil, 0, anns, err
+	}
+	return found, versMap(resp.Header), resp.Header.Ver, anns, nil
+}
+
+// versMap folds a reply's parallel Indices/Vers arrays into a per-chunk
+// version map; nil when the reply carried no versions.
+func versMap(h wire.Header) map[int]uint64 {
+	if h.Vers == nil {
+		return nil
+	}
+	vers := make(map[int]uint64, len(h.Vers))
+	for i, idx := range h.Indices {
+		if i < len(h.Vers) {
+			vers[idx] = h.Vers[i]
+		}
+	}
+	return vers
+}
+
+// PutVer inserts one chunk under a write version; the server refuses it
+// below the key's floor.
+func (c *RemoteCache) PutVer(id cache.EntryID, data []byte, ver uint64) error {
+	resp, err := c.rc.call(wire.Message{
+		Header: wire.Header{Op: wire.OpPut, Key: id.Key, Index: id.Index, Ver: ver},
+		Body:   data,
+	})
+	if err != nil {
+		return err
+	}
+	return staleFromReply(resp.Header)
+}
+
+// PutMultiVer inserts several chunks of one key under one write version in
+// a single round trip; admitting the batch also drops any older cached
+// chunks of the key server-side.
+func (c *RemoteCache) PutMultiVer(key string, chunks map[int][]byte, ver uint64) error {
+	if len(chunks) == 0 {
+		return nil
+	}
+	indices, sizes, body, err := wire.PackBatch(chunks)
+	if err != nil {
+		return err
+	}
+	resp, err := c.rc.call(wire.Message{
+		Header: wire.Header{Op: wire.OpMPut, Key: key, Indices: indices, Sizes: sizes, Ver: ver},
+		Body:   body,
+	})
+	if err != nil {
+		return err
+	}
+	return staleFromReply(resp.Header)
+}
+
+// DeleteObjectVer invalidates every cached chunk of the key older than the
+// version and raises the server's floor, so pre-write chunks can never be
+// re-served; stale invalidations are refused.
+func (c *RemoteCache) DeleteObjectVer(key string, ver uint64) error {
+	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpDelObj, Key: key, Ver: ver}})
+	if err != nil {
+		return err
+	}
+	return staleFromReply(resp.Header)
+}
+
+// GetVer fetches one cached chunk plus the write version it was inserted
+// under (zero for a legacy insert).
+func (c *RemoteCache) GetVer(id cache.EntryID) ([]byte, uint64, error) {
+	resp, err := c.rc.call(wire.Message{Header: wire.Header{Op: wire.OpGet, Key: id.Key, Index: id.Index}})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Header.Op == wire.OpNotFound {
+		return nil, 0, cache.ErrNotFound
+	}
+	return resp.Body, resp.Header.Ver, nil
+}
+
+// GetMultiVerCtx is GetMultiCtx plus per-chunk write versions (nil when
+// every returned chunk was a legacy insert).
+func (c *RemoteCache) GetMultiVerCtx(ctx trace.Context, key string, indices []int) (map[int][]byte, map[int]uint64, []trace.Annotation, error) {
+	if len(indices) == 0 {
+		return map[int][]byte{}, nil, nil, nil
+	}
+	resp, anns, err := c.rc.callCtx(ctx, wire.Message{Header: wire.Header{Op: wire.OpMGet, Key: key, Indices: indices, Region: c.origin}})
+	if err != nil {
+		return nil, nil, anns, err
+	}
+	found, err := wire.UnpackBatch(resp.Header.Indices, resp.Header.Sizes, resp.Body)
+	if err != nil {
+		return nil, nil, anns, err
+	}
+	return found, versMap(resp.Header), anns, nil
+}

@@ -25,11 +25,14 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/agardist/agar/internal/backend"
 	"github.com/agardist/agar/internal/cache"
+	"github.com/agardist/agar/internal/coherence"
 	"github.com/agardist/agar/internal/coop"
 	"github.com/agardist/agar/internal/core"
+	"github.com/agardist/agar/internal/hlc"
 	"github.com/agardist/agar/internal/metrics"
 	"github.com/agardist/agar/internal/trace"
 	"github.com/agardist/agar/internal/wire"
@@ -402,16 +405,21 @@ func storeHandler(store *backend.Store, sm *serverMetrics) handler {
 		id := backend.ChunkID{Key: req.Header.Key, Index: req.Header.Index}
 		switch req.Header.Op {
 		case wire.OpGet:
-			data, err := store.Get(id)
+			data, ver, err := store.GetVer(id)
 			if errors.Is(err, backend.ErrNotFound) {
 				return wire.Message{Header: wire.Header{Op: wire.OpNotFound}}
 			}
 			if err != nil {
 				return wire.ErrorMessage(err)
 			}
-			return wire.Message{Header: wire.Header{Op: wire.OpOK}, Body: data}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK, Ver: ver}, Body: data}
 		case wire.OpPut:
-			if err := store.Put(id, req.Body); err != nil {
+			if err := store.PutVer(id, req.Body, req.Header.Ver); err != nil {
+				var stale *backend.StaleError
+				if errors.As(err, &stale) {
+					sm.staleReject()
+					return wire.Message{Header: wire.Header{Op: wire.OpStale, Ver: stale.Cur}}
+				}
 				return wire.ErrorMessage(err)
 			}
 			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
@@ -423,12 +431,12 @@ func storeHandler(store *backend.Store, sm *serverMetrics) handler {
 				return wire.ErrorMessage(fmt.Errorf("store: mget of %d chunks exceeds batch limit %d",
 					len(req.Header.Indices), wire.MaxBatchChunks))
 			}
-			found, err := store.GetMulti(req.Header.Key, req.Header.Indices)
+			found, vers, floor, err := store.GetMultiVer(req.Header.Key, req.Header.Indices)
 			if err != nil {
 				return wire.ErrorMessage(err)
 			}
 			if len(found) == 0 {
-				return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+				return wire.Message{Header: wire.Header{Op: wire.OpOK, Ver: floor}}
 			}
 			// The adapter-returned chunks go out as body segments — one
 			// vectored write, no copy into a contiguous frame.
@@ -436,7 +444,27 @@ func storeHandler(store *backend.Store, sm *serverMetrics) handler {
 			if err != nil {
 				return wire.ErrorMessage(err)
 			}
-			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Segments: segs}
+			h := wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes, Ver: floor}
+			if vers != nil {
+				h.Vers = make([]uint64, len(indices))
+				for i, idx := range indices {
+					h.Vers[i] = vers[idx]
+				}
+			}
+			return wire.Message{Header: h, Segments: segs}
+		case wire.OpDelObj:
+			// Versioned object invalidation: remove the chunks and persist
+			// the delete's version as a tombstone floor (legacy unversioned
+			// when Ver is zero).
+			if _, err := store.DeleteObjectVer(req.Header.Key, req.Header.Ver); err != nil {
+				var stale *backend.StaleError
+				if errors.As(err, &stale) {
+					sm.staleReject()
+					return wire.Message{Header: wire.Header{Op: wire.OpStale, Ver: stale.Cur}}
+				}
+				return wire.ErrorMessage(err)
+			}
+			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 		case wire.OpDelete:
 			if _, err := store.DeleteChecked(id); err != nil {
 				return wire.ErrorMessage(err)
@@ -496,7 +524,11 @@ func NewCacheServerOpts(addr string, c *cache.Cache, table *coop.Table, opts Ser
 	gauge := new(atomic.Int64)
 	sm := newCacheServerMetrics(reg, opts.Region, c, table, gauge)
 	bp := wire.NewBufferPool()
-	h := cacheHandler(c, table, sm, bp)
+	vt := opts.Versions
+	if vt == nil {
+		vt = coherence.NewVersionTable()
+	}
+	h := cacheHandler(c, table, vt, sm, bp)
 	if opts.Dispatch == DispatchConn {
 		return newServerDispatch(addr, h, nil, sm, opts.Recorder, bp)
 	}
@@ -650,6 +682,7 @@ func (r *cacheRouter) split(m wire.Message) ([]part, mergeFunc, bool) {
 			// parts copy the whole header above).
 			parts = append(parts, part{shard: s, req: wire.Message{
 				Header: wire.Header{Op: wire.OpMPut, Key: m.Header.Key, Indices: indices, Sizes: sizes,
+					Ver:   m.Header.Ver,
 					Trace: m.Header.Trace, Span: m.Header.Span, TFlags: m.Header.TFlags},
 				Body: body,
 			}})
@@ -685,10 +718,24 @@ func mergeMGet(resps []wire.Message) wire.Message {
 	}
 	merged := wire.Message{Header: wire.Header{Op: wire.OpOK}}
 	chunks := make([]wire.BatchChunk, 0, 16)
+	// chunkVers collects per-chunk versions across fragments; it stays nil —
+	// and the merged reply stays byte-identical to the unversioned layout —
+	// until some fragment actually carries Vers.
+	var chunkVers map[int]uint64
 	for i := range resps {
 		if len(resps[i].Header.Indices) == 0 {
 			resps[i].Release()
 			continue
+		}
+		if vs := resps[i].Header.Vers; vs != nil {
+			if chunkVers == nil {
+				chunkVers = make(map[int]uint64, len(vs))
+			}
+			for j, idx := range resps[i].Header.Indices {
+				if j < len(vs) && vs[j] != 0 {
+					chunkVers[idx] = vs[j]
+				}
+			}
 		}
 		var err error
 		chunks, err = wire.AppendBatchViews(chunks, resps[i].Header.Indices, resps[i].Header.Sizes, resps[i].Body)
@@ -719,6 +766,13 @@ func mergeMGet(resps []wire.Message) wire.Message {
 	}
 	merged.Header.Indices = indices
 	merged.Header.Sizes = sizes
+	if chunkVers != nil {
+		vers := make([]uint64, len(indices))
+		for i, idx := range indices {
+			vers[i] = chunkVers[idx]
+		}
+		merged.Header.Vers = vers
+	}
 	merged.Segments = segs
 	return merged
 }
@@ -728,7 +782,10 @@ func mergeMGet(resps []wire.Message) wire.Message {
 func mergeMPut(resps []wire.Message) wire.Message {
 	stored := make([][]int, 0, len(resps))
 	for _, resp := range resps {
-		if resp.Header.Op == wire.OpError {
+		if resp.Header.Op == wire.OpError || resp.Header.Op == wire.OpStale {
+			// A concurrent newer write can raise the floor between a split
+			// batch's per-shard admits; surfacing the stale verdict beats
+			// reporting a partial store the floor already outdated.
 			return resp
 		}
 		stored = append(stored, resp.Header.Indices)
@@ -741,12 +798,14 @@ func mergeMPut(resps []wire.Message) wire.Message {
 }
 
 // cacheHandler builds the cache server's request handler; table is nil for
-// non-cooperative deployments, which reject digest frames; sm supplies the
-// registry-backed sources the OpStats reply is built from; bp supplies
-// pooled reply-body buffers for the get/mget hot path (the messages own
-// them, and the serve loop's WriteVectored releases them after the bytes
-// leave the socket).
-func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics, bp *wire.BufferPool) handler {
+// non-cooperative deployments, which reject digest frames; vt is the
+// server's version-floor table — versioned mutations are admitted against
+// it and digest KeyVers raise it, dropping outdated cached chunks; sm
+// supplies the registry-backed sources the OpStats reply is built from; bp
+// supplies pooled reply-body buffers for the get/mget hot path (the
+// messages own them, and the serve loop's WriteVectored releases them
+// after the bytes leave the socket).
+func cacheHandler(c *cache.Cache, table *coop.Table, vt *coherence.VersionTable, sm *serverMetrics, bp *wire.BufferPool) handler {
 	// est sizes pooled reply buffers from the cache's mean entry size,
 	// refreshed every meanEntryRefresh ops — MeanEntryBytes walks every
 	// shard lock, far too heavy per request. An undershot estimate only
@@ -768,15 +827,32 @@ func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics, bp *wire
 		case wire.OpGet:
 			// The chunk copies straight into a pooled buffer under the shard
 			// lock — no per-get allocation once the pool is warm.
-			buf, ok := c.GetAppend(id, bp.Get(est())[:0])
+			buf, ver, ok := c.GetAppendVer(id, bp.Get(est())[:0])
 			if !ok {
 				bp.Put(buf)
 				return wire.Message{Header: wire.Header{Op: wire.OpNotFound}}
 			}
-			resp := wire.Message{Header: wire.Header{Op: wire.OpOK}, Body: buf}
+			resp := wire.Message{Header: wire.Header{Op: wire.OpOK, Ver: ver}, Body: buf}
 			resp.Own(bp, buf)
 			return resp
 		case wire.OpPut:
+			if ver := req.Header.Ver; ver != 0 {
+				// Versioned insert: refused below the key's floor, and a
+				// newer version drops the older chunks it outdates.
+				if ok, cur := vt.Admit(req.Header.Key, hlc.Timestamp(ver)); !ok {
+					sm.staleReject()
+					return wire.Message{Header: wire.Header{Op: wire.OpStale, Ver: uint64(cur)}}
+				}
+				if err := c.PutVer(id, req.Body, ver); err != nil {
+					return wire.ErrorMessage(err)
+				}
+				if vt.Observe(req.Header.Key, hlc.Timestamp(ver)) {
+					if c.DropObjectBelow(req.Header.Key, ver) > 0 {
+						sm.invalidated(1)
+					}
+				}
+				return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+			}
 			if err := c.Put(id, req.Body); err != nil {
 				return wire.ErrorMessage(err)
 			}
@@ -797,15 +873,26 @@ func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics, bp *wire
 			body := bp.Get(n * est())[:0]
 			indices := make([]int, 0, n)
 			sizes := make([]int, 0, n)
+			// vers stays nil until a versioned chunk appears, so the
+			// unversioned hot path allocates nothing extra and its reply
+			// frames stay byte-identical.
+			var vers []uint64
 			for i, idx := range req.Header.Indices {
 				if i > 0 && idx == req.Header.Indices[i-1] {
 					continue
 				}
 				mark := len(body)
-				var ok bool
-				if body, ok = c.GetAppend(cache.EntryID{Key: req.Header.Key, Index: idx}, body); ok {
+				b, ver, ok := c.GetAppendVer(cache.EntryID{Key: req.Header.Key, Index: idx}, body)
+				body = b
+				if ok {
 					indices = append(indices, idx)
 					sizes = append(sizes, len(body)-mark)
+					if ver != 0 && vers == nil {
+						vers = make([]uint64, len(indices)-1, n)
+					}
+					if vers != nil {
+						vers = append(vers, ver)
+					}
 				}
 			}
 			if table != nil && req.Header.Region != "" {
@@ -817,7 +904,7 @@ func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics, bp *wire
 				bp.Put(body)
 				return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 			}
-			resp := wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes}, Body: body}
+			resp := wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: indices, Sizes: sizes, Vers: vers}, Body: body}
 			resp.Own(bp, body)
 			return resp
 		case wire.OpMPut:
@@ -831,11 +918,23 @@ func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics, bp *wire
 			// Best-effort batch insert, like a memcached multi-set: chunks the
 			// cache refuses (admission filter, full shard) are skipped, and
 			// the response lists what actually landed.
+			ver := req.Header.Ver
+			if ver != 0 {
+				if ok, cur := vt.Admit(req.Header.Key, hlc.Timestamp(ver)); !ok {
+					sm.staleReject()
+					return wire.Message{Header: wire.Header{Op: wire.OpStale, Ver: uint64(cur)}}
+				}
+			}
 			stored := make([]int, 0, len(chunks))
 			for _, idx := range sortedIndices(chunks) {
 				cid := cache.EntryID{Key: req.Header.Key, Index: idx}
-				if err := c.Put(cid, chunks[idx]); err == nil && c.Contains(cid) {
+				if err := c.PutVer(cid, chunks[idx], ver); err == nil && c.Contains(cid) {
 					stored = append(stored, idx)
+				}
+			}
+			if ver != 0 && vt.Observe(req.Header.Key, hlc.Timestamp(ver)) {
+				if c.DropObjectBelow(req.Header.Key, ver) > 0 {
+					sm.invalidated(1)
 				}
 			}
 			return wire.Message{Header: wire.Header{Op: wire.OpOK, Indices: stored}}
@@ -843,6 +942,20 @@ func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics, bp *wire
 			c.Delete(id)
 			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 		case wire.OpDelObj:
+			if ver := req.Header.Ver; ver != 0 {
+				// Versioned invalidation: raise the floor and drop every
+				// cached chunk the write outdated; a delete older than the
+				// floor is refused, never applied out of order.
+				if ok, cur := vt.Admit(req.Header.Key, hlc.Timestamp(ver)); !ok {
+					sm.staleReject()
+					return wire.Message{Header: wire.Header{Op: wire.OpStale, Ver: uint64(cur)}}
+				}
+				vt.Observe(req.Header.Key, hlc.Timestamp(ver))
+				if c.DropObjectBelow(req.Header.Key, ver) > 0 {
+					sm.invalidated(1)
+				}
+				return wire.Message{Header: wire.Header{Op: wire.OpOK}}
+			}
 			c.DeleteObject(req.Header.Key)
 			return wire.Message{Header: wire.Header{Op: wire.OpOK}}
 		case wire.OpIndices:
@@ -861,7 +974,26 @@ func cacheHandler(c *cache.Cache, table *coop.Table, sm *serverMetrics, bp *wire
 			// or a rejected delta it does not, which tells the advertiser to
 			// resend in full.
 			table.Apply(coop.Digest{Region: req.Header.Region, Seq: req.Header.Seq,
-				Groups: req.Header.Groups, Delta: req.Header.Delta, Base: req.Header.Base})
+				Groups: req.Header.Groups, Delta: req.Header.Delta, Base: req.Header.Base,
+				KeyVers: req.Header.KeyVers})
+			if len(req.Header.KeyVers) > 0 {
+				// Invalidations ride the digest: every advertised version
+				// raises the local floor, dropping the cached chunks it
+				// outdates; the newest version's wall-clock age is the
+				// cross-region staleness this node observes.
+				var newest uint64
+				dropped := 0
+				for key, ver := range req.Header.KeyVers {
+					if ver > newest {
+						newest = ver
+					}
+					if vt.Observe(key, hlc.Timestamp(ver)) && c.DropObjectBelow(key, ver) > 0 {
+						dropped++
+					}
+				}
+				sm.invalidated(dropped)
+				sm.observeVersionLag(time.Now().UnixMilli() - hlc.Timestamp(newest).WallMS())
+			}
 			return wire.Message{Header: wire.Header{
 				Op: wire.OpDigestAck, Seq: table.Mirror(req.Header.Region).Seq(),
 			}}

@@ -51,6 +51,20 @@ const (
 	NamePopulationQueueDepth = "agar_client_population_queue_depth"
 	NamePopulationDropped    = "agar_client_population_dropped_total"
 
+	// Versioned write path and cross-region coherence — cache-server
+	// families labelled {server, region}, client families labelled
+	// {region}. Version lag is the wall-clock age of the newest write
+	// version a digest delivered; stale rejects count mutations refused by
+	// a version floor; invalidations count keys whose cached chunks were
+	// dropped because a digest raised their floor; stale drops count
+	// cache/peer chunks the client discarded as below its read target; the
+	// write histogram is the client-observed end-to-end versioned write.
+	NameCoherenceVersionLagMS  = "agar_coherence_version_lag_ms"
+	NameCoherenceInvalidations = "agar_coherence_invalidations_total"
+	NameCoherenceStaleRejects  = "agar_coherence_stale_rejects_total"
+	NameClientStaleDrops       = "agar_client_stale_chunk_drops_total"
+	NameClientWriteSeconds     = "agar_client_write_seconds"
+
 	// Process-level families every binary's debug mux exposes
 	// (RegisterGoRuntime / MountDebug): a constant-1 build identity gauge
 	// labelled {go_version, module}, and function-backed Go runtime health

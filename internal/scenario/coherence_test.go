@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mutPhases() []Phase {
+	return []Phase{{Name: "p", Duration: time.Minute,
+		Workload: Workload{Kind: WorkloadZipfian}, Updates: 0.3}}
+}
+
+func TestSpecValidationRejectsBadCoherence(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		spec Spec
+	}{
+		{"unknown mode", Spec{Name: "x", Coherence: "quorum", Phases: mutPhases()}},
+		{"coherence without updates", Spec{Name: "x", Coherence: CoherenceVersioned, Phases: tierPhase()}},
+		{"update+rmw over 1", Spec{Name: "x", Phases: []Phase{{Name: "p", Duration: time.Minute,
+			Workload: Workload{Kind: WorkloadZipfian}, Updates: 0.7, RMW: 0.5}}}},
+		{"negative updates", Spec{Name: "x", Phases: []Phase{{Name: "p", Duration: time.Minute,
+			Workload: Workload{Kind: WorkloadZipfian}, Updates: -0.1}}}},
+	} {
+		if err := c.spec.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+	for _, mode := range []string{"", CoherenceVersioned, CoherenceNone, CoherencePaired} {
+		ok := Spec{Name: "x", Coherence: mode, Phases: mutPhases()}
+		if err := ok.Validate(); err != nil {
+			t.Errorf("coherence %q rejected: %v", mode, err)
+		}
+	}
+}
+
+// TestWorkloadMixPairsCoherenceModes is the tier-1 pin on the versioned
+// write path's whole point, run on the workload-mix YCSB-A scenario: every
+// coherent arm must finish with exactly zero stale reads, and the caching
+// "!stale" twins — identical except that writes never invalidate — must
+// serve superseded payloads, so the paired report prices the write path.
+func TestWorkloadMixPairsCoherenceModes(t *testing.T) {
+	spec, ok := Lookup("workload-mix-a")
+	if !ok {
+		t.Fatal("workload-mix-a scenario missing")
+	}
+	rep, err := Run(reduced(spec), reducedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coherence != CoherencePaired {
+		t.Fatalf("report coherence = %q", rep.Coherence)
+	}
+	// 4 default arms x 2 coherence modes.
+	if len(rep.Arms) != 8 {
+		t.Fatalf("report arms = %v", rep.Arms)
+	}
+
+	staleArms := 0
+	for _, total := range rep.Totals {
+		stale := strings.HasSuffix(total.Arm, StaleSuffix)
+		if total.Updates == 0 {
+			t.Errorf("arm %s ran no updates", total.Arm)
+		}
+		if !stale && total.StaleReads != 0 {
+			t.Errorf("coherent arm %s served %d stale reads", total.Arm, total.StaleReads)
+		}
+		if stale {
+			staleArms++
+			// The backend twin has no cache to go stale; every caching twin
+			// must show the damage.
+			if total.Arm != "Backend"+StaleSuffix && total.StaleReads == 0 {
+				t.Errorf("uncoherent arm %s served no stale reads", total.Arm)
+			}
+			if total.Arm == "Backend"+StaleSuffix && total.StaleReads != 0 {
+				t.Errorf("cacheless arm %s served %d stale reads", total.Arm, total.StaleReads)
+			}
+		}
+	}
+	if staleArms != 4 {
+		t.Fatalf("%d stale twins in totals, want 4", staleArms)
+	}
+
+	// The markdown surfaces the stale-read comparison.
+	md := rep.Markdown()
+	if !strings.Contains(md, "stale reads") {
+		t.Fatal("markdown lacks the stale-read column")
+	}
+	if !strings.Contains(md, "Agar"+StaleSuffix) {
+		t.Fatal("markdown lacks the paired stale arm")
+	}
+}
+
+// TestWorkloadMixRMWRunsBothHalves pins YCSB F semantics on the
+// workload-mix-f scenario (single coherent mode forced for speed): RMW
+// operations must count both a measured read and an update, and the
+// coherent run must stay stale-free even though every write's input was
+// just read.
+func TestWorkloadMixRMWRunsBothHalves(t *testing.T) {
+	spec, ok := Lookup("workload-mix-f")
+	if !ok {
+		t.Fatal("workload-mix-f scenario missing")
+	}
+	spec.Coherence = CoherenceVersioned
+	rep, err := Run(reduced(spec), reducedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := armPhase(t, rep, "rmw", "Agar")
+	if a.Updates == 0 {
+		t.Fatal("rmw phase ran no updates")
+	}
+	if a.StaleReads != 0 {
+		t.Fatalf("coherent rmw run served %d stale reads", a.StaleReads)
+	}
+	// Every measured op in an RMW mix performs a read, so hit classes must
+	// cover all operations even though half also wrote.
+	if got := a.FullHits + a.PartialHits + a.Misses + a.Errors; got != a.Ops {
+		t.Fatalf("hit classes cover %d of %d ops", got, a.Ops)
+	}
+	if a.UpdateP99MS <= 0 {
+		t.Fatal("no update latency recorded")
+	}
+}

@@ -128,6 +128,43 @@ func Library() []Spec {
 			},
 		},
 		{
+			Name: "workload-mix-a",
+			Description: "YCSB workload A (50% reads, 50% updates) on a Zipfian hot set, run coherence-paired: " +
+				"every arm appears twice, once with versioned write invalidation and once as an Arm!stale twin " +
+				"whose caches keep serving superseded payloads — the stale-read column prices the write path.",
+			Region:    "frankfurt",
+			Coherence: CoherencePaired,
+			Phases: []Phase{
+				{Name: "warm", Duration: 90 * time.Second, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}},
+				{Name: "update-heavy", Duration: 3 * time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}, Updates: 0.5},
+				{Name: "read-recovery", Duration: 90 * time.Second, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}, Updates: 0.05},
+			},
+		},
+		{
+			Name: "workload-mix-b",
+			Description: "YCSB workload B (95% reads, 5% updates): mostly-read traffic where even rare writes " +
+				"poison a cache that is never invalidated; paired coherence modes show how little staleness a " +
+				"read-mostly mix tolerates.",
+			Region:    "frankfurt",
+			Coherence: CoherencePaired,
+			Phases: []Phase{
+				{Name: "warm", Duration: 90 * time.Second, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}},
+				{Name: "read-mostly", Duration: 4 * time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}, Updates: 0.05},
+			},
+		},
+		{
+			Name: "workload-mix-f",
+			Description: "YCSB workload F (50% reads, 50% read-modify-writes) on a Zipfian hot set: every RMW " +
+				"reads the object it is about to overwrite, so an uncoherent cache feeds its own writes stale " +
+				"inputs — the worst case for skipping invalidation.",
+			Region:    "frankfurt",
+			Coherence: CoherencePaired,
+			Phases: []Phase{
+				{Name: "warm", Duration: 90 * time.Second, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}},
+				{Name: "rmw", Duration: 3 * time.Minute, Workload: Workload{Kind: WorkloadZipfian, Skew: 1.1}, RMW: 0.5},
+			},
+		},
+		{
 			Name:        "cache-crash",
 			Description: "The region's cache server restarts empty ten seconds into the second phase; the run shows each policy re-warming.",
 			Region:      "frankfurt",

@@ -31,6 +31,17 @@ type ArmPhase struct {
 	// PeerChunks totals chunks served by cooperative peer caches (only
 	// nonzero for the agar arm of peered scenarios).
 	PeerChunks int `json:"peer_chunks,omitempty"`
+	// Updates counts measured mutations in update/RMW phases;
+	// UpdateErrors the failed ones.
+	Updates      int `json:"updates,omitempty"`
+	UpdateErrors int `json:"update_errors,omitempty"`
+	// StaleReads counts successful reads that returned a payload the
+	// run's own writes had already superseded — zero on every coherent
+	// arm, the headline damage number on "!stale" arms.
+	StaleReads int `json:"stale_reads,omitempty"`
+	// UpdateMeanMS and UpdateP99MS summarise mutation latencies.
+	UpdateMeanMS float64 `json:"update_mean_ms,omitempty"`
+	UpdateP99MS  float64 `json:"update_p99_ms,omitempty"`
 }
 
 // PhaseReport is one phase across every arm.
@@ -51,6 +62,10 @@ type ArmTotal struct {
 	MeanMS   float64 `json:"mean_ms"`
 	P99MS    float64 `json:"p99_ms"`
 	HitRatio float64 `json:"hit_ratio"`
+	// Updates and StaleReads total the arm's mutations and stale reads
+	// over every phase (mutating scenarios only).
+	Updates    int `json:"updates,omitempty"`
+	StaleReads int `json:"stale_reads,omitempty"`
 }
 
 // Delta is a paired comparison of Agar's mean latency against another arm
@@ -72,14 +87,17 @@ type Report struct {
 	PeerRegions []string `json:"peer_regions,omitempty"`
 	// BackendStore and StoreTiers echo the spec's blob-store tier
 	// selection; tier-swept runs carry "Arm@tier" labels in Arms.
-	BackendStore string        `json:"backend_store,omitempty"`
-	StoreTiers   []string      `json:"store_tiers,omitempty"`
-	Seed         int64         `json:"seed"`
-	Arms         []string      `json:"arms"`
-	Phases       []PhaseReport `json:"phases"`
-	Totals       []ArmTotal    `json:"totals"`
-	Deltas       []Delta       `json:"deltas,omitempty"`
-	ElapsedMS    float64       `json:"elapsed_ms"`
+	BackendStore string   `json:"backend_store,omitempty"`
+	StoreTiers   []string `json:"store_tiers,omitempty"`
+	// Coherence echoes the spec's coherence mode for mutating scenarios;
+	// "paired" runs carry "Arm!stale" twins in Arms.
+	Coherence string        `json:"coherence,omitempty"`
+	Seed      int64         `json:"seed"`
+	Arms      []string      `json:"arms"`
+	Phases    []PhaseReport `json:"phases"`
+	Totals    []ArmTotal    `json:"totals"`
+	Deltas    []Delta       `json:"deltas,omitempty"`
+	ElapsedMS float64       `json:"elapsed_ms"`
 }
 
 // buildReport folds per-arm-run per-phase results into the report layout.
@@ -94,6 +112,7 @@ func buildReport(spec Spec, region string, labels []string, agarIdx int, perArm 
 		PeerRegions:  spec.PeerRegions,
 		BackendStore: spec.BackendStore,
 		StoreTiers:   spec.StoreTiers,
+		Coherence:    spec.Coherence,
 		Seed:         opts.Seed,
 		Arms:         labels,
 	}
@@ -108,20 +127,25 @@ func buildReport(spec Spec, region string, labels []string, agarIdx int, perArm 
 		for ai := range labels {
 			r := perArm[ai][pi]
 			pr.Arms = append(pr.Arms, ArmPhase{
-				Arm:         labels[ai],
-				Ops:         r.Operations,
-				Errors:      r.Errors,
-				MeanMS:      stats.MS(r.Mean),
-				P50MS:       stats.MS(r.P50),
-				P95MS:       stats.MS(r.P95),
-				P99MS:       stats.MS(r.P99),
-				MaxMS:       stats.MS(r.Max),
-				HitRatio:    r.HitRatio(),
-				FullHits:    r.FullHits,
-				PartialHits: r.PartialHits,
-				Misses:      r.Misses,
-				Reconfigs:   r.Reconfigs,
-				PeerChunks:  r.PeerChunks,
+				Arm:          labels[ai],
+				Ops:          r.Operations,
+				Errors:       r.Errors,
+				MeanMS:       stats.MS(r.Mean),
+				P50MS:        stats.MS(r.P50),
+				P95MS:        stats.MS(r.P95),
+				P99MS:        stats.MS(r.P99),
+				MaxMS:        stats.MS(r.Max),
+				HitRatio:     r.HitRatio(),
+				FullHits:     r.FullHits,
+				PartialHits:  r.PartialHits,
+				Misses:       r.Misses,
+				Reconfigs:    r.Reconfigs,
+				PeerChunks:   r.PeerChunks,
+				Updates:      r.Updates,
+				UpdateErrors: r.UpdateErrors,
+				StaleReads:   r.StaleReads,
+				UpdateMeanMS: stats.MS(r.UpdateMean),
+				UpdateP99MS:  stats.MS(r.UpdateP99),
 			})
 		}
 		rep.Phases = append(rep.Phases, pr)
@@ -137,6 +161,8 @@ func buildReport(spec Spec, region string, labels []string, agarIdx int, perArm 
 		for _, r := range perArm[ai] {
 			t.Ops += r.Operations
 			t.Errors += r.Errors
+			t.Updates += r.Updates
+			t.StaleReads += r.StaleReads
 			n := r.Operations - r.Errors
 			measured += n
 			weighted += stats.MS(r.Mean) * float64(n)
@@ -176,6 +202,19 @@ func buildReport(spec Spec, region string, labels []string, agarIdx int, perArm 
 	return rep
 }
 
+// mutating reports whether any arm ran measured updates — the switch for
+// the update/stale-read report columns.
+func (r *Report) mutating() bool {
+	for _, p := range r.Phases {
+		for _, a := range p.Arms {
+			if a.Updates > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // JSON renders the report as indented JSON.
 func (r *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
@@ -203,8 +242,11 @@ func (r *Report) Markdown() string {
 
 	// Peered scenarios get a peer-chunk column — driven by the spec, not
 	// the results, so a mesh serving zero chunks shows a suspicious 0
-	// instead of silently dropping the column.
+	// instead of silently dropping the column. Mutating scenarios get the
+	// update and stale-read columns on the same principle: a coherent arm's
+	// honest 0 stale reads is the result.
 	peered := len(r.PeerRegions) > 0
+	mutating := r.mutating()
 	for _, p := range r.Phases {
 		fmt.Fprintf(&b, "\n### Phase %s (%.0fs", p.Name, p.DurationS)
 		fmt.Fprintf(&b, ", %s", p.Workload.Kind)
@@ -212,6 +254,15 @@ func (r *Report) Markdown() string {
 			fmt.Fprintf(&b, ", %s@%s", e.Kind, e.At.Round(time.Second))
 		}
 		b.WriteString(")\n\n")
+		if mutating {
+			b.WriteString("| arm | ops | mean | p99 | hit ratio | updates | upd p99 | stale reads | errors |\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+			for _, a := range p.Arms {
+				fmt.Fprintf(&b, "| %s | %d | %.0f ms | %.0f ms | %.3f | %d | %.0f ms | %d | %d |\n",
+					a.Arm, a.Ops, a.MeanMS, a.P99MS, a.HitRatio, a.Updates, a.UpdateP99MS, a.StaleReads, a.Errors+a.UpdateErrors)
+			}
+			continue
+		}
 		if peered {
 			b.WriteString("| arm | ops | mean | p50 | p95 | p99 | hit ratio | peer chunks | errors |\n")
 			b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
@@ -230,11 +281,20 @@ func (r *Report) Markdown() string {
 	}
 
 	b.WriteString("\n### Totals\n\n")
-	b.WriteString("| arm | ops | mean | worst p99 | hit ratio | errors |\n")
-	b.WriteString("|---|---:|---:|---:|---:|---:|\n")
-	for _, t := range r.Totals {
-		fmt.Fprintf(&b, "| %s | %d | %.0f ms | %.0f ms | %.3f | %d |\n",
-			t.Arm, t.Ops, t.MeanMS, t.P99MS, t.HitRatio, t.Errors)
+	if mutating {
+		b.WriteString("| arm | ops | mean | worst p99 | hit ratio | updates | stale reads | errors |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, t := range r.Totals {
+			fmt.Fprintf(&b, "| %s | %d | %.0f ms | %.0f ms | %.3f | %d | %d | %d |\n",
+				t.Arm, t.Ops, t.MeanMS, t.P99MS, t.HitRatio, t.Updates, t.StaleReads, t.Errors)
+		}
+	} else {
+		b.WriteString("| arm | ops | mean | worst p99 | hit ratio | errors |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+		for _, t := range r.Totals {
+			fmt.Fprintf(&b, "| %s | %d | %.0f ms | %.0f ms | %.3f | %d |\n",
+				t.Arm, t.Ops, t.MeanMS, t.P99MS, t.HitRatio, t.Errors)
+		}
 	}
 
 	if len(r.Deltas) > 0 {

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"time"
@@ -219,9 +220,13 @@ func compile(spec Spec, epoch time.Time) *compiled {
 }
 
 // Run executes the scenario for every arm on the in-process simulator and
-// assembles the report. Arms share one loaded deployment (the backend is
-// immutable during runs — outages are modelled at the network layer) and
-// replay identical seeded workloads, so per-phase results pair across arms.
+// assembles the report. Arms share one loaded deployment (outages are
+// modelled at the network layer) and replay identical seeded workloads, so
+// per-phase results pair across arms. Mutating scenarios write to the
+// shared backend, but every arm replays the same seeded write sequence, so
+// later arms see the same backend evolution and pairing still holds;
+// stale-read accounting is always judged against the running arm's own
+// writes.
 func Run(spec Spec, opts Options) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -253,24 +258,34 @@ func Run(spec Spec, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
 
-	// Cross the cache-policy arms with the spec's blob-store tiers: a plain
-	// scenario runs each arm once on its (implicit) tier, a tier sweep runs
-	// every arm once per tier under "Arm@tier" labels so mem and the slow
-	// or flaky remote tiers pair phase by phase.
+	// Cross the cache-policy arms with the spec's blob-store tiers and
+	// coherence modes: a plain scenario runs each arm once on its
+	// (implicit) tier, a tier sweep runs every arm once per tier under
+	// "Arm@tier" labels, and a coherence-paired mutating scenario runs
+	// every arm with and without write invalidation ("Arm" vs
+	// "Arm!stale") so the stale-read cost of skipping the versioned
+	// write path pairs phase by phase.
 	tiers, sweep := spec.storeTiers()
+	cohModes, cohSweep := spec.coherenceModes()
 	type armRun struct {
-		strat experiments.Strategy
-		tier  store.Tier
-		label string
+		strat    experiments.Strategy
+		tier     store.Tier
+		coherent bool
+		label    string
 	}
 	var runs []armRun
 	for _, arm := range arms {
 		for _, tier := range tiers {
-			label := arm.Name()
-			if sweep {
-				label += "@" + tier.Name
+			for _, coherent := range cohModes {
+				label := arm.Name()
+				if sweep {
+					label += "@" + tier.Name
+				}
+				if cohSweep && !coherent {
+					label += StaleSuffix
+				}
+				runs = append(runs, armRun{strat: arm, tier: tier, coherent: coherent, label: label})
 			}
-			runs = append(runs, armRun{strat: arm, tier: tier, label: label})
 		}
 	}
 
@@ -283,7 +298,7 @@ func Run(spec Spec, opts Options) (*Report, error) {
 		if agarIdx < 0 && ar.strat.Kind == experiments.StratAgar {
 			agarIdx = i
 		}
-		results, err := runArm(d, spec, opts, ar.strat, region, ar.tier)
+		results, err := runArm(d, spec, opts, ar.strat, region, ar.tier, ar.coherent)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q arm %s: %w", spec.Name, ar.label, err)
 		}
@@ -295,8 +310,10 @@ func Run(spec Spec, opts Options) (*Report, error) {
 }
 
 // runArm plays the whole scenario timeline through one policy arm reading
-// over one blob-store tier.
-func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.Strategy, region geo.RegionID, tier store.Tier) ([]ycsb.Result, error) {
+// over one blob-store tier. For mutating scenarios, coherent selects
+// whether the arm's writes invalidate its caches (the versioned write
+// path) or leave them stale (the unversioned baseline).
+func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.Strategy, region geo.RegionID, tier store.Tier, coherent bool) ([]ycsb.Result, error) {
 	cacheMB := spec.CacheMB
 	if cacheMB <= 0 {
 		cacheMB = 10
@@ -353,6 +370,27 @@ func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.
 			peers = append(peers, coopPeer{region: pr, reader: peerReader, node: peerNode})
 		}
 	}
+	// The mutation path for scenarios with update/RMW phases: one writer
+	// with an authoritative record of every payload it wrote, so stale
+	// reads are judged against ground truth. Coherent runs register the
+	// arm's cache (and every peer cache) for write invalidation — the
+	// simulator's stand-in for the versioned write path's floors and
+	// digest-borne invalidations; uncoherent runs leave caches to serve
+	// whatever they hold.
+	var mut *mutator
+	if spec.hasUpdates() {
+		var invs []client.Invalidator
+		if coherent {
+			if c := armCache(reader, node); c != nil {
+				invs = append(invs, c)
+			}
+			for _, p := range peers {
+				invs = append(invs, p.node.Cache())
+			}
+		}
+		mut = newMutator(env, region, opts.ObjectBytes, invs...)
+	}
+
 	// warmPeers drives each peer's own clients on the phase workload —
 	// popularity, reconfiguration, then cache-filling reads — so the peer
 	// holds the hot set the way an independently serving region would.
@@ -438,7 +476,7 @@ func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.
 				}
 			}
 		}
-		res, err := ycsb.Run(ycsb.RunConfig{
+		runCfg := ycsb.RunConfig{
 			Reader:     reader,
 			Generator:  gen,
 			Operations: opts.OpCap,
@@ -447,7 +485,15 @@ func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.
 			Clients:    clients,
 			Deadline:   deadline,
 			BeforeOp:   beforeOp,
-		})
+		}
+		if mut != nil {
+			runCfg.UpdateFrac = p.Updates
+			runCfg.RMWFrac = p.RMW
+			runCfg.Update = mut.update
+			runCfg.Verify = mut.verify
+			runCfg.MixSeed = opts.Seed + int64(i)*389 + 23
+		}
+		res, err := ycsb.Run(runCfg)
 		if err != nil {
 			return nil, fmt.Errorf("phase %q: %w", p.Name, err)
 		}
@@ -476,11 +522,71 @@ func runArm(d *experiments.Deployment, spec Spec, opts Options, arm experiments.
 // cacheClearer resolves how a cache-crash event empties this arm's cache;
 // nil for arms with no cache (backend).
 func cacheClearer(reader interface{}, node *core.Node) func() {
-	if node != nil {
-		return node.Cache().Clear
-	}
-	if c, ok := reader.(interface{ Cache() *cache.Cache }); ok {
-		return c.Cache().Clear
+	if c := armCache(reader, node); c != nil {
+		return c.Clear
 	}
 	return nil
+}
+
+// armCache resolves the arm's local cache; nil for cacheless arms.
+func armCache(reader interface{}, node *core.Node) *cache.Cache {
+	if node != nil {
+		return node.Cache()
+	}
+	if c, ok := reader.(interface{ Cache() *cache.Cache }); ok {
+		return c.Cache()
+	}
+	return nil
+}
+
+// mutPayload builds the self-describing body one update writes: the key
+// and generation repeated to size, so any decode mixing generations can
+// never equal a generation's exact payload.
+func mutPayload(key string, gen, size int) []byte {
+	unit := []byte(fmt.Sprintf("%s#%06d|", key, gen))
+	out := bytes.Repeat(unit, size/len(unit)+1)
+	return out[:size]
+}
+
+// mutator is a scenario run's write path: every update stores a fresh
+// generation of the key through the simulated client writer (invalidating
+// whatever caches were registered) and records the payload as the key's
+// authority. verify then judges reads against that authority — a
+// successful read of anything else is a stale read. Keys the run never
+// wrote have no authority and always verify.
+type mutator struct {
+	writer *client.Writer
+	size   int
+	gens   map[string]int
+	auth   map[string][]byte
+}
+
+func newMutator(env *client.Env, region geo.RegionID, objBytes int, invalidators ...client.Invalidator) *mutator {
+	return &mutator{
+		writer: client.NewWriter(env, region, invalidators...),
+		size:   objBytes,
+		gens:   make(map[string]int),
+		auth:   make(map[string][]byte),
+	}
+}
+
+// update writes the key's next generation and returns the modelled write
+// latency — the ycsb Update hook.
+func (m *mutator) update(key string) (time.Duration, error) {
+	gen := m.gens[key] + 1
+	payload := mutPayload(key, gen, m.size)
+	lat, err := m.writer.Write(key, payload)
+	if err != nil {
+		return lat, err
+	}
+	m.gens[key] = gen
+	m.auth[key] = payload
+	return lat, nil
+}
+
+// verify is the ycsb Verify hook: true when the read returned the key's
+// current authoritative payload (or the run never wrote the key).
+func (m *mutator) verify(key string, data []byte) bool {
+	want, ok := m.auth[key]
+	return !ok || bytes.Equal(data, want)
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/agardist/agar/internal/client"
 	"github.com/agardist/agar/internal/experiments"
 	"github.com/agardist/agar/internal/geo"
 	"github.com/agardist/agar/internal/monitor"
@@ -21,6 +22,12 @@ const (
 	MetricSoakReadMeanMS = "soak_read_mean_ms"
 	MetricSoakReadP99MS  = "soak_read_p99_ms"
 	MetricSoakErrorRate  = "soak_error_rate"
+	// MetricSoakStaleReads counts reads in the window that returned a
+	// payload the soak's own writes had superseded — only emitted (with
+	// MetricSoakWriteP99MS) when the soak spec has update/RMW phases.
+	MetricSoakStaleReads = "soak_stale_reads"
+	// MetricSoakWriteP99MS is the window's p99 write latency.
+	MetricSoakWriteP99MS = "soak_write_p99_ms"
 )
 
 // SoakSpec declares a long-soak run: a multi-phase scenario played for
@@ -66,6 +73,11 @@ type SoakSample struct {
 	P99MS    float64 `json:"p99_ms"`
 	// ErrorRate is failed reads over measured reads in the window.
 	ErrorRate float64 `json:"error_rate"`
+	// Updates, StaleReads and WriteP99MS carry the window's mutation-side
+	// aggregates for soaks with update/RMW phases.
+	Updates    int     `json:"updates,omitempty"`
+	StaleReads int     `json:"stale_reads,omitempty"`
+	WriteP99MS float64 `json:"write_p99_ms,omitempty"`
 }
 
 // SoakAlert is one rule transition on the soak timeline.
@@ -267,6 +279,20 @@ func soakArm(d *experiments.Deployment, spec Spec, s SoakSpec, opts Options, arm
 	defer sampler.SetChaos(nil, nil)
 	clearCache := cacheClearer(reader, node)
 
+	// Mutating soaks get the same write path as scenario runs: coherent
+	// (invalidating) unless the spec opts out, with stale reads judged
+	// against the arm's own writes.
+	var mut *mutator
+	if spec.hasUpdates() {
+		var invs []client.Invalidator
+		if spec.Coherence != CoherenceNone {
+			if c := armCache(reader, node); c != nil {
+				invs = append(invs, c)
+			}
+		}
+		mut = newMutator(env, region, opts.ObjectBytes, invs...)
+	}
+
 	// The arm's monitor side: a store sized to hold every sample of the
 	// whole soak, and an evaluator replaying the rule set at each window.
 	slices := int(spec.TotalDuration()/s.SampleEvery) + len(spec.Phases) + 8
@@ -308,7 +334,7 @@ func soakArm(d *experiments.Deployment, spec Spec, s SoakSpec, opts Options, arm
 			if sliceEnd.After(phaseEnd) {
 				sliceEnd = phaseEnd
 			}
-			res, err := ycsb.Run(ycsb.RunConfig{
+			runCfg := ycsb.RunConfig{
 				Reader:     reader,
 				Generator:  gen,
 				Operations: s.OpsPerSample,
@@ -317,7 +343,15 @@ func soakArm(d *experiments.Deployment, spec Spec, s SoakSpec, opts Options, arm
 				Clients:    clients,
 				Deadline:   sliceEnd,
 				BeforeOp:   beforeOp,
-			})
+			}
+			if mut != nil {
+				runCfg.UpdateFrac = p.Updates
+				runCfg.RMWFrac = p.RMW
+				runCfg.Update = mut.update
+				runCfg.Verify = mut.verify
+				runCfg.MixSeed = opts.Seed + int64(i)*389 + 23
+			}
+			res, err := ycsb.Run(runCfg)
 			if err != nil {
 				return nil, fmt.Errorf("phase %q: %w", p.Name, err)
 			}
@@ -336,6 +370,12 @@ func soakArm(d *experiments.Deployment, spec Spec, s SoakSpec, opts Options, arm
 			store.Append(MetricSoakReadMeanMS, labels, t, float64(res.Mean)/float64(time.Millisecond))
 			store.Append(MetricSoakReadP99MS, labels, t, float64(res.P99)/float64(time.Millisecond))
 			store.Append(MetricSoakErrorRate, labels, t, errRate)
+			writeP99MS := 0.0
+			if mut != nil {
+				writeP99MS = float64(res.UpdateP99) / float64(time.Millisecond)
+				store.Append(MetricSoakStaleReads, labels, t, float64(res.StaleReads))
+				store.Append(MetricSoakWriteP99MS, labels, t, writeP99MS)
+			}
 			off := float64(t.Sub(epoch)) / float64(time.Millisecond)
 			for _, a := range eval.Eval(t) {
 				sa := SoakAlert{Rule: a.Rule, State: string(a.State), OffsetMS: off, Value: a.Value}
@@ -345,13 +385,16 @@ func soakArm(d *experiments.Deployment, spec Spec, s SoakSpec, opts Options, arm
 				}
 			}
 			report.Samples = append(report.Samples, SoakSample{
-				OffsetMS:  off,
-				Phase:     p.Name,
-				Ops:       res.Operations,
-				HitRatio:  res.HitRatio(),
-				MeanMS:    float64(res.Mean) / float64(time.Millisecond),
-				P99MS:     float64(res.P99) / float64(time.Millisecond),
-				ErrorRate: errRate,
+				OffsetMS:   off,
+				Phase:      p.Name,
+				Ops:        res.Operations,
+				HitRatio:   res.HitRatio(),
+				MeanMS:     float64(res.Mean) / float64(time.Millisecond),
+				P99MS:      float64(res.P99) / float64(time.Millisecond),
+				ErrorRate:  errRate,
+				Updates:    res.Updates,
+				StaleReads: res.StaleReads,
+				WriteP99MS: writeP99MS,
 			})
 			report.TotalOps += res.Operations
 		}

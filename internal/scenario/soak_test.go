@@ -48,7 +48,7 @@ func TestLongSoakAlertTimeline(t *testing.T) {
 	brownStart := (time.Hour + 20*time.Minute).Seconds() * 1000
 	brownEnd := (time.Hour + 40*time.Minute).Seconds() * 1000
 	sample := rep.SampleEveryMS
-	for _, rule := range []string{"read-p99-ceiling", "read-mean-ceiling"} {
+	for _, rule := range []string{"read-p99-ceiling", "read-mean-ceiling", "write-p99-ceiling"} {
 		offs := brown.FiringOffsets(rule)
 		if len(offs) == 0 {
 			t.Errorf("brownout arm never fired %s", rule)
@@ -66,6 +66,37 @@ func TestLongSoakAlertTimeline(t *testing.T) {
 		}
 		if !brown.ResolvedAfter(rule) {
 			t.Errorf("%s never resolved after the brownout lifted", rule)
+		}
+	}
+
+	// The midday phase mutates through the versioned write path: both arms
+	// must run updates there, record write latency, and — because writes
+	// invalidate before they acknowledge — never serve a stale read, even
+	// under the brownout. Firing transitions only record state changes, so
+	// a stale-read-ceiling firing anywhere is a coherence bug.
+	for _, arm := range rep.Arms {
+		updates, staleWindows := 0, 0
+		for _, s := range arm.Samples {
+			updates += s.Updates
+			if s.StaleReads > 0 {
+				staleWindows++
+			}
+			if s.Phase == "midday" && s.Updates > 0 && s.WriteP99MS <= 0 {
+				t.Errorf("arm %s midday window at %.0f ms ran %d updates with no write latency",
+					arm.Arm, s.OffsetMS, s.Updates)
+			}
+			if s.Phase != "midday" && s.Updates != 0 {
+				t.Errorf("arm %s phase %s ran %d updates, want read-only", arm.Arm, s.Phase, s.Updates)
+			}
+		}
+		if updates == 0 {
+			t.Errorf("arm %s ran no updates", arm.Arm)
+		}
+		if staleWindows != 0 {
+			t.Errorf("arm %s served stale reads in %d windows", arm.Arm, staleWindows)
+		}
+		if offs := arm.FiringOffsets("stale-read-ceiling"); len(offs) != 0 {
+			t.Errorf("arm %s fired stale-read-ceiling at %v", arm.Arm, offs)
 		}
 	}
 

@@ -9,14 +9,16 @@ import (
 )
 
 // LongSoak is the library's long-soak: four virtual hours of diurnal
-// traffic (a morning hotspot, a zipfian midday peak, an evening hotspot
-// over a different range, a uniform night) with a twenty-minute storage
-// brownout injected mid-midday — a 256 KiB/s bandwidth cap plus a 3×
-// latency shift on every link, the shape of a storage tier degrading
-// under someone else's load. The rule thresholds sit between the two
-// arms' calibrated envelopes (baseline p99 ≈ 1.03 s, brownout p99 ≈
-// 3.5 s), so the baseline arm runs alert-free while the brownout arm's
-// alert timeline brackets the injected window.
+// traffic (a morning hotspot, a zipfian midday peak with 10% versioned
+// updates, an evening hotspot over a different range, a uniform night)
+// with a twenty-minute storage brownout injected mid-midday — a
+// 256 KiB/s bandwidth cap plus a 3× latency shift on every link, the
+// shape of a storage tier degrading under someone else's load. The rule
+// thresholds sit between the two arms' calibrated envelopes (baseline
+// p99 ≈ 1.03 s, brownout p99 ≈ 3.5 s), so the baseline arm runs
+// alert-free while the brownout arm's alert timeline brackets the
+// injected window; the mutation-side rules (stale reads, write p99)
+// hold the write path to the same contract.
 func LongSoak() SoakSpec {
 	return SoakSpec{
 		Spec: Spec{
@@ -33,6 +35,7 @@ func LongSoak() SoakSpec {
 					Name:     "midday",
 					Duration: time.Hour,
 					Workload: Workload{Kind: WorkloadZipfian},
+					Updates:  0.1,
 					Events: []Event{
 						{Kind: EventBandwidthCap, At: 20 * time.Minute, Duration: 20 * time.Minute, BPS: 256 << 10},
 						{Kind: EventLatencyShift, At: 20 * time.Minute, Duration: 20 * time.Minute, Factor: 3},
@@ -79,6 +82,17 @@ func LongSoakRules() []monitor.Rule {
 			Name: "hit-ratio-floor", Kind: monitor.KindBurnRate,
 			Metric: MetricSoakHitRatio, Min: monitor.F(0.005),
 			Window: 10 * time.Minute, Short: 4 * time.Minute, Burn: 0.75,
+		},
+		{
+			// Any stale read at all is a coherence bug: the versioned write
+			// path invalidates before it acknowledges, so this ceiling is
+			// zero, not a calibrated envelope.
+			Name: "stale-read-ceiling", Kind: monitor.KindThreshold,
+			Metric: MetricSoakStaleReads, Max: monitor.F(0),
+		},
+		{
+			Name: "write-p99-ceiling", Kind: monitor.KindThreshold,
+			Metric: MetricSoakWriteP99MS, Max: monitor.F(1500),
 		},
 	}
 }

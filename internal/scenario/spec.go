@@ -67,6 +67,21 @@ type MixComponent struct {
 	Workload Workload `json:"workload"`
 }
 
+// Coherence modes for mutating scenarios (Spec.Coherence).
+const (
+	// CoherenceVersioned invalidates caches on every write (the default).
+	CoherenceVersioned = "versioned"
+	// CoherenceNone leaves caches stale after writes — the baseline arm
+	// that shows what the versioned path prevents.
+	CoherenceNone = "none"
+	// CoherencePaired runs every arm under both modes in one report.
+	CoherencePaired = "paired"
+)
+
+// StaleSuffix marks the uncoherent twin of an arm in a paired run's
+// labels ("Agar!stale").
+const StaleSuffix = "!stale"
+
 // EventKind names a chaos event.
 type EventKind string
 
@@ -126,7 +141,16 @@ type Phase struct {
 	// virtual clock has advanced this far.
 	Duration time.Duration `json:"duration"`
 	Workload Workload      `json:"workload"`
-	Events   []Event       `json:"events,omitempty"`
+	// Updates is the fraction of operations that are blind updates of the
+	// drawn key (YCSB A = 0.5, YCSB B = 0.05). The runner's mutator writes
+	// a fresh self-describing payload and tracks it as the key's authority
+	// for stale-read accounting.
+	Updates float64 `json:"updates,omitempty"`
+	// RMW is the fraction of operations that are read-modify-writes — a
+	// read followed by an update of the same key (YCSB F). Updates+RMW
+	// must not exceed 1.
+	RMW    float64 `json:"rmw,omitempty"`
+	Events []Event `json:"events,omitempty"`
 }
 
 // Spec declares one complete scenario.
@@ -159,6 +183,16 @@ type Spec struct {
 	// runs once per tier, reported as "Arm@tier", so the paired deltas show
 	// how far caching absorbs a slower or flakier storage layer.
 	StoreTiers []string `json:"store_tiers,omitempty"`
+	// Coherence selects how a mutating scenario (any phase with Updates or
+	// RMW) keeps caches coherent. "versioned" — the default — models the
+	// versioned write path: every update invalidates the arm's cache (and
+	// any peer caches), so no read ever returns a superseded payload.
+	// "none" models the unversioned baseline: writes land on the backend
+	// but caches keep serving whatever they hold, and the stale-read
+	// counters show the damage. "paired" runs every arm both ways under
+	// "Arm" and "Arm!stale" labels so one report carries the comparison.
+	// Read-only scenarios ignore the field.
+	Coherence string `json:"coherence,omitempty"`
 	// DispatchModes pairs the scenario's live run across server dispatch
 	// modes ("conn", "shard"): the live dispatch runner replays every phase
 	// once per mode over the localhost cluster with Clients concurrent
@@ -270,6 +304,35 @@ func (s Spec) hasBandwidthCaps() bool {
 	return false
 }
 
+// hasUpdates reports whether any phase mutates the working set — the
+// runner then builds the mutation path and the coherence mode applies.
+func (s Spec) hasUpdates() bool {
+	for _, p := range s.Phases {
+		if p.Updates > 0 || p.RMW > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// coherenceModes resolves the validated spec's coherence selection into
+// the list of modes each arm runs (true = writes invalidate caches), plus
+// whether labels need the mode suffix. Read-only specs run one untouched
+// pass.
+func (s Spec) coherenceModes() ([]bool, bool) {
+	if !s.hasUpdates() {
+		return []bool{true}, false
+	}
+	switch s.Coherence {
+	case CoherenceNone:
+		return []bool{false}, false
+	case CoherencePaired:
+		return []bool{true, false}, true
+	default:
+		return []bool{true}, false
+	}
+}
+
 // objects returns the working-set size with the default applied.
 func (s Spec) objects() int {
 	if s.Objects > 0 {
@@ -324,6 +387,14 @@ func (s Spec) Validate() error {
 		}
 		seenTier[tier] = true
 	}
+	switch s.Coherence {
+	case "", CoherenceVersioned, CoherenceNone, CoherencePaired:
+	default:
+		return fmt.Errorf("scenario %q: unknown coherence mode %q (want versioned|none|paired)", s.Name, s.Coherence)
+	}
+	if s.Coherence != "" && !s.hasUpdates() {
+		return fmt.Errorf("scenario %q: coherence %q set but no phase has updates or rmw", s.Name, s.Coherence)
+	}
 	seenDispatch := make(map[live.Dispatch]bool, len(s.DispatchModes))
 	for _, mode := range s.DispatchModes {
 		if mode == "" {
@@ -353,6 +424,10 @@ func (s Spec) Validate() error {
 		}
 		if err := p.Workload.validate(n); err != nil {
 			return fmt.Errorf("scenario %q: phase %q: %w", s.Name, p.Name, err)
+		}
+		if p.Updates < 0 || p.RMW < 0 || p.Updates+p.RMW > 1 {
+			return fmt.Errorf("scenario %q: phase %q: updates %v + rmw %v outside [0,1]",
+				s.Name, p.Name, p.Updates, p.RMW)
 		}
 		for j, e := range p.Events {
 			if err := e.validate(n, p.Duration); err != nil {

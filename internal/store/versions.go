@@ -1,0 +1,50 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// VersionIndex is the reserved chunk index that holds a key's version
+// record inside its bucket. Erasure-coded objects use indices 0..k+m-1 and
+// batch frames are capped far below this, so the record can never collide
+// with a data chunk. Storing the record as an ordinary chunk makes version
+// durability exactly as strong as chunk durability on every adapter: the
+// disk adapter's atomic write-then-rename and crash rescan apply to it
+// unchanged, and the remote adapter round-trips it through the same
+// gateway surface.
+const VersionIndex = 1 << 20
+
+// versionRecordLen is the record payload: one big-endian uint64.
+const versionRecordLen = 8
+
+// PutVersion persists the key's version record (an hlc.Timestamp as a
+// uint64) in the bucket. A zero version deletes the record.
+func PutVersion(ctx context.Context, bs BlobStore, bucket, key string, ver uint64) error {
+	if ver == 0 {
+		_, err := bs.DeleteChunk(ctx, bucket, ChunkID{Key: key, Index: VersionIndex})
+		return err
+	}
+	var rec [versionRecordLen]byte
+	binary.BigEndian.PutUint64(rec[:], ver)
+	return bs.PutChunk(ctx, bucket, ChunkID{Key: key, Index: VersionIndex}, rec[:])
+}
+
+// GetVersion reads the key's persisted version record; zero (with a nil
+// error) means the key has no record — it has never been written through
+// the versioned path in this bucket.
+func GetVersion(ctx context.Context, bs BlobStore, bucket, key string) (uint64, error) {
+	rec, err := bs.GetChunk(ctx, bucket, ChunkID{Key: key, Index: VersionIndex})
+	if errors.Is(err, ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(rec) != versionRecordLen {
+		return 0, fmt.Errorf("store: corrupt version record for %q: %d bytes", key, len(rec))
+	}
+	return binary.BigEndian.Uint64(rec), nil
+}

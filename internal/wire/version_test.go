@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/agardist/agar/internal/trace"
+)
+
+// preVersionHeader is the Header exactly as it existed before the version
+// fields were added (the PR 8 traced protocol). The parity test encodes
+// through it to prove unversioned frames are byte-identical to what
+// pre-version clients and servers produce — read-only deployments never
+// see the write path on the wire.
+type preVersionHeader struct {
+	Op      string             `json:"op"`
+	Key     string             `json:"key,omitempty"`
+	Index   int                `json:"index,omitempty"`
+	Keys    []string           `json:"keys,omitempty"`
+	Indices []int              `json:"indices,omitempty"`
+	Region  string             `json:"region,omitempty"`
+	Seq     int64              `json:"seq,omitempty"`
+	Delta   bool               `json:"delta,omitempty"`
+	Base    int64              `json:"base,omitempty"`
+	Sizes   []int              `json:"sizes,omitempty"`
+	Trace   string             `json:"trace,omitempty"`
+	Span    string             `json:"span,omitempty"`
+	TFlags  int                `json:"tflags,omitempty"`
+	Anns    []trace.Annotation `json:"anns,omitempty"`
+	Error   string             `json:"error,omitempty"`
+	Stats   map[string]int64   `json:"stats,omitempty"`
+	Groups  map[string][]int   `json:"groups,omitempty"`
+}
+
+// preVersionEncode frames a pre-version header + body the way Encode does.
+func preVersionEncode(t *testing.T, h preVersionHeader, body []byte) []byte {
+	t.Helper()
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 2 + len(hdr) + len(body)
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf, uint32(total))
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(hdr)))
+	off := 6 + copy(buf[6:], hdr)
+	copy(buf[off:], body)
+	return buf
+}
+
+// TestHeaderVersionParity pins the absent-field guarantee: a frame that
+// carries no version information encodes byte-identically to the
+// pre-version protocol, traced or not.
+func TestHeaderVersionParity(t *testing.T) {
+	ctx := trace.New()
+	cases := []struct {
+		name   string
+		now    Header
+		legacy preVersionHeader
+		body   []byte
+	}{
+		{
+			name:   "put request",
+			now:    Header{Op: OpPut, Key: "obj-7", Index: 3},
+			legacy: preVersionHeader{Op: OpPut, Key: "obj-7", Index: 3},
+			body:   []byte("chunk"),
+		},
+		{
+			name:   "mget reply",
+			now:    Header{Op: OpOK, Indices: []int{0, 1}, Sizes: []int{3, 2}},
+			legacy: preVersionHeader{Op: OpOK, Indices: []int{0, 1}, Sizes: []int{3, 2}},
+			body:   []byte("abcde"),
+		},
+		{
+			name:   "digest frame",
+			now:    Header{Op: OpDigest, Region: "dublin", Seq: 9, Groups: map[string][]int{"k": {0, 2}}},
+			legacy: preVersionHeader{Op: OpDigest, Region: "dublin", Seq: 9, Groups: map[string][]int{"k": {0, 2}}},
+		},
+		{
+			name:   "traced delobj",
+			now:    Header{Op: OpDelObj, Key: "obj-1", Trace: ctx.TraceID.String(), Span: ctx.SpanID.String(), TFlags: ctx.Flags},
+			legacy: preVersionHeader{Op: OpDelObj, Key: "obj-1", Trace: ctx.TraceID.String(), Span: ctx.SpanID.String(), TFlags: ctx.Flags},
+		},
+	}
+	for _, tc := range cases {
+		got, err := Encode(Message{Header: tc.now, Body: tc.body})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := preVersionEncode(t, tc.legacy, tc.body)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: versioned-protocol frame differs from pre-version framing\n got %q\nwant %q", tc.name, got, want)
+		}
+	}
+}
+
+// TestHeaderVersionFieldsCoverLegacy guards the parity test itself: any
+// Header field beyond the known version additions must exist in the
+// pre-version twin with the same JSON tag.
+func TestHeaderVersionFieldsCoverLegacy(t *testing.T) {
+	versionFields := map[string]bool{"Ver": true, "Vers": true, "KeyVers": true}
+	now := reflect.TypeOf(Header{})
+	old := reflect.TypeOf(preVersionHeader{})
+	for i := 0; i < now.NumField(); i++ {
+		f := now.Field(i)
+		if versionFields[f.Name] {
+			continue
+		}
+		lf, ok := old.FieldByName(f.Name)
+		if !ok {
+			t.Errorf("Header field %s missing from preVersionHeader — update the parity test", f.Name)
+			continue
+		}
+		if lf.Tag.Get("json") != f.Tag.Get("json") {
+			t.Errorf("Header field %s json tag %q differs from pre-version %q", f.Name, f.Tag.Get("json"), lf.Tag.Get("json"))
+		}
+	}
+}
+
+// TestVersionHeaderRoundTrip checks each version field survives an
+// encode/decode cycle alongside the fields it rides with.
+func TestVersionHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Op: OpMPut, Key: "obj-3", Indices: []int{0, 4, 7}, Sizes: []int{1, 1, 1},
+		Ver:  (1754 << 16) | 9,
+		Vers: []uint64{1754<<16 | 9, 1754<<16 | 9, 1700 << 16},
+		KeyVers: map[string]uint64{
+			"obj-3": 1754<<16 | 9,
+			"obj-4": 0,
+		},
+	}
+	buf, err := Encode(Message{Header: h, Body: []byte("abc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Ver != h.Ver || !reflect.DeepEqual(got.Header.Vers, h.Vers) ||
+		!reflect.DeepEqual(got.Header.KeyVers, h.KeyVers) {
+		t.Fatalf("version fields mangled: %+v", got.Header)
+	}
+}
+
+// FuzzVersionHeaderRoundTrip fuzzes the version header fields through an
+// encode/decode cycle: any (ver, per-chunk vers, key version) combination
+// must survive unchanged, and the all-zero combination must add zero bytes
+// over the equivalent unversioned frame.
+func FuzzVersionHeaderRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), "")
+	f.Add(uint64(1754<<16|3), uint64(1754<<16|4), uint64(9), "obj-1")
+	f.Add(^uint64(0), uint64(1), ^uint64(0)>>1, "k")
+	f.Fuzz(func(t *testing.T, ver, chunkVer, keyVer uint64, verKey string) {
+		h := Header{Op: OpMPut, Key: "k", Indices: []int{2}, Ver: ver}
+		if chunkVer != 0 {
+			h.Vers = []uint64{chunkVer}
+		}
+		if verKey != "" {
+			h.KeyVers = map[string]uint64{verKey: keyVer}
+		}
+		buf, err := Encode(Message{Header: h})
+		if err != nil {
+			t.Skip() // e.g. header too large from a huge fuzz string
+		}
+		got, err := Decode(buf[4:])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Header.Ver != ver || !reflect.DeepEqual(got.Header.Vers, h.Vers) ||
+			!reflect.DeepEqual(got.Header.KeyVers, h.KeyVers) {
+			t.Fatalf("version fields mangled: got %+v want %+v", got.Header, h)
+		}
+		if ver == 0 && chunkVer == 0 && verKey == "" {
+			plain, err := Encode(Message{Header: Header{Op: OpMPut, Key: "k", Indices: []int{2}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, plain) {
+				t.Fatalf("zero version context changed framing:\n got %q\nwant %q", buf, plain)
+			}
+		}
+	})
+}

@@ -54,6 +54,7 @@ const (
 	OpOK        = "ok"         // success response
 	OpError     = "error"      // failure response
 	OpNotFound  = "not-found"  // missing chunk response
+	OpStale     = "stale"      // versioned mutation lost to a newer version
 )
 
 // Header is the JSON-encoded frame header.
@@ -102,6 +103,23 @@ type Header struct {
 	// traced request: named intervals (queue wait, per-shard execute)
 	// offset from the server's receipt of the frame.
 	Anns []trace.Annotation `json:"anns,omitempty"`
+	// Ver carries one hybrid-logical-clock version (hlc.Timestamp as a
+	// uint64): the write's stamp on versioned put/mput/delobj requests, the
+	// key's version floor on read replies, and the winning version on
+	// OpStale replies. Zero (omitted) means unversioned, so unversioned
+	// frames stay byte-identical to the pre-version protocol — the same
+	// contract the trace fields keep.
+	Ver uint64 `json:"ver,omitempty"`
+	// Vers carries per-chunk versions parallel to Indices on batch replies
+	// whose chunks carry versions. When present it has exactly one entry
+	// per index; absent means every chunk is unversioned.
+	Vers []uint64 `json:"vers,omitempty"`
+	// KeyVers carries per-key versions on OpDigest frames, alongside
+	// Groups: the advertiser's newest known version for each advertised (or
+	// delta-removed) key. Receivers raise their own version floors from it,
+	// which is how a write's invalidation rides the digest mesh across
+	// regions.
+	KeyVers map[string]uint64 `json:"key_vers,omitempty"`
 	// Error carries the error text for OpError responses.
 	Error string `json:"error,omitempty"`
 	// Stats carries free-form counters for OpStats responses.

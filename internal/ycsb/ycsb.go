@@ -1,7 +1,10 @@
 // Package ycsb reimplements the harness role the paper's modified YCSB
-// client plays (§V-A): drive a read-only request stream from a workload
-// generator through a reading strategy, measure full-object read latencies,
-// and aggregate them over multiple runs.
+// client plays (§V-A): drive a request stream from a workload generator
+// through a reading strategy, measure full-object read latencies, and
+// aggregate them over multiple runs. Beyond the paper's read-only harness,
+// a run can mix in blind updates and read-modify-writes (YCSB workloads
+// A, B and F) through an Update hook, and judge every read against the
+// run's own writes to count stale reads.
 //
 // Runs execute on a virtual clock: each operation advances time by its
 // modelled latency, and the region's Agar node (when present) reconfigures
@@ -11,6 +14,7 @@ package ycsb
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/agardist/agar/internal/client"
@@ -48,6 +52,24 @@ type RunConfig struct {
 	// BeforeOp, when set, is called with the virtual now before every
 	// operation (warm-up included) — the hook timed chaos actions fire on.
 	BeforeOp func(now time.Time)
+	// UpdateFrac is the probability an operation is a blind update instead
+	// of a read (YCSB A = 0.5, YCSB B = 0.05). Requires Update.
+	UpdateFrac float64
+	// RMWFrac is the probability an operation is a read-modify-write — a
+	// read followed by an update of the same key, timed as one operation
+	// (YCSB F). Requires Update.
+	RMWFrac float64
+	// Update performs one mutation of the key and returns its modelled
+	// latency; the generator draws the key exactly as for reads, so hot
+	// keys are updated as often as they are read.
+	Update func(key string) (time.Duration, error)
+	// Verify, when set, judges every successful read's payload against
+	// what the workload's own writes make current; false counts the read
+	// as stale. Reads of keys the run never wrote should return true.
+	Verify func(key string, data []byte) bool
+	// MixSeed seeds the operation-type draw so paired arms replay the same
+	// read/update interleaving (zero uses a fixed default).
+	MixSeed int64
 }
 
 // Result aggregates one run.
@@ -71,6 +93,17 @@ type Result struct {
 	Errors int
 	// Reconfigs counts Agar reconfigurations during the measured phase.
 	Reconfigs int
+	// Updates counts measured mutations: blind updates plus the write half
+	// of read-modify-writes.
+	Updates int
+	// UpdateErrors counts failed mutations (excluded from update stats).
+	UpdateErrors int
+	// StaleReads counts successful measured reads whose payload failed
+	// verification — the run's own writes had superseded what the read
+	// returned. Always zero without a Verify hook.
+	StaleReads int
+	// UpdateMean and UpdateP99 summarise measured mutation latencies.
+	UpdateMean, UpdateP99 time.Duration
 }
 
 // HitRatio returns (full + partial hits) / operations, the paper's
@@ -90,6 +123,20 @@ func Run(cfg RunConfig) (Result, error) {
 	if cfg.Operations <= 0 {
 		return Result{}, fmt.Errorf("ycsb: operations must be positive")
 	}
+	mutating := cfg.UpdateFrac > 0 || cfg.RMWFrac > 0
+	if mutating {
+		if cfg.UpdateFrac < 0 || cfg.RMWFrac < 0 || cfg.UpdateFrac+cfg.RMWFrac > 1 {
+			return Result{}, fmt.Errorf("ycsb: update %v + rmw %v outside [0,1]", cfg.UpdateFrac, cfg.RMWFrac)
+		}
+		if cfg.Update == nil {
+			return Result{}, fmt.Errorf("ycsb: update/rmw fractions need an Update hook")
+		}
+	}
+	mixSeed := cfg.MixSeed
+	if mixSeed == 0 {
+		mixSeed = 1
+	}
+	mix := rand.New(rand.NewSource(mixSeed))
 	clock := cfg.Clock
 	if clock == nil {
 		clock = netsim.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
@@ -100,6 +147,7 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 
 	lat := stats.NewLatencySummary(cfg.Operations)
+	updLat := stats.NewLatencySummary(cfg.Operations)
 	res := Result{Strategy: cfg.Reader.Name()}
 	reconfStart := 0
 	if cfg.Node != nil {
@@ -119,24 +167,64 @@ func Run(cfg RunConfig) (Result, error) {
 			cfg.BeforeOp(clock.Now())
 		}
 		key := workload.KeyName(cfg.Generator.Next())
-		_, r, err := cfg.Reader.Read(key)
-		clock.Advance(r.Latency / time.Duration(clients))
+		// Draw the operation type with the mix stream (always, so paired
+		// arms stay aligned op for op). Blind updates skip the read; a
+		// read-modify-write does both and its halves are timed separately.
+		op := 0.0
+		if mutating {
+			op = mix.Float64()
+		}
+		update := op < cfg.UpdateFrac
+		rmw := !update && op < cfg.UpdateFrac+cfg.RMWFrac
+		measured := i >= cfg.WarmupOps
+
+		var r client.Result
+		var err error
+		staleRead := false
+		if !update {
+			var data []byte
+			data, r, err = cfg.Reader.Read(key)
+			clock.Advance(r.Latency / time.Duration(clients))
+			// Judge the payload now, against what was current at read
+			// time — an RMW's own write is about to supersede it.
+			staleRead = err == nil && cfg.Verify != nil && !cfg.Verify(key, data)
+		}
+		var wdur time.Duration
+		var werr error
+		if update || rmw {
+			wdur, werr = cfg.Update(key)
+			clock.Advance(wdur / time.Duration(clients))
+		}
 		if cfg.Node != nil {
 			cfg.Node.MaybeReconfigure(clock.Now())
 		}
-		if i < cfg.WarmupOps {
+		if !measured {
 			if cfg.Node != nil {
 				reconfStart = cfg.Node.Manager().Runs()
 			}
 			continue
 		}
 		res.Operations++
+		if update || rmw {
+			res.Updates++
+			if werr != nil {
+				res.UpdateErrors++
+			} else {
+				updLat.Add(wdur)
+			}
+		}
+		if update {
+			continue
+		}
 		if err != nil {
 			res.Errors++
 			continue
 		}
 		lat.Add(r.Latency)
 		res.PeerChunks += r.PeerChunks
+		if staleRead {
+			res.StaleReads++
+		}
 		switch {
 		case r.FullHit:
 			res.FullHits++
@@ -153,6 +241,8 @@ func Run(cfg RunConfig) (Result, error) {
 	res.P99 = lat.Percentile(99)
 	res.Min = lat.Min()
 	res.Max = lat.Max()
+	res.UpdateMean = updLat.Mean()
+	res.UpdateP99 = updLat.Percentile(99)
 	if cfg.Node != nil {
 		res.Reconfigs = cfg.Node.Manager().Runs() - reconfStart
 	}
@@ -167,12 +257,17 @@ func Average(results []Result) Result {
 		return Result{}
 	}
 	out := Result{Strategy: results[0].Strategy}
-	var mean, p50, p95, p99 time.Duration
+	var mean, p50, p95, p99, uMean, uP99 time.Duration
 	for _, r := range results {
 		mean += r.Mean
 		p50 += r.P50
 		p95 += r.P95
 		p99 += r.P99
+		uMean += r.UpdateMean
+		uP99 += r.UpdateP99
+		out.Updates += r.Updates
+		out.UpdateErrors += r.UpdateErrors
+		out.StaleReads += r.StaleReads
 		if r.Min > 0 && (out.Min == 0 || r.Min < out.Min) {
 			out.Min = r.Min
 		}
@@ -192,5 +287,7 @@ func Average(results []Result) Result {
 	out.P50 = p50 / n
 	out.P95 = p95 / n
 	out.P99 = p99 / n
+	out.UpdateMean = uMean / n
+	out.UpdateP99 = uP99 / n
 	return out
 }
